@@ -1,0 +1,1 @@
+bin/pstream_check.ml: Arg Cmd Cmdliner Core Fmt List Manpage Query Streams String Term

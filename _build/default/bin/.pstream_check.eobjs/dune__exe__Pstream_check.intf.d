@@ -1,0 +1,1 @@
+bin/pstream_check.mli:

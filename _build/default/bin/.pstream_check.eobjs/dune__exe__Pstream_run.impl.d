@@ -1,0 +1,1 @@
+bin/pstream_run.ml: Arg Cmd Cmdliner Core Engine Fmt List Query Streams Term Workload

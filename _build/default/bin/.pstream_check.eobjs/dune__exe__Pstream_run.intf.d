@@ -1,0 +1,1 @@
+bin/pstream_run.mli:

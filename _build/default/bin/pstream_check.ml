@@ -1,0 +1,132 @@
+(* pstream-check: the query register's admission check (Figure 2) as a CLI.
+
+   Reads a query description (streams, punctuation schemes, join predicates;
+   see Query.Parser for the format), decides safety, and reports per-stream
+   purgeability, purge chains, safe plans, and optionally Graphviz dumps of
+   the join and punctuation graphs. *)
+
+open Cmdliner
+
+let run_check file method_name show_plans dot witness_stream witness_rounds
+    sql full =
+  let parse () =
+    match sql with
+    | None -> Query.Parser.parse_file file
+    | Some text ->
+        (Query.Sql.parse ~defs:(Query.Parser.parse_defs_file file) text)
+          .Query.Sql.cjq
+  in
+  match parse () with
+  | exception Query.Parser.Parse_error { line; message } ->
+      Fmt.epr "%s:%d: %s@." file line message;
+      1
+  | exception Query.Cjq.Invalid message ->
+      Fmt.epr "%s: invalid query: %s@." file message;
+      1
+  | exception Query.Sql.Sql_error message ->
+      Fmt.epr "SQL: %s@." message;
+      1
+  | query ->
+      let method_ =
+        match method_name with
+        | "pg" -> Core.Checker.Pg
+        | "gpg" -> Core.Checker.Gpg_closure
+        | _ -> Core.Checker.Tpg
+      in
+      let report = Core.Checker.check ~method_ query in
+      if full then Fmt.pr "%s@." (Core.Explain.to_string (Core.Explain.analyze query))
+      else Fmt.pr "%a@." Core.Checker.pp_report report;
+      if dot then begin
+        Fmt.pr "@.--- join graph (Graphviz) ---@.%s@."
+          (Query.Join_graph.to_dot (Query.Cjq.join_graph query));
+        Fmt.pr "--- punctuation graph (Graphviz) ---@.%s@."
+          (Core.Punctuation_graph.to_dot (Core.Punctuation_graph.of_query query));
+        Fmt.pr "--- generalized punctuation graph (Graphviz) ---@.%s@."
+          (Core.Gpg.to_dot (Core.Gpg.of_query query))
+      end;
+      (match witness_stream with
+      | Some stream when not (Core.Checker.stream_purgeable query stream) ->
+          (match Core.Witness.build query ~root:stream with
+          | Some w ->
+              Fmt.pr
+                "@.--- Theorem 1 witness against %s (unreachable: %s) ---@.%s"
+                stream
+                (String.concat ", " (Core.Witness.unreachable w))
+                (Streams.Trace_io.to_string
+                   (Core.Witness.trace w ~rounds:witness_rounds))
+          | None -> ())
+      | Some stream ->
+          Fmt.pr "@.stream %s is purgeable: no witness exists (Theorem 3)@."
+            stream
+      | None -> ());
+      if show_plans && report.Core.Checker.safe then begin
+        let safe = Core.Planner.enumerate_safe_plans query in
+        Fmt.pr "@.safe plans (%d of %d):@." (List.length safe)
+          (Query.Plan_enum.count_all_plans (Query.Cjq.n_streams query));
+        List.iter (fun p -> Fmt.pr "  %a@." Query.Plan.pp p) safe;
+        match Core.Planner.best_plan Core.Cost_model.default_params query with
+        | Some (plan, cost) ->
+            Fmt.pr "cost-model choice: %a (total %.3g)@." Query.Plan.pp plan
+              cost.Core.Cost_model.total
+        | None -> ()
+      end;
+      if report.Core.Checker.safe then 0 else 2
+
+let file =
+  let doc = "Query description file (stream/scheme/join statements)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY" ~doc)
+
+let method_ =
+  let doc = "Safety procedure: tpg (Theorem 5, default), gpg (Definition 9 \
+             fixpoint), or pg (plain graph; exact only for single-attribute \
+             schemes)." in
+  Arg.(value & opt string "tpg" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let show_plans =
+  let doc = "Also enumerate safe execution plans and rank them." in
+  Arg.(value & flag & info [ "p"; "plans" ] ~doc)
+
+let dot =
+  let doc = "Print Graphviz renderings of the join and punctuation graphs." in
+  Arg.(value & flag & info [ "dot" ] ~doc)
+
+let witness_stream =
+  let doc = "For an unsafe query: emit the Theorem-1 adversarial trace              against this stream's join state (replayable with              pstream-run --replay)." in
+  Arg.(value & opt (some string) None & info [ "witness" ] ~docv:"STREAM" ~doc)
+
+let witness_rounds =
+  Arg.(
+    value & opt int 5
+    & info [ "witness-rounds" ] ~doc:"Revival rounds in the witness trace.")
+
+let sql =
+  let doc = "Check this SQL-style query instead of the file's join \
+             statements; the file then only provides the stream and scheme \
+             declarations." in
+  Arg.(value & opt (some string) None & info [ "sql" ] ~docv:"QUERY" ~doc)
+
+let full =
+  let doc = "Print the full dossier (verdict, purge chains, safe-plan \
+             census, minimal schemes, witness summaries)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let cmd =
+  let doc = "check the safety of a continuous join query under punctuation \
+             schemes" in
+  let info =
+    Cmd.info "pstream-check" ~doc
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Implements the safety checking of Li et al., 'Safety Guarantee \
+             of Continuous Join Queries over Punctuated Data Streams' (VLDB \
+             2006). Exit status 0: safe; 2: unsafe; 1: parse error.";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run_check $ file $ method_ $ show_plans $ dot $ witness_stream
+      $ witness_rounds $ sql $ full)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,137 @@
+(* pstream-run: execute a query over a synthetic round-based workload and
+   report results, purge activity and the join-state time series — the
+   quickest way to watch a safe query stay bounded (or an unsafe one leak
+   with --force). *)
+
+open Cmdliner
+module Element = Streams.Element
+
+let run_query file rounds tuples_per_round punct_lag policy_name force
+    sample_every replay save_trace =
+  match Query.Parser.parse_file file with
+  | exception Query.Parser.Parse_error { line; message } ->
+      Fmt.epr "%s:%d: %s@." file line message;
+      1
+  | exception Query.Cjq.Invalid message ->
+      Fmt.epr "%s: invalid query: %s@." file message;
+      1
+  | query ->
+      let safe = Core.Checker.is_safe query in
+      Fmt.pr "query: %a@.safe: %b@." Query.Cjq.pp query safe;
+      if (not safe) && not force then begin
+        Fmt.epr
+          "refusing to run an unsafe query (its state cannot be bounded); \
+           use --force to run it anyway@.";
+        2
+      end
+      else begin
+        let policy =
+          match policy_name with
+          | "never" -> Engine.Purge_policy.Never
+          | "eager" -> Engine.Purge_policy.Eager
+          | s -> (
+              match int_of_string_opt s with
+              | Some n when n > 0 -> Engine.Purge_policy.Lazy n
+              | _ -> Engine.Purge_policy.Eager)
+        in
+        let trace =
+          match replay with
+          | Some path ->
+              Streams.Trace_io.load ~defs:(Query.Cjq.stream_defs query) ~path
+          | None ->
+              Workload.Synth.round_trace query
+                {
+                  Workload.Synth.rounds;
+                  tuples_per_round;
+                  punct_lag;
+                  trace_seed = 42;
+                }
+        in
+        (match save_trace with
+        | Some path ->
+            Streams.Trace_io.save ~path trace;
+            Fmt.pr "trace saved to %s (%d elements)@." path (List.length trace)
+        | None -> ());
+        let violations =
+          Streams.Trace.check ~schemes:(Query.Cjq.scheme_set query) trace
+        in
+        if violations <> [] then begin
+          Fmt.epr "input trace is ill-formed:@.";
+          List.iter
+            (fun v -> Fmt.epr "  %a@." Streams.Trace.pp_violation v)
+            violations
+        end;
+        let compiled =
+          Engine.Executor.compile ~policy query
+            (Query.Plan.mjoin (Query.Cjq.stream_names query))
+        in
+        let result =
+          Engine.Executor.run ~sample_every compiled (List.to_seq trace)
+        in
+        let n_results =
+          List.length (List.filter Element.is_data result.Engine.Executor.outputs)
+        in
+        Fmt.pr "policy: %a@." Engine.Purge_policy.pp policy;
+        Fmt.pr "consumed %d elements, emitted %d results@."
+          result.Engine.Executor.consumed n_results;
+        List.iter
+          (fun (op : Engine.Operator.t) ->
+            Fmt.pr "%s: %a@." op.Engine.Operator.name Engine.Operator.pp_stats
+              (op.Engine.Operator.stats ()))
+          (Engine.Executor.operators ~c:compiled);
+        Fmt.pr "@.state series:@.%a@." Engine.Metrics.pp_series
+          result.Engine.Executor.metrics;
+        Fmt.pr "growth slope (second half): %.4f tuples/element@."
+          (Engine.Metrics.growth_slope result.Engine.Executor.metrics);
+        0
+      end
+
+let file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"QUERY" ~doc:"Query description file.")
+
+let rounds =
+  Arg.(value & opt int 200 & info [ "rounds" ] ~doc:"Workload rounds.")
+
+let tuples_per_round =
+  Arg.(value & opt int 1 & info [ "fanin" ] ~doc:"Tuples per stream per round.")
+
+let punct_lag =
+  Arg.(
+    value & opt int 0
+    & info [ "lag" ] ~doc:"Rounds between data and its punctuations.")
+
+let policy =
+  Arg.(
+    value & opt string "eager"
+    & info [ "policy" ] ~doc:"Purge policy: eager, never, or a lazy batch size.")
+
+let force =
+  Arg.(value & flag & info [ "force" ] ~doc:"Run even if the query is unsafe.")
+
+let sample_every =
+  Arg.(value & opt int 100 & info [ "sample" ] ~doc:"Metrics sampling period.")
+
+let replay =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay" ]
+        ~doc:"Replay a saved trace file instead of generating a workload.")
+
+let save_trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-trace" ] ~doc:"Write the input trace to this file.")
+
+let cmd =
+  let doc = "run a continuous join query over a synthetic punctuated workload" in
+  Cmd.v (Cmd.info "pstream-run" ~doc)
+    Term.(
+      const run_query $ file $ rounds $ tuples_per_round $ punct_lag $ policy
+      $ force $ sample_every $ replay $ save_trace)
+
+let () = exit (Cmd.eval' cmd)

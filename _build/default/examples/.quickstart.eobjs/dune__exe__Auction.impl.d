@@ -1,0 +1,1 @@
+examples/auction.ml: Array Core Engine Float Fmt List Query Relational Streams Sys Tuple Value Workload

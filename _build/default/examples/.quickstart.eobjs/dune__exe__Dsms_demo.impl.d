@@ -1,0 +1,1 @@
+examples/dsms_demo.ml: Core Engine Fmt List Predicate Query Relational Schema Streams Tuple Value

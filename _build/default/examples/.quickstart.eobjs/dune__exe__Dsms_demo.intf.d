@@ -1,0 +1,1 @@
+examples/dsms_demo.mli:

@@ -1,0 +1,1 @@
+examples/netmon.ml: Array Core Engine Fmt List Query Streams Sys Workload

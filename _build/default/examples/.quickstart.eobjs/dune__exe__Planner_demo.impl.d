@@ -1,0 +1,1 @@
+examples/planner_demo.ml: Core Fmt List Predicate Query Relational Schema Streams Value Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Engine Fmt List Predicate Query Relational Schema Streams Tuple Value

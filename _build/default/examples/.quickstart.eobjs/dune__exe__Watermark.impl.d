@@ -1,0 +1,1 @@
+examples/watermark.ml: Array Core Engine Fmt List Query Streams Sys Workload

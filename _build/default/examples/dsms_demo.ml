@@ -1,0 +1,90 @@
+(* The Figure 2 architecture end to end: declare streams and punctuation
+   schemes in the query register, register queries (safe ones are admitted
+   with a plan, unsafe ones rejected with the analysis), then run the
+   admitted queries over one interleaved input with punctuation routing.
+
+     dune exec examples/dsms_demo.exe
+*)
+
+open Relational
+module Scheme = Streams.Scheme
+module Stream_def = Streams.Stream_def
+module Element = Streams.Element
+module Register = Core.Register
+
+let int_schema name attrs =
+  Schema.make ~stream:name
+    (List.map (fun a -> { Schema.name = a; ty = Value.TInt }) attrs)
+
+let item = int_schema "item" [ "itemid"; "price" ]
+let bid = int_schema "bid" [ "bidderid"; "itemid"; "amount" ]
+let promo = int_schema "promo" [ "bidderid"; "discount" ]
+
+let () =
+  let reg = Register.create () in
+  Register.declare_stream reg
+    (Stream_def.make item [ Scheme.of_attrs item [ "itemid" ] ]);
+  Register.declare_stream reg
+    (Stream_def.make bid
+       [ Scheme.of_attrs bid [ "itemid" ]; Scheme.of_attrs bid [ "bidderid" ] ]);
+  Register.declare_stream reg
+    (Stream_def.make promo [ Scheme.of_attrs promo [ "bidderid" ] ]);
+  Fmt.pr "declared streams:@.";
+  List.iter (fun d -> Fmt.pr "  %a@." Stream_def.pp d) (Register.streams reg);
+
+  (* admission: two safe queries and one the register must refuse *)
+  let show name = function
+    | Ok plan -> Fmt.pr "query %-8s ADMITTED with plan %a@." name Query.Plan.pp plan
+    | Error { Register.reason; _ } -> Fmt.pr "query %-8s REJECTED: %s@." name reason
+  in
+  show "auction"
+    (Register.register_query reg ~name:"auction" ~streams:[ "item"; "bid" ]
+       ~predicates:[ Predicate.atom "item" "itemid" "bid" "itemid" ]);
+  show "promos"
+    (Register.register_query reg ~name:"promos" ~streams:[ "bid"; "promo" ]
+       ~predicates:[ Predicate.atom "bid" "bidderid" "promo" "bidderid" ]);
+  (* joining item and promo on ids nothing punctuates: must be refused *)
+  show "bogus"
+    (Register.register_query reg ~name:"bogus" ~streams:[ "item"; "promo" ]
+       ~predicates:[ Predicate.atom "item" "price" "promo" "discount" ]);
+
+  Fmt.pr "@.relevant punctuation schemes per admitted query:@.";
+  List.iter
+    (fun name ->
+      Fmt.pr "  %-8s %a@." name Scheme.Set.pp (Register.relevant_schemes reg name))
+    (Register.queries reg);
+
+  (* run both over one input *)
+  let d schema values = Element.Data (Tuple.make schema (List.map (fun v -> Value.Int v) values)) in
+  let p schema bindings =
+    Element.Punct
+      (Streams.Punctuation.of_bindings schema
+         (List.map (fun (a, v) -> (a, Value.Int v)) bindings))
+  in
+  let trace =
+    List.concat_map
+      (fun k ->
+        [
+          d item [ k; 50 + k ];
+          p item [ ("itemid", k) ];
+          d promo [ k; 10 ];
+          d bid [ k; k; 7 ];
+          p bid [ ("itemid", k) ];
+          p bid [ ("bidderid", k) ];
+          p promo [ ("bidderid", k) ];
+        ])
+      (List.init 200 (fun i -> i + 1))
+  in
+  let dsms = Engine.Dsms.of_register reg in
+  let results = Engine.Dsms.run dsms (List.to_seq trace) in
+  let stats = Engine.Dsms.stats dsms in
+  Fmt.pr "@.ran %d elements:@." stats.Engine.Dsms.elements_seen;
+  List.iter
+    (fun (name, tuples) ->
+      Fmt.pr "  %-8s %d results, final state %d@." name (List.length tuples)
+        (Engine.Dsms.state_of dsms name))
+    results;
+  Fmt.pr
+    "routing skipped %d punctuation deliveries that the receiving query \
+     could never use@."
+    stats.Engine.Dsms.punctuations_skipped

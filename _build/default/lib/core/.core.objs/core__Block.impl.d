@@ -1,0 +1,1 @@
+lib/core/block.ml: Fmt List Set String

@@ -1,0 +1,1 @@
+lib/core/chained_purge.ml: Block Fmt Gpg Hashtbl List Predicate Relation Relational Schema Streams String Tuple Value

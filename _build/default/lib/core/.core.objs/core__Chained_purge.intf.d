@@ -1,0 +1,1 @@
+lib/core/chained_purge.mli: Format Relational Streams

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Block Chained_purge Fmt Gpg List Punctuation_graph Query Streams Tpg

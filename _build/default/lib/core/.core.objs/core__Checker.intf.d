@@ -1,0 +1,1 @@
+lib/core/checker.mli: Block Chained_purge Format Gpg Punctuation_graph Query Relational Streams Tpg

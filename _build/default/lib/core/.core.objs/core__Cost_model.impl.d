@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Block Fmt Gpg Hashtbl List Option Query Relational Streams

@@ -1,0 +1,1 @@
+lib/core/disjunctive.ml: Block Fmt Graphlib List Predicate Printf Punctuation_graph Relational Schema Streams String

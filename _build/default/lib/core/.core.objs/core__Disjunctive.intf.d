@@ -1,0 +1,1 @@
+lib/core/disjunctive.mli: Format Punctuation_graph Relational Streams

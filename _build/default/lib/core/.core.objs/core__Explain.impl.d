@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Checker Cost_model Fmt Gpg List Planner Punctuation_graph Query Streams String Witness

@@ -1,0 +1,1 @@
+lib/core/gpg.ml: Block Buffer Fmt Graphlib List Predicate Printf Query Relational Streams String

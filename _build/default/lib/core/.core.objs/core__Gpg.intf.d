@@ -1,0 +1,1 @@
+lib/core/gpg.mli: Block Format Graphlib Query Relational Streams

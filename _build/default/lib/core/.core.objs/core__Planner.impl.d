@@ -1,0 +1,1 @@
+lib/core/planner.ml: Block Checker Cost_model List Map Query Streams String

@@ -1,0 +1,1 @@
+lib/core/planner.mli: Cost_model Query Streams

@@ -1,0 +1,1 @@
+lib/core/punct_purge.ml: List Predicate Relational Schema Streams String

@@ -1,0 +1,1 @@
+lib/core/punct_purge.mli: Relational Streams

@@ -1,0 +1,1 @@
+lib/core/punctuation_graph.ml: Block Fmt Graphlib Hashtbl List Predicate Query Relational Streams String

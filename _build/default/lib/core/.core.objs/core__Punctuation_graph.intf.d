@@ -1,0 +1,1 @@
+lib/core/punctuation_graph.mli: Block Format Graphlib Query Relational Streams

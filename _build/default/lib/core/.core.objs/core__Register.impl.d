@@ -1,0 +1,1 @@
+lib/core/register.ml: Checker Cost_model Fmt List Planner Printf Query Relational Streams String

@@ -1,0 +1,1 @@
+lib/core/register.mli: Checker Query Relational Streams

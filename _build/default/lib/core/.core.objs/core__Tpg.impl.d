@@ -1,0 +1,1 @@
+lib/core/tpg.ml: Block Fmt Graphlib List Predicate Query Relational Streams String

@@ -1,0 +1,1 @@
+lib/core/tpg.mli: Block Format Query Relational Streams

@@ -1,0 +1,1 @@
+lib/core/witness.ml: Block Gpg List Option Predicate Printf Query Relational Schema Streams String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/witness.mli: Query Streams

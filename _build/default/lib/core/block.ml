@@ -1,0 +1,36 @@
+type t = string list
+
+let make streams =
+  if streams = [] then invalid_arg "Block.make: empty block";
+  let sorted = List.sort_uniq String.compare streams in
+  if List.length sorted <> List.length streams then
+    invalid_arg "Block.make: duplicate stream in block";
+  sorted
+
+let singleton s = [ s ]
+let streams t = t
+let mem s t = List.mem s t
+let compare = List.compare String.compare
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  match t with
+  | [ s ] -> Fmt.string ppf s
+  | _ -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma string) t
+
+let partition_of blocks =
+  let all = List.concat blocks in
+  if List.length (List.sort_uniq String.compare all) <> List.length all then
+    invalid_arg "Block.partition_of: blocks overlap";
+  blocks
+
+let find blocks stream =
+  match List.find_opt (mem stream) blocks with
+  | Some b -> b
+  | None -> raise Not_found
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,30 @@
+(** Input blocks: the inputs of a join operator inside a plan tree.
+
+    A block is the set of base streams feeding one input of an operator —
+    a singleton for a raw stream, several streams for an intermediate result
+    (the paper's [OP_i] in Lemmas 1 and 2). Punctuation graphs are built at
+    block granularity so the same construction serves both a single operator
+    over raw streams and any operator of a plan tree. *)
+
+type t = private string list
+(** sorted, distinct, non-empty *)
+
+(** @raise Invalid_argument on empty or duplicated streams. *)
+val make : string list -> t
+
+val singleton : string -> t
+val streams : t -> string list
+val mem : string -> t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [partition_of blocks] checks blocks are pairwise disjoint.
+    @raise Invalid_argument otherwise. *)
+val partition_of : t list -> t list
+
+(** [find blocks stream] is the block containing [stream].
+    @raise Not_found if absent. *)
+val find : t list -> string -> t
+
+module Set : Set.S with type elt = t

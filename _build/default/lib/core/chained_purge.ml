@@ -1,0 +1,144 @@
+open Relational
+module Scheme = Streams.Scheme
+module Punctuation = Streams.Punctuation
+
+type pin = { attr : string; source : string; source_attr : string }
+
+type step = { target : string; scheme : Scheme.t; pins : pin list }
+
+type plan = { root : string; steps : step list }
+
+let derive names preds schemes ~root =
+  let gpg = Gpg.of_streams names preds schemes in
+  let edges = Gpg.edges gpg in
+  let source_attr_for ~target ~attr ~source =
+    let atom =
+      List.find
+        (fun a ->
+          Predicate.involves a target
+          && Predicate.involves a source
+          && String.equal (Predicate.attr_on a target) attr)
+        preds
+    in
+    Predicate.attr_on atom source
+  in
+  let rec fixpoint pinned steps =
+    let candidate =
+      List.find_opt
+        (fun (e : Gpg.gedge) ->
+          (not (List.mem e.stream pinned))
+          && List.for_all
+               (fun (_, blocks) ->
+                 List.exists
+                   (fun b ->
+                     match Block.streams b with
+                     | [ s ] -> List.mem s pinned
+                     | _ -> false)
+                   blocks)
+               e.sources)
+        edges
+    in
+    match candidate with
+    | None -> (pinned, List.rev steps)
+    | Some e ->
+        let pins =
+          List.map
+            (fun (attr, blocks) ->
+              let source =
+                List.concat_map Block.streams blocks
+                |> List.find (fun s -> List.mem s pinned)
+              in
+              { attr; source; source_attr = source_attr_for ~target:e.stream ~attr ~source })
+            e.sources
+        in
+        fixpoint (e.stream :: pinned)
+          ({ target = e.stream; scheme = e.scheme; pins } :: steps)
+  in
+  let pinned, steps = fixpoint [ root ] [] in
+  if List.length pinned = List.length names then Some { root; steps }
+  else None
+
+(* Cartesian product of per-pin value choices. *)
+let combos_of per_pin =
+  List.fold_right
+    (fun (attr, values) acc ->
+      List.concat_map
+        (fun v -> List.map (fun rest -> (attr, v) :: rest) acc)
+        values)
+    per_pin [ [] ]
+
+let walk plan ~states ~root_tuple ~on_step =
+  let root_schema = Tuple.schema root_tuple in
+  let root_rel = Relation.make root_schema [ root_tuple ] in
+  let pinned = Hashtbl.create 8 in
+  Hashtbl.add pinned plan.root root_rel;
+  List.iter
+    (fun step ->
+      let per_pin =
+        List.map
+          (fun pin ->
+            let rel = Hashtbl.find pinned pin.source in
+            let values =
+              Relation.distinct_project rel [ pin.source_attr ]
+              |> List.filter_map (function [ v ] -> Some v | _ -> None)
+            in
+            (pin, values))
+          step.pins
+      in
+      let combos =
+        combos_of (List.map (fun (pin, vs) -> (pin.attr, vs)) per_pin)
+        (* an empty value set yields no combos: the chain is already cut *)
+        |> List.filter (fun c -> c <> [])
+      in
+      on_step step combos;
+      (* T_t[Υ_target]: joinable tuples of the target under the product
+         approximation of the chain semijoin. *)
+      let target_state = states step.target in
+      let joinable =
+        Relation.filter
+          (fun x ->
+            List.for_all
+              (fun (pin, values) ->
+                let v = Tuple.get_named x pin.attr in
+                List.exists (Value.equal v) values)
+              per_pin)
+          target_state
+      in
+      Hashtbl.replace pinned step.target joinable)
+    plan.steps
+
+let required_punctuations plan ~states ~root_tuple =
+  let acc = ref [] in
+  walk plan ~states ~root_tuple ~on_step:(fun step combos ->
+      let puncts = List.map (Scheme.instantiate step.scheme) combos in
+      acc := (step.target, puncts) :: !acc);
+  List.rev !acc
+
+exception Not_purgeable
+
+let tuple_purgeable plan ~states ~covered ~root_tuple =
+  try
+    walk plan ~states ~root_tuple ~on_step:(fun step combos ->
+        let schema = Scheme.schema step.scheme in
+        List.iter
+          (fun combo ->
+            let bindings =
+              List.map (fun (a, v) -> (Schema.attr_index schema a, v)) combo
+            in
+            if not (covered ~stream:step.target bindings) then
+              raise Not_purgeable)
+          combos);
+    true
+  with Not_purgeable -> false
+
+let pp_plan ppf plan =
+  let pp_step ppf s =
+    Fmt.pf ppf "@[collect %a from %s pinned by %a@]" Scheme.pp s.scheme
+      s.target
+      (Fmt.list ~sep:Fmt.comma (fun ppf p ->
+           Fmt.pf ppf "%s.%s<-%s.%s" s.target p.attr p.source p.source_attr))
+      s.pins
+  in
+  Fmt.pf ppf "@[<v2>purge plan for %s:@,%a@]" plan.root
+    (Fmt.list ~sep:Fmt.cut pp_step)
+    plan.steps

@@ -1,0 +1,107 @@
+module Scheme = Streams.Scheme
+module Cjq = Query.Cjq
+module Plan = Query.Plan
+
+type method_ = Pg | Gpg_closure | Tpg
+
+type stream_report = {
+  stream : string;
+  purgeable : bool;
+  purge_plan : Chained_purge.plan option;
+  unreached : string list;
+}
+
+type report = {
+  safe : bool;
+  decided_by : method_;
+  pg : Punctuation_graph.t;
+  gpg : Gpg.t;
+  tpg : Tpg.t;
+  streams : stream_report list;
+}
+
+let schemes_of ?schemes query =
+  match schemes with Some s -> s | None -> Cjq.scheme_set query
+
+let is_safe ?(method_ = Tpg) ?schemes query =
+  let schemes = schemes_of ?schemes query in
+  match method_ with
+  | Pg ->
+      Punctuation_graph.is_strongly_connected
+        (Punctuation_graph.of_query ~schemes query)
+  | Gpg_closure -> Gpg.is_strongly_connected (Gpg.of_query ~schemes query)
+  | Tpg -> Tpg.is_safe (Tpg.of_query ~schemes query)
+
+let stream_purgeable ?schemes query name =
+  let schemes = schemes_of ?schemes query in
+  Gpg.reaches_all (Gpg.of_query ~schemes query) (Block.singleton name)
+
+let check ?(method_ = Tpg) ?schemes query =
+  let schemes = schemes_of ?schemes query in
+  let names = Cjq.stream_names query in
+  let preds = Cjq.predicates query in
+  let pg = Punctuation_graph.of_query ~schemes query in
+  let gpg = Gpg.of_query ~schemes query in
+  let tpg = Tpg.of_query ~schemes query in
+  let streams =
+    List.map
+      (fun stream ->
+        let reached = Gpg.reachable gpg (Block.singleton stream) in
+        let unreached =
+          List.filter
+            (fun s -> not (List.mem (Block.singleton s) reached))
+            names
+        in
+        let purgeable = unreached = [] in
+        let purge_plan =
+          if purgeable then Chained_purge.derive names preds schemes ~root:stream
+          else None
+        in
+        { stream; purgeable; purge_plan; unreached })
+      names
+  in
+  let safe = is_safe ~method_ ~schemes query in
+  { safe; decided_by = method_; pg; gpg; tpg; streams }
+
+let operator_purgeable ~blocks preds schemes =
+  Gpg.is_strongly_connected (Gpg.of_blocks blocks preds schemes)
+
+let unsafe_operators ?schemes query plan =
+  let schemes = schemes_of ?schemes query in
+  let preds = Cjq.predicates query in
+  Plan.validate plan query;
+  List.filter
+    (fun op ->
+      let blocks = List.map Block.make (Plan.inputs_of_operator op) in
+      not (operator_purgeable ~blocks preds schemes))
+    (Plan.operators plan)
+
+let plan_safe ?schemes query plan = unsafe_operators ?schemes query plan = []
+
+let exists_safe_plan_by_enumeration ?schemes query =
+  let schemes = schemes_of ?schemes query in
+  List.exists
+    (fun plan -> plan_safe ~schemes query plan)
+    (Query.Plan_enum.all_plans (Cjq.stream_names query))
+
+let pp_method ppf = function
+  | Pg -> Fmt.string ppf "punctuation graph (Theorem 2)"
+  | Gpg_closure -> Fmt.string ppf "GPG closure (Theorem 4)"
+  | Tpg -> Fmt.string ppf "TPG transformation (Theorem 5)"
+
+let pp_report ppf r =
+  let pp_stream ppf s =
+    if s.purgeable then
+      Fmt.pf ppf "@[<v2>%s: purgeable@,%a@]" s.stream
+        (Fmt.option Chained_purge.pp_plan)
+        s.purge_plan
+    else
+      Fmt.pf ppf "%s: NOT purgeable (cannot reach %a)" s.stream
+        Fmt.(list ~sep:comma string)
+        s.unreached
+  in
+  Fmt.pf ppf "@[<v>verdict: %s (decided by %a)@,%a@]"
+    (if r.safe then "SAFE" else "UNSAFE")
+    pp_method r.decided_by
+    (Fmt.list ~sep:Fmt.cut pp_stream)
+    r.streams

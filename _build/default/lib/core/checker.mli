@@ -1,0 +1,80 @@
+(** The safety checker: Theorems 1–5 packaged as decision procedures.
+
+    This is the component the paper's query register runs before admitting a
+    continuous join query (Figure 2): is the query safe under the declared
+    punctuation scheme set, which execution plans are safe, which join
+    states are purgeable and by which purge chains. *)
+
+type method_ = Pg | Gpg_closure | Tpg
+(** Which procedure decides query safety:
+    - [Pg]: Theorem 2, plain punctuation graph strong connectivity — exact
+      when every scheme has a single punctuatable attribute, only sufficient
+      otherwise;
+    - [Gpg_closure]: Theorem 4 via Definition 9's fixpoint — the ground
+      truth, quadratic;
+    - [Tpg]: Theorem 5's transformation — the polynomial algorithm of
+      §4.3 (the default). *)
+
+(** Per-stream purgeability (Theorem 3). *)
+type stream_report = {
+  stream : string;
+  purgeable : bool;
+  purge_plan : Chained_purge.plan option;
+      (** the chained purge walk when purgeable *)
+  unreached : string list;
+      (** streams the GPG cannot reach from here (empty when purgeable) *)
+}
+
+type report = {
+  safe : bool;
+  decided_by : method_;
+  pg : Punctuation_graph.t;
+  gpg : Gpg.t;
+  tpg : Tpg.t;
+  streams : stream_report list;
+}
+
+(** [check ?method_ ?schemes query] runs the full analysis. [schemes]
+    defaults to the query's declared scheme set, [method_] to [Tpg]. *)
+val check :
+  ?method_:method_ -> ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> report
+
+(** [is_safe ?method_ ?schemes query] — Definition 5: does a safe execution
+    plan exist? *)
+val is_safe :
+  ?method_:method_ -> ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> bool
+
+(** [stream_purgeable ?schemes query name] — Theorem 3 for one stream of the
+    whole-query MJoin. *)
+val stream_purgeable :
+  ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> string -> bool
+
+(** [operator_purgeable ~blocks preds schemes] — Corollary 2 at block level:
+    the operator whose inputs are [blocks] is purgeable iff its generalized
+    punctuation graph is strongly connected. *)
+val operator_purgeable :
+  blocks:Block.t list ->
+  Relational.Predicate.t ->
+  Streams.Scheme.Set.t ->
+  bool
+
+(** [plan_safe ?schemes query plan] — Definition 2: every operator of [plan]
+    purgeable. *)
+val plan_safe :
+  ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> Query.Plan.t -> bool
+
+(** [unsafe_operators ?schemes query plan] — the operators of [plan] that
+    are not purgeable (empty iff the plan is safe). *)
+val unsafe_operators :
+  ?schemes:Streams.Scheme.Set.t ->
+  Query.Cjq.t ->
+  Query.Plan.t ->
+  Query.Plan.t list
+
+(** [exists_safe_plan_by_enumeration ?schemes query] decides safety the
+    naive way — enumerate every plan, test each (the exponential baseline
+    Theorems 2/4 avoid). Kept as a test oracle and benchmark baseline. *)
+val exists_safe_plan_by_enumeration :
+  ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> bool
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,229 @@
+module Plan = Query.Plan
+module Cjq = Query.Cjq
+
+type stream_stats = { rate : float; punct_interval : float }
+
+type params = {
+  stats : (string * stream_stats) list;
+  default_stats : stream_stats;
+  selectivity : float;
+  memory_weight : float;
+  cpu_weight : float;
+}
+
+let default_params =
+  {
+    stats = [];
+    default_stats = { rate = 100.0; punct_interval = 1.0 };
+    selectivity = 0.01;
+    memory_weight = 1.0;
+    cpu_weight = 0.1;
+  }
+
+let estimate_params query trace =
+  let module Element = Streams.Element in
+  let module Trace = Streams.Trace in
+  let total = max 1 (List.length trace) in
+  let stats =
+    List.map
+      (fun name ->
+        let sub = Trace.for_stream trace name in
+        let data = Trace.data_count sub in
+        let puncts = Trace.punct_count sub in
+        let rate = 100.0 *. float_of_int data /. float_of_int total in
+        let punct_interval =
+          if puncts = 0 then float_of_int total
+          else float_of_int total /. float_of_int puncts
+        in
+        (name, { rate = max 0.01 rate; punct_interval }))
+      (Cjq.stream_names query)
+  in
+  (* per-atom selectivity via value histograms *)
+  let histogram name attr =
+    let tbl = Hashtbl.create 64 in
+    let n = ref 0 in
+    List.iter
+      (fun e ->
+        match e with
+        | Element.Data tup when Element.stream_name e = name ->
+            incr n;
+            let v = Relational.Tuple.get_named tup attr in
+            Hashtbl.replace tbl v
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v))
+        | _ -> ())
+      trace;
+    (tbl, !n)
+  in
+  let atom_selectivity atom =
+    let s1, s2 = Relational.Predicate.streams_of atom in
+    let h1, n1 = histogram s1 (Relational.Predicate.attr_on atom s1) in
+    let h2, n2 = histogram s2 (Relational.Predicate.attr_on atom s2) in
+    if n1 = 0 || n2 = 0 then default_params.selectivity
+    else
+      let matches =
+        Hashtbl.fold
+          (fun v c1 acc ->
+            match Hashtbl.find_opt h2 v with
+            | Some c2 -> acc + (c1 * c2)
+            | None -> acc)
+          h1 0
+      in
+      max 1e-9 (float_of_int matches /. float_of_int (n1 * n2))
+  in
+  let atoms = Cjq.predicates query in
+  let selectivity =
+    match atoms with
+    | [] -> default_params.selectivity
+    | _ ->
+        let product =
+          List.fold_left (fun acc a -> acc *. atom_selectivity a) 1.0 atoms
+        in
+        product ** (1.0 /. float_of_int (List.length atoms))
+  in
+  {
+    stats;
+    default_stats = default_params.default_stats;
+    selectivity;
+    memory_weight = default_params.memory_weight;
+    cpu_weight = default_params.cpu_weight;
+  }
+
+type operator_cost = {
+  inputs : Block.t list;
+  state_sizes : float list;
+  output_rate : float;
+  cpu : float;
+}
+
+type cost = {
+  memory : float;
+  cpu : float;
+  total : float;
+  operators : operator_cost list;
+}
+
+let stats_of params s =
+  match List.assoc_opt s params.stats with
+  | Some st -> st
+  | None -> params.default_stats
+
+(* Purge latency of input [root] in the operator over [blocks]: replay the
+   GPG reachability fixpoint and accumulate the punctuation inter-arrival
+   time of every scheme fired along the way. [None] when the input cannot
+   reach every other block (not purgeable, latency unbounded). *)
+let purge_latency params ~blocks ~preds ~schemes root =
+  let gpg = Gpg.of_blocks blocks preds schemes in
+  let edges = Gpg.edges gpg in
+  let rec fire pinned latency =
+    if List.length pinned = List.length blocks then Some latency
+    else
+      let next =
+        List.find_opt
+          (fun (e : Gpg.gedge) ->
+            (not (List.exists (Block.equal e.target) pinned))
+            && List.for_all
+                 (fun (_, cands) ->
+                   List.exists
+                     (fun c -> List.exists (Block.equal c) pinned)
+                     cands)
+                 e.sources)
+          edges
+      in
+      match next with
+      | None -> None
+      | Some e ->
+          let interval = (stats_of params e.stream).punct_interval in
+          fire (e.target :: pinned) (latency +. interval)
+  in
+  fire [ root ] 0.0
+
+let plan_cost params ?schemes query plan =
+  let schemes =
+    match schemes with Some s -> s | None -> Cjq.scheme_set query
+  in
+  let preds = Cjq.predicates query in
+  Plan.validate plan query;
+  let exception Unbounded in
+  (* Evaluates to (output rate, operator costs below and including). *)
+  let rec eval = function
+    | Plan.Leaf s -> ((stats_of params s).rate, [])
+    | Plan.Join children as op ->
+        let rates, sub_costs = List.split (List.map eval children) in
+        let blocks =
+          List.map (fun c -> Block.make (Plan.leaves c)) children
+        in
+        let latencies =
+          List.map
+            (fun b ->
+              match purge_latency params ~blocks ~preds ~schemes b with
+              | Some l -> l
+              | None -> raise Unbounded)
+            blocks
+        in
+        let state_sizes = List.map2 (fun r l -> r *. l) rates latencies in
+        let n_atoms =
+          List.length
+            (List.filter
+               (fun a ->
+                 let s1, s2 = Relational.Predicate.streams_of a in
+                 match Block.find blocks s1, Block.find blocks s2 with
+                 | b1, b2 -> not (Block.equal b1 b2)
+                 | exception Not_found -> false)
+               preds)
+        in
+        let sigma = params.selectivity ** float_of_int (max 1 n_atoms) in
+        let k = List.length children in
+        let product_except i =
+          List.fold_left ( *. ) 1.0
+            (List.filteri (fun j _ -> j <> i) state_sizes)
+        in
+        let output_rate =
+          sigma
+          *. List.fold_left ( +. ) 0.0
+               (List.mapi (fun i r -> r *. product_except i) rates)
+        in
+        let probe_work =
+          List.fold_left (fun acc r -> acc +. (r *. float_of_int (k - 1))) 0.0 rates
+        in
+        let opc =
+          {
+            inputs = blocks;
+            state_sizes;
+            output_rate;
+            cpu = probe_work +. output_rate;
+          }
+        in
+        ignore op;
+        (output_rate, List.concat sub_costs @ [ opc ])
+  in
+  match eval plan with
+  | exception Unbounded -> None
+  | _, operators ->
+      let memory =
+        List.fold_left
+          (fun acc o -> acc +. List.fold_left ( +. ) 0.0 o.state_sizes)
+          0.0 operators
+      in
+      let cpu =
+        List.fold_left
+          (fun acc (o : operator_cost) -> acc +. o.cpu)
+          0.0 operators
+      in
+      Some
+        {
+          memory;
+          cpu;
+          total = (params.memory_weight *. memory) +. (params.cpu_weight *. cpu);
+          operators;
+        }
+
+let pp_cost ppf c =
+  Fmt.pf ppf
+    "@[<v>total %.3g (memory %.3g, cpu %.3g)@,%a@]" c.total c.memory c.cpu
+    (Fmt.list ~sep:Fmt.cut (fun ppf o ->
+         Fmt.pf ppf "operator(%a): states %a, out-rate %.3g"
+           (Fmt.list ~sep:Fmt.comma Block.pp)
+           o.inputs
+           (Fmt.list ~sep:Fmt.comma (fun ppf -> Fmt.pf ppf "%.3g"))
+           o.state_sizes o.output_rate))
+    c.operators

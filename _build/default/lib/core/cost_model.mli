@@ -1,0 +1,71 @@
+(** Cost estimation for safe execution plans (§5.2's sketch, made concrete).
+
+    The paper only outlines cost/benefit analysis; we instantiate the
+    simplest model that exhibits the trade-offs its Plan Parameters discuss:
+
+    - the expected join-state size of an operator input is
+      [arrival rate × purge latency], where purge latency accumulates the
+      punctuation inter-arrival times along the input's chained purge walk
+      (a tuple is dead only once the whole chain of punctuations has
+      arrived);
+    - an operator's output rate uses independence-assumption selectivities:
+      each new tuple of one input probes the states of the others;
+    - plan cost adds a memory term (total expected state) and a CPU term
+      (probe and result-assembly work), with configurable weights.
+
+    All figures are unit-free rankings, not predictions; EXPERIMENTS.md
+    compares the ranking against measured state sizes (bench C7). *)
+
+type stream_stats = {
+  rate : float;  (** tuple arrivals per unit time *)
+  punct_interval : float;
+      (** expected time between punctuations of this stream's schemes *)
+}
+
+type params = {
+  stats : (string * stream_stats) list;
+  default_stats : stream_stats;  (** for streams absent from [stats] *)
+  selectivity : float;  (** per join atom, independence assumption *)
+  memory_weight : float;
+  cpu_weight : float;
+}
+
+val default_params : params
+
+(** [estimate_params query trace] measures the model's inputs from a sample
+    trace (the paper's "data arrival rate, punctuation arrival rate, and
+    join selectivities"):
+    - per-stream rate: the stream's share of data elements (per 100
+      elements of input);
+    - punctuation interval: mean gap between the stream's punctuations (the
+      full trace length when it never punctuates);
+    - selectivity: per join atom via value-histogram intersection
+      [Σ_v n1(v)·n2(v) / (n1·n2)], combined by geometric mean.
+    Weights are taken from [default_params]. *)
+val estimate_params : Query.Cjq.t -> Streams.Trace.t -> params
+
+type operator_cost = {
+  inputs : Block.t list;
+  state_sizes : float list;  (** expected stored tuples per input *)
+  output_rate : float;
+  cpu : float;
+}
+
+type cost = {
+  memory : float;  (** Σ expected state over all operators *)
+  cpu : float;
+  total : float;  (** weighted sum used for ranking *)
+  operators : operator_cost list;
+}
+
+(** [plan_cost params ?schemes query plan] — [None] when some input of some
+    operator is not purgeable (unbounded expected state: the plan must not
+    be ranked, it is unsafe). *)
+val plan_cost :
+  params ->
+  ?schemes:Streams.Scheme.Set.t ->
+  Query.Cjq.t ->
+  Query.Plan.t ->
+  cost option
+
+val pp_cost : Format.formatter -> cost -> unit

@@ -1,0 +1,127 @@
+open Relational
+module Scheme = Streams.Scheme
+module Stream_def = Streams.Stream_def
+
+type clause = {
+  left_stream : string;
+  right_stream : string;
+  atoms : Predicate.atom list;
+}
+
+let clause atoms =
+  match atoms with
+  | [] -> invalid_arg "Disjunctive.clause: empty disjunction"
+  | first :: rest ->
+      let l, r = Predicate.streams_of first in
+      List.iter
+        (fun a ->
+          if Predicate.streams_of a <> (l, r) then
+            invalid_arg
+              "Disjunctive.clause: atoms must all join the same stream pair")
+        rest;
+      { left_stream = l; right_stream = r; atoms }
+
+let pp_clause ppf c =
+  Fmt.pf ppf "(%a)"
+    Fmt.(list ~sep:(any " @<1>∨ ") Predicate.pp_atom)
+    c.atoms
+
+type t = { defs : Stream_def.t list; clauses : clause list }
+
+let make defs clauses =
+  let names = List.map Stream_def.name defs in
+  if List.length defs < 2 then
+    invalid_arg "Disjunctive.make: need at least two streams";
+  List.iter
+    (fun c ->
+      List.iter
+        (fun a ->
+          let check s =
+            if not (List.mem s names) then
+              invalid_arg
+                (Printf.sprintf "Disjunctive.make: undeclared stream %s" s);
+            let schema = Stream_def.schema (Stream_def.find defs s) in
+            if not (Schema.mem schema (Predicate.attr_on a s)) then
+              invalid_arg
+                (Printf.sprintf "Disjunctive.make: %s has no attribute %s" s
+                   (Predicate.attr_on a s))
+          in
+          check c.left_stream;
+          check c.right_stream;
+          ignore a)
+        c.atoms)
+    clauses;
+  (* connectivity over the clause graph *)
+  let module G = Graphlib.Digraph.Make (struct
+    type t = string
+
+    let compare = String.compare
+    let pp = Fmt.string
+  end) in
+  let g =
+    List.fold_left
+      (fun g c ->
+        G.add_edge (G.add_edge g c.left_stream c.right_stream) c.right_stream
+          c.left_stream)
+      (List.fold_left G.add_vertex G.empty names)
+      clauses
+  in
+  (match names with
+  | [] -> ()
+  | v :: _ ->
+      if G.VSet.cardinal (G.reachable g v) <> List.length names then
+        invalid_arg "Disjunctive.make: clause graph is not connected");
+  { defs; clauses }
+
+let stream_names t = List.map Stream_def.name t.defs
+let clauses t = t.clauses
+
+let schemes_of ?schemes t =
+  match schemes with
+  | Some s -> s
+  | None -> Stream_def.scheme_set t.defs
+
+(* Can single-attribute (or ordered) punctuations of [stream] pin values of
+   [attr] one at a time? *)
+let attr_coverable schemes stream attr =
+  List.exists
+    (fun sch ->
+      match Scheme.punctuatable_attrs sch with
+      | [ a ] -> String.equal a attr
+      | _ -> false)
+    (Scheme.Set.for_stream schemes stream)
+
+let punctuation_graph ?schemes t =
+  let schemes = schemes_of ?schemes t in
+  let base =
+    List.fold_left
+      (fun g s -> Punctuation_graph.G.add_vertex g (Block.singleton s))
+      Punctuation_graph.G.empty (stream_names t)
+  in
+  List.fold_left
+    (fun g c ->
+      let edge_into target source g =
+        (* every disjunct's target-side attribute must be coverable *)
+        if
+          List.for_all
+            (fun a -> attr_coverable schemes target (Predicate.attr_on a target))
+            c.atoms
+        then
+          Punctuation_graph.G.add_edge g (Block.singleton source)
+            (Block.singleton target)
+        else g
+      in
+      g
+      |> edge_into c.left_stream c.right_stream
+      |> edge_into c.right_stream c.left_stream)
+    base t.clauses
+
+let stream_purgeable ?schemes t name =
+  Punctuation_graph.G.reaches_all
+    (punctuation_graph ?schemes t)
+    (Block.singleton name)
+
+let is_safe ?schemes t =
+  Punctuation_graph.G.is_strongly_connected (punctuation_graph ?schemes t)
+
+let joins c t1 t2 = List.exists (fun a -> Predicate.eval a t1 t2) c.atoms

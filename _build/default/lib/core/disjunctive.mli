@@ -1,0 +1,62 @@
+(** Safety checking for *disjunctive* join predicates — the paper's future
+    work (ii).
+
+    A disjunctive clause between two streams is a set of equality atoms of
+    which any one suffices for two tuples to join:
+    [S1.a = S2.x ∨ S1.b = S2.y]. A query is a conjunction of such clauses
+    (each clause between one pair of streams); a single-atom clause recovers
+    the paper's conjunctive setting.
+
+    The safety condition inverts the conjunctive one. To purge a tuple
+    [t ∈ Υ_{S_i}] against partner [S_j], a future [S_j] tuple joins [t] if
+    it satisfies {e any} disjunct — so the punctuations must rule out
+    {e every} disjunct. Hence the disjunctive punctuation graph has an edge
+    [S_j → S_i] for a clause iff {e each} atom's [S_i]-side attribute is
+    punctuatable by a single-attribute (or ordered) scheme; one
+    unpunctuatable disjunct poisons the whole clause. Multi-attribute
+    schemes are not used here (a punctuation pinning two attributes cannot
+    rule out one disjunct in isolation); this keeps the condition sufficient
+    and — by the Theorem-1 value-revival argument applied per disjunct —
+    necessary for single-attribute scheme sets.
+
+    Purgeability and query safety then read exactly as Theorems 1/2 on this
+    graph; {!Runtime_rule} documents what the engine must check (implemented
+    by {!Engine.Disjunctive_join}). *)
+
+type clause = private {
+  left_stream : string;
+  right_stream : string;
+  atoms : Relational.Predicate.atom list;  (** ≥ 1, all between the pair *)
+}
+
+(** [clause atoms] — the disjunction of [atoms].
+    @raise Invalid_argument when empty or the atoms span different stream
+    pairs. *)
+val clause : Relational.Predicate.atom list -> clause
+
+val pp_clause : Format.formatter -> clause -> unit
+
+type t
+
+(** [make defs clauses] — validates streams/attributes like {!Query.Cjq}
+    and requires clause-graph connectivity.
+    @raise Invalid_argument with a reason otherwise. *)
+val make : Streams.Stream_def.t list -> clause list -> t
+
+val stream_names : t -> string list
+val clauses : t -> clause list
+
+(** [punctuation_graph t ?schemes ()] — the disjunctive punctuation graph
+    described above. *)
+val punctuation_graph :
+  ?schemes:Streams.Scheme.Set.t -> t -> Punctuation_graph.G.t
+
+(** [stream_purgeable ?schemes t name] — Theorem 1 over the disjunctive
+    graph. *)
+val stream_purgeable : ?schemes:Streams.Scheme.Set.t -> t -> string -> bool
+
+(** [is_safe ?schemes t] — Theorem 2 over the disjunctive graph. *)
+val is_safe : ?schemes:Streams.Scheme.Set.t -> t -> bool
+
+(** [joins clause t1 t2] — do the tuples join under the disjunction? *)
+val joins : clause -> Relational.Tuple.t -> Relational.Tuple.t -> bool

@@ -1,0 +1,91 @@
+module Cjq = Query.Cjq
+module Scheme = Streams.Scheme
+
+type t = {
+  query : Cjq.t;
+  schemes : Scheme.Set.t;
+  report : Checker.report;
+  safe_plans : Query.Plan.t list option;  (** None when too many streams *)
+  best : (Query.Plan.t * Cost_model.cost) option;
+  minimal : Scheme.Set.t option;
+  witnesses : (string * Witness.t) list;
+}
+
+let analyze ?schemes query =
+  let schemes =
+    match schemes with Some s -> s | None -> Cjq.scheme_set query
+  in
+  let report = Checker.check ~schemes query in
+  let n = Cjq.n_streams query in
+  let safe_plans =
+    if n <= 6 then Some (Planner.enumerate_safe_plans ~schemes query)
+    else None
+  in
+  let best =
+    if report.Checker.safe then
+      Planner.best_plan ~schemes Cost_model.default_params query
+    else None
+  in
+  let minimal =
+    if report.Checker.safe then Planner.minimal_scheme_subset ~schemes query
+    else None
+  in
+  let witnesses =
+    if report.Checker.safe then []
+    else
+      List.filter_map
+        (fun (sr : Checker.stream_report) ->
+          if sr.purgeable then None
+          else
+            match Witness.build ~schemes query ~root:sr.stream with
+            | Some w -> Some (sr.stream, w)
+            | None | (exception Invalid_argument _) -> None)
+        report.Checker.streams
+  in
+  { query; schemes; report; safe_plans; best; minimal; witnesses }
+
+let is_safe t = t.report.Checker.safe
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%a" Cjq.pp t.query;
+  line "declared schemes: %a" Scheme.Set.pp t.schemes;
+  line "";
+  line "%a" Checker.pp_report t.report;
+  (match t.safe_plans with
+  | Some plans ->
+      line "";
+      line "safe plans: %d of %d" (List.length plans)
+        (Query.Plan_enum.count_all_plans (Cjq.n_streams t.query));
+      List.iter (fun p -> line "  %a" Query.Plan.pp p) plans
+  | None -> ());
+  (match t.best with
+  | Some (plan, cost) ->
+      line "cost-model choice: %a (estimated total %.3g)" Query.Plan.pp plan
+        cost.Cost_model.total
+  | None -> ());
+  (match t.minimal with
+  | Some minimal ->
+      line "minimal scheme subset keeping the query safe: %a" Scheme.Set.pp
+        minimal
+  | None -> ());
+  List.iter
+    (fun (stream, w) ->
+      line "";
+      line
+        "witness against %s (Theorem 1): after every legal punctuation, \
+         revival tuples on {%s} keep joining its stored seed forever"
+        stream
+        (String.concat ", " (Witness.unreachable w)))
+    t.witnesses;
+  Buffer.contents buf
+
+let graphs_dot t =
+  [
+    ("join_graph", Query.Join_graph.to_dot (Cjq.join_graph t.query));
+    ( "punctuation_graph",
+      Punctuation_graph.to_dot
+        (Punctuation_graph.of_query ~schemes:t.schemes t.query) );
+    ("gpg", Gpg.to_dot (Gpg.of_query ~schemes:t.schemes t.query));
+  ]

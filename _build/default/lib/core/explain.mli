@@ -1,0 +1,23 @@
+(** One-call safety dossiers: everything the checker knows about a query,
+    rendered for humans. Wraps {!Checker}, {!Planner}, {!Witness} and the
+    graph renderers into a single report — what a DSMS would log when
+    admitting or refusing a query. *)
+
+type t
+
+(** [analyze ?schemes query] runs the full analysis once (verdict, streams,
+    safe-plan census for small queries, witness sketch when unsafe). *)
+val analyze : ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> t
+
+val is_safe : t -> bool
+
+(** [to_string t] — the dossier: verdict and deciding theorem, per-stream
+    purgeability with purge chains (or the unreachable sets), the number of
+    safe plans among all plans (when enumerable), the cost-model choice, a
+    minimal scheme subset, and for unsafe queries the Theorem-1 witness
+    summary. *)
+val to_string : t -> string
+
+(** [graphs_dot t] — [(name, dot)] pairs: join graph, punctuation graph,
+    generalized punctuation graph. *)
+val graphs_dot : t -> (string * string) list

@@ -1,0 +1,136 @@
+open Relational
+module Scheme = Streams.Scheme
+
+module H = Graphlib.Hypergraph.Make (Block)
+
+type gedge = {
+  target : Block.t;
+  stream : string;
+  scheme : Scheme.t;
+  sources : (string * Block.t list) list;
+}
+
+type t = { hyper : H.t; edges : gedge list; blocks : Block.t list }
+
+let of_blocks blocks preds schemes =
+  let blocks = Block.partition_of blocks in
+  let block_of stream =
+    try Some (Block.find blocks stream) with Not_found -> None
+  in
+  (* Candidate blocks able to pin attribute [attr] of stream [q]: blocks
+     other than [q]'s own that join [q] on that attribute. *)
+  let candidates q q_block attr =
+    List.filter_map
+      (fun atom ->
+        if Predicate.involves atom q
+           && String.equal (Predicate.attr_on atom q) attr
+        then
+          let r, _ = Predicate.other_side atom q in
+          match block_of r with
+          | Some b when not (Block.equal b q_block) -> Some b
+          | _ -> None
+        else None)
+      preds
+    |> List.sort_uniq Block.compare
+  in
+  let edges =
+    List.concat_map
+      (fun b ->
+        List.concat_map
+          (fun q ->
+            List.filter_map
+              (fun scheme ->
+                let attrs = Scheme.punctuatable_attrs scheme in
+                let sources =
+                  List.map (fun a -> (a, candidates q b a)) attrs
+                in
+                if List.exists (fun (_, cs) -> cs = []) sources then None
+                else Some { target = b; stream = q; scheme; sources })
+              (Scheme.Set.for_stream schemes q))
+          (Block.streams b))
+      blocks
+  in
+  let hyper =
+    List.fold_left
+      (fun h e ->
+        H.add_edge h
+          ~groups:(List.map (fun (_, cs) -> cs) e.sources)
+          ~target:e.target)
+      (List.fold_left H.add_vertex H.empty blocks)
+      edges
+  in
+  { hyper; edges; blocks }
+
+let of_streams names preds schemes =
+  of_blocks (List.map Block.singleton names) preds schemes
+
+let of_query ?schemes q =
+  let schemes =
+    match schemes with Some s -> s | None -> Query.Cjq.scheme_set q
+  in
+  of_streams (Query.Cjq.stream_names q) (Query.Cjq.predicates q) schemes
+
+let blocks t = t.blocks
+let edges t = List.rev t.edges
+let hypergraph t = t.hyper
+let reachable t b = H.VSet.elements (H.reachable t.hyper b)
+let reaches_all t b = H.reaches_all t.hyper b
+let is_strongly_connected t = H.is_strongly_connected t.hyper
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph gpg {\n";
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Fmt.str "  \"%a\" [shape=ellipse];\n" Block.pp b))
+    t.blocks;
+  List.iteri
+    (fun i e ->
+      match e.sources with
+      | [ (_, [ single ]) ] ->
+          (* plain edge: one attribute, one candidate *)
+          Buffer.add_string buf
+            (Fmt.str "  \"%a\" -> \"%a\" [label=\"%s\"];\n" Block.pp single
+               Block.pp e.target (Scheme.to_string e.scheme))
+      | _ ->
+          (* generalized node covering the per-attribute candidate sets *)
+          let gnode = Printf.sprintf "G%d" i in
+          Buffer.add_string buf
+            (Fmt.str
+               "  \"%s\" [shape=box, style=dashed, label=\"G{%s}\"];\n" gnode
+               (String.concat ","
+                  (List.map
+                     (fun (a, cs) ->
+                       Fmt.str "%s:%s" a
+                         (String.concat "|"
+                            (List.map (Fmt.str "%a" Block.pp) cs)))
+                     e.sources)));
+          List.iter
+            (fun (_, cs) ->
+              List.iter
+                (fun c ->
+                  Buffer.add_string buf
+                    (Fmt.str "  \"%a\" -> \"%s\" [style=dashed];\n" Block.pp c
+                       gnode))
+                cs)
+            e.sources;
+          Buffer.add_string buf
+            (Fmt.str "  \"%s\" -> \"%a\" [label=\"%s\"];\n" gnode Block.pp
+               e.target (Scheme.to_string e.scheme)))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  let pp_edge ppf e =
+    Fmt.pf ppf "@[%a <- via %a on %s: %a@]" Block.pp e.target Scheme.pp
+      e.scheme e.stream
+      (Fmt.list ~sep:Fmt.semi (fun ppf (a, cs) ->
+           Fmt.pf ppf "%s from (%a)" a (Fmt.list ~sep:Fmt.comma Block.pp) cs))
+      e.sources
+  in
+  Fmt.pf ppf "@[<v>blocks: %a@,%a@]"
+    (Fmt.list ~sep:Fmt.comma Block.pp)
+    t.blocks
+    (Fmt.list ~sep:Fmt.cut pp_edge)
+    (edges t)

@@ -1,0 +1,58 @@
+(** The generalized punctuation graph (Definitions 8–10).
+
+    Handles punctuation schemes with several punctuatable attributes: a
+    scheme on stream [q] whose punctuatable attributes [A_1..A_m] are all
+    join attributes towards other inputs contributes a hyper-edge whose
+    source is, per attribute, the *set of candidate blocks* able to pin that
+    attribute, and whose target is [q]'s block. The edge fires for a
+    reachable set [R] when every attribute has a candidate in [R]
+    (Definition 9's fixpoint); reachability is reflexive in the root.
+
+    Schemes with a punctuatable attribute that is not a join attribute of
+    the operator contribute nothing: one of their constants could never be
+    covered by finitely many punctuations (see DESIGN.md §3.2).
+
+    A single-attribute scheme degenerates to a plain edge, so this module
+    subsumes {!Punctuation_graph}; the plain graph is kept separate because
+    §4.1's theorems and the TPG construction start from it. *)
+
+module H : module type of Graphlib.Hypergraph.Make (Block)
+
+type gedge = {
+  target : Block.t;
+  stream : string;  (** the scheme's stream, inside [target] *)
+  scheme : Streams.Scheme.t;
+  sources : (string * Block.t list) list;
+      (** per punctuatable attribute: candidate blocks able to pin it *)
+}
+
+type t
+
+val of_blocks :
+  Block.t list -> Relational.Predicate.t -> Streams.Scheme.Set.t -> t
+
+val of_streams :
+  string list -> Relational.Predicate.t -> Streams.Scheme.Set.t -> t
+
+val of_query : ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> t
+
+val blocks : t -> Block.t list
+val edges : t -> gedge list
+val hypergraph : t -> H.t
+
+(** [reachable t b] — Definition 9, including [b] itself. *)
+val reachable : t -> Block.t -> Block.t list
+
+(** [reaches_all t b] — Theorem 3: purgeability of [b]'s join state. *)
+val reaches_all : t -> Block.t -> bool
+
+(** [is_strongly_connected t] — Definition 10 / Corollary 2 / Theorem 4.
+    This is the ground-truth safety decision; {!Tpg} is the fast one. *)
+val is_strongly_connected : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** [to_dot t] — Graphviz rendering in Figure 9's style: streams as
+    ellipses, each hyper-edge's source set as a boxed generalized node
+    (e.g. [G_{1,2}]) with dashed arrows from its member candidates. *)
+val to_dot : t -> string

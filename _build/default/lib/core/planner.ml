@@ -1,0 +1,166 @@
+module Plan = Query.Plan
+module Cjq = Query.Cjq
+module Scheme = Streams.Scheme
+
+let schemes_of ?schemes query =
+  match schemes with Some s -> s | None -> Cjq.scheme_set query
+
+let enumerate_safe_plans ?schemes ?(max_plans = 10_000) query =
+  let schemes = schemes_of ?schemes query in
+  let count = ref 0 in
+  List.filter
+    (fun plan ->
+      !count < max_plans
+      && Checker.plan_safe ~schemes query plan
+      &&
+      (incr count;
+       true))
+    (Query.Plan_enum.all_plans
+       ~connected_only:query
+       (Cjq.stream_names query))
+
+(* DP over stream subsets (subsets as sorted name lists). For each subset,
+   the cheapest safe plan covering it; combination by binary merge of two
+   disjoint sub-plans, or the flat MJoin over the subset. *)
+let best_plan ?schemes params query =
+  let schemes = schemes_of ?schemes query in
+  let names = Cjq.stream_names query in
+  let preds = Cjq.predicates query in
+  (* Cost of a sub-plan: the cost model applied to the query restricted to
+     the sub-plan's streams. *)
+  let sub_cost plan =
+    let leaves = Plan.leaves plan in
+    match leaves with
+    | [ _ ] -> Some 0.0
+    | _ ->
+        (* Evaluate the plan's operators directly with the cost model by
+           rebuilding a query restricted to the subset. Disconnected
+           subsets are not valid sub-queries and are skipped. *)
+        (match Cjq.restrict query leaves with
+        | sub -> (
+            match Cost_model.plan_cost params ~schemes sub plan with
+            | Some c -> Some c.total
+            | None -> None)
+        | exception Cjq.Invalid _ -> None)
+  in
+  let module SM = Map.Make (struct
+    type t = string list
+
+    let compare = List.compare String.compare
+  end) in
+  let canon subset = List.sort String.compare subset in
+  (* Enumerate all subsets of names with >= 1 element. *)
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let s = subsets rest in
+        s @ List.map (fun sub -> x :: sub) s
+  in
+  let all =
+    subsets names
+    |> List.filter (fun s -> s <> [])
+    |> List.map canon
+    |> List.sort (fun a b ->
+           compare (List.length a, a) (List.length b, b))
+  in
+  let operator_safe blocks =
+    Checker.operator_purgeable ~blocks preds schemes
+  in
+  let table = ref SM.empty in
+  let lookup s = SM.find_opt (canon s) !table in
+  List.iter
+    (fun subset ->
+      let best = ref None in
+      let consider plan =
+        match sub_cost plan with
+        | None -> ()
+        | Some c -> (
+            match !best with
+            | Some (_, c') when c' <= c -> ()
+            | _ -> best := Some (plan, c))
+      in
+      (match subset with
+      | [ s ] -> best := Some (Plan.Leaf s, 0.0)
+      | _ ->
+          (* flat MJoin over the subset *)
+          let blocks = List.map Block.singleton subset in
+          if operator_safe blocks then consider (Plan.mjoin subset);
+          (* binary merges: split into (left, right); consider the split
+             once per unordered pair. *)
+          let rec splits left right = function
+            | [] ->
+                if left <> [] && right <> [] then begin
+                  match lookup left, lookup right with
+                  | Some (pl, _), Some (pr, _) ->
+                      let bl = Block.make (Plan.leaves pl)
+                      and br = Block.make (Plan.leaves pr) in
+                      if operator_safe [ bl; br ] then
+                        consider (Plan.join [ pl; pr ])
+                  | _ -> ()
+                end
+            | x :: rest ->
+                splits (x :: left) right rest;
+                splits left (x :: right) rest
+          in
+          (match subset with
+          | [] -> ()
+          | first :: rest ->
+              (* pin [first] to the left side to halve the split count *)
+              splits [ first ] [] rest));
+      match !best with
+      | Some entry -> table := SM.add subset entry !table
+      | None -> ())
+    all;
+  match lookup names with
+  | None -> None
+  | Some (plan, _) -> (
+      match Cost_model.plan_cost params ~schemes query plan with
+      | Some cost -> Some (plan, cost)
+      | None -> None)
+
+let minimal_scheme_subset ?schemes query =
+  let schemes = schemes_of ?schemes query in
+  if not (Checker.is_safe ~schemes query) then None
+  else
+    let rec shrink kept =
+      let try_drop =
+        List.find_opt
+          (fun sch ->
+            let without =
+              Scheme.Set.of_list
+                (List.filter (fun s -> s != sch) (Scheme.Set.schemes kept))
+            in
+            Checker.is_safe ~schemes:without query)
+          (Scheme.Set.schemes kept)
+      in
+      match try_drop with
+      | None -> kept
+      | Some sch ->
+          shrink
+            (Scheme.Set.of_list
+               (List.filter (fun s -> s != sch) (Scheme.Set.schemes kept)))
+    in
+    Some (shrink schemes)
+
+let all_minimal_scheme_subsets ?schemes query =
+  let schemes = schemes_of ?schemes query in
+  let all = Scheme.Set.schemes schemes in
+  let rec power = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let s = power rest in
+        s @ List.map (fun sub -> x :: sub) s
+  in
+  let safe_subsets =
+    List.filter
+      (fun sub -> Checker.is_safe ~schemes:(Scheme.Set.of_list sub) query)
+      (power all)
+  in
+  let proper_subset a b =
+    List.length a < List.length b && List.for_all (fun x -> List.memq x b) a
+  in
+  List.filter
+    (fun sub ->
+      not (List.exists (fun other -> proper_subset other sub) safe_subsets))
+    safe_subsets
+  |> List.map Scheme.Set.of_list

@@ -1,0 +1,39 @@
+(** Choosing a safe execution plan (§5.2).
+
+    Rather than enumerating every plan and filtering, safe plans are grown
+    from strongly connected sub-graphs of the (generalized) punctuation
+    graph — the paper's "building blocks" — with a System-R-style dynamic
+    program over stream subsets. The DP combines subsets by binary merges
+    and also considers the flat MJoin over each subset, which covers all
+    binary trees, the single MJoin, and mixed shapes whose internal nodes
+    are binary over MJoin leaves; by Theorem 4 it finds a plan whenever one
+    exists (the full MJoin is always considered). *)
+
+(** [enumerate_safe_plans ?schemes ?max_plans query] — every safe plan found
+    by exhaustive enumeration, capped at [max_plans] (default 10_000). This
+    is exponential; use for small queries, tests and benches. *)
+val enumerate_safe_plans :
+  ?schemes:Streams.Scheme.Set.t ->
+  ?max_plans:int ->
+  Query.Cjq.t ->
+  Query.Plan.t list
+
+(** [best_plan ?schemes params query] — the minimum-estimated-cost safe plan
+    from the DP, or [None] when the query is unsafe. *)
+val best_plan :
+  ?schemes:Streams.Scheme.Set.t ->
+  Cost_model.params ->
+  Query.Cjq.t ->
+  (Query.Plan.t * Cost_model.cost) option
+
+(** [minimal_scheme_subset ?schemes query] — Plan Parameter I's option (b):
+    a subset of the scheme set, minimal under inclusion, that still keeps
+    the query safe (greedy removal; [None] when the query is unsafe even
+    with everything). *)
+val minimal_scheme_subset :
+  ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> Streams.Scheme.Set.t option
+
+(** [all_minimal_scheme_subsets ?schemes query] — every inclusion-minimal
+    safe subset (exponential in the scheme count; intended for small ℜ). *)
+val all_minimal_scheme_subsets :
+  ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> Streams.Scheme.Set.t list

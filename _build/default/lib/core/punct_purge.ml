@@ -1,0 +1,67 @@
+open Relational
+module Scheme = Streams.Scheme
+module Punctuation = Streams.Punctuation
+
+let punct_purgeable_by_partners ~preds ~schema_of ~covered p =
+  let schema = Punctuation.schema p in
+  let stream = Schema.stream_name schema in
+  (* Order punctuations (watermarks) are never partner-purged: they carry a
+     range guarantee no finite set of partner punctuations covers, and the
+     store already collapses them to one entry by subsumption. *)
+  if Punctuation.is_ordered p then false
+  else
+  let pinned = Punctuation.const_bindings p in
+  List.for_all
+    (fun (idx, v) ->
+      let attr = (Schema.attr_at schema idx).Schema.name in
+      let partners =
+        List.filter_map
+          (fun atom ->
+            if
+              Predicate.involves atom stream
+              && String.equal (Predicate.attr_on atom stream) attr
+            then Some (Predicate.other_side atom stream)
+            else None)
+          preds
+      in
+      List.for_all
+        (fun (partner, partner_attr) ->
+          (* The partner's future tuples with this value must be ruled
+             out for [p] to have no remaining purpose there. *)
+          let idx = Schema.attr_index (schema_of partner) partner_attr in
+          covered ~stream:partner [ (idx, v) ])
+        partners)
+    pinned
+
+type lifespan = { ttl : int }
+
+let expired ~now ~inserted_at lifespan = now - inserted_at > lifespan.ttl
+
+let scheme_purge_supported ~preds ~schemes scheme =
+  let stream = Scheme.stream_name scheme in
+  List.for_all
+    (fun attr ->
+      let partners =
+        List.filter_map
+          (fun atom ->
+            if
+              Predicate.involves atom stream
+              && String.equal (Predicate.attr_on atom stream) attr
+            then Some (Predicate.other_side atom stream)
+            else None)
+          preds
+      in
+      List.for_all
+        (fun (partner, partner_attr) ->
+          List.exists
+            (fun sch -> Scheme.is_punctuatable sch partner_attr)
+            (Scheme.Set.for_stream schemes partner))
+        partners)
+    (List.filter
+       (fun attr ->
+         List.exists
+           (fun atom ->
+             Predicate.involves atom stream
+             && String.equal (Predicate.attr_on atom stream) attr)
+           preds)
+       (Scheme.punctuatable_attrs scheme))

@@ -1,0 +1,50 @@
+(** Punctuation purgeability (§5.1).
+
+    Punctuations must themselves be stored (they also purge *future*
+    tuples), so an unbounded punctuation store is its own safety hazard. The
+    paper offers three answers, all implemented here:
+
+    - a punctuation can be purged by punctuations on its non-wildcard
+      attributes: once every partner stream joined on a pinned attribute has
+      punctuated the corresponding value, the punctuation can never purge
+      anything again and may be dropped;
+    - punctuations may carry a *lifespan* (the TCP sequence-number example:
+      a punctuation expires once the value space wraps) after which they are
+      implicitly purged;
+    - a background cleanup can bound the store regardless (the paper argues
+      data purgeability alone is sufficient in practice).
+
+    The analysis half answers, at scheme level, whether partner punctuations
+    capable of purging a given scheme's punctuations can exist at all. *)
+
+(** [punct_purgeable_by_partners ~preds ~covered p] — the runtime rule:
+    punctuation [p] of stream [S] is droppable when for each of its pinned
+    attributes that is a join attribute, every partner stream's received
+    punctuations cover the corresponding value ([covered ~stream bindings]
+    as in {!Chained_purge.tuple_purgeable}). Pinned attributes that join
+    nothing are ignored (they never helped purging). Order punctuations
+    (watermarks) always answer [false]: their range guarantee has no finite
+    partner cover, and advancing watermarks already collapse by
+    subsumption in the store. *)
+val punct_purgeable_by_partners :
+  preds:Relational.Predicate.t ->
+  schema_of:(string -> Relational.Schema.t) ->
+  covered:(stream:string -> (int * Relational.Value.t) list -> bool) ->
+  Streams.Punctuation.t ->
+  bool
+
+(** [scheme_purge_supported ~preds ~schemes scheme] — static analysis: can
+    the instantiations of [scheme] ever be purged by partner punctuations?
+    True when every punctuatable join attribute of the scheme has, on every
+    partner stream, some scheme able to punctuate the partner attribute. *)
+val scheme_purge_supported :
+  preds:Relational.Predicate.t ->
+  schemes:Streams.Scheme.Set.t ->
+  Streams.Scheme.t ->
+  bool
+
+(** Lifespans: logical-time expiry for punctuations ([ttl] in arrival
+    ticks). [expired ~now ~inserted_at lifespan]. *)
+type lifespan = { ttl : int }
+
+val expired : now:int -> inserted_at:int -> lifespan -> bool

@@ -1,0 +1,83 @@
+open Relational
+module Scheme = Streams.Scheme
+
+module G = Graphlib.Digraph.Make (Block)
+
+type edge_reason = {
+  src : Block.t;
+  dst : Block.t;
+  atom : Predicate.atom;
+  scheme : Scheme.t;
+}
+
+type t = { graph : G.t; reasons : edge_reason list }
+
+let of_blocks blocks preds schemes =
+  let blocks = Block.partition_of blocks in
+  let block_index : (string, Block.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun b -> List.iter (fun s -> Hashtbl.replace block_index s b) (Block.streams b))
+    blocks;
+  let block_of stream =
+    match Hashtbl.find_opt block_index stream with
+    | Some b -> b
+    | None -> raise Not_found
+  in
+  let base = List.fold_left G.add_vertex G.empty blocks in
+  let graph, reasons =
+    List.fold_left
+      (fun (g, rs) atom ->
+        let s1, s2 = Predicate.streams_of atom in
+        match block_of s1, block_of s2 with
+        | exception Not_found -> (g, rs) (* atom outside these blocks *)
+        | b1, b2 when Block.equal b1 b2 -> (g, rs) (* internal predicate *)
+        | b1, b2 ->
+            (* One direction per punctuatable side: an edge into the side
+               whose attribute can be punctuated. *)
+            let consider (g, rs) ~src_block ~dst_block ~dst_stream =
+              let attr = Predicate.attr_on atom dst_stream in
+              let usable =
+                List.find_opt
+                  (fun sch ->
+                    match Scheme.punctuatable_attrs sch with
+                    | [ a ] -> String.equal a attr
+                    | _ -> false)
+                  (Scheme.Set.for_stream schemes dst_stream)
+              in
+              match usable with
+              | None -> (g, rs)
+              | Some scheme ->
+                  ( G.add_edge g src_block dst_block,
+                    { src = src_block; dst = dst_block; atom; scheme } :: rs )
+            in
+            let acc =
+              consider (g, rs) ~src_block:b2 ~dst_block:b1 ~dst_stream:s1
+            in
+            consider acc ~src_block:b1 ~dst_block:b2 ~dst_stream:s2)
+      (base, []) preds
+  in
+  { graph; reasons = List.rev reasons }
+
+let of_streams names preds schemes =
+  of_blocks (List.map Block.singleton names) preds schemes
+
+let of_query ?schemes q =
+  let schemes =
+    match schemes with Some s -> s | None -> Query.Cjq.scheme_set q
+  in
+  of_streams (Query.Cjq.stream_names q) (Query.Cjq.predicates q) schemes
+
+let graph t = t.graph
+let blocks t = G.vertices t.graph
+let edge_reasons t = t.reasons
+let reaches_all t b = G.reaches_all t.graph b
+let is_strongly_connected t = G.is_strongly_connected t.graph
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@,%a@]" G.pp t.graph
+    (Fmt.list ~sep:Fmt.cut (fun ppf r ->
+         Fmt.pf ppf "%a -> %a  (predicate %a, scheme %a)" Block.pp r.src
+           Block.pp r.dst Predicate.pp_atom r.atom Scheme.pp r.scheme))
+    t.reasons
+
+let to_dot t = G.to_dot ~name:"punctuation_graph" t.graph

@@ -1,0 +1,58 @@
+(** The punctuation graph (Definition 7).
+
+    For a join operator [⋈ⁿ] under scheme set ℜ: one vertex per input, and
+    for every join predicate [S_i.A_x = S_j.A_y], a directed edge [S_j → S_i]
+    whenever some scheme makes [S_i.A_x] punctuatable (with a
+    single-attribute scheme — multi-attribute schemes are the generalized
+    graph's job, {!Gpg}).
+
+    Vertices are {!Block}s so the same construction covers an operator whose
+    inputs are intermediate results (Lemma 1): the edge [B_j → B_i] exists
+    when some predicate links a stream of [B_j] to a stream [q] of [B_i]
+    whose side of the predicate is punctuatable.
+
+    Construction is a single pass over predicates × schemes — the linear
+    time claimed in §4.1 (Example 3). *)
+
+module G : module type of Graphlib.Digraph.Make (Block)
+
+(** Provenance of one edge: which predicate and scheme created it. *)
+type edge_reason = {
+  src : Block.t;
+  dst : Block.t;
+  atom : Relational.Predicate.atom;  (** the join predicate used *)
+  scheme : Streams.Scheme.t;  (** the single-attribute scheme on [dst]'s side *)
+}
+
+type t
+
+(** [of_blocks blocks preds schemes] builds the block-level punctuation
+    graph; predicates internal to one block are ignored (they are the child
+    operator's business).
+    @raise Invalid_argument when [blocks] overlap. *)
+val of_blocks :
+  Block.t list -> Relational.Predicate.t -> Streams.Scheme.Set.t -> t
+
+(** [of_streams names preds schemes] — singleton blocks: the graph of a
+    single operator reading raw streams, and of a whole CJQ (Theorem 2
+    "assumes the entire query as an MJoin operator"). *)
+val of_streams :
+  string list -> Relational.Predicate.t -> Streams.Scheme.Set.t -> t
+
+(** [of_query ?schemes q] — over the query's streams; [schemes] defaults to
+    the query's declared scheme set. *)
+val of_query : ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> t
+
+val graph : t -> G.t
+val blocks : t -> Block.t list
+val edge_reasons : t -> edge_reason list
+
+(** [reaches_all t b] — Theorem 1: the join state of [b] is purgeable iff
+    [b] reaches every other vertex. *)
+val reaches_all : t -> Block.t -> bool
+
+(** [is_strongly_connected t] — Corollary 1 / Theorem 2. *)
+val is_strongly_connected : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_dot : t -> string

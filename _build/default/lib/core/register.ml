@@ -1,0 +1,120 @@
+module Scheme = Streams.Scheme
+module Stream_def = Streams.Stream_def
+module Element = Streams.Element
+module Cjq = Query.Cjq
+
+type entry = {
+  query : Cjq.t;
+  plan : Query.Plan.t;
+  relevant : Scheme.Set.t;
+}
+
+type rejection = { reason : string; report : Checker.report }
+
+type t = {
+  mutable defs : Stream_def.t list;
+  mutable entries : (string * entry) list;
+}
+
+let create () = { defs = []; entries = [] }
+
+let declare_stream t def =
+  match
+    List.find_opt
+      (fun d -> Stream_def.name d = Stream_def.name def)
+      t.defs
+  with
+  | Some existing ->
+      let same =
+        Relational.Schema.equal (Stream_def.schema existing)
+          (Stream_def.schema def)
+        && List.length (Stream_def.schemes existing)
+           = List.length (Stream_def.schemes def)
+        && List.for_all2 Scheme.equal
+             (Stream_def.schemes existing)
+             (Stream_def.schemes def)
+      in
+      if not same then
+        invalid_arg
+          (Printf.sprintf
+             "Register.declare_stream: %s already declared differently"
+             (Stream_def.name def))
+  | None -> t.defs <- t.defs @ [ def ]
+
+let streams t = t.defs
+
+let register_query t ~name ~streams ~predicates =
+  if List.mem_assoc name t.entries then
+    invalid_arg (Printf.sprintf "Register: query %S already registered" name);
+  let defs =
+    List.map
+      (fun s ->
+        match
+          List.find_opt (fun d -> Stream_def.name d = s) t.defs
+        with
+        | Some d -> d
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Register: stream %S not declared" s))
+      streams
+  in
+  let query = Cjq.make defs predicates in
+  let report = Checker.check query in
+  if not report.Checker.safe then
+    Error
+      {
+        reason =
+          Fmt.str
+            "query %s is unsafe under the declared punctuation schemes: %s"
+            name
+            (String.concat ", "
+               (List.filter_map
+                  (fun (sr : Checker.stream_report) ->
+                    if sr.purgeable then None
+                    else
+                      Some
+                        (Fmt.str "%s cannot be purged (unreachable: %s)"
+                           sr.stream
+                           (String.concat ", " sr.unreached)))
+                  report.Checker.streams));
+        report;
+      }
+  else begin
+    let plan =
+      match Planner.best_plan Cost_model.default_params query with
+      | Some (plan, _) -> plan
+      | None -> Query.Plan.mjoin (Cjq.stream_names query)
+    in
+    let relevant =
+      match Planner.minimal_scheme_subset query with
+      | Some subset -> subset
+      | None -> Cjq.scheme_set query
+    in
+    t.entries <- t.entries @ [ (name, { query; plan; relevant }) ];
+    Ok plan
+  end
+
+let queries t = List.map fst t.entries
+
+let entry t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Register: unknown query %S" name)
+
+let query_of t name = (entry t name).query
+let plan_of t name = (entry t name).plan
+let relevant_schemes t name = (entry t name).relevant
+
+let useful t name element =
+  let e = entry t name in
+  let stream = Element.stream_name element in
+  List.mem stream (Cjq.stream_names e.query)
+  &&
+  match element with
+  | Element.Data _ -> true
+  | Element.Punct p -> Scheme.Set.instantiated_by e.relevant p <> None
+
+let route t element =
+  List.filter_map
+    (fun (name, _) -> if useful t name element then Some name else None)
+    t.entries

@@ -1,0 +1,62 @@
+(** The query register of Figure 2: the DSMS component that owns the
+    declared streams and punctuation schemes, admits or rejects continuous
+    join queries, and knows which punctuations matter to which query.
+
+    Its two §1 responsibilities, verbatim from the paper:
+    - "if the safety checking procedure shows that a query is not safe
+      under a given set of punctuation schemes, then this query should not
+      ever be allowed to be executed" — {!register_query} runs the
+      Theorem-5 check and refuses unsafe queries with the full report;
+    - "it is important for the query engine to identify those punctuations
+      that are useful to a particular query ... avoid unnecessary
+      processing of the irrelevant punctuations" — {!relevant_schemes}
+      computes, per query, a minimal scheme subset that keeps it safe, and
+      {!useful} answers whether a concrete punctuation is worth delivering
+      to a query. *)
+
+type t
+
+type rejection = {
+  reason : string;
+  report : Checker.report;  (** the full analysis behind the refusal *)
+}
+
+val create : unit -> t
+
+(** [declare_stream t def] makes a stream (and its schemes) available to
+    later queries.
+    @raise Invalid_argument when a different definition already uses the
+    name (re-declaring the identical definition is a no-op). *)
+val declare_stream : t -> Streams.Stream_def.t -> unit
+
+val streams : t -> Streams.Stream_def.t list
+
+(** [register_query t ~name ~streams ~predicates] builds the CJQ from the
+    declared streams, runs the admission check, and on success records the
+    query together with its chosen execution plan (cost-model best) and its
+    minimal relevant scheme subset.
+    @raise Invalid_argument on an unknown stream or duplicate query name;
+    query-shape problems surface as {!Query.Cjq.Invalid}. *)
+val register_query :
+  t ->
+  name:string ->
+  streams:string list ->
+  predicates:Relational.Predicate.t ->
+  (Query.Plan.t, rejection) result
+
+val queries : t -> string list
+val query_of : t -> string -> Query.Cjq.t
+val plan_of : t -> string -> Query.Plan.t
+
+(** [relevant_schemes t name] — a minimal (greedy) scheme subset under which
+    [name] is still safe: the punctuations worth processing for it. *)
+val relevant_schemes : t -> string -> Streams.Scheme.Set.t
+
+(** [useful t name element] — should [element] be delivered to query
+    [name]? Data: yes iff the query reads the stream. Punctuation: yes iff
+    it instantiates one of the query's relevant schemes. *)
+val useful : t -> string -> Streams.Element.t -> bool
+
+(** [route t element] — the names of every registered query that should
+    receive [element]. *)
+val route : t -> Streams.Element.t -> string list

@@ -1,0 +1,133 @@
+open Relational
+module Scheme = Streams.Scheme
+
+module G = Graphlib.Digraph.Make (Block)
+
+type step = {
+  nodes : Block.t list;
+  edges : (Block.t * Block.t) list;
+  merged : Block.t list list;
+}
+
+type t = { final : Block.t list; steps : step list }
+
+(* Plain stream-level edges (Def 7), computed once. *)
+let stream_edges preds schemes names =
+  List.concat_map
+    (fun atom ->
+      let s1, s2 = Predicate.streams_of atom in
+      if not (List.mem s1 names && List.mem s2 names) then []
+      else
+        let dir ~src ~dst =
+          let attr = Predicate.attr_on atom dst in
+          if Scheme.Set.stream_has_punctuatable schemes ~stream:dst ~attr then
+            [ (src, dst) ]
+          else []
+        in
+        dir ~src:s2 ~dst:s1 @ dir ~src:s1 ~dst:s2)
+    preds
+
+(* Does a multi-attribute scheme on stream [q] (inside node [y]) unlock a
+   virtual edge from node [x]? Every punctuatable attribute must be a join
+   attribute of [q] towards a stream covered by [x]: the chain arriving at
+   [x] pins all of them at once, so finitely many instantiations cover the
+   joinable tuples. Letting attributes be pinned by [y]'s own streams would
+   be unsound — they are not reached yet when the edge is traversed (found
+   by the Theorem-5 cross-validation property test; see DESIGN.md). *)
+let scheme_unlocks preds ~x ~y ~q scheme =
+  ignore y;
+  let attrs = Scheme.punctuatable_attrs scheme in
+  let pinned_by_x attr =
+    List.exists
+      (fun atom ->
+        Predicate.involves atom q
+        && String.equal (Predicate.attr_on atom q) attr
+        &&
+        let r, _ = Predicate.other_side atom q in
+        Block.mem r x)
+      preds
+  in
+  List.for_all pinned_by_x attrs
+
+let node_edges preds schemes plain nodes =
+  let node_of stream = Block.find nodes stream in
+  let promoted =
+    List.filter_map
+      (fun (u, v) ->
+        let nu = node_of u and nv = node_of v in
+        if Block.equal nu nv then None else Some (nu, nv))
+      plain
+  in
+  let virtual_edges =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y ->
+            if Block.equal x y then None
+            else if
+              List.exists
+                (fun q ->
+                  List.exists
+                    (scheme_unlocks preds ~x ~y ~q)
+                    (Scheme.Set.for_stream schemes q))
+                (Block.streams y)
+            then Some (x, y)
+            else None)
+          nodes)
+      nodes
+  in
+  List.sort_uniq
+    (fun (a, b) (c, d) ->
+      match Block.compare a c with 0 -> Block.compare b d | n -> n)
+    (promoted @ virtual_edges)
+
+let of_streams names preds schemes =
+  let plain = stream_edges preds schemes names in
+  let rec iterate nodes steps =
+    let edges = node_edges preds schemes plain nodes in
+    let g = G.of_edges nodes edges in
+    let components = G.scc g in
+    let merged = List.filter (fun c -> List.length c > 1) components in
+    if merged = [] then
+      { final = nodes; steps = List.rev steps }
+    else
+      let nodes' =
+        List.map
+          (fun component ->
+            Block.make (List.concat_map Block.streams component))
+          components
+      in
+      let step = { nodes; edges; merged } in
+      if List.length nodes' = 1 then
+        { final = nodes'; steps = List.rev (step :: steps) }
+      else iterate nodes' (step :: steps)
+  in
+  iterate (List.map Block.singleton names) []
+
+let of_query ?schemes q =
+  let schemes =
+    match schemes with Some s -> s | None -> Query.Cjq.scheme_set q
+  in
+  of_streams (Query.Cjq.stream_names q) (Query.Cjq.predicates q) schemes
+
+let final_nodes t = t.final
+let steps t = t.steps
+let is_safe t = List.length t.final = 1
+
+let pp ppf t =
+  let pp_step i ppf s =
+    Fmt.pf ppf "@[<v2>iteration %d: nodes %a@,edges %a@,merged %a@]" (i + 1)
+      (Fmt.list ~sep:Fmt.comma Block.pp)
+      s.nodes
+      (Fmt.list ~sep:Fmt.comma (fun ppf (u, v) ->
+           Fmt.pf ppf "%a->%a" Block.pp u Block.pp v))
+      s.edges
+      (Fmt.list ~sep:Fmt.semi (fun ppf c ->
+           Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.comma Block.pp) c))
+      s.merged
+  in
+  Fmt.pf ppf "@[<v>%a@,final: %a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (i, s) -> pp_step i ppf s))
+    (List.mapi (fun i s -> (i, s)) t.steps)
+    (Fmt.list ~sep:Fmt.comma Block.pp)
+    t.final

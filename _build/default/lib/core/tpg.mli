@@ -1,0 +1,48 @@
+(** The transformed punctuation graph (Definition 11) and the polynomial
+    safety-checking algorithm of §4.3 (Theorem 5).
+
+    Starting from the plain punctuation graph, repeatedly: find strongly
+    connected components, merge each multi-node component into a virtual
+    node, then add *virtual edges* unlocked by multi-attribute punctuation
+    schemes — an edge [X → Y] appears when some scheme on a stream [q]
+    covered by [Y] has every punctuatable attribute joined to a stream
+    covered by [X]. The query is safe iff the process collapses everything
+    into one virtual node.
+
+    Two deliberate deviations from the letter of Definition 11, both needed
+    for Theorem 5 to hold (validated against the Definition-9 ground truth
+    by `test/test_theorem_equiv.ml` and an exhaustive random scan):
+    - virtual-edge construction also applies when neither endpoint is a
+      virtual node — otherwise a query whose only usable schemes are
+      multi-attribute (e.g. two streams joined on two attributes, each with
+      only a [(+,+)] scheme) would never merge at all;
+    - every punctuatable attribute must be pinned by the *source* node [X];
+      Definition 11's "streams covered by [S_j']" reading (attributes pinned
+      from inside the target) is unsound — the target's streams are not yet
+      reached when the edge is traversed, and the cross-validation finds
+      concrete queries where that reading accepts GPG-unsafe inputs. *)
+
+type step = {
+  nodes : Block.t list;  (** nodes at the start of the iteration *)
+  edges : (Block.t * Block.t) list;  (** edges used for this round's SCCs *)
+  merged : Block.t list list;
+      (** the multi-node components merged this round *)
+}
+
+type t
+
+val of_streams :
+  string list -> Relational.Predicate.t -> Streams.Scheme.Set.t -> t
+
+val of_query : ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> t
+
+(** [final_nodes t] — the nodes left when the procedure stops. *)
+val final_nodes : t -> Block.t list
+
+(** [steps t] — the iteration trace (useful to reproduce Figure 10). *)
+val steps : t -> step list
+
+(** [is_safe t] — Theorem 5: exactly one node remains. *)
+val is_safe : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,192 @@
+open Relational
+module Scheme = Streams.Scheme
+module Punctuation = Streams.Punctuation
+module Element = Streams.Element
+module Cjq = Query.Cjq
+
+type t = {
+  query : Cjq.t;
+  schemes : Scheme.Set.t;
+  root : string;
+  reachable : string list;
+  unreachable : string list;
+  classes : (string * string) list list;
+      (** join-attribute equivalence classes (closed under atoms) *)
+}
+
+(* Equivalence classes of (stream, attr) nodes under the join predicates. *)
+let attr_classes preds =
+  let merge classes (a, b) =
+    let with_a, rest =
+      List.partition (fun c -> List.mem a c || List.mem b c) classes
+    in
+    (List.sort_uniq compare (a :: b :: List.concat with_a)) :: rest
+  in
+  List.fold_left
+    (fun classes atom ->
+      let s1, s2 = Predicate.streams_of atom in
+      merge classes
+        ((s1, Predicate.attr_on atom s1), (s2, Predicate.attr_on atom s2)))
+    [] preds
+
+let class_of classes node = List.find_opt (List.mem node) classes
+
+let build ?schemes query ~root =
+  let schemes =
+    match schemes with Some s -> s | None -> Cjq.scheme_set query
+  in
+  let names = Cjq.stream_names query in
+  let gpg = Gpg.of_query ~schemes query in
+  let reached = Gpg.reachable gpg (Block.singleton root) in
+  let reachable =
+    List.filter (fun s -> List.mem (Block.singleton s) reached) names
+  in
+  let unreachable =
+    List.filter (fun s -> not (List.mem s reachable)) names
+  in
+  if unreachable = [] then None
+  else begin
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (a : Schema.attribute) ->
+            if a.Schema.ty <> Value.TInt then
+              invalid_arg
+                (Printf.sprintf
+                   "Witness.build: attribute %s.%s is not an int" s
+                   a.Schema.name))
+          (Schema.attributes (Cjq.schema_of query s)))
+      names;
+    Some
+      {
+        query;
+        schemes;
+        root;
+        reachable;
+        unreachable;
+        classes = attr_classes (Cjq.predicates query);
+      }
+  end
+
+let root t = t.root
+let unreachable t = t.unreachable
+
+(* Deterministic value layout: seed class values in [1000, 2000), seed
+   free-attribute values in [2000, 10^6), revival fresh values from 10^6
+   up, partitioned by round. *)
+
+let class_index t c =
+  let rec idx i = function
+    | [] -> assert false
+    | c' :: rest -> if c' == c || c' = c then i else idx (i + 1) rest
+  in
+  idx 0 t.classes
+
+let seed_value t node ~free_counter =
+  match class_of t.classes node with
+  | Some c -> Value.Int (1000 + class_index t c)
+  | None ->
+      incr free_counter;
+      Value.Int (2000 + !free_counter)
+
+let class_touches_reachable t c =
+  List.exists (fun (s, _) -> List.mem s t.reachable) c
+
+let seed t =
+  let free_counter = ref 0 in
+  List.map
+    (fun s ->
+      let schema = Cjq.schema_of t.query s in
+      let values =
+        List.map
+          (fun (a : Schema.attribute) ->
+            seed_value t (s, a.Schema.name) ~free_counter)
+          (Schema.attributes schema)
+      in
+      Element.Data (Tuple.make schema values))
+    (Cjq.stream_names t.query)
+
+(* Which attributes of stream [s] keep their seed value in every revival
+   round: exactly those in a class touching the reachable region (the
+   proof's join attributes towards R). *)
+let attr_frozen t s attr =
+  match class_of t.classes (s, attr) with
+  | Some c -> class_touches_reachable t c
+  | None -> false
+
+(* A scheme instantiation over seed values is legal iff some punctuatable
+   attribute is refreshed in revivals (frozen on no revival tuple): for
+   reachable streams every scheme is legal (they receive no future tuples);
+   for unreachable streams at least one punctuatable attribute must not be
+   frozen. *)
+let legal_seed_scheme t s scheme =
+  List.mem s t.reachable
+  || List.exists
+       (fun a -> not (attr_frozen t s a))
+       (Scheme.punctuatable_attrs scheme)
+
+let seed_tuple_of seed_elements s =
+  List.find_map
+    (fun e ->
+      match e with
+      | Element.Data tup
+        when String.equal (Schema.stream_name (Tuple.schema tup)) s ->
+          Some tup
+      | _ -> None)
+    seed_elements
+  |> Option.get
+
+let punctuations t =
+  let seed_elements = seed t in
+  List.concat_map
+    (fun s ->
+      let tup = seed_tuple_of seed_elements s in
+      List.filter_map
+        (fun scheme ->
+          if legal_seed_scheme t s scheme then
+            let bindings =
+              List.map
+                (fun a -> (a, Tuple.get_named tup a))
+                (Scheme.punctuatable_attrs scheme)
+            in
+            Some (Element.Punct (Scheme.instantiate scheme bindings))
+          else None)
+        (Scheme.Set.for_stream t.schemes s))
+    (Cjq.stream_names t.query)
+
+let revival t ~round =
+  if round < 1 then invalid_arg "Witness.revival: round must be >= 1";
+  let base = 1_000_000 + (round * 10_000) in
+  let free_counter = ref 0 in
+  let seed_elements = seed t in
+  let seed_of = seed_tuple_of seed_elements in
+  List.map
+    (fun s ->
+      let schema = Cjq.schema_of t.query s in
+      let values =
+        List.map
+          (fun (a : Schema.attribute) ->
+            let name = a.Schema.name in
+            if attr_frozen t s name then Tuple.get_named (seed_of s) name
+            else
+              match class_of t.classes (s, name) with
+              | Some c -> Value.Int (base + class_index t c)
+              | None ->
+                  incr free_counter;
+                  Value.Int (base + 1000 + !free_counter))
+          (Schema.attributes schema)
+      in
+      Element.Data (Tuple.make schema values))
+    t.unreachable
+
+let trace t ~rounds =
+  let revivals =
+    List.concat_map
+      (fun r -> revival t ~round:r)
+      (List.init rounds (fun i -> i + 1))
+  in
+  seed t @ punctuations t @ revivals
+
+(* Each revival round joins the stored reachable-side seed tuples with the
+   round's tuples exactly once. *)
+let expected_results_per_round _ = 1

@@ -1,0 +1,56 @@
+(** Constructive unsafety witnesses — Theorem 1/3's proof, executable.
+
+    When a stream [S_i] cannot reach every other stream in the generalized
+    punctuation graph, the theorem's proof constructs an adversarial future
+    that keeps a stored tuple [t] of [S_i] producing new results forever, no
+    matter which legal punctuations arrive. This module builds that future
+    as a concrete trace:
+
+    - a *seed* round: one tuple per stream, mutually joinable (every join
+      attribute equivalence class gets one shared value) — [t] is the root's
+      seed tuple;
+    - a burst of every *legally emittable* punctuation over the seed values
+      (a scheme instantiation is legal iff at least one of its punctuatable
+      attributes is refreshed by future revivals, so the punctuation is
+      never violated);
+    - *revival* rounds: for each stream the root cannot reach, a new tuple
+      repeating the seed values on attributes facing the reachable region
+      (the proof's [(a_1, ..., a_m)]) and fresh values elsewhere (the
+      proof's [n_new]).
+
+    Every revival round joins with the stored seed tuples and produces a new
+    query result involving [t] — demonstrating that [t]'s state entry can
+    never be purged. All attributes must be integer-typed (fresh-value
+    generation); [Invalid_argument] otherwise. *)
+
+type t
+
+(** [build ?schemes query ~root] is the witness against purging [root]'s
+    join state, or [None] when [root] is purgeable (no witness exists —
+    Theorem 3's other direction). *)
+val build :
+  ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> root:string -> t option
+
+val root : t -> string
+
+(** [unreachable t] — the proof's [R̄]: the streams revived each round. *)
+val unreachable : t -> string list
+
+(** [seed t] — the initial mutually-joinable tuples (root's first). *)
+val seed : t -> Streams.Element.t list
+
+(** [punctuations t] — the legal punctuation burst after the seed. *)
+val punctuations : t -> Streams.Element.t list
+
+(** [revival t ~round] — round ≥ 1: the adversarial tuples of that round. *)
+val revival : t -> round:int -> Streams.Element.t list
+
+(** [trace t ~rounds] — seed, punctuations, then [rounds] revival rounds,
+    well-formed w.r.t. the scheme set (checked by construction and again in
+    tests via {!Streams.Trace.check}). *)
+val trace : t -> rounds:int -> Streams.Trace.t
+
+(** [expected_results_per_round t] — how many new full-query results each
+    revival round must produce (at least 1; each involves the root's seed
+    tuple). *)
+val expected_results_per_round : t -> int

@@ -1,0 +1,1 @@
+lib/engine/antijoin.ml: Fmt Join_state List Operator Predicate Punct_store Relational Schema Streams String Tuple

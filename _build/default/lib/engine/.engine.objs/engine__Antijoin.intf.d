@@ -1,0 +1,1 @@
+lib/engine/antijoin.mli: Operator Relational

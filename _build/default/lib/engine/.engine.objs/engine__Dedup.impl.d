@@ -1,0 +1,1 @@
+lib/engine/dedup.ml: Hashtbl List Operator Relational Schema Streams Tuple Value

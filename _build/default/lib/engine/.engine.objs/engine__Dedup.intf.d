@@ -1,0 +1,1 @@
+lib/engine/dedup.mli: Operator Relational Streams

@@ -1,0 +1,1 @@
+lib/engine/disjunctive_join.mli: Core Operator Purge_policy Relational

@@ -1,0 +1,1 @@
+lib/engine/dsms.ml: Core Executor Hashtbl List Printf Purge_policy Query Relational Seq Streams

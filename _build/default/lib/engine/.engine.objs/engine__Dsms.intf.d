@@ -1,0 +1,1 @@
+lib/engine/dsms.mli: Core Purge_policy Relational Seq Streams

@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Core List Metrics Mjoin Operator Predicate Printf Purge_policy Query Relational Schema Seq Streams String Sym_hash_join

@@ -1,0 +1,1 @@
+lib/engine/executor.mli: Core Metrics Operator Purge_policy Query Relational Seq Streams

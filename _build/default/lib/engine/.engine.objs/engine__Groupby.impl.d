@@ -1,0 +1,1 @@
+lib/engine/groupby.ml: Hashtbl List Operator Printf Relational Schema Streams Tuple Value

@@ -1,0 +1,1 @@
+lib/engine/groupby.mli: Operator Relational

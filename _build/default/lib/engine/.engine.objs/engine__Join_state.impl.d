@@ -1,0 +1,1 @@
+lib/engine/join_state.ml: Hashtbl List Relation Relational Schema Streams Tuple Value

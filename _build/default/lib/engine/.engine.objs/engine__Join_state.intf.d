@@ -1,0 +1,1 @@
+lib/engine/join_state.mli: Relational Streams

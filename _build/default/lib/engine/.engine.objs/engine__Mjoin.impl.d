@@ -1,0 +1,1 @@
+lib/engine/mjoin.ml: Core Fmt Hashtbl Join_state List Operator Predicate Probe Punct_store Purge_policy Relational Schema Streams String Tuple

@@ -1,0 +1,1 @@
+lib/engine/mjoin.mli: Core Operator Purge_policy Relational Streams

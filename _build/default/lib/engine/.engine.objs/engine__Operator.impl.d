@@ -1,0 +1,1 @@
+lib/engine/operator.ml: Fmt Relational Streams

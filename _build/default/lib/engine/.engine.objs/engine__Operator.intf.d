@@ -1,0 +1,1 @@
+lib/engine/operator.mli: Format Relational Streams

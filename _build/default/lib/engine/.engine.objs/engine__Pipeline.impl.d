@@ -1,0 +1,1 @@
+lib/engine/pipeline.ml: List Operator Printf Relational Streams String

@@ -1,0 +1,1 @@
+lib/engine/pipeline.mli: Operator

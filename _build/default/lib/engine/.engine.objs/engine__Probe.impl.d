@@ -1,0 +1,1 @@
+lib/engine/probe.ml: Join_state List Predicate Relational Schema Tuple

@@ -1,0 +1,1 @@
+lib/engine/probe.mli: Join_state Relational

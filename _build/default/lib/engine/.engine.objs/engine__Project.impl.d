@@ -1,0 +1,1 @@
+lib/engine/project.ml: List Operator Relational Schema Streams Tuple

@@ -1,0 +1,1 @@
+lib/engine/project.mli: Operator Relational

@@ -1,0 +1,1 @@
+lib/engine/punct_store.ml: Core Hashtbl List Relational Schema Streams Tuple Value

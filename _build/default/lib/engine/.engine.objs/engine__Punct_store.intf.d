@@ -1,0 +1,1 @@
+lib/engine/punct_store.mli: Core Relational Streams

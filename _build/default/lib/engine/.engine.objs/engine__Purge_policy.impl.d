@@ -1,0 +1,1 @@
+lib/engine/purge_policy.ml: Fmt

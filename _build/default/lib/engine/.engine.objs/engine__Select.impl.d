@@ -1,0 +1,1 @@
+lib/engine/select.ml: List Operator Printf Relational Schema Streams Tuple Value

@@ -1,0 +1,1 @@
+lib/engine/select.mli: Operator Relational

@@ -1,0 +1,1 @@
+lib/engine/sort.ml: List Operator Relational Schema Streams Tuple Value

@@ -1,0 +1,1 @@
+lib/engine/sort.mli: Operator Relational

@@ -1,0 +1,1 @@
+lib/engine/sym_hash_join.ml: Fmt Join_state List Operator Predicate Punct_store Purge_policy Relational Schema Streams String Tuple

@@ -1,0 +1,1 @@
+lib/engine/sym_hash_join.mli: Operator Purge_policy Relational Streams

@@ -1,0 +1,1 @@
+lib/engine/union.ml: Fmt List Operator Punct_store Relational Schema Streams String Tuple

@@ -1,0 +1,1 @@
+lib/engine/union.mli: Operator Relational

@@ -1,0 +1,1 @@
+lib/engine/window_join.ml: Fmt Join_state List Operator Predicate Probe Relational Schema Streams String Tuple

@@ -1,0 +1,1 @@
+lib/engine/window_join.mli: Format Operator Relational

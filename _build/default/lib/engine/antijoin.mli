@@ -1,0 +1,32 @@
+(** Punctuation-unblocked anti semi-join: emit the left tuples that never
+    find a right match.
+
+    Over infinite streams this operator is *impossible* without
+    punctuations — "no right match will ever arrive" is unknowable — which
+    makes it the sharpest showcase of punctuation semantics (Tucker et
+    al.'s motivating class): a buffered left tuple is released exactly when
+    a right punctuation covers its join values while no stored right match
+    exists.
+
+    Semantics and state:
+    - a left tuple with a current right match is discarded immediately
+      (it can never be an anti-join result);
+    - otherwise it is buffered until a right punctuation proves no future
+      match (→ emitted) or a right match arrives (→ discarded);
+    - right tuples are remembered only to disqualify future left arrivals,
+      and are purged once a left punctuation rules those arrivals out;
+    - left punctuations are forwarded (the output is a subset of the left
+      stream), right punctuations are consumed.
+
+    The output schema is the left schema, renamed to the operator. *)
+
+(** [create ~left ~right ~predicates ()] — [predicates] atoms must all link
+    the two inputs (conjunctive join condition).
+    @raise Invalid_argument otherwise. *)
+val create :
+  ?name:string ->
+  left:Relational.Schema.t ->
+  right:Relational.Schema.t ->
+  predicates:Relational.Predicate.t ->
+  unit ->
+  Operator.t

@@ -1,0 +1,57 @@
+open Relational
+module Element = Streams.Element
+module Punctuation = Streams.Punctuation
+module Scheme = Streams.Scheme
+
+let purgeable ~schemes ~input ~key =
+  List.exists
+    (fun sch ->
+      List.for_all
+        (fun a -> List.mem a key)
+        (Scheme.punctuatable_attrs sch))
+    (Scheme.Set.for_stream schemes (Schema.stream_name input))
+
+let create ?(name = "dedup") ~input ~key () =
+  if key = [] then invalid_arg "Dedup.create: empty key";
+  let key_idxs = List.map (Schema.attr_index input) key in
+  let seen : (Value.t list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let stats = ref Operator.empty_stats in
+  let push = function
+    | Element.Data tup ->
+        stats := { !stats with tuples_in = !stats.tuples_in + 1 };
+        let k = Tuple.project tup key_idxs in
+        if Hashtbl.mem seen k then []
+        else begin
+          Hashtbl.add seen k ();
+          stats := { !stats with tuples_out = !stats.tuples_out + 1 };
+          [ Element.Data tup ]
+        end
+    | Element.Punct p ->
+        stats := { !stats with puncts_in = !stats.puncts_in + 1 };
+        (* Keys the punctuation covers can never repeat: drop them. *)
+        let victims =
+          Hashtbl.fold
+            (fun k () acc ->
+              if Punctuation.covers p (List.combine key_idxs k) then k :: acc
+              else acc)
+            seen []
+        in
+        List.iter (Hashtbl.remove seen) victims;
+        stats :=
+          {
+            !stats with
+            tuples_purged = !stats.tuples_purged + List.length victims;
+            puncts_out = !stats.puncts_out + 1;
+          };
+        [ Element.Punct p ]
+  in
+  {
+    Operator.name;
+    out_schema = input;
+    input_names = [ Schema.stream_name input ];
+    push;
+    flush = (fun () -> []);
+    data_state_size = (fun () -> Hashtbl.length seen);
+    punct_state_size = (fun () -> 0);
+    stats = (fun () -> !stats);
+  }

@@ -1,0 +1,30 @@
+(** Punctuation-bounded duplicate elimination.
+
+    Distinct is a *stateful* operator: it must remember every key it has
+    emitted, which over an infinite stream is itself an unbounded-state
+    hazard. Punctuations solve it the same way they solve joins (Tucker et
+    al. [12]): once a received punctuation covers a remembered key, no
+    future tuple can repeat it and the key is dropped from the seen-set.
+
+    Safety condition (the operator-level analogue of Theorem 1): the
+    seen-set over key attributes [K] is bounded iff the input has a
+    punctuation scheme whose punctuatable attributes are a subset of [K] —
+    checked by {!purgeable}. *)
+
+(** [create ~input ~key ()] — deduplicate on the named attributes (the
+    whole tuple when [key] is every attribute).
+    @raise Invalid_argument on unknown attributes or an empty key. *)
+val create :
+  ?name:string ->
+  input:Relational.Schema.t ->
+  key:string list ->
+  unit ->
+  Operator.t
+
+(** [purgeable ~schemes ~input ~key] — can this dedup's state ever be
+    purged under the declared schemes? *)
+val purgeable :
+  schemes:Streams.Scheme.Set.t ->
+  input:Relational.Schema.t ->
+  key:string list ->
+  bool

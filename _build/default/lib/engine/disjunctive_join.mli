@@ -1,0 +1,20 @@
+(** Binary symmetric join under a *disjunctive* clause
+    ([S1.a = S2.x ∨ S1.b = S2.y] — {!Core.Disjunctive}), punctuation-aware.
+
+    The runtime rule dualizes the conjunctive one: a stored tuple is dead
+    only when the partner's punctuations rule out {e every} disjunct (any
+    single live disjunct could still produce a match). Probing is a state
+    scan rather than a hash lookup — this is the reference implementation
+    for the paper's future-work feature, favouring evident correctness. *)
+
+type side = { name : string; schema : Relational.Schema.t }
+
+(** @raise Invalid_argument when the clause does not join the two sides. *)
+val create :
+  ?name:string ->
+  ?policy:Purge_policy.t ->
+  left:side ->
+  right:side ->
+  clause:Core.Disjunctive.clause ->
+  unit ->
+  Operator.t

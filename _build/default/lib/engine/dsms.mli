@@ -1,0 +1,35 @@
+(** The running system of Figure 2: every admitted query compiled and fed
+    from one interleaved input, with the register's punctuation routing in
+    front — elements (in particular punctuations) irrelevant to a query are
+    never pushed into its operator tree.
+
+    Routing is exactly the §1 optimization: "avoid unnecessary processing
+    of the irrelevant punctuations". {!stats} reports how many deliveries
+    it saved. *)
+
+type t
+
+(** [of_register ?policy register] compiles every registered query with its
+    chosen plan. *)
+val of_register : ?policy:Purge_policy.t -> Core.Register.t -> t
+
+(** [push t element] — route and deliver; returns the outputs per query
+    (queries with no output are omitted). *)
+val push : t -> Streams.Element.t -> (string * Streams.Element.t list) list
+
+(** [run t elements] — push everything, flush, and return per-query result
+    tuples in emission order. *)
+val run :
+  t -> Streams.Element.t Seq.t -> (string * Relational.Tuple.t list) list
+
+type stats = {
+  elements_seen : int;
+  deliveries : int;  (** elements actually pushed into some query *)
+  punctuations_skipped : int;
+      (** punctuation deliveries avoided by relevance routing *)
+}
+
+val stats : t -> stats
+
+(** [state_of t name] — current stored tuples of one query's operators. *)
+val state_of : t -> string -> int

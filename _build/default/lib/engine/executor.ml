@@ -1,0 +1,232 @@
+open Relational
+module Scheme = Streams.Scheme
+module Element = Streams.Element
+module Cjq = Query.Cjq
+module Plan = Query.Plan
+
+type binary_impl = Use_mjoin | Use_pjoin
+
+type node =
+  | Leaf of { stream : string; schema : Schema.t; schemes : Scheme.t list }
+  | Inner of {
+      op : Operator.t;
+      children : node list;
+      leafset : string list;
+      schemes : Scheme.t list;  (** derived schemes of this output *)
+    }
+
+type compiled = { root : node; all_ops : Operator.t list }
+
+let node_name = function
+  | Leaf l -> l.stream
+  | Inner i -> i.op.Operator.name
+
+let node_schema = function
+  | Leaf l -> l.schema
+  | Inner i -> i.op.Operator.out_schema
+
+let node_schemes = function
+  | Leaf l -> l.schemes
+  | Inner i -> i.schemes
+
+let node_leafset = function
+  | Leaf l -> [ l.stream ]
+  | Inner i -> i.leafset
+
+(* The name attribute [attr] of base stream [s] carries in the output of
+   [node]: unqualified at a leaf, qualified once inside any composite. *)
+let attr_in_node node s attr =
+  match node with
+  | Leaf _ -> attr
+  | Inner _ -> Schema.qualify_attr ~origin:s attr
+
+let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
+    ?punct_lifespan ?(punct_partner_purge = false) query plan =
+  Plan.validate plan query;
+  let preds = Cjq.predicates query in
+  let counter = ref 0 in
+  let ops = ref [] in
+  let rec build = function
+    | Plan.Leaf s ->
+        let def = Cjq.def query s in
+        Leaf
+          {
+            stream = s;
+            schema = Streams.Stream_def.schema def;
+            schemes = Streams.Stream_def.schemes def;
+          }
+    | Plan.Join children ->
+        let nodes = List.map build children in
+        incr counter;
+        let op_name = Printf.sprintf "J%d" !counter in
+        let owner s =
+          List.find (fun n -> List.mem s (node_leafset n)) nodes
+        in
+        (* Lift every query atom crossing two children to input-level
+           names; atoms internal to one child were handled below. *)
+        let lifted =
+          List.filter_map
+            (fun atom ->
+              let s1, s2 = Predicate.streams_of atom in
+              match owner s1, owner s2 with
+              | n1, n2 when node_name n1 = node_name n2 -> None
+              | n1, n2 ->
+                  Some
+                    (Predicate.atom (node_name n1)
+                       (attr_in_node n1 s1 (Predicate.attr_on atom s1))
+                       (node_name n2)
+                       (attr_in_node n2 s2 (Predicate.attr_on atom s2)))
+              | exception Not_found -> None)
+            preds
+        in
+        let inputs =
+          List.map
+            (fun n ->
+              {
+                Mjoin.name = node_name n;
+                schema = node_schema n;
+                schemes = node_schemes n;
+              })
+            nodes
+        in
+        let op =
+          match nodes, binary_impl with
+          | [ a; b ], Use_pjoin ->
+              let side n =
+                {
+                  Sym_hash_join.name = node_name n;
+                  schema = node_schema n;
+                  schemes = node_schemes n;
+                }
+              in
+              Sym_hash_join.create ~name:op_name ~policy ~left:(side a)
+                ~right:(side b) ~predicates:lifted ()
+          | _ ->
+              Mjoin.create ~name:op_name ~policy ?punct_lifespan
+                ~punct_partner_purge ~inputs ~predicates:lifted ()
+        in
+        ops := op :: !ops;
+        (* Derived schemes of this output: lift each input's schemes when
+           that input's state is purgeable inside this operator. *)
+        let input_names = List.map node_name nodes in
+        let scheme_set =
+          Scheme.Set.of_list (List.concat_map node_schemes nodes)
+        in
+        let gpg = Core.Gpg.of_streams input_names lifted scheme_set in
+        let derived =
+          List.concat_map
+            (fun n ->
+              if Core.Gpg.reaches_all gpg (Core.Block.singleton (node_name n))
+              then
+                List.filter_map
+                  (fun sch ->
+                    let attrs =
+                      List.map
+                        (Schema.qualify_attr ~origin:(node_name n))
+                        (Scheme.punctuatable_attrs sch)
+                    in
+                    match Scheme.of_attrs op.Operator.out_schema attrs with
+                    | sch' -> Some sch'
+                    | exception _ -> None)
+                  (node_schemes n)
+              else [])
+            nodes
+        in
+        Inner
+          {
+            op;
+            children = nodes;
+            leafset = List.concat_map node_leafset nodes;
+            schemes = derived;
+          }
+  in
+  let root = build plan in
+  { root; all_ops = List.rev !ops }
+
+let operators ~c = c.all_ops
+
+let output_schema c = node_schema c.root
+
+let derived_schemes c = node_schemes c.root
+
+let total_data_state c =
+  List.fold_left
+    (fun acc (op : Operator.t) -> acc + op.data_state_size ())
+    0 c.all_ops
+
+let total_punct_state c =
+  List.fold_left
+    (fun acc (op : Operator.t) -> acc + op.punct_state_size ())
+    0 c.all_ops
+
+let state_breakdown c =
+  List.map
+    (fun (op : Operator.t) ->
+      (op.name, op.data_state_size (), op.punct_state_size ()))
+    c.all_ops
+
+type result = {
+  outputs : Element.t list;
+  metrics : Metrics.t;
+  consumed : int;
+}
+
+(* Push one raw-stream element through the tree; returns root outputs. *)
+let rec feed node element =
+  match node with
+  | Leaf l ->
+      if String.equal l.stream (Element.stream_name element) then [ element ]
+      else []
+  | Inner i ->
+      let stream = Element.stream_name element in
+      if not (List.mem stream i.leafset) then []
+      else
+        List.concat_map
+          (fun child ->
+            List.concat_map i.op.Operator.push (feed child element))
+          i.children
+
+(* Drain deferred purge/propagation work bottom-up. *)
+let rec final_flush node =
+  match node with
+  | Leaf _ -> []
+  | Inner i ->
+      let from_children =
+        List.concat_map
+          (fun child ->
+            List.concat_map i.op.Operator.push (final_flush child))
+          i.children
+      in
+      from_children @ i.op.Operator.flush ()
+
+let feed_element c element = feed c.root element
+
+let flush_tree c = final_flush c.root
+
+let run ?(sample_every = 100) ?sink c elements =
+  let metrics = Metrics.create ~sample_every () in
+  let outputs = ref [] in
+  let emitted = ref 0 in
+  let consumed = ref 0 in
+  let accept outs =
+    List.iter
+      (fun e ->
+        if Element.is_data e then incr emitted;
+        (match sink with
+        | Some (op : Operator.t) ->
+            List.iter (fun e' -> outputs := e' :: !outputs) (op.push e)
+        | None -> outputs := e :: !outputs))
+      outs
+  in
+  Seq.iter
+    (fun element ->
+      incr consumed;
+      accept (feed c.root element);
+      Metrics.observe metrics ~tick:!consumed
+        ~data_state:(total_data_state c)
+        ~punct_state:(total_punct_state c) ~emitted:!emitted)
+    elements;
+  accept (final_flush c.root);
+  Metrics.force metrics ~tick:!consumed ~data_state:(total_data_state c)
+    ~punct_state:(total_punct_state c) ~emitted:!emitted;
+  { outputs = List.rev !outputs; metrics; consumed = !consumed }

@@ -1,0 +1,75 @@
+(** Plan compilation and execution.
+
+    Compiles an execution plan ({!Query.Plan}) over a query into a tree of
+    punctuation-aware join operators, then drives it from an interleaved
+    element sequence, collecting results and state metrics.
+
+    Intermediate inputs carry *derived* punctuation schemes: a scheme of a
+    base stream [q] is lifted to a sub-plan's output when [q]'s join state
+    is purgeable inside that sub-plan (then the sub-operator's propagation
+    rule will eventually emit the corresponding punctuations — see
+    {!Mjoin}). This mirrors Lemma 1's use of base-stream schemes for
+    composite operator inputs. *)
+
+type binary_impl =
+  | Use_mjoin  (** every operator is an {!Mjoin} (2-input included) *)
+  | Use_pjoin  (** binary operators use {!Sym_hash_join} *)
+
+type compiled
+
+val compile :
+  ?policy:Purge_policy.t ->
+  ?binary_impl:binary_impl ->
+  ?punct_lifespan:Core.Punct_purge.lifespan ->
+  ?punct_partner_purge:bool ->
+  Query.Cjq.t ->
+  Query.Plan.t ->
+  compiled
+
+(** [operators c] — bottom-up (each operator after its children). *)
+val operators : c:compiled -> Operator.t list
+
+(** [output_schema c] — schema of the root's results. *)
+val output_schema : compiled -> Relational.Schema.t
+
+(** [derived_schemes c] — the lifted schemes of the root output (what a
+    consumer such as a group-by may rely on). *)
+val derived_schemes : compiled -> Streams.Scheme.t list
+
+type result = {
+  outputs : Streams.Element.t list;  (** root outputs, in emission order *)
+  metrics : Metrics.t;
+  consumed : int;
+}
+
+(** [run ?sample_every ?sink c elements] pushes every element through the
+    tree (elements of streams the plan does not read are ignored), flushes
+    deferred purge work at the end, and samples total operator state every
+    [sample_every] elements. [sink], when given, additionally consumes every
+    root output as it is emitted (e.g. a group-by operator). *)
+val run :
+  ?sample_every:int ->
+  ?sink:Operator.t ->
+  compiled ->
+  Streams.Element.t Seq.t ->
+  result
+
+(** [total_data_state c] / [total_punct_state c] — current stored tuples /
+    punctuations across all operators. *)
+val total_data_state : compiled -> int
+
+val total_punct_state : compiled -> int
+
+(** [state_breakdown c] — per operator: (name, stored tuples, stored
+    punctuations), bottom-up. The quickest way to see *which* operator of a
+    plan is the one leaking. *)
+val state_breakdown : compiled -> (string * int * int) list
+
+(** Element-at-a-time driving, for callers that multiplex several compiled
+    queries over one input (the DSMS): [feed_element] pushes one element
+    through the tree and returns the root outputs; [flush_tree] drains
+    deferred purge/propagation work bottom-up (call once, at end of
+    input). *)
+val feed_element : compiled -> Streams.Element.t -> Streams.Element.t list
+
+val flush_tree : compiled -> Streams.Element.t list

@@ -1,0 +1,25 @@
+(** Punctuation-unblocked grouping aggregation.
+
+    Group-by is the paper's canonical *blocking* operator (Example 1's "sum
+    the increases per item"): without punctuations it could never emit a
+    group, because more members might always arrive. Here a group is emitted
+    — and its state dropped — exactly when a received punctuation covers the
+    group's key. *)
+
+type aggregate =
+  | Count
+  | Sum of string  (** attribute to sum (int or float) *)
+  | Min of string
+  | Max of string
+
+(** [create ~input ~group_by ~aggregate ()] — output schema is the group
+    attributes followed by one ["agg"] attribute.
+    @raise Invalid_argument when attributes are missing from the input
+    schema or the aggregate attribute is non-numeric. *)
+val create :
+  ?name:string ->
+  input:Relational.Schema.t ->
+  group_by:string list ->
+  aggregate:aggregate ->
+  unit ->
+  Operator.t

@@ -1,0 +1,99 @@
+open Relational
+
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.compare Value.compare a b = 0
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+type index = { attrs : int list; buckets : int list ref KeyTbl.t }
+
+type t = {
+  schema : Schema.t;
+  live : (int, int * Tuple.t) Hashtbl.t;  (** id -> (insertion tick, tuple) *)
+  mutable indexes : index list;
+  mutable next_id : int;
+}
+
+let create schema =
+  { schema; live = Hashtbl.create 64; indexes = []; next_id = 0 }
+
+let schema t = t.schema
+
+let index_insert idx id tup =
+  let key = Tuple.project tup idx.attrs in
+  match KeyTbl.find_opt idx.buckets key with
+  | Some ids -> ids := id :: !ids
+  | None -> KeyTbl.add idx.buckets key (ref [ id ])
+
+let insert ?tick t tup =
+  if not (Schema.equal (Tuple.schema tup) t.schema) then
+    invalid_arg "Join_state.insert: schema mismatch";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let tick = match tick with Some k -> k | None -> id in
+  Hashtbl.replace t.live id (tick, tup);
+  List.iter (fun idx -> index_insert idx id tup) t.indexes
+
+let evict_before t ~tick =
+  let victims =
+    Hashtbl.fold
+      (fun id (k, _) acc -> if k < tick then id :: acc else acc)
+      t.live []
+  in
+  List.iter (Hashtbl.remove t.live) victims;
+  List.length victims
+
+let size t = Hashtbl.length t.live
+let insertions t = t.next_id
+
+let build_index t attrs =
+  let idx = { attrs; buckets = KeyTbl.create 64 } in
+  Hashtbl.iter (fun id (_, tup) -> index_insert idx id tup) t.live;
+  t.indexes <- idx :: t.indexes;
+  idx
+
+let probe t ~attrs values =
+  let idx =
+    match List.find_opt (fun i -> i.attrs = attrs) t.indexes with
+    | Some i -> i
+    | None -> build_index t attrs
+  in
+  match KeyTbl.find_opt idx.buckets values with
+  | None -> []
+  | Some ids ->
+      (* Compact the bucket while filtering out purged ids. *)
+      let alive =
+        List.filter_map
+          (fun id ->
+            match Hashtbl.find_opt t.live id with
+            | Some (_, tup) -> Some (id, tup)
+            | None -> None)
+          !ids
+      in
+      ids := List.map fst alive;
+      List.map snd alive
+
+let iter f t = Hashtbl.iter (fun _ (_, tup) -> f tup) t.live
+let fold f init t = Hashtbl.fold (fun _ (_, tup) acc -> f acc tup) t.live init
+
+let to_relation t = Relation.make t.schema (fold (fun acc x -> x :: acc) [] t)
+
+let purge_if t pred =
+  let victims =
+    Hashtbl.fold
+      (fun id (_, tup) acc -> if pred tup then id :: acc else acc)
+      t.live []
+  in
+  List.iter (Hashtbl.remove t.live) victims;
+  List.length victims
+
+let exists_matching t p =
+  let exception Found in
+  try
+    iter (fun tup -> if Streams.Punctuation.matches p tup then raise Found) t;
+    false
+  with Found -> true

@@ -1,0 +1,44 @@
+(** A join state [Υ_S]: the stored tuples of one input of a join operator,
+    with hash indexes built on demand per probe key (the hash tables of the
+    symmetric hash join / MJoin algorithms the paper assumes). *)
+
+type t
+
+val create : Relational.Schema.t -> t
+val schema : t -> Relational.Schema.t
+
+(** [insert ?tick t tuple] stores [tuple]; [tick] (default: the insertion
+    counter) is remembered for age-based eviction ({!evict_before}). *)
+val insert : ?tick:int -> t -> Relational.Tuple.t -> unit
+
+(** [evict_before t ~tick] removes every live tuple inserted with a tick
+    strictly below [tick]; returns how many. This is the sliding-window
+    eviction primitive (§2.2's window-based alternative to punctuation
+    purging). *)
+val evict_before : t -> tick:int -> int
+
+(** [size t] — live tuples (the paper's join-state memory). *)
+val size : t -> int
+
+(** [insertions t] — total ever inserted (monotone). *)
+val insertions : t -> int
+
+(** [probe t ~attrs values] — live tuples whose projection on attribute
+    positions [attrs] equals [values]; indexed after the first probe on a
+    given key shape. *)
+val probe : t -> attrs:int list -> Relational.Value.t list -> Relational.Tuple.t list
+
+val iter : (Relational.Tuple.t -> unit) -> t -> unit
+val fold : ('a -> Relational.Tuple.t -> 'a) -> 'a -> t -> 'a
+
+(** [to_relation t] — snapshot as a finite relation (chained-purge oracle
+    input). *)
+val to_relation : t -> Relational.Relation.t
+
+(** [purge_if t keep_if_false] removes every live tuple satisfying the
+    predicate; returns how many were removed. *)
+val purge_if : t -> (Relational.Tuple.t -> bool) -> int
+
+(** [exists_matching t p] — is some live tuple matched by punctuation [p]?
+    (punctuation-propagation drain test). *)
+val exists_matching : t -> Streams.Punctuation.t -> bool

@@ -1,0 +1,61 @@
+type sample = {
+  tick : int;
+  data_state : int;
+  punct_state : int;
+  emitted : int;
+}
+
+type t = { sample_every : int; mutable samples : sample list (* reversed *) }
+
+let create ?(sample_every = 100) () = { sample_every; samples = [] }
+
+let force t ~tick ~data_state ~punct_state ~emitted =
+  t.samples <- { tick; data_state; punct_state; emitted } :: t.samples
+
+let observe t ~tick ~data_state ~punct_state ~emitted =
+  if tick mod t.sample_every = 0 then
+    force t ~tick ~data_state ~punct_state ~emitted
+
+let samples t = List.rev t.samples
+
+let peak_data_state t =
+  List.fold_left (fun acc s -> max acc s.data_state) 0 t.samples
+
+let peak_punct_state t =
+  List.fold_left (fun acc s -> max acc s.punct_state) 0 t.samples
+
+let final t = match t.samples with [] -> None | s :: _ -> Some s
+
+let growth_slope t =
+  let all = samples t in
+  let n = List.length all in
+  let tail = List.filteri (fun i _ -> i >= n / 2) all in
+  match tail with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = float_of_int (List.length tail) in
+      let sx = List.fold_left (fun a s -> a +. float_of_int s.tick) 0.0 tail in
+      let sy =
+        List.fold_left (fun a s -> a +. float_of_int s.data_state) 0.0 tail
+      in
+      let sxx =
+        List.fold_left
+          (fun a s -> a +. (float_of_int s.tick *. float_of_int s.tick))
+          0.0 tail
+      in
+      let sxy =
+        List.fold_left
+          (fun a s ->
+            a +. (float_of_int s.tick *. float_of_int s.data_state))
+          0.0 tail
+      in
+      let denom = (m *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-9 then 0.0
+      else ((m *. sxy) -. (sx *. sy)) /. denom
+
+let pp_series ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf s ->
+         Fmt.pf ppf "tick %6d  state %6d  puncts %5d  emitted %6d" s.tick
+           s.data_state s.punct_state s.emitted))
+    (samples t)

@@ -1,0 +1,38 @@
+(** Execution metrics: state-size time series and aggregate counters.
+
+    The operational content of the paper's safety notion is visible here: a
+    safe plan's [data_state] series plateaus, an unsafe one's grows without
+    bound. Benches print these series. *)
+
+type sample = {
+  tick : int;  (** elements consumed so far *)
+  data_state : int;  (** stored tuples across all join states *)
+  punct_state : int;  (** stored punctuations across all stores *)
+  emitted : int;  (** result tuples emitted so far *)
+}
+
+type t
+
+val create : ?sample_every:int -> unit -> t
+
+(** [observe t ~tick ~data_state ~punct_state ~emitted] records a sample
+    when [tick] falls on the sampling grid (and always for tick 0). *)
+val observe :
+  t -> tick:int -> data_state:int -> punct_state:int -> emitted:int -> unit
+
+(** [force t ...] records unconditionally (used for the final state). *)
+val force :
+  t -> tick:int -> data_state:int -> punct_state:int -> emitted:int -> unit
+
+val samples : t -> sample list
+
+val peak_data_state : t -> int
+val peak_punct_state : t -> int
+val final : t -> sample option
+
+(** [growth_slope t] — least-squares slope of [data_state] against [tick]
+    over the second half of the run: ≈ 0 for bounded state, > 0 for
+    unbounded growth. *)
+val growth_slope : t -> float
+
+val pp_series : Format.formatter -> t -> unit

@@ -1,0 +1,233 @@
+open Relational
+module Scheme = Streams.Scheme
+module Punctuation = Streams.Punctuation
+module Element = Streams.Element
+
+type input = {
+  name : string;
+  schema : Schema.t;
+  schemes : Scheme.t list;
+}
+
+let scheme_set_of inputs =
+  Scheme.Set.of_list (List.concat_map (fun i -> i.schemes) inputs)
+
+let purge_plans ~inputs ~predicates =
+  let names = List.map (fun i -> i.name) inputs in
+  let schemes = scheme_set_of inputs in
+  List.map
+    (fun n -> (n, Core.Chained_purge.derive names predicates schemes ~root:n))
+    names
+
+(* Per-input runtime state. *)
+type slot = {
+  input : input;
+  state : Join_state.t;
+  puncts : Punct_store.t;
+  plan : Core.Chained_purge.plan option;
+}
+
+let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
+    ?(punct_partner_purge = false) ~inputs ~predicates () =
+  if List.length inputs < 2 then
+    invalid_arg "Mjoin.create: need at least two inputs";
+  let names = List.map (fun i -> i.name) inputs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Mjoin.create: duplicate input names";
+  List.iter
+    (fun atom ->
+      let s1, s2 = Predicate.streams_of atom in
+      if not (List.mem s1 names && List.mem s2 names) then
+        invalid_arg
+          (Fmt.str "Mjoin.create: predicate %a references unknown input"
+             Predicate.pp_atom atom))
+    predicates;
+  let slots =
+    let plans = purge_plans ~inputs ~predicates in
+    List.map
+      (fun input ->
+        {
+          input;
+          state = Join_state.create input.schema;
+          puncts = Punct_store.create input.schema;
+          plan = List.assoc input.name plans;
+        })
+      inputs
+  in
+  let slot_of n = List.find (fun s -> s.input.name = n) slots in
+  let out_schema =
+    Schema.concat_all ~stream:name (List.map (fun i -> i.schema) inputs)
+  in
+  let orders = Probe.orders names predicates in
+  let stats = ref Operator.empty_stats in
+  let now = ref 0 in
+  let pending_puncts = ref 0 in
+
+  (* --- result assembly ---------------------------------------------- *)
+  let assemble assignment =
+    (* [assignment] maps input name -> tuple; concat in declared order. *)
+    let values =
+      List.concat_map
+        (fun i -> Tuple.values (List.assoc i.name assignment))
+        inputs
+    in
+    Tuple.make out_schema values
+  in
+  let probe_from origin_name tup =
+    Probe.run
+      ~steps:(List.assoc origin_name orders)
+      ~state_of:(fun n -> (slot_of n).state)
+      ~schema_of:(fun n -> (slot_of n).input.schema)
+      ~origin:origin_name tup
+    |> List.map assemble
+  in
+
+  (* --- purging -------------------------------------------------------- *)
+  let covered ~stream bindings = Punct_store.covers (slot_of stream).puncts bindings in
+  let purge_round () =
+    stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
+    List.iter
+      (fun slot ->
+        match slot.plan with
+        | None -> ()
+        | Some plan ->
+            let snapshots = Hashtbl.create 8 in
+            let states stream_name =
+              match Hashtbl.find_opt snapshots stream_name with
+              | Some r -> r
+              | None ->
+                  let r = Join_state.to_relation (slot_of stream_name).state in
+                  Hashtbl.add snapshots stream_name r;
+                  r
+            in
+            (* Memoize per distinct root-attribute projection: the chain
+               only reads the root tuple through its pinned attributes. *)
+            let root_attrs =
+              List.concat_map
+                (fun (step : Core.Chained_purge.step) ->
+                  List.filter_map
+                    (fun (pin : Core.Chained_purge.pin) ->
+                      if pin.source = slot.input.name then
+                        Some pin.source_attr
+                      else None)
+                    step.pins)
+                plan.steps
+              |> List.sort_uniq String.compare
+              |> List.map (Schema.attr_index slot.input.schema)
+            in
+            let memo = Hashtbl.create 64 in
+            let removed =
+              Join_state.purge_if slot.state (fun t ->
+                  let key = Tuple.project t root_attrs in
+                  match Hashtbl.find_opt memo key with
+                  | Some b -> b
+                  | None ->
+                      let b =
+                        Core.Chained_purge.tuple_purgeable plan ~states
+                          ~covered ~root_tuple:t
+                      in
+                      Hashtbl.add memo key b;
+                      b)
+            in
+            stats :=
+              { !stats with tuples_purged = !stats.tuples_purged + removed })
+      slots
+  in
+
+  (* --- punctuation maintenance & propagation -------------------------- *)
+  let maintain_punct_stores () =
+    List.iter
+      (fun slot ->
+        (match punct_lifespan with
+        | Some lifespan ->
+            let n = Punct_store.expire slot.puncts ~now:!now lifespan in
+            stats := { !stats with puncts_purged = !stats.puncts_purged + n }
+        | None -> ());
+        if punct_partner_purge then begin
+          let n =
+            Punct_store.purge_if slot.puncts (fun p ->
+                Core.Punct_purge.punct_purgeable_by_partners ~preds:predicates
+                  ~schema_of:(fun s -> (slot_of s).input.schema)
+                  ~covered p)
+          in
+          stats := { !stats with puncts_purged = !stats.puncts_purged + n }
+        end)
+      slots
+  in
+  let propagate () =
+    List.concat_map
+      (fun slot ->
+        Punct_store.collect_forwardable slot.puncts
+          ~drained:(fun p -> not (Join_state.exists_matching slot.state p))
+        |> List.map (fun p ->
+               let lifted =
+                 List.map
+                   (fun (idx, pat) ->
+                     let attr =
+                       (Schema.attr_at slot.input.schema idx).Schema.name
+                     in
+                     (Schema.qualify_attr ~origin:slot.input.name attr, pat))
+                   (Punctuation.constraints p)
+               in
+               Punctuation.of_constraints out_schema lifted))
+      slots
+  in
+  let purge_and_propagate () =
+    purge_round ();
+    maintain_punct_stores ();
+    pending_puncts := 0;
+    let out = propagate () in
+    stats := { !stats with puncts_out = !stats.puncts_out + List.length out };
+    List.map (fun p -> Element.Punct p) out
+  in
+
+  (* --- the operator --------------------------------------------------- *)
+  let push element =
+    incr now;
+    let input_name = Element.stream_name element in
+    if not (List.mem input_name names) then
+      invalid_arg
+        (Fmt.str "Mjoin %s: element for unknown input %s" name input_name);
+    match element with
+    | Element.Data tup ->
+        stats := { !stats with tuples_in = !stats.tuples_in + 1 };
+        let results = probe_from input_name tup in
+        Join_state.insert (slot_of input_name).state tup;
+        stats :=
+          { !stats with tuples_out = !stats.tuples_out + List.length results };
+        List.map (fun t -> Element.Data t) results
+    | Element.Punct p ->
+        stats := { !stats with puncts_in = !stats.puncts_in + 1 };
+        let informative = Punct_store.insert (slot_of input_name).puncts ~now:!now p in
+        if informative then incr pending_puncts;
+        let state_size =
+          List.fold_left
+            (fun acc s -> acc + Join_state.size s.state)
+            0 slots
+        in
+        if
+          Purge_policy.due policy ~punctuations_pending:!pending_puncts
+            ~state_size
+        then purge_and_propagate ()
+        else []
+  in
+  let flush () =
+    match policy with
+    | Purge_policy.Never -> []
+    | Purge_policy.Eager | Purge_policy.Lazy _ | Purge_policy.Adaptive _ ->
+        if !pending_puncts > 0 then purge_and_propagate () else []
+  in
+  {
+    Operator.name;
+    out_schema;
+    input_names = names;
+    push;
+    flush;
+    data_state_size =
+      (fun () ->
+        List.fold_left (fun acc s -> acc + Join_state.size s.state) 0 slots);
+    punct_state_size =
+      (fun () ->
+        List.fold_left (fun acc s -> acc + Punct_store.size s.puncts) 0 slots);
+    stats = (fun () -> !stats);
+  }

@@ -1,0 +1,37 @@
+type stats = {
+  tuples_in : int;
+  puncts_in : int;
+  tuples_out : int;
+  puncts_out : int;
+  tuples_purged : int;
+  puncts_purged : int;
+  purge_rounds : int;
+}
+
+let empty_stats =
+  {
+    tuples_in = 0;
+    puncts_in = 0;
+    tuples_out = 0;
+    puncts_out = 0;
+    tuples_purged = 0;
+    puncts_purged = 0;
+    purge_rounds = 0;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "in: %d tuples / %d puncts; out: %d tuples / %d puncts; purged: %d tuples / %d puncts in %d rounds"
+    s.tuples_in s.puncts_in s.tuples_out s.puncts_out s.tuples_purged
+    s.puncts_purged s.purge_rounds
+
+type t = {
+  name : string;
+  out_schema : Relational.Schema.t;
+  input_names : string list;
+  push : Streams.Element.t -> Streams.Element.t list;
+  flush : unit -> Streams.Element.t list;
+  data_state_size : unit -> int;
+  punct_state_size : unit -> int;
+  stats : unit -> stats;
+}

@@ -1,0 +1,30 @@
+(** The push-based operator interface shared by joins, group-by and
+    projection. An operator consumes the elements of its named inputs and
+    emits output elements (result tuples and propagated punctuations) whose
+    schema is [out_schema]. *)
+
+type stats = {
+  tuples_in : int;
+  puncts_in : int;
+  tuples_out : int;
+  puncts_out : int;
+  tuples_purged : int;
+  puncts_purged : int;
+  purge_rounds : int;
+}
+
+val empty_stats : stats
+val pp_stats : Format.formatter -> stats -> unit
+
+type t = {
+  name : string;
+  out_schema : Relational.Schema.t;
+  input_names : string list;
+  push : Streams.Element.t -> Streams.Element.t list;
+      (** feed one input element, collect outputs in order *)
+  flush : unit -> Streams.Element.t list;
+      (** run any deferred purge/propagation work (lazy policies) *)
+  data_state_size : unit -> int;
+  punct_state_size : unit -> int;
+  stats : unit -> stats;
+}

@@ -1,0 +1,69 @@
+module Element = Streams.Element
+
+let compose stages =
+  match stages with
+  | [] -> invalid_arg "Pipeline.compose: empty pipeline"
+  | first :: rest ->
+      let rec check prev = function
+        | [] -> ()
+        | (stage : Operator.t) :: more ->
+            let out =
+              Relational.Schema.stream_name (prev : Operator.t).out_schema
+            in
+            if not (List.mem out stage.input_names) then
+              invalid_arg
+                (Printf.sprintf
+                   "Pipeline.compose: %s outputs %S but %s reads {%s}"
+                   prev.name out stage.name
+                   (String.concat ", " stage.input_names));
+            check stage more
+      in
+      check first rest;
+      let last = List.nth stages (List.length stages - 1) in
+      let through downstream elements =
+        List.fold_left
+          (fun acc (stage : Operator.t) ->
+            List.concat_map stage.push acc)
+          elements downstream
+      in
+      let push element = through rest (first.push element) in
+      let flush () =
+        (* flush each stage in order, pushing its drain through the rest *)
+        let rec go upstreamed = function
+          | [] -> upstreamed
+          | (stage : Operator.t) :: more ->
+              let drained = List.concat_map stage.push upstreamed in
+              go (drained @ stage.flush ()) more
+        in
+        go (first.flush ()) rest
+      in
+      {
+        Operator.name =
+          String.concat " | " (List.map (fun (s : Operator.t) -> s.name) stages);
+        out_schema = last.out_schema;
+        input_names = first.input_names;
+        push;
+        flush;
+        data_state_size =
+          (fun () ->
+            List.fold_left
+              (fun acc (s : Operator.t) -> acc + s.data_state_size ())
+              0 stages);
+        punct_state_size =
+          (fun () ->
+            List.fold_left
+              (fun acc (s : Operator.t) -> acc + s.punct_state_size ())
+              0 stages);
+        stats =
+          (fun () ->
+            List.fold_left
+              (fun acc (s : Operator.t) ->
+                let st = s.stats () in
+                {
+                  acc with
+                  Operator.tuples_purged =
+                    acc.Operator.tuples_purged + st.Operator.tuples_purged;
+                  purge_rounds = acc.Operator.purge_rounds + st.Operator.purge_rounds;
+                })
+              (first.stats ()) (List.tl stages));
+      }

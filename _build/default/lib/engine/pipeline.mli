@@ -1,0 +1,12 @@
+(** Operator composition: chain unary operators (select, project, dedup,
+    sort, group-by) behind a source operator into one {!Operator.t}, each
+    stage consuming the previous stage's output elements.
+
+    Stages must be schema-compatible: stage [k+1]'s input stream name must
+    equal stage [k]'s output stream name (checked at composition time, since
+    elements are routed by stream name). *)
+
+(** [compose stages] — [stages] in source-to-sink order, at least one.
+    @raise Invalid_argument on an empty list or a stream-name mismatch
+    between consecutive stages. *)
+val compose : Operator.t list -> Operator.t

@@ -1,0 +1,88 @@
+open Relational
+
+type step = {
+  step_input : string;
+  key_atoms : Predicate.atom list;
+  check_atoms : Predicate.atom list;
+}
+
+let orders names predicates =
+  let linked a b =
+    List.exists
+      (fun atom -> Predicate.involves atom a && Predicate.involves atom b)
+      predicates
+  in
+  List.map
+    (fun start ->
+      let rec build bound remaining acc =
+        match remaining with
+        | [] -> List.rev acc
+        | _ ->
+            let next =
+              match
+                List.find_opt
+                  (fun r -> List.exists (fun b -> linked b r) bound)
+                  remaining
+              with
+              | Some r -> r
+              | None ->
+                  (* Disconnected operator-level join graph: cartesian step
+                     (kept total; the executor avoids building these). *)
+                  List.hd remaining
+            in
+            let atoms =
+              List.filter
+                (fun atom ->
+                  Predicate.involves atom next
+                  && List.exists (fun b -> Predicate.involves atom b) bound)
+                predicates
+            in
+            let key_atoms, check_atoms =
+              match atoms with [] -> ([], []) | k :: rest -> ([ k ], rest)
+            in
+            build (next :: bound)
+              (List.filter (fun r -> r <> next) remaining)
+              ({ step_input = next; key_atoms; check_atoms } :: acc)
+      in
+      (start, build [ start ] (List.filter (fun n -> n <> start) names) []))
+    names
+
+let run ~steps ~state_of ~schema_of ~origin tuple =
+  let extend partials step =
+    List.concat_map
+      (fun assignment ->
+        let state = state_of step.step_input in
+        let candidates =
+          match step.key_atoms with
+          | atom :: _ ->
+              let bound_stream, bound_attr =
+                Predicate.other_side atom step.step_input
+              in
+              let bound_tuple = List.assoc bound_stream assignment in
+              let v = Tuple.get_named bound_tuple bound_attr in
+              let attr_idx =
+                Schema.attr_index
+                  (schema_of step.step_input)
+                  (Predicate.attr_on atom step.step_input)
+              in
+              Join_state.probe state ~attrs:[ attr_idx ] [ v ]
+          | [] -> Join_state.fold (fun acc x -> x :: acc) [] state
+        in
+        let extra_atoms =
+          step.check_atoms
+          @ match step.key_atoms with _ :: rest -> rest | [] -> []
+        in
+        List.filter_map
+          (fun cand ->
+            let ok =
+              List.for_all
+                (fun atom ->
+                  let other, _ = Predicate.other_side atom step.step_input in
+                  Predicate.eval atom cand (List.assoc other assignment))
+                extra_atoms
+            in
+            if ok then Some ((step.step_input, cand) :: assignment) else None)
+          candidates)
+      partials
+  in
+  List.fold_left extend [ [ (origin, tuple) ] ] steps

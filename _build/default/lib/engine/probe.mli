@@ -1,0 +1,29 @@
+(** Shared probe machinery for the n-ary symmetric joins ({!Mjoin},
+    {!Window_join}): a spanning walk of the operator-level join graph from
+    each input, and the assignment-extension loop that evaluates it against
+    hash-indexed join states. *)
+
+(** One step of a probe walk: visit [step_input], hash-probing on the first
+    atom connecting it to an already-bound input and verifying the rest. *)
+type step = {
+  step_input : string;
+  key_atoms : Relational.Predicate.atom list;
+  check_atoms : Relational.Predicate.atom list;
+}
+
+(** [orders names predicates] precomputes, per input, the walk visiting all
+    other inputs (joined-first; a disconnected remainder degrades to a scan
+    step). *)
+val orders :
+  string list -> Relational.Predicate.t -> (string * step list) list
+
+(** [run ~steps ~state_of ~schema_of ~origin tuple] — every complete
+    assignment (input name -> matched tuple, the origin bound to [tuple])
+    produced by walking [steps] against the current states. *)
+val run :
+  steps:step list ->
+  state_of:(string -> Join_state.t) ->
+  schema_of:(string -> Relational.Schema.t) ->
+  origin:string ->
+  Relational.Tuple.t ->
+  (string * Relational.Tuple.t) list list

@@ -1,0 +1,11 @@
+(** Stateless projection. Punctuations survive projection only when every
+    attribute they pin survives; otherwise their guarantee can no longer be
+    expressed and they are dropped (sound: dropping a punctuation never
+    produces wrong results, only less purging downstream). *)
+
+val create :
+  ?name:string ->
+  input:Relational.Schema.t ->
+  keep:string list ->
+  unit ->
+  Operator.t

@@ -1,0 +1,188 @@
+open Relational
+module Punctuation = Streams.Punctuation
+
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.compare Value.compare a b = 0
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+type entry = {
+  punct : Punctuation.t;
+  inserted_at : int;
+  mutable forwarded : bool;
+}
+
+(* Constant-only punctuations are grouped by their pinned positions (at most
+   one group per declared scheme) and hash-indexed by the pinned values.
+   Punctuations carrying order patterns (watermarks) live in a separate
+   list: subsumption collapses an advancing watermark to a single entry per
+   shape, so linear scans stay cheap. *)
+type group = { positions : int list; entries : entry KeyTbl.t }
+
+type t = {
+  schema : Schema.t;
+  mutable groups : group list;
+  mutable ordered : entry list;
+  mutable pending_forward : entry list;  (** reversed insertion order *)
+  mutable insertions : int;
+}
+
+let create schema =
+  { schema; groups = []; ordered = []; pending_forward = []; insertions = 0 }
+
+let schema t = t.schema
+
+let positions_of p = List.map fst (Punctuation.const_bindings p)
+let values_of p = List.map snd (Punctuation.const_bindings p)
+
+let covers t bindings =
+  List.exists
+    (fun g ->
+      match
+        List.map
+          (fun pos ->
+            match List.assoc_opt pos bindings with
+            | Some v -> v
+            | None -> raise Not_found)
+          g.positions
+      with
+      | key -> KeyTbl.mem g.entries key
+      | exception Not_found -> false)
+    t.groups
+  || List.exists (fun e -> Punctuation.covers e.punct bindings) t.ordered
+
+let group_for t positions =
+  match List.find_opt (fun g -> g.positions = positions) t.groups with
+  | Some g -> g
+  | None ->
+      let g = { positions; entries = KeyTbl.create 32 } in
+      t.groups <- g :: t.groups;
+      g
+
+let remove_subsumed_by t p =
+  let p_positions = positions_of p in
+  List.iter
+    (fun g ->
+      if
+        List.for_all (fun pos -> List.mem pos g.positions) p_positions
+        && g.positions <> p_positions
+      then begin
+        let victims =
+          KeyTbl.fold
+            (fun key e acc ->
+              if Punctuation.subsumes p e.punct then key :: acc else acc)
+            g.entries []
+        in
+        List.iter (KeyTbl.remove g.entries) victims
+      end)
+    t.groups;
+  t.ordered <-
+    List.filter (fun e -> not (Punctuation.subsumes p e.punct)) t.ordered
+
+let subsumed_by_stored t p =
+  List.exists (fun e -> Punctuation.subsumes e.punct p) t.ordered
+  || (not (Punctuation.is_ordered p))
+     && covers t (Punctuation.const_bindings p)
+
+let already_subsumed = subsumed_by_stored
+
+let insert t ~now p =
+  if not (Schema.equal (Punctuation.schema p) t.schema) then
+    invalid_arg "Punct_store.insert: schema mismatch";
+  if already_subsumed t p then false
+  else begin
+    remove_subsumed_by t p;
+    let entry = { punct = p; inserted_at = now; forwarded = false } in
+    if Punctuation.is_ordered p then t.ordered <- entry :: t.ordered
+    else begin
+      let g = group_for t (positions_of p) in
+      KeyTbl.replace g.entries (values_of p) entry
+    end;
+    t.pending_forward <- entry :: t.pending_forward;
+    t.insertions <- t.insertions + 1;
+    true
+  end
+
+let size t =
+  List.fold_left (fun acc g -> acc + KeyTbl.length g.entries) 0 t.groups
+  + List.length t.ordered
+
+let insertions t = t.insertions
+
+let forbids t tuple =
+  List.exists
+    (fun g ->
+      let key = Tuple.project tuple g.positions in
+      KeyTbl.mem g.entries key)
+    t.groups
+  || List.exists (fun e -> Punctuation.matches e.punct tuple) t.ordered
+
+let iter f t =
+  List.iter (fun g -> KeyTbl.iter (fun _ e -> f e.punct) g.entries) t.groups;
+  List.iter (fun e -> f e.punct) t.ordered
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun p -> acc := p :: !acc) t;
+  !acc
+
+let remove_where t pred =
+  let count =
+    List.fold_left
+      (fun count g ->
+        let victims =
+          KeyTbl.fold
+            (fun key e acc -> if pred e then key :: acc else acc)
+            g.entries []
+        in
+        List.iter (KeyTbl.remove g.entries) victims;
+        count + List.length victims)
+      0 t.groups
+  in
+  let keep, drop = List.partition (fun e -> not (pred e)) t.ordered in
+  t.ordered <- keep;
+  count + List.length drop
+
+let expire t ~now lifespan =
+  remove_where t (fun e ->
+      Core.Punct_purge.expired ~now ~inserted_at:e.inserted_at lifespan)
+
+let purge_if t pred = remove_where t (fun e -> pred e.punct)
+
+let find_entry t p =
+  if Punctuation.is_ordered p then
+    List.find_opt (fun e -> Punctuation.equal e.punct p) t.ordered
+  else
+    let positions = positions_of p in
+    match List.find_opt (fun g -> g.positions = positions) t.groups with
+    | None -> None
+    | Some g -> KeyTbl.find_opt g.entries (values_of p)
+
+let mark_forwarded t p =
+  match find_entry t p with Some e -> e.forwarded <- true | None -> ()
+
+let is_forwarded t p =
+  match find_entry t p with Some e -> e.forwarded | None -> false
+
+let collect_forwardable t ~drained =
+  let collected = ref [] in
+  let still_pending =
+    List.filter
+      (fun e ->
+        if e.forwarded then false
+        else if drained e.punct then begin
+          e.forwarded <- true;
+          collected := e.punct :: !collected;
+          false
+        end
+        else true)
+      t.pending_forward
+  in
+  t.pending_forward <- still_pending;
+  (* pending_forward is reversed insertion order, so [collected] (reversed
+     again by the cons above) comes out in insertion order *)
+  !collected

@@ -1,0 +1,56 @@
+(** The punctuation store of one join input: received punctuations, indexed
+    for coverage queries, with the §5.1 eviction mechanisms (partner-based
+    purging and lifespans) available to the operator. *)
+
+type t
+
+val create : Relational.Schema.t -> t
+val schema : t -> Relational.Schema.t
+
+(** [insert t ~now p] stores [p] (stamped with logical time [now]);
+    punctuations subsumed by an already-stored one are dropped, and stored
+    ones subsumed by [p] are replaced. Returns [true] when [p] was new
+    information. *)
+val insert : t -> now:int -> Streams.Punctuation.t -> bool
+
+val size : t -> int
+val insertions : t -> int
+
+(** [covers t bindings] — does some stored punctuation guarantee that no
+    future tuple agrees with [bindings] (position/value pairs)? This is the
+    oracle the chained purge test consumes. *)
+val covers : t -> (int * Relational.Value.t) list -> bool
+
+(** [subsumed_by_stored t p] — does some stored punctuation make [p]
+    redundant (its guarantee implies [p]'s)? E.g. a stored watermark at 20
+    subsumes an incoming one at 10, or the constant 7 below it. *)
+val subsumed_by_stored : t -> Streams.Punctuation.t -> bool
+
+(** [forbids t tuple] — would [tuple] violate a stored punctuation? (input
+    well-formedness monitoring). *)
+val forbids : t -> Relational.Tuple.t -> bool
+
+val iter : (Streams.Punctuation.t -> unit) -> t -> unit
+val to_list : t -> Streams.Punctuation.t list
+
+(** [expire t ~now lifespan] drops punctuations older than the lifespan;
+    returns how many were dropped. *)
+val expire : t -> now:int -> Core.Punct_purge.lifespan -> int
+
+(** [purge_if t pred] drops stored punctuations satisfying [pred]; returns
+    the count (used with {!Core.Punct_purge.punct_purgeable_by_partners}). *)
+val purge_if : t -> (Streams.Punctuation.t -> bool) -> int
+
+(** Mark/read the punctuation-propagation bookkeeping: has [p] already been
+    forwarded downstream by the owning operator? *)
+val mark_forwarded : t -> Streams.Punctuation.t -> unit
+
+val is_forwarded : t -> Streams.Punctuation.t -> bool
+
+(** [collect_forwardable t ~drained] — the propagation work-list: every
+    stored punctuation not yet forwarded for which [drained p] now holds is
+    returned (in insertion order) and marked forwarded; the rest stay
+    pending. Amortized cost is proportional to the pending set, not the
+    whole store — operators call this once per purge round. *)
+val collect_forwardable :
+  t -> drained:(Streams.Punctuation.t -> bool) -> Streams.Punctuation.t list

@@ -1,0 +1,21 @@
+type t =
+  | Eager
+  | Lazy of int
+  | Never
+  | Adaptive of { batch : int; state_trigger : int }
+
+let due t ~punctuations_pending ~state_size =
+  match t with
+  | Eager -> punctuations_pending > 0
+  | Lazy n -> punctuations_pending >= n
+  | Never -> false
+  | Adaptive { batch; state_trigger } ->
+      punctuations_pending > 0
+      && (punctuations_pending >= batch || state_size >= state_trigger)
+
+let pp ppf = function
+  | Eager -> Fmt.string ppf "eager"
+  | Lazy n -> Fmt.pf ppf "lazy(%d)" n
+  | Never -> Fmt.string ppf "never"
+  | Adaptive { batch; state_trigger } ->
+      Fmt.pf ppf "adaptive(batch=%d, state=%d)" batch state_trigger

@@ -1,0 +1,24 @@
+(** Runtime purge strategies — §5.2's Plan Parameter II, plus the paper's
+    closing "adaptive query processing" direction.
+
+    Eager purging runs the purge test on every punctuation arrival; lazy
+    purging batches punctuations and purges every [n] arrivals (lower purge
+    overhead, higher state high-water mark); [Never] disables purging
+    entirely — the unbounded baseline the paper's motivation describes.
+    [Adaptive] behaves lazily while state is small and switches to
+    immediate purging once the stored-tuple count crosses a threshold —
+    resolving the memory/CPU tension without a static choice. *)
+
+type t =
+  | Eager
+  | Lazy of int
+  | Never
+  | Adaptive of { batch : int; state_trigger : int }
+      (** purge after [batch] punctuations, or as soon as a punctuation
+          arrives while at least [state_trigger] tuples are stored *)
+
+(** [due t ~punctuations_pending ~state_size] — should a purge round run
+    now? [state_size] is the operator's current stored-tuple count. *)
+val due : t -> punctuations_pending:int -> state_size:int -> bool
+
+val pp : Format.formatter -> t -> unit

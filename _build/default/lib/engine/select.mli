@@ -1,0 +1,28 @@
+(** Stateless selection (σ). Tuples failing the predicate are dropped;
+    punctuations always pass through unchanged — a punctuation's guarantee
+    about all future tuples in particular covers the selected subset, so
+    selection never weakens downstream purging (the paper's future work
+    (iii), easiest case). *)
+
+(** Simple comparison predicates against constants, conjunctively. *)
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type condition = {
+  attr : string;
+  op : comparison;
+  value : Relational.Value.t;
+}
+
+(** [create ~input ~conditions ()] — all conditions must hold (empty list
+    accepts everything).
+    @raise Invalid_argument on unknown attributes. *)
+val create :
+  ?name:string ->
+  input:Relational.Schema.t ->
+  conditions:condition list ->
+  unit ->
+  Operator.t
+
+(** [eval condition tuple] — exposed for tests; [Lt]/[Le]/[Gt]/[Ge] use
+    {!Relational.Value.compare} and are false against [Null]. *)
+val eval : condition -> Relational.Tuple.t -> bool

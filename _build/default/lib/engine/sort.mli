@@ -1,0 +1,23 @@
+(** Punctuation-unblocked sorting — the canonical *blocking* operator.
+
+    Sorting an infinite stream is impossible without extra knowledge: the
+    smallest element might always be yet to come. An *ordered* punctuation
+    (watermark) on the sort attribute provides exactly the missing
+    knowledge: once "no future tuple below [v]" arrives, every buffered
+    tuple below [v] can be emitted in order and dropped. This is the
+    watermark-triggered sorting of event-time stream processors, built from
+    the paper's punctuation machinery.
+
+    Output: tuples in ascending order of the sort attribute, released in
+    watermark-delimited batches (ties preserve arrival order); watermarks
+    pass through after their batch. Equality punctuations pass through but
+    release nothing. *)
+
+(** [create ~input ~by ()] — sort on attribute [by].
+    @raise Invalid_argument on an unknown attribute. *)
+val create :
+  ?name:string ->
+  input:Relational.Schema.t ->
+  by:string ->
+  unit ->
+  Operator.t

@@ -1,0 +1,215 @@
+open Relational
+module Punctuation = Streams.Punctuation
+module Element = Streams.Element
+
+type side = {
+  name : string;
+  schema : Schema.t;
+  schemes : Streams.Scheme.t list;
+}
+
+type slot = {
+  side : side;
+  state : Join_state.t;
+  puncts : Punct_store.t;
+}
+
+let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
+    ~predicates () =
+  if String.equal left.name right.name then
+    invalid_arg "Sym_hash_join.create: identical input names";
+  List.iter
+    (fun atom ->
+      if
+        not
+          (Predicate.involves atom left.name
+          && Predicate.involves atom right.name)
+      then
+        invalid_arg
+          (Fmt.str "Sym_hash_join.create: predicate %a not between %s and %s"
+             Predicate.pp_atom atom left.name right.name))
+    predicates;
+  if predicates = [] then
+    invalid_arg "Sym_hash_join.create: no join predicate";
+  let l = { side = left; state = Join_state.create left.schema;
+            puncts = Punct_store.create left.schema }
+  and r = { side = right; state = Join_state.create right.schema;
+            puncts = Punct_store.create right.schema } in
+  let out_schema = Schema.concat ~stream:name left.schema right.schema in
+  let stats = ref Operator.empty_stats in
+  let now = ref 0 in
+  let pending = ref 0 in
+  let this_and_other input_name =
+    if String.equal input_name l.side.name then (l, r)
+    else if String.equal input_name r.side.name then (r, l)
+    else invalid_arg (Fmt.str "Sym_hash_join %s: unknown input %s" name input_name)
+  in
+  (* The join-attribute bindings a tuple of [mine] imposes on the opposite
+     stream: the partner must carry these exact values. *)
+  let partner_bindings mine tup =
+    List.map
+      (fun atom ->
+        let my_attr = Predicate.attr_on atom mine.side.name in
+        let other_stream, other_attr = Predicate.other_side atom mine.side.name in
+        ignore other_stream;
+        let other_slot = if mine == l then r else l in
+        ( Schema.attr_index other_slot.side.schema other_attr,
+          Tuple.get_named tup my_attr ))
+      predicates
+  in
+  let emit mine other_tup tup =
+    (* Keep output attribute order fixed: left values then right values. *)
+    if mine == l then Tuple.concat out_schema tup other_tup
+    else Tuple.concat out_schema other_tup tup
+  in
+  let probe mine other tup =
+    match predicates with
+    | [] -> assert false
+    | atom :: rest ->
+        let other_attr_idx =
+          Schema.attr_index other.side.schema
+            (Predicate.attr_on atom other.side.name)
+        in
+        let v = Tuple.get_named tup (Predicate.attr_on atom mine.side.name) in
+        Join_state.probe other.state ~attrs:[ other_attr_idx ] [ v ]
+        |> List.filter (fun cand ->
+               List.for_all (fun a -> Predicate.eval a tup cand) rest)
+        |> List.map (fun cand -> emit mine cand tup)
+  in
+  (* Direct purge: drop the opposite tuples whose partner bindings are now
+     fully covered by [mine]'s received punctuations. When the fresh
+     punctuation pins a join attribute we only need to look at the matching
+     hash bucket; otherwise nothing it pins can ever cover a partner
+     binding and the state is untouched. *)
+  let purge_opposite mine other fresh_punct =
+    let pinned = Punctuation.const_bindings fresh_punct in
+    let candidate_attrs =
+      List.filter_map
+        (fun (idx, v) ->
+          let attr = (Schema.attr_at mine.side.schema idx).Schema.name in
+          List.find_map
+            (fun atom ->
+              if
+                Predicate.involves atom mine.side.name
+                && String.equal (Predicate.attr_on atom mine.side.name) attr
+              then
+                let _, other_attr =
+                  Predicate.other_side atom mine.side.name
+                in
+                Some (Schema.attr_index other.side.schema other_attr, v)
+              else None)
+            predicates)
+        pinned
+    in
+    if Punctuation.is_ordered fresh_punct then
+      (* a watermark covers a value range: no hash bucket to probe, sweep *)
+      Join_state.purge_if other.state (fun x ->
+          Punct_store.covers mine.puncts (partner_bindings other x))
+    else
+      match candidate_attrs with
+      | [] -> 0
+      | (attr_idx, v) :: _ ->
+          let victims =
+            Join_state.probe other.state ~attrs:[ attr_idx ] [ v ]
+            |> List.filter (fun x ->
+                   Punct_store.covers mine.puncts (partner_bindings other x))
+          in
+          Join_state.purge_if other.state (fun x ->
+              List.exists (fun y -> Tuple.equal x y) victims)
+  in
+  let full_purge () =
+    stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
+    let sweep mine other =
+      Join_state.purge_if other.state (fun x ->
+          Punct_store.covers mine.puncts (partner_bindings other x))
+    in
+    let removed = sweep l r + sweep r l in
+    stats := { !stats with tuples_purged = !stats.tuples_purged + removed };
+    removed
+  in
+  let propagate () =
+    List.concat_map
+      (fun slot ->
+        Punct_store.collect_forwardable slot.puncts
+          ~drained:(fun p -> not (Join_state.exists_matching slot.state p))
+        |> List.map (fun p ->
+               let lifted =
+                 List.map
+                   (fun (idx, pat) ->
+                     let attr =
+                       (Schema.attr_at slot.side.schema idx).Schema.name
+                     in
+                     (Schema.qualify_attr ~origin:slot.side.name attr, pat))
+                   (Punctuation.constraints p)
+               in
+               Punctuation.of_constraints out_schema lifted))
+      [ l; r ]
+    |> fun ps ->
+    stats := { !stats with puncts_out = !stats.puncts_out + List.length ps };
+    List.map (fun p -> Element.Punct p) ps
+  in
+  let push element =
+    incr now;
+    let mine, other = this_and_other (Element.stream_name element) in
+    match element with
+    | Element.Data tup ->
+        stats := { !stats with tuples_in = !stats.tuples_in + 1 };
+        let results = probe mine other tup in
+        (* dead on arrival: its partners are already punctuated away, so
+           after these results it can never match again — do not store *)
+        if Punct_store.covers other.puncts (partner_bindings mine tup) then
+          stats := { !stats with tuples_purged = !stats.tuples_purged + 1 }
+        else Join_state.insert mine.state tup;
+        stats :=
+          { !stats with tuples_out = !stats.tuples_out + List.length results };
+        List.map (fun t -> Element.Data t) results
+    | Element.Punct p ->
+        stats := { !stats with puncts_in = !stats.puncts_in + 1 };
+        let informative = Punct_store.insert mine.puncts ~now:!now p in
+        if informative then incr pending;
+        (match policy with
+        | Purge_policy.Eager ->
+            pending := 0;
+            if informative then begin
+              stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
+              let removed = purge_opposite mine other p in
+              stats :=
+                { !stats with tuples_purged = !stats.tuples_purged + removed }
+            end;
+            propagate ()
+        | Purge_policy.Lazy _ | Purge_policy.Adaptive _ ->
+            let state_size =
+              Join_state.size l.state + Join_state.size r.state
+            in
+            if Purge_policy.due policy ~punctuations_pending:!pending ~state_size
+            then begin
+              pending := 0;
+              ignore (full_purge ());
+              propagate ()
+            end
+            else []
+        | Purge_policy.Never -> [])
+  in
+  let flush () =
+    match policy with
+    | Purge_policy.Never -> []
+    | Purge_policy.Eager | Purge_policy.Lazy _ | Purge_policy.Adaptive _ ->
+        if !pending > 0 then begin
+          pending := 0;
+          ignore (full_purge ());
+          propagate ()
+        end
+        else []
+  in
+  {
+    Operator.name;
+    out_schema;
+    input_names = [ left.name; right.name ];
+    push;
+    flush;
+    data_state_size =
+      (fun () -> Join_state.size l.state + Join_state.size r.state);
+    punct_state_size =
+      (fun () -> Punct_store.size l.puncts + Punct_store.size r.puncts);
+    stats = (fun () -> !stats);
+  }

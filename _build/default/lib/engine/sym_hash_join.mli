@@ -1,0 +1,27 @@
+(** Punctuation-aware symmetric binary hash join — the PJoin-style operator
+    of Ding et al. [6] that the paper cites as prior art.
+
+    Functionally equivalent to a 2-input {!Mjoin} (tests cross-validate
+    them), but purging is *direct*: a punctuation from one input that pins a
+    join attribute immediately probes the opposite state's hash index and
+    drops the dead partners, instead of running the generic chained purge
+    scan. This is both the binary-join baseline for the benchmarks and an
+    independently-coded implementation of §3.1's purge rule. *)
+
+type side = {
+  name : string;
+  schema : Relational.Schema.t;
+  schemes : Streams.Scheme.t list;
+}
+
+(** [create ~left ~right ~predicates ()] — [predicates] atoms must all link
+    [left] and [right].
+    @raise Invalid_argument otherwise. *)
+val create :
+  ?name:string ->
+  ?policy:Purge_policy.t ->
+  left:side ->
+  right:side ->
+  predicates:Relational.Predicate.t ->
+  unit ->
+  Operator.t

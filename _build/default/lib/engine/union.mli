@@ -1,0 +1,22 @@
+(** Stream union (bag semantics) with correct punctuation merging.
+
+    Tuples pass straight through. Punctuations do not: a guarantee about one
+    input says nothing about the other, so the union may only emit a
+    punctuation once {e both} inputs have issued one at least as strong.
+    For constant punctuations that means emitting [p] when the opposite side
+    has already issued a punctuation subsuming [p]; for watermarks it is the
+    classic min rule — the output watermark is the minimum of the inputs'
+    watermarks (exactly how modern stream processors propagate watermarks
+    through a merge).
+
+    Both inputs must share the output schema shape (same attributes and
+    types); the output stream name is the operator's. *)
+
+(** [create ~left ~right ()] — input schemas must agree attribute-for-
+    attribute. @raise Invalid_argument otherwise. *)
+val create :
+  ?name:string ->
+  left:Relational.Schema.t ->
+  right:Relational.Schema.t ->
+  unit ->
+  Operator.t

@@ -1,0 +1,106 @@
+open Relational
+module Element = Streams.Element
+
+type spec = Count of int | Ticks of int
+
+let pp_spec ppf = function
+  | Count n -> Fmt.pf ppf "count(%d)" n
+  | Ticks n -> Fmt.pf ppf "ticks(%d)" n
+
+type input = { name : string; schema : Schema.t }
+
+let create ?(name = "window_join") ~window ~inputs ~predicates () =
+  (match window with
+  | Count n | Ticks n ->
+      if n <= 0 then invalid_arg "Window_join.create: non-positive window");
+  if List.length inputs < 2 then
+    invalid_arg "Window_join.create: need at least two inputs";
+  let names = List.map (fun i -> i.name) inputs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Window_join.create: duplicate input names";
+  List.iter
+    (fun atom ->
+      let s1, s2 = Predicate.streams_of atom in
+      if not (List.mem s1 names && List.mem s2 names) then
+        invalid_arg
+          (Fmt.str "Window_join.create: predicate %a references unknown input"
+             Predicate.pp_atom atom))
+    predicates;
+  let states =
+    List.map (fun input -> (input.name, Join_state.create input.schema)) inputs
+  in
+  let state_of n = List.assoc n states in
+  let schema_of n =
+    (List.find (fun i -> i.name = n) inputs).schema
+  in
+  let out_schema =
+    Schema.concat_all ~stream:name (List.map (fun i -> i.schema) inputs)
+  in
+  let orders = Probe.orders names predicates in
+  let stats = ref Operator.empty_stats in
+  let now = ref 0 in
+  let assemble assignment =
+    Tuple.make out_schema
+      (List.concat_map
+         (fun i -> Tuple.values (List.assoc i.name assignment))
+         inputs)
+  in
+  (* Time windows are evicted before probing (a probe must only see the
+     last [n] ticks); count windows after inserting (cap each state at its
+     last [n] tuples). *)
+  let evict_stale () =
+    let removed =
+      List.fold_left
+        (fun acc (_, state) ->
+          acc
+          +
+          match window with
+          | Ticks n -> Join_state.evict_before state ~tick:(!now - n)
+          | Count n ->
+              Join_state.evict_before state
+                ~tick:(Join_state.insertions state - n))
+        0 states
+    in
+    stats := { !stats with tuples_purged = !stats.tuples_purged + removed }
+  in
+  let push element =
+    incr now;
+    let input_name = Element.stream_name element in
+    if not (List.mem input_name names) then
+      invalid_arg
+        (Fmt.str "Window_join %s: element for unknown input %s" name input_name);
+    match element with
+    | Element.Punct _ ->
+        (* windows ignore punctuations: eviction is purely positional *)
+        stats := { !stats with puncts_in = !stats.puncts_in + 1 };
+        []
+    | Element.Data tup ->
+        stats := { !stats with tuples_in = !stats.tuples_in + 1 };
+        (match window with Ticks _ -> evict_stale () | Count _ -> ());
+        let results =
+          Probe.run
+            ~steps:(List.assoc input_name orders)
+            ~state_of ~schema_of ~origin:input_name tup
+          |> List.map assemble
+        in
+        (match window with
+        | Ticks _ -> Join_state.insert ~tick:!now (state_of input_name) tup
+        | Count _ ->
+            Join_state.insert (state_of input_name) tup;
+            evict_stale ());
+        stats :=
+          { !stats with tuples_out = !stats.tuples_out + List.length results };
+        List.map (fun t -> Element.Data t) results
+  in
+  {
+    Operator.name;
+    out_schema;
+    input_names = names;
+    push;
+    flush = (fun () -> []);
+    data_state_size =
+      (fun () ->
+        List.fold_left (fun acc (_, s) -> acc + Join_state.size s) 0 states);
+    punct_state_size = (fun () -> 0);
+    stats = (fun () -> !stats);
+  }

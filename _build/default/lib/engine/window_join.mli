@@ -1,0 +1,29 @@
+(** Sliding-window n-ary join — §2.2's *other* mechanism for bounding join
+    state (the window joins of Carney et al. [3] / Golab & Özsu [7], cited
+    as related work).
+
+    Instead of proving tuples dead with punctuations, a window join simply
+    evicts them: per input, either the last [n] tuples are kept
+    ([Count n]) or tuples younger than [n] operator ticks ([Ticks n]; one
+    tick per element the operator consumes). Windows make *any* query's
+    state bounded — but unlike punctuation purging, eviction is lossy: a
+    match that spans more than the window is silently missed. Bench [W1]
+    quantifies this trade-off against the punctuation-aware {!Mjoin};
+    punctuation elements are counted but otherwise ignored here. *)
+
+type spec = Count of int | Ticks of int
+
+val pp_spec : Format.formatter -> spec -> unit
+
+type input = { name : string; schema : Relational.Schema.t }
+
+(** [create ~window ~inputs ~predicates ()] — same input/predicate
+    conventions as {!Mjoin.create}.
+    @raise Invalid_argument on malformed inputs or a non-positive window. *)
+val create :
+  ?name:string ->
+  window:spec ->
+  inputs:input list ->
+  predicates:Relational.Predicate.t ->
+  unit ->
+  Operator.t

@@ -1,0 +1,1 @@
+lib/graphlib/digraph.ml: Array Buffer Fmt Format Hashtbl List Map Option Printf Set

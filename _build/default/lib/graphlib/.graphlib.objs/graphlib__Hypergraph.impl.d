@@ -1,0 +1,1 @@
+lib/graphlib/hypergraph.ml: Digraph Fmt List Set

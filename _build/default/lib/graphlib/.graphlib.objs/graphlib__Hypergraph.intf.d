@@ -1,0 +1,1 @@
+lib/graphlib/hypergraph.mli: Digraph Format Set

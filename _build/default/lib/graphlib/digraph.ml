@@ -1,0 +1,206 @@
+module type VERTEX = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (V : VERTEX) = struct
+  module VSet = Set.Make (V)
+  module VMap = Map.Make (V)
+
+  type t = { succs : VSet.t VMap.t }
+
+  let empty = { succs = VMap.empty }
+
+  let add_vertex g v =
+    if VMap.mem v g.succs then g
+    else { succs = VMap.add v VSet.empty g.succs }
+
+  let add_edge g u v =
+    let g = add_vertex (add_vertex g u) v in
+    {
+      succs =
+        VMap.update u
+          (function Some s -> Some (VSet.add v s) | None -> assert false)
+          g.succs;
+    }
+
+  let of_edges vs es =
+    let g = List.fold_left add_vertex empty vs in
+    List.fold_left (fun g (u, v) -> add_edge g u v) g es
+
+  let vertices g = List.map fst (VMap.bindings g.succs)
+  let vertex_set g = VSet.of_list (vertices g)
+
+  let edges g =
+    VMap.fold
+      (fun u s acc -> VSet.fold (fun v acc -> (u, v) :: acc) s acc)
+      g.succs []
+    |> List.rev
+
+  let mem_vertex g v = VMap.mem v g.succs
+
+  let mem_edge g u v =
+    match VMap.find_opt u g.succs with
+    | Some s -> VSet.mem v s
+    | None -> false
+
+  let succ g v =
+    match VMap.find_opt v g.succs with
+    | Some s -> VSet.elements s
+    | None -> []
+
+  let pred g v =
+    VMap.fold
+      (fun u s acc -> if VSet.mem v s then u :: acc else acc)
+      g.succs []
+    |> List.rev
+
+  let n_vertices g = VMap.cardinal g.succs
+  let n_edges g = VMap.fold (fun _ s acc -> acc + VSet.cardinal s) g.succs 0
+
+  let transpose g =
+    List.fold_left
+      (fun acc (u, v) -> add_edge acc v u)
+      (List.fold_left add_vertex empty (vertices g))
+      (edges g)
+
+  let restrict g keep =
+    VMap.fold
+      (fun u s acc ->
+        if VSet.mem u keep then
+          let acc = add_vertex acc u in
+          VSet.fold
+            (fun v acc -> if VSet.mem v keep then add_edge acc u v else acc)
+            s acc
+        else acc)
+      g.succs empty
+
+  let reachable g v =
+    if not (mem_vertex g v) then VSet.empty
+    else
+      let rec visit seen frontier =
+        match frontier with
+        | [] -> seen
+        | u :: rest ->
+            let fresh =
+              List.filter (fun w -> not (VSet.mem w seen)) (succ g u)
+            in
+            visit
+              (List.fold_left (fun s w -> VSet.add w s) seen fresh)
+              (fresh @ rest)
+      in
+      visit (VSet.singleton v) [ v ]
+
+  let reaches_all g v =
+    mem_vertex g v && VSet.cardinal (reachable g v) = n_vertices g
+
+  let is_strongly_connected g =
+    match vertices g with
+    | [] -> true
+    | v :: _ ->
+        (* Kosaraju-style double sweep: one forward and one backward
+           reachability from an arbitrary vertex. *)
+        VSet.cardinal (reachable g v) = n_vertices g
+        && VSet.cardinal (reachable (transpose g) v) = n_vertices g
+
+  (* Tarjan's algorithm; recursion depth is bounded by the vertex count,
+     which is fine at query scale. *)
+  let scc g =
+    let stack = ref [] in
+    let counter = ref 0 in
+    let components = ref [] in
+    let module H = struct
+      let find tbl v = VMap.find_opt v !tbl
+      let set tbl v x = tbl := VMap.add v x !tbl
+    end in
+    let index = ref VMap.empty and lowlink = ref VMap.empty in
+    let on_stack = ref VSet.empty in
+    let rec strongconnect v =
+      H.set index v !counter;
+      H.set lowlink v !counter;
+      incr counter;
+      stack := v :: !stack;
+      on_stack := VSet.add v !on_stack;
+      List.iter
+        (fun w ->
+          match H.find index w with
+          | None ->
+              strongconnect w;
+              let lw = Option.get (H.find lowlink w) in
+              let lv = Option.get (H.find lowlink v) in
+              if lw < lv then H.set lowlink v lw
+          | Some iw ->
+              if VSet.mem w !on_stack then
+                let lv = Option.get (H.find lowlink v) in
+                if iw < lv then H.set lowlink v iw)
+        (succ g v);
+      if H.find lowlink v = H.find index v then begin
+        let rec pop acc =
+          match !stack with
+          | [] -> acc
+          | w :: rest ->
+              stack := rest;
+              on_stack := VSet.remove w !on_stack;
+              if V.compare w v = 0 then w :: acc else pop (w :: acc)
+        in
+        components := pop [] :: !components
+      end
+    in
+    List.iter
+      (fun v -> if H.find index v = None then strongconnect v)
+      (vertices g);
+    List.rev !components
+
+  let condensation g =
+    let comps = Array.of_list (scc g) in
+    let comp_of = ref VMap.empty in
+    Array.iteri
+      (fun i vs ->
+        List.iter (fun v -> comp_of := VMap.add v i !comp_of) vs)
+      comps;
+    let edge_set = Hashtbl.create 16 in
+    List.iter
+      (fun (u, v) ->
+        let cu = VMap.find u !comp_of and cv = VMap.find v !comp_of in
+        if cu <> cv then Hashtbl.replace edge_set (cu, cv) ())
+      (edges g);
+    (comps, Hashtbl.fold (fun e () acc -> e :: acc) edge_set [])
+
+  let spanning_arborescence g root =
+    if not (mem_vertex g root) then None
+    else
+      let rec bfs seen acc = function
+        | [] -> List.rev acc
+        | u :: rest ->
+            let fresh =
+              List.filter (fun w -> not (VSet.mem w seen)) (succ g u)
+            in
+            let seen = List.fold_left (fun s w -> VSet.add w s) seen fresh in
+            bfs seen
+              (List.rev_append (List.map (fun w -> (u, w)) fresh) acc)
+              (rest @ fresh)
+      in
+      Some (bfs (VSet.singleton root) [] [ root ])
+
+  let pp ppf g =
+    Fmt.pf ppf "@[<v>vertices: %a@,edges: %a@]"
+      (Fmt.list ~sep:Fmt.comma V.pp) (vertices g)
+      (Fmt.list ~sep:Fmt.comma (fun ppf (u, v) ->
+           Fmt.pf ppf "%a->%a" V.pp u V.pp v))
+      (edges g)
+
+  let to_dot ?(name = "g") g =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+    List.iter
+      (fun v -> Buffer.add_string buf (Fmt.str "  \"%a\";\n" V.pp v))
+      (vertices g);
+    List.iter
+      (fun (u, v) ->
+        Buffer.add_string buf (Fmt.str "  \"%a\" -> \"%a\";\n" V.pp u V.pp v))
+      (edges g);
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+end

@@ -1,0 +1,78 @@
+(** Persistent directed graphs with the algorithms the safety checker
+    needs: reachability, Tarjan strongly connected components, condensation,
+    and spanning arborescences.
+
+    The paper's punctuation graphs are small (one vertex per stream of a
+    query), so the implementation favours clarity and persistence over raw
+    throughput; the complexity bounds still match the paper's claims
+    (linear-time SCC, linear-time construction). *)
+
+module type VERTEX = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (V : VERTEX) : sig
+  type t
+
+  module VSet : Set.S with type elt = V.t
+  module VMap : Map.S with type key = V.t
+
+  val empty : t
+  val add_vertex : t -> V.t -> t
+
+  (** [add_edge g u v] adds the directed edge [u → v], adding missing
+      endpoints; duplicate edges collapse. *)
+  val add_edge : t -> V.t -> V.t -> t
+
+  val of_edges : V.t list -> (V.t * V.t) list -> t
+  val vertices : t -> V.t list
+  val vertex_set : t -> VSet.t
+  val edges : t -> (V.t * V.t) list
+  val mem_vertex : t -> V.t -> bool
+  val mem_edge : t -> V.t -> V.t -> bool
+  val succ : t -> V.t -> V.t list
+  val pred : t -> V.t -> V.t list
+  val n_vertices : t -> int
+  val n_edges : t -> int
+  val transpose : t -> t
+
+  (** [restrict g keep] is the induced subgraph on the vertices of [keep]. *)
+  val restrict : t -> VSet.t -> t
+
+  (** [reachable g v] is the set of vertices reachable from [v], including
+      [v] itself. *)
+  val reachable : t -> V.t -> VSet.t
+
+  (** [reaches_all g v] holds when [v] reaches every vertex of [g] —
+      Theorem 1's per-stream purgeability condition. *)
+  val reaches_all : t -> V.t -> bool
+
+  (** [is_strongly_connected g] holds for the empty and singleton graphs and
+      whenever every vertex reaches every other — Corollary 1's condition. *)
+  val is_strongly_connected : t -> bool
+
+  (** [scc g] is the list of strongly connected components in reverse
+      topological order (Tarjan); every vertex appears in exactly one
+      component. *)
+  val scc : t -> V.t list list
+
+  (** [condensation g] is [(components, edges)]: the DAG obtained by
+      collapsing each SCC, components indexed by position and edges given
+      between component indices (no self-loops, deduplicated). *)
+  val condensation : t -> V.t list array * (int * int) list
+
+  (** [spanning_arborescence g root] is a directed tree rooted at [root]
+      (BFS, parent edges [(parent, child)]) covering everything reachable
+      from [root]; [None] when [root] is absent. The chained purge strategy
+      walks these trees. *)
+  val spanning_arborescence : t -> V.t -> (V.t * V.t) list option
+
+  val pp : Format.formatter -> t -> unit
+
+  (** [to_dot ?name g] renders Graphviz input, for inspecting punctuation
+      graphs by eye. *)
+  val to_dot : ?name:string -> t -> string
+end

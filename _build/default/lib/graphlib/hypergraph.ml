@@ -1,0 +1,67 @@
+module Make (V : Digraph.VERTEX) = struct
+  module VSet = Set.Make (V)
+
+  type edge = { groups : VSet.t list; target : V.t }
+
+  type t = { vertices : VSet.t; edges : edge list }
+
+  let empty = { vertices = VSet.empty; edges = [] }
+
+  let add_vertex g v = { g with vertices = VSet.add v g.vertices }
+
+  let add_edge g ~groups ~target =
+    if groups = [] then invalid_arg "Hypergraph.add_edge: no source groups";
+    let groups = List.map VSet.of_list groups in
+    if List.exists VSet.is_empty groups then
+      invalid_arg "Hypergraph.add_edge: empty source group";
+    let vertices =
+      List.fold_left
+        (fun acc grp -> VSet.union acc grp)
+        (VSet.add target g.vertices)
+        groups
+    in
+    { vertices; edges = { groups; target } :: g.edges }
+
+  let add_plain_edge g u v = add_edge g ~groups:[ [ u ] ] ~target:v
+
+  let vertices g = VSet.elements g.vertices
+  let edges g = List.rev g.edges
+  let n_vertices g = VSet.cardinal g.vertices
+
+  let fires edge r =
+    List.for_all (fun grp -> not (VSet.disjoint grp r)) edge.groups
+
+  let reachable g v =
+    let rec fixpoint r =
+      let r' =
+        List.fold_left
+          (fun acc e ->
+            if (not (VSet.mem e.target acc)) && fires e acc then
+              VSet.add e.target acc
+            else acc)
+          r g.edges
+      in
+      if VSet.equal r r' then r else fixpoint r'
+    in
+    if VSet.mem v g.vertices then fixpoint (VSet.singleton v) else VSet.empty
+
+  let reaches_all g v =
+    VSet.mem v g.vertices
+    && VSet.cardinal (reachable g v) = VSet.cardinal g.vertices
+
+  let is_strongly_connected g =
+    List.for_all (fun v -> reaches_all g v) (vertices g)
+
+  let pp ppf g =
+    let pp_edge ppf e =
+      Fmt.pf ppf "{%a} -> %a"
+        (Fmt.list ~sep:Fmt.semi (fun ppf grp ->
+             Fmt.pf ppf "(%a)" (Fmt.list ~sep:Fmt.comma V.pp)
+               (VSet.elements grp)))
+        e.groups V.pp e.target
+    in
+    Fmt.pf ppf "@[<v>vertices: %a@,edges: %a@]"
+      (Fmt.list ~sep:Fmt.comma V.pp) (vertices g)
+      (Fmt.list ~sep:Fmt.semi pp_edge)
+      (edges g)
+end

@@ -1,0 +1,50 @@
+(** Directed hypergraphs with conjunctive source groups — the shape of the
+    paper's *generalized punctuation graph* (Def 8).
+
+    An edge [{G_1, ..., G_k} → v] fires for a vertex set [R] when every group
+    [G_i] intersects [R]: in GPG terms, each group is the candidate set of
+    streams able to pin one punctuatable attribute, and the edge's target
+    becomes reachable once every attribute is pinned. A plain directed edge
+    is the special case of one singleton group. *)
+
+module Make (V : Digraph.VERTEX) : sig
+  module VSet : Set.S with type elt = V.t
+
+  type edge = { groups : VSet.t list; target : V.t }
+
+  type t
+
+  val empty : t
+  val add_vertex : t -> V.t -> t
+
+  (** [add_edge g ~groups ~target] adds a hyperedge. Empty groups are
+      rejected ([Invalid_argument]): an edge with an unsatisfiable group
+      could never fire, and one with no groups would fire unconditionally —
+      neither arises from a well-formed punctuation scheme. *)
+  val add_edge : t -> groups:V.t list list -> target:V.t -> t
+
+  (** [add_plain_edge g u v] adds the ordinary edge [u → v]. *)
+  val add_plain_edge : t -> V.t -> V.t -> t
+
+  val vertices : t -> V.t list
+  val edges : t -> edge list
+  val n_vertices : t -> int
+
+  (** [fires edge r] holds when every group of [edge] intersects [r]. *)
+  val fires : edge -> VSet.t -> bool
+
+  (** [reachable g v] is Def 9's fixpoint, reflexively including [v]: start
+      from [v], repeatedly add targets of edges all of whose groups intersect
+      the current set, until stable. *)
+  val reachable : t -> V.t -> VSet.t
+
+  (** [reaches_all g v] — Theorem 3's per-stream purgeability condition. *)
+  val reaches_all : t -> V.t -> bool
+
+  (** [is_strongly_connected g] — Def 10: every vertex reaches every other.
+      Quadratic in vertices times closure cost; this is the "obviously
+      expensive" baseline §4.3 motivates the TPG against. *)
+  val is_strongly_connected : t -> bool
+
+  val pp : Format.formatter -> t -> unit
+end

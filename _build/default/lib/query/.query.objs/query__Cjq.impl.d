@@ -1,0 +1,1 @@
+lib/query/cjq.ml: Fmt Join_graph List Predicate Relational Schema Streams String Value

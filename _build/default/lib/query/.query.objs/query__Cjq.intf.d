@@ -1,0 +1,1 @@
+lib/query/cjq.mli: Format Join_graph Relational Streams

@@ -1,0 +1,1 @@
+lib/query/join_graph.ml: Buffer Fmt Graphlib List Predicate Printf Relational String

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Buffer Cjq Fmt List Predicate Relational Schema Streams String Value

@@ -1,0 +1,1 @@
+lib/query/plan.ml: Cjq Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/query/plan_enum.ml: Array Cjq List Plan Relational

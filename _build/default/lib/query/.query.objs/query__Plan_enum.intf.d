@@ -1,0 +1,1 @@
+lib/query/plan_enum.mli: Cjq Plan

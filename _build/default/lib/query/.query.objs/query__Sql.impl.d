@@ -1,0 +1,1 @@
+lib/query/sql.ml: Buffer Cjq Fmt List Relational Streams String

@@ -1,0 +1,1 @@
+lib/query/sql.mli: Cjq Streams

@@ -1,0 +1,34 @@
+(** Continuous join queries — the paper's [CJQ(ℑ, ℘)] (§2.2): a set of data
+    streams plus conjunctive equi-join predicates between pairs of them. *)
+
+type t
+
+exception Invalid of string
+
+(** [make defs preds] validates and builds a query:
+    - at least two streams, all distinct;
+    - every atom references declared streams and attributes;
+    - joined attributes have equal types;
+    - the join graph is connected (no cross products).
+    @raise Invalid otherwise, with a human-readable reason. *)
+val make : Streams.Stream_def.t list -> Relational.Predicate.t -> t
+
+val stream_defs : t -> Streams.Stream_def.t list
+val stream_names : t -> string list
+val n_streams : t -> int
+val predicates : t -> Relational.Predicate.t
+val def : t -> string -> Streams.Stream_def.t
+val schema_of : t -> string -> Relational.Schema.t
+
+(** [scheme_set t] is the scheme set ℜ declared by the query's streams. *)
+val scheme_set : t -> Streams.Scheme.Set.t
+
+val join_graph : t -> Join_graph.t
+
+(** [restrict t names] is the sub-query induced on [names] (atoms within the
+    subset kept). Used to treat an operator of a plan as its own query.
+    @raise Invalid when fewer than two names or the induced graph is
+    disconnected. *)
+val restrict : t -> string list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+open Relational
+
+module G = Graphlib.Digraph.Make (struct
+  type t = string
+
+  let compare = String.compare
+  let pp = Fmt.string
+end)
+
+type t = {
+  graph : G.t;  (** symmetric: both directions stored *)
+  atoms : Predicate.atom list;
+}
+
+let make names preds =
+  let keep a =
+    let s1, s2 = Predicate.streams_of a in
+    List.mem s1 names && List.mem s2 names
+  in
+  let atoms = List.filter keep preds in
+  let graph =
+    List.fold_left
+      (fun g a ->
+        let s1, s2 = Predicate.streams_of a in
+        G.add_edge (G.add_edge g s1 s2) s2 s1)
+      (List.fold_left G.add_vertex G.empty names)
+      atoms
+  in
+  { graph; atoms }
+
+let streams t = G.vertices t.graph
+let neighbors t s = G.succ t.graph s
+
+let label t s1 s2 =
+  List.filter
+    (fun a -> Predicate.involves a s1 && Predicate.involves a s2)
+    t.atoms
+
+let edges t =
+  List.filter_map
+    (fun (u, v) -> if String.compare u v < 0 then Some (u, v, label t u v) else None)
+    (G.edges t.graph)
+
+let is_connected t =
+  match streams t with
+  | [] -> true
+  | v :: _ -> G.VSet.cardinal (G.reachable t.graph v) = G.n_vertices t.graph
+
+(* An undirected graph is acyclic iff #edges = #vertices - #components. *)
+let is_cyclic t =
+  let undirected_edges = List.length (edges t) in
+  let components =
+    let rec count seen = function
+      | [] -> 0
+      | v :: rest ->
+          if G.VSet.mem v seen then count seen rest
+          else 1 + count (G.VSet.union seen (G.reachable t.graph v)) rest
+    in
+    count G.VSet.empty (streams t)
+  in
+  undirected_edges > G.n_vertices t.graph - components
+
+let join_attrs_of t s =
+  List.filter_map
+    (fun a ->
+      if Predicate.involves a s then Some (Predicate.attr_on a s) else None)
+    t.atoms
+  |> List.sort_uniq String.compare
+
+let spanning_tree t root =
+  if not (is_connected t) then None
+  else G.spanning_arborescence t.graph root
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>streams: %a@,%a@]"
+    Fmt.(list ~sep:comma string)
+    (streams t)
+    (Fmt.list ~sep:Fmt.cut (fun ppf (u, v, atoms) ->
+         Fmt.pf ppf "%s -- %s : %a" u v Predicate.pp atoms))
+    (edges t)
+
+let to_dot ?(name = "join_graph") t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" s))
+    (streams t);
+  List.iter
+    (fun (u, v, atoms) ->
+      Buffer.add_string buf
+        (Fmt.str "  \"%s\" -- \"%s\" [label=\"%a\"];\n" u v Predicate.pp atoms))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

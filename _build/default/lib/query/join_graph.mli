@@ -1,0 +1,42 @@
+(** The join graph of a join operator or query (Def 6): an undirected graph
+    with one vertex per input stream and an edge wherever a join predicate
+    links two streams, labeled by the conjunction of atoms on that pair. *)
+
+type t
+
+(** [make names preds] builds the join graph over streams [names]; atoms
+    mentioning streams outside [names] are ignored (that is what restricting
+    a query to an operator's inputs means). *)
+val make : string list -> Relational.Predicate.t -> t
+
+val streams : t -> string list
+
+(** [neighbors t s] is the set of streams sharing at least one atom
+    with [s]. *)
+val neighbors : t -> string -> string list
+
+(** [label t s1 s2] is the conjunction of atoms between [s1] and [s2]
+    (empty when not adjacent). *)
+val label : t -> string -> string -> Relational.Predicate.atom list
+
+val edges : t -> (string * string * Relational.Predicate.atom list) list
+
+(** [is_connected t] — the paper assumes connected join graphs (no cross
+    products); vacuously true for a single stream. *)
+val is_connected : t -> bool
+
+(** [is_cyclic t] holds when the underlying undirected graph has a cycle —
+    cyclic graphs are where multiple purge chains exist (§3.2.1 end). *)
+val is_cyclic : t -> bool
+
+(** [join_attrs_of t s] is the set of attributes of [s] used by any atom —
+    the attributes a punctuation scheme must cover to be usable (§4.2). *)
+val join_attrs_of : t -> string -> string list
+
+(** [spanning_tree t root] is an undirected spanning tree as parent->child
+    edges from a BFS at [root]; [None] if [root] absent or graph
+    disconnected. *)
+val spanning_tree : t -> string -> (string * string) list option
+
+val pp : Format.formatter -> t -> unit
+val to_dot : ?name:string -> t -> string

@@ -1,0 +1,161 @@
+open Relational
+module Scheme = Streams.Scheme
+module Stream_def = Streams.Stream_def
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip s = String.trim s
+
+let split_top_commas s =
+  (* No nesting in this grammar, a plain split suffices. *)
+  String.split_on_char ',' s |> List.map strip
+  |> List.filter (fun x -> x <> "")
+
+(* "name(body)" -> (name, body) *)
+let parse_call line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected '(' in %S" s
+  | Some i ->
+      if s.[String.length s - 1] <> ')' then fail line "expected ')' in %S" s;
+      ( strip (String.sub s 0 i),
+        String.sub s (i + 1) (String.length s - i - 2) )
+
+let ty_of_string line = function
+  | "int" -> Value.TInt
+  | "str" | "string" -> Value.TStr
+  | "float" -> Value.TFloat
+  | "bool" -> Value.TBool
+  | other -> fail line "unknown type %S" other
+
+let parse_attr line s =
+  match String.split_on_char ':' s with
+  | [ name; ty ] -> { Schema.name = strip name; ty = ty_of_string line (strip ty) }
+  | _ -> fail line "expected 'name:type', got %S" s
+
+let parse_mark line = function
+  | "+" -> Scheme.Punctuatable
+  | "^" -> Scheme.Ordered
+  | "_" -> Scheme.Not_punctuatable
+  | other -> fail line "scheme mark must be '+', '^' or '_', got %S" other
+
+let parse_join line s =
+  match String.split_on_char '=' s with
+  | [ lhs; rhs ] ->
+      let endpoint side =
+        match String.split_on_char '.' (strip side) with
+        | [ stream; attr ] -> (strip stream, strip attr)
+        | _ -> fail line "expected 'stream.attr', got %S" side
+      in
+      let s1, a1 = endpoint lhs and s2, a2 = endpoint rhs in
+      (try Predicate.atom s1 a1 s2 a2
+       with Invalid_argument m -> fail line "%s" m)
+  | _ -> fail line "expected 'S1.a = S2.b', got %S" s
+
+let parse_statements ~allow_joins text =
+  let schemas : (string * Schema.t) list ref = ref [] in
+  let schemes : (string * Scheme.t) list ref = ref [] in
+  let atoms = ref [] in
+  let handle_line lineno raw =
+    let stripped =
+      match String.index_opt raw '#' with
+      | Some i -> strip (String.sub raw 0 i)
+      | None -> strip raw
+    in
+    if stripped <> "" then
+      match String.index_opt stripped ' ' with
+      | None -> fail lineno "cannot parse statement %S" stripped
+      | Some i ->
+          let keyword = String.sub stripped 0 i in
+          let rest = strip (String.sub stripped i (String.length stripped - i)) in
+          (match keyword with
+          | "stream" ->
+              let name, body = parse_call lineno rest in
+              if List.mem_assoc name !schemas then
+                fail lineno "stream %S declared twice" name;
+              let attrs = List.map (parse_attr lineno) (split_top_commas body) in
+              let schema =
+                try Schema.make ~stream:name attrs
+                with Invalid_argument m -> fail lineno "%s" m
+              in
+              schemas := (name, schema) :: !schemas
+          | "scheme" ->
+              let name, body = parse_call lineno rest in
+              let schema =
+                match List.assoc_opt name !schemas with
+                | Some s -> s
+                | None -> fail lineno "scheme for undeclared stream %S" name
+              in
+              let marks = List.map (parse_mark lineno) (split_top_commas body) in
+              let scheme =
+                try Scheme.make schema marks
+                with Invalid_argument m -> fail lineno "%s" m
+              in
+              schemes := (name, scheme) :: !schemes
+          | "join" ->
+              if allow_joins then atoms := parse_join lineno rest :: !atoms
+              else fail lineno "join statements are not allowed here"
+          | other -> fail lineno "unknown keyword %S" other)
+  in
+  List.iteri
+    (fun i line -> handle_line (i + 1) line)
+    (String.split_on_char '\n' text);
+  let defs =
+    List.rev_map
+      (fun (name, schema) ->
+        let ss = List.filter_map
+            (fun (n, sch) -> if n = name then Some sch else None)
+            (List.rev !schemes)
+        in
+        Stream_def.make schema ss)
+      !schemas
+  in
+  (defs, List.rev !atoms)
+
+let parse text =
+  let defs, atoms = parse_statements ~allow_joins:true text in
+  Cjq.make defs atoms
+
+let parse_defs text = fst (parse_statements ~allow_joins:false text)
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let parse_file path = parse (read_file path)
+let parse_defs_file path = parse_defs (read_file path)
+
+let to_text query =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      let schema = Stream_def.schema d in
+      Buffer.add_string buf
+        (Fmt.str "stream %s(%s)\n" (Stream_def.name d)
+           (String.concat ", "
+              (List.map
+                 (fun a ->
+                   Fmt.str "%s:%s" a.Schema.name (Value.ty_to_string a.Schema.ty))
+                 (Schema.attributes schema))));
+      List.iter
+        (fun sch ->
+          Buffer.add_string buf
+            (Fmt.str "scheme %s(%s)\n" (Stream_def.name d)
+               (String.concat ", "
+                  (List.map
+                     (function
+                       | Scheme.Punctuatable -> "+"
+                       | Scheme.Ordered -> "^"
+                       | Scheme.Not_punctuatable -> "_")
+                     (Scheme.marks sch)))))
+        (Stream_def.schemes d))
+    (Cjq.stream_defs query);
+  List.iter
+    (fun a -> Buffer.add_string buf (Fmt.str "join %a\n" Predicate.pp_atom a))
+    (Cjq.predicates query);
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** A small text format for declaring queries and punctuation schemes, used
+    by the command-line tools and convenient in tests:
+
+    {v
+    # online auction (Example 1)
+    stream item(sellerid:int, itemid:int, name:str, initialprice:float)
+    stream bid(bidderid:int, itemid:int, increase:float)
+    scheme item(_, +, _, _)
+    scheme bid(_, +, _)
+    join item.itemid = bid.itemid
+    v}
+
+    One statement per line; [#] starts a comment. Scheme marks are [+]
+    (punctuatable) and [_], aligned positionally with the stream's
+    attributes. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse text] builds the query described by [text].
+    @raise Parse_error on syntax errors (with 1-based line number);
+    @raise Cjq.Invalid when the parsed query is semantically invalid. *)
+val parse : string -> Cjq.t
+
+(** [parse_file path] reads and parses [path]. *)
+val parse_file : string -> Cjq.t
+
+(** [parse_defs text] accepts only [stream]/[scheme] statements and returns
+    the declarations — for callers (e.g. the SQL front end) that bring their
+    own predicates. @raise Parse_error on any [join] line. *)
+val parse_defs : string -> Streams.Stream_def.t list
+
+val parse_defs_file : string -> Streams.Stream_def.t list
+
+(** [to_text query] renders a query back into the format accepted by
+    {!parse} (round-trips modulo whitespace). *)
+val to_text : Cjq.t -> string

@@ -1,0 +1,66 @@
+type t =
+  | Leaf of string
+  | Join of t list
+
+let rec compare a b =
+  match a, b with
+  | Leaf x, Leaf y -> String.compare x y
+  | Leaf _, Join _ -> -1
+  | Join _, Leaf _ -> 1
+  | Join xs, Join ys -> List.compare compare xs ys
+
+let equal a b = compare a b = 0
+
+let rec leaves = function
+  | Leaf s -> [ s ]
+  | Join children -> List.concat_map leaves children
+
+let join children =
+  if List.length children < 2 then
+    invalid_arg "Plan.join: a join operator needs at least two inputs";
+  let ls = List.concat_map leaves children in
+  if List.length (List.sort_uniq String.compare ls) <> List.length ls then
+    invalid_arg "Plan.join: a stream appears twice";
+  Join (List.sort compare children)
+
+let mjoin names = join (List.map (fun s -> Leaf s) names)
+
+let left_deep names =
+  match names with
+  | [] | [ _ ] -> invalid_arg "Plan.left_deep: need at least two streams"
+  | a :: b :: rest ->
+      List.fold_left (fun acc s -> join [ acc; Leaf s ]) (join [ Leaf a; Leaf b ]) rest
+
+let rec operators = function
+  | Leaf _ -> []
+  | Join children as op -> List.concat_map operators children @ [ op ]
+
+let inputs_of_operator = function
+  | Leaf _ -> invalid_arg "Plan.inputs_of_operator: leaf has no inputs"
+  | Join children -> List.map leaves children
+
+let is_single_mjoin = function
+  | Join children -> List.for_all (function Leaf _ -> true | Join _ -> false) children
+  | Leaf _ -> false
+
+let rec is_binary_tree = function
+  | Leaf _ -> true
+  | Join [ a; b ] -> is_binary_tree a && is_binary_tree b
+  | Join _ -> false
+
+let n_operators t = List.length (operators t)
+
+let validate t query =
+  let have = List.sort String.compare (leaves t) in
+  let want = List.sort String.compare (Cjq.stream_names query) in
+  if have <> want then
+    invalid_arg
+      (Printf.sprintf "Plan.validate: plan leaves {%s} differ from query streams {%s}"
+         (String.concat ", " have) (String.concat ", " want))
+
+let rec pp ppf = function
+  | Leaf s -> Fmt.string ppf s
+  | Join children ->
+      Fmt.pf ppf "@[<hov1>(%a)@]" (Fmt.list ~sep:(Fmt.any " @<1>⋈ ") pp) children
+
+let to_string t = Fmt.str "%a" pp t

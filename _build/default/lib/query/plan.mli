@@ -1,0 +1,47 @@
+(** Execution plans for continuous join queries.
+
+    A plan is a tree whose leaves are input streams and whose internal nodes
+    are join operators with two or more inputs (§2.2): a single MJoin, a tree
+    of binary joins, or any mix. Children are unordered semantically; the
+    representation keeps them sorted so structurally equal plans compare
+    equal. *)
+
+type t =
+  | Leaf of string
+  | Join of t list  (** invariant: ≥ 2 children, sorted, built via {!join} *)
+
+(** [join children] smart constructor: sorts children and checks arity.
+    @raise Invalid_argument with fewer than two children or duplicate
+    leaves. *)
+val join : t list -> t
+
+(** [mjoin names] is the flat single-operator plan over all [names]. *)
+val mjoin : string list -> t
+
+(** [left_deep names] is the canonical left-deep binary tree joining the
+    streams in the given order. *)
+val left_deep : string list -> t
+
+val leaves : t -> string list
+
+(** [operators t] is every internal node of [t] (the node itself included
+    when internal), in bottom-up order: each operator is listed after its
+    children. *)
+val operators : t -> t list
+
+(** [inputs_of_operator op] names the input of each child: a leaf's stream
+    name, or the set of leaf names under an internal child. *)
+val inputs_of_operator : t -> string list list
+
+val is_single_mjoin : t -> bool
+val is_binary_tree : t -> bool
+val n_operators : t -> int
+
+(** [validate t query] checks [t]'s leaves are exactly the query's streams.
+    @raise Invalid_argument otherwise. *)
+val validate : t -> Cjq.t -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,113 @@
+let set_partitions xs =
+  (* Each partition of [x :: rest] either gives [x] its own block or inserts
+     [x] into one block of a partition of [rest]. *)
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        List.concat_map
+          (fun partition ->
+            ([ x ] :: partition)
+            :: List.mapi
+                 (fun i _ ->
+                   List.mapi
+                     (fun j blk -> if i = j then x :: blk else blk)
+                     partition)
+                 partition)
+          (go rest)
+  in
+  go xs
+
+(* Is the operator joining child leaf-sets [inputs] free of cross products,
+   i.e. is the graph over children (edge when some atom links two children)
+   connected? *)
+let operator_connected query inputs =
+  let preds = Cjq.predicates query in
+  let n = List.length inputs in
+  let arr = Array.of_list inputs in
+  let linked i j =
+    List.exists
+      (fun a ->
+        let s1, s2 = Relational.Predicate.streams_of a in
+        (List.mem s1 arr.(i) && List.mem s2 arr.(j))
+        || (List.mem s2 arr.(i) && List.mem s1 arr.(j)))
+      preds
+  in
+  let seen = Array.make n false in
+  let rec dfs i =
+    seen.(i) <- true;
+    for j = 0 to n - 1 do
+      if (not seen.(j)) && linked i j then dfs j
+    done
+  in
+  if n = 0 then true
+  else begin
+    dfs 0;
+    Array.for_all (fun b -> b) seen
+  end
+
+let plans_over ~min_blocks ~max_blocks ?connected_only names =
+  if List.length names < 2 then
+    invalid_arg "Plan_enum: need at least two streams";
+  let keep_operator children =
+    match connected_only with
+    | None -> true
+    | Some query -> operator_connected query (List.map Plan.leaves children)
+  in
+  let rec cartesian = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+        let tails = cartesian rest in
+        List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+  in
+  let rec plans names =
+    match names with
+    | [ s ] -> [ Plan.Leaf s ]
+    | _ ->
+        set_partitions names
+        |> List.filter (fun p ->
+               let k = List.length p in
+               k >= min_blocks && k <= max_blocks)
+        |> List.concat_map (fun partition ->
+               cartesian (List.map plans partition)
+               |> List.filter_map (fun children ->
+                      if keep_operator children then Some (Plan.join children)
+                      else None))
+  in
+  plans names
+
+let all_plans ?connected_only names =
+  plans_over ~min_blocks:2 ~max_blocks:max_int ?connected_only names
+
+let binary_plans ?connected_only names =
+  plans_over ~min_blocks:2 ~max_blocks:2 ?connected_only names
+
+(* A000311 ("phylogenetic trees" with labeled leaves): with
+   F(n) = Σ over all set partitions of ∏ T(block sizes), one derives
+   T(n) = F(n) - T(n), so T(n) = Σ_{j<n} C(n-1, j-1) T(j) F(n-j) and
+   F(n) = 2 T(n). A 63-bit int overflows around n = 15, so larger inputs
+   are rejected rather than silently wrapped. *)
+let count_all_plans n =
+  if n < 1 then invalid_arg "Plan_enum.count_all_plans";
+  if n > 14 then
+    invalid_arg "Plan_enum.count_all_plans: count exceeds 63-bit range";
+  let choose = Array.make_matrix (n + 1) (n + 1) 0 in
+  for i = 0 to n do
+    choose.(i).(0) <- 1;
+    for j = 1 to i do
+      choose.(i).(j) <-
+        choose.(i - 1).(j - 1) + if j <= i - 1 then choose.(i - 1).(j) else 0
+    done
+  done;
+  let t = Array.make (n + 1) 0 and f = Array.make (n + 1) 0 in
+  t.(1) <- 1;
+  f.(0) <- 1;
+  f.(1) <- 1;
+  for m = 2 to n do
+    let sum = ref 0 in
+    for j = 1 to m - 1 do
+      sum := !sum + (choose.(m - 1).(j - 1) * t.(j) * f.(m - j))
+    done;
+    t.(m) <- !sum;
+    f.(m) <- 2 * !sum
+  done;
+  t.(n)

@@ -1,0 +1,29 @@
+(** Exhaustive execution-plan enumeration.
+
+    This is exactly the exponential blow-up the paper's Theorem 2/4 let a
+    system avoid: to decide safety naively one would enumerate every plan
+    (every tree of MJoin/binary operators) and check each operator. We keep
+    the enumerator as (a) the correctness oracle for the safety theorems in
+    tests, and (b) the baseline in bench [C2]. *)
+
+(** [all_plans ?connected_only names] is every distinct plan tree over
+    [names]. With [connected_only] (default [None]), plans whose operators
+    would be cross products are pruned using the given query's predicates.
+    The count grows super-exponentially; intended for small queries.
+    @raise Invalid_argument on fewer than two names. *)
+val all_plans : ?connected_only:Cjq.t -> string list -> Plan.t list
+
+(** [binary_plans ?connected_only names] restricts to trees of binary
+    joins (the Figure 7 setting). *)
+val binary_plans : ?connected_only:Cjq.t -> string list -> Plan.t list
+
+(** [count_all_plans n] is the number of distinct plans over [n] streams
+    (OEIS A000311), computed without materializing them — for reporting the
+    size of the avoided search space.
+    @raise Invalid_argument when [n < 1] or [n > 14] (the count overflows a
+    63-bit integer beyond that). *)
+val count_all_plans : int -> int
+
+(** [set_partitions xs] is every partition of [xs] into non-empty blocks
+    (exposed for tests; drives the enumeration). *)
+val set_partitions : 'a list -> 'a list list list

@@ -1,0 +1,116 @@
+module Stream_def = Streams.Stream_def
+
+exception Sql_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Sql_error m)) fmt
+
+type query = {
+  cjq : Cjq.t;
+  projection : string list option;
+}
+
+(* Tokenizer: identifiers (possibly dotted), '*', ',', '='. *)
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iteri
+    (fun i c ->
+      ignore i;
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | ',' | '=' | '*' ->
+          flush ();
+          tokens := String.make 1 c :: !tokens
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' ->
+          Buffer.add_char buf c
+      | other -> fail "unexpected character %C" other)
+    text;
+  ignore n;
+  flush ();
+  List.rev !tokens
+
+let is_keyword k token = String.lowercase_ascii token = k
+
+(* SELECT <projection> FROM <streams> [WHERE <atoms>] *)
+let parse ~defs text =
+  let tokens = tokenize text in
+  let expect_keyword k = function
+    | token :: rest when is_keyword k token -> rest
+    | token :: _ -> fail "expected %s, got %S" (String.uppercase_ascii k) token
+    | [] -> fail "expected %s at end of input" (String.uppercase_ascii k)
+  in
+  let dotted token =
+    match String.split_on_char '.' token with
+    | [ stream; attr ] when stream <> "" && attr <> "" -> (stream, attr)
+    | _ -> fail "expected stream.attr, got %S" token
+  in
+  (* projection *)
+  let rec parse_projection acc = function
+    | "*" :: rest when acc = [] -> (None, expect_keyword "from" rest)
+    | token :: rest when not (is_keyword "from" token) -> (
+        let _ = dotted token in
+        match rest with
+        | "," :: more -> parse_projection (token :: acc) more
+        | _ -> (Some (List.rev (token :: acc)), expect_keyword "from" rest))
+    | rest ->
+        if acc = [] then fail "empty SELECT list"
+        else (Some (List.rev acc), expect_keyword "from" rest)
+  in
+  let rec parse_streams acc = function
+    | [] ->
+        if acc = [] then fail "empty FROM list" else (List.rev acc, [])
+    | token :: rest when is_keyword "where" token ->
+        if acc = [] then fail "empty FROM list" else (List.rev acc, rest)
+    | "," :: rest -> parse_streams acc rest
+    | token :: rest -> parse_streams (token :: acc) rest
+  in
+  let rec parse_atoms acc = function
+    | [] -> List.rev acc
+    | lhs :: "=" :: rhs :: rest ->
+        let s1, a1 = dotted lhs and s2, a2 = dotted rhs in
+        let atom =
+          try Relational.Predicate.atom s1 a1 s2 a2
+          with Invalid_argument m -> fail "%s" m
+        in
+        let rest =
+          match rest with
+          | token :: more when is_keyword "and" token -> more
+          | [] -> []
+          | token :: _ -> fail "expected AND, got %S" token
+        in
+        parse_atoms (atom :: acc) rest
+    | token :: _ -> fail "cannot parse condition at %S" token
+  in
+  let rest = expect_keyword "select" tokens in
+  let projection, rest = parse_projection [] rest in
+  let stream_names, rest = parse_streams [] rest in
+  let atoms = parse_atoms [] rest in
+  let stream_defs =
+    List.map
+      (fun name ->
+        try Stream_def.find defs name
+        with Not_found -> fail "stream %S is not declared" name)
+      stream_names
+  in
+  let cjq = Cjq.make stream_defs atoms in
+  (* validate the projection against the joined schema naming convention *)
+  (match projection with
+  | None -> ()
+  | Some attrs ->
+      List.iter
+        (fun qualified ->
+          let stream, attr = dotted qualified in
+          if not (List.mem stream stream_names) then
+            fail "SELECT references %S which is not in FROM" stream;
+          let schema = Stream_def.schema (Stream_def.find defs stream) in
+          if not (Relational.Schema.mem schema attr) then
+            fail "stream %s has no attribute %s" stream attr)
+        attrs);
+  { cjq; projection }

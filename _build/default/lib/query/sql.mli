@@ -1,0 +1,30 @@
+(** A small SQL-style front end — the paper's future work (iv), scoped to
+    what the safety theory covers:
+
+    {v
+    SELECT item.itemid, bid.increase
+    FROM item, bid
+    WHERE item.itemid = bid.itemid AND ...
+    v}
+
+    - [SELECT *] or a list of qualified attributes (the projection is
+      returned for the caller to apply with {!Engine.Project});
+    - [FROM] lists declared streams (their punctuation schemes come from
+      the stream definitions);
+    - [WHERE] is a conjunction of equi-join atoms [s.a = t.b].
+
+    Keywords are case-insensitive; identifiers are case-sensitive. *)
+
+exception Sql_error of string
+
+type query = {
+  cjq : Cjq.t;
+  projection : string list option;
+      (** qualified output attributes ("stream.attr"), [None] for [*] *)
+}
+
+(** [parse ~defs text] resolves stream names against [defs].
+    @raise Sql_error on syntax problems (with the offending token);
+    @raise Cjq.Invalid when the parsed query is semantically invalid
+    (unknown attribute, type mismatch, cross product...). *)
+val parse : defs:Streams.Stream_def.t list -> string -> query

@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Fmt List Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/predicate.mli: Format Tuple

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Fmt Hashtbl List Predicate Schema Tuple

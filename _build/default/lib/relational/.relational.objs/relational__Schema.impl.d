@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Fmt Hashtbl List Printf String Value

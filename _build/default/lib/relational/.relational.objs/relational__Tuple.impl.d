@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Array Fmt Int List Printf Schema Value

@@ -1,0 +1,62 @@
+type atom = {
+  left_stream : string;
+  left_attr : string;
+  right_stream : string;
+  right_attr : string;
+}
+
+let atom s1 a1 s2 a2 =
+  if String.equal s1 s2 then
+    invalid_arg
+      (Printf.sprintf "Predicate.atom: self-join on stream %S not supported" s1);
+  if String.compare s1 s2 <= 0 then
+    { left_stream = s1; left_attr = a1; right_stream = s2; right_attr = a2 }
+  else { left_stream = s2; left_attr = a2; right_stream = s1; right_attr = a1 }
+
+let atom_compare a b =
+  compare
+    (a.left_stream, a.left_attr, a.right_stream, a.right_attr)
+    (b.left_stream, b.left_attr, b.right_stream, b.right_attr)
+
+let atom_equal a b = atom_compare a b = 0
+let streams_of a = (a.left_stream, a.right_stream)
+
+let involves a stream =
+  String.equal a.left_stream stream || String.equal a.right_stream stream
+
+let attr_on a stream =
+  if String.equal a.left_stream stream then a.left_attr
+  else if String.equal a.right_stream stream then a.right_attr
+  else raise Not_found
+
+let other_side a stream =
+  if String.equal a.left_stream stream then (a.right_stream, a.right_attr)
+  else if String.equal a.right_stream stream then (a.left_stream, a.left_attr)
+  else raise Not_found
+
+let eval a t1 t2 =
+  let s1 = Schema.stream_name (Tuple.schema t1) in
+  let v_of t attr = Tuple.get_named t attr in
+  let lv, rv =
+    if String.equal s1 a.left_stream then
+      (v_of t1 a.left_attr, v_of t2 a.right_attr)
+    else (v_of t2 a.left_attr, v_of t1 a.right_attr)
+  in
+  Value.equal lv rv
+
+let pp_atom ppf a =
+  Fmt.pf ppf "%s.%s = %s.%s" a.left_stream a.left_attr a.right_stream
+    a.right_attr
+
+type t = atom list
+
+let between preds s1 s2 =
+  if String.equal s1 s2 then []
+  else List.filter (fun a -> involves a s1 && involves a s2) preds
+
+let eval_all preds t1 t2 =
+  let s1 = Schema.stream_name (Tuple.schema t1) in
+  let s2 = Schema.stream_name (Tuple.schema t2) in
+  List.for_all (fun a -> eval a t1 t2) (between preds s1 s2)
+
+let pp ppf preds = Fmt.(list ~sep:(any " @<1>∧ ") pp_atom) ppf preds

@@ -1,0 +1,56 @@
+(** Equi-join predicates between streams.
+
+    The paper restricts join predicates to conjunctive equi-joins between
+    pairs of streams (§2.2); an {!atom} is one equality
+    [left_stream.left_attr = right_stream.right_attr] and a predicate set is a
+    conjunction of atoms. Atoms are kept in a normalized orientation
+    (streams ordered by name) so structural equality is orientation-free. *)
+
+type atom = private {
+  left_stream : string;
+  left_attr : string;
+  right_stream : string;
+  right_attr : string;
+}
+
+(** [atom s1 a1 s2 a2] builds the equality [s1.a1 = s2.a2], normalized.
+    @raise Invalid_argument if [s1 = s2] (self-joins over a single logical
+    stream are outside the paper's model). *)
+val atom : string -> string -> string -> string -> atom
+
+val atom_equal : atom -> atom -> bool
+val atom_compare : atom -> atom -> int
+
+(** [streams_of a] is the (ordered) pair of stream names of [a]. *)
+val streams_of : atom -> string * string
+
+(** [involves a stream] holds when [a] mentions [stream]. *)
+val involves : atom -> string -> bool
+
+(** [attr_on a stream] is the attribute [a] constrains on [stream].
+    @raise Not_found when [a] does not involve [stream]. *)
+val attr_on : atom -> string -> string
+
+(** [other_side a stream] is the opposite [(stream, attr)] endpoint.
+    @raise Not_found when [a] does not involve [stream]. *)
+val other_side : atom -> string -> string * string
+
+(** [eval a t1 t2] evaluates the atom over two tuples whose schemas are the
+    streams of [a] in either order; SQL semantics (null never matches). *)
+val eval : atom -> Tuple.t -> Tuple.t -> bool
+
+val pp_atom : Format.formatter -> atom -> unit
+
+(** A conjunctive predicate set for a whole query: the paper's [℘]. *)
+type t = atom list
+
+(** [between preds s1 s2] is the conjunction of atoms linking [s1] and
+    [s2] (possibly empty). *)
+val between : t -> string -> string -> atom list
+
+(** [eval_all preds t1 t2] holds when every atom of [preds] that links the
+    two tuples' streams is satisfied (atoms over other streams are
+    ignored). *)
+val eval_all : t -> Tuple.t -> Tuple.t -> bool
+
+val pp : Format.formatter -> t -> unit

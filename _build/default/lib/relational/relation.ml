@@ -1,0 +1,52 @@
+type t = { schema : Schema.t; tuples : Tuple.t list }
+
+let make schema tuples =
+  List.iter
+    (fun tup ->
+      if not (Schema.equal (Tuple.schema tup) schema) then
+        invalid_arg "Relation.make: tuple schema mismatch")
+    tuples;
+  { schema; tuples }
+
+let empty schema = { schema; tuples = [] }
+let schema r = r.schema
+let tuples r = r.tuples
+let cardinality r = List.length r.tuples
+let add r tup = make r.schema (tup :: r.tuples)
+let filter f r = { r with tuples = List.filter f r.tuples }
+
+let join ~name preds a b =
+  let out_schema = Schema.concat ~stream:name a.schema b.schema in
+  let matching =
+    List.concat_map
+      (fun ta ->
+        List.filter_map
+          (fun tb ->
+            if Predicate.eval_all preds ta tb then
+              Some (Tuple.concat out_schema ta tb)
+            else None)
+          b.tuples)
+      a.tuples
+  in
+  { schema = out_schema; tuples = matching }
+
+let semijoin preds a b =
+  let keep ta = List.exists (fun tb -> Predicate.eval_all preds ta tb) b.tuples in
+  { a with tuples = List.filter keep a.tuples }
+
+let distinct_project r attrs =
+  let idxs = List.map (Schema.attr_index r.schema) attrs in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun tup ->
+      let key = Tuple.project tup idxs in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some key
+      end)
+    r.tuples
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%a:@,%a@]" Schema.pp r.schema
+    (Fmt.list ~sep:Fmt.cut Tuple.pp) r.tuples

@@ -1,0 +1,31 @@
+(** Finite in-memory relations.
+
+    Used for the paper's algebraic constructions over join states: joinable
+    sets [T_t[Υ]], semijoins [⋉], and distinct projections [δ_A] (§3.2), and
+    as the brute-force oracle in tests and witnesses. These are reference
+    implementations — simple and obviously correct — not the streaming
+    operators (those live in the engine). *)
+
+type t
+
+val make : Schema.t -> Tuple.t list -> t
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val tuples : t -> Tuple.t list
+val cardinality : t -> int
+val add : t -> Tuple.t -> t
+val filter : (Tuple.t -> bool) -> t -> t
+
+(** [join ~name preds a b] is the equi-join of [a] and [b] under the atoms of
+    [preds] connecting their streams; result stream is named [name]. *)
+val join : name:string -> Predicate.t -> t -> t -> t
+
+(** [semijoin preds a b] is [a ⋉ b]: the tuples of [a] with at least one
+    match in [b]. *)
+val semijoin : Predicate.t -> t -> t -> t
+
+(** [distinct_project r attrs] is the paper's [δ_attrs(r)]: the distinct
+    value combinations of [attrs] in [r]. *)
+val distinct_project : t -> string list -> Value.t list list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type attribute = { name : string; ty : Value.ty }
+
+type t = {
+  stream : string;
+  attrs : attribute array;
+  index : (string, int) Hashtbl.t;
+}
+
+let make ~stream attrs =
+  if attrs = [] then invalid_arg "Schema.make: empty attribute list";
+  let arr = Array.of_list attrs in
+  let index = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem index a.name then
+        invalid_arg
+          (Printf.sprintf "Schema.make: duplicate attribute %S in stream %S"
+             a.name stream);
+      Hashtbl.add index a.name i)
+    arr;
+  { stream; attrs = arr; index }
+
+let stream_name t = t.stream
+let arity t = Array.length t.attrs
+let attributes t = Array.to_list t.attrs
+
+let attr_index t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let attr_at t i = t.attrs.(i)
+let mem t name = Hashtbl.mem t.index name
+
+let equal a b =
+  String.equal a.stream b.stream
+  && Array.length a.attrs = Array.length b.attrs
+  && Array.for_all2
+       (fun x y -> String.equal x.name y.name && x.ty = y.ty)
+       a.attrs b.attrs
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a)" t.stream
+    (Fmt.array ~sep:Fmt.comma (fun ppf a ->
+         Fmt.pf ppf "%s:%a" a.name Value.pp_ty a.ty))
+    t.attrs
+
+let qualify_attr ~origin name =
+  if String.contains name '.' then name else origin ^ "." ^ name
+
+let qualify origin a = { a with name = qualify_attr ~origin a.name }
+
+let concat ~stream a b =
+  let attrs =
+    List.map (qualify a.stream) (attributes a)
+    @ List.map (qualify b.stream) (attributes b)
+  in
+  make ~stream attrs
+
+let concat_all ~stream schemas =
+  let attrs =
+    List.concat_map
+      (fun s -> List.map (qualify s.stream) (attributes s))
+      schemas
+  in
+  make ~stream attrs

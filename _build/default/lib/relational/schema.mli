@@ -1,0 +1,46 @@
+(** Relational schemas for data streams.
+
+    A schema names a stream and lists its attributes in order, as in the
+    paper's [S_i(A_1^i, ..., A_{n_i}^i)]. Attributes are addressed both by
+    name and by position; positions are what punctuation patterns align
+    with. *)
+
+type attribute = { name : string; ty : Value.ty }
+
+type t
+
+(** [make ~stream attrs] builds a schema for stream [stream].
+
+    @raise Invalid_argument on duplicate attribute names or an empty
+    attribute list. *)
+val make : stream:string -> attribute list -> t
+
+val stream_name : t -> string
+val arity : t -> int
+val attributes : t -> attribute list
+
+(** [attr_index schema name] is the position of attribute [name].
+    @raise Not_found when the schema has no such attribute. *)
+val attr_index : t -> string -> int
+
+val attr_at : t -> int -> attribute
+val mem : t -> string -> bool
+
+(** [equal a b] compares stream name, attribute names and types. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** [concat ~stream a b] is the schema of a join result: attributes of [a]
+    followed by attributes of [b], each renamed to ["<origin>.<attr>"] unless
+    already qualified, so provenance survives through plan trees. *)
+val concat : stream:string -> t -> t -> t
+
+(** [concat_all ~stream schemas] — n-ary {!concat}, in order (for MJoin
+    outputs). *)
+val concat_all : stream:string -> t list -> t
+
+(** [qualify_attr ~origin name] — the output attribute name [concat] gives
+    to attribute [name] of input [origin]: ["origin.name"], or [name]
+    unchanged when already qualified. *)
+val qualify_attr : origin:string -> string -> string

@@ -1,0 +1,55 @@
+type t = { schema : Schema.t; values : Value.t array }
+
+let of_array schema values =
+  if Array.length values <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Tuple: arity mismatch for %s: got %d, want %d"
+         (Schema.stream_name schema)
+         (Array.length values) (Schema.arity schema));
+  Array.iteri
+    (fun i v ->
+      let a = Schema.attr_at schema i in
+      if not (Value.matches_ty v a.Schema.ty) then
+        invalid_arg
+          (Printf.sprintf "Tuple: attribute %s of %s expects %s, got %s"
+             a.Schema.name
+             (Schema.stream_name schema)
+             (Value.ty_to_string a.Schema.ty)
+             (Value.to_string v)))
+    values;
+  { schema; values }
+
+let make schema values = of_array schema (Array.of_list values)
+let schema t = t.schema
+let arity t = Array.length t.values
+let get t i = t.values.(i)
+let get_named t name = t.values.(Schema.attr_index t.schema name)
+let values t = Array.to_list t.values
+let project t idxs = List.map (fun i -> t.values.(i)) idxs
+
+let concat schema a b =
+  of_array schema (Array.append a.values b.values)
+
+let equal a b =
+  Array.length a.values = Array.length b.values
+  (* Physical equality of tuples, not SQL equality: nulls match nulls here. *)
+  && Array.for_all2 (fun x y -> Value.compare x y = 0) a.values b.values
+
+let compare a b =
+  let c = Int.compare (Array.length a.values) (Array.length b.values) in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i = Array.length a.values then 0
+      else
+        let c = Value.compare a.values.(i) b.values.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t.values
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)" (Fmt.array ~sep:Fmt.comma Value.pp) t.values
+
+let to_string t = Fmt.str "%a" pp t

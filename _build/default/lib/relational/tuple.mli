@@ -1,0 +1,37 @@
+(** Stream tuples: an array of values conforming to a schema. *)
+
+type t
+
+(** [make schema values] checks arity and value/type compatibility.
+    @raise Invalid_argument on arity or type mismatch. *)
+val make : Schema.t -> Value.t list -> t
+
+(** [of_array] is {!make} without copying; the array must not be mutated
+    afterwards. *)
+val of_array : Schema.t -> Value.t array -> t
+
+val schema : t -> Schema.t
+val arity : t -> int
+
+(** [get t i] is the value at position [i]. *)
+val get : t -> int -> Value.t
+
+(** [get_named t name] is the value of attribute [name].
+    @raise Not_found when the schema has no such attribute. *)
+val get_named : t -> string -> Value.t
+
+val values : t -> Value.t list
+
+(** [project t idxs] is the sub-tuple of positions [idxs] (as raw values —
+    used for join keys and distinct projections). *)
+val project : t -> int list -> Value.t list
+
+(** [concat schema a b] pairs two tuples under a pre-built joined
+    [schema] (see {!Schema.concat}). *)
+val concat : Schema.t -> t -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,79 @@
+type t =
+  | Int of int
+  | Str of string
+  | Float of float
+  | Bool of bool
+  | Null
+
+type ty = TInt | TStr | TFloat | TBool
+
+let type_of = function
+  | Int _ -> Some TInt
+  | Str _ -> Some TStr
+  | Float _ -> Some TFloat
+  | Bool _ -> Some TBool
+  | Null -> None
+
+let equal a b =
+  match a, b with
+  | Null, _ | _, Null -> false
+  | Int x, Int y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | (Int _ | Str _ | Float _ | Bool _), _ -> false
+
+(* Rank-based total order so heterogeneous values can key maps/sets. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let hash = function
+  | Null -> 17
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+  | Float f -> Hashtbl.hash (2, f)
+  | Bool b -> Hashtbl.hash (3, b)
+
+let pp ppf = function
+  | Int x -> Fmt.int ppf x
+  | Str s -> Fmt.pf ppf "%S" s
+  | Float f -> Fmt.float ppf f
+  | Bool b -> Fmt.bool ppf b
+  | Null -> Fmt.string ppf "null"
+
+let to_string v = Fmt.str "%a" pp v
+
+let pp_ty ppf ty =
+  Fmt.string ppf
+    (match ty with
+    | TInt -> "int"
+    | TStr -> "str"
+    | TFloat -> "float"
+    | TBool -> "bool")
+
+let ty_to_string ty = Fmt.str "%a" pp_ty ty
+
+let matches_ty v ty =
+  match type_of v with None -> true | Some ty' -> ty = ty'
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

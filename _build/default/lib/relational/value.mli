@@ -1,0 +1,42 @@
+(** Typed atomic values carried by stream tuples and punctuations.
+
+    Values are the leaves of the whole system: tuples are arrays of values,
+    punctuation patterns constrain attributes to values, and join predicates
+    compare values across streams. Only flat scalar types are supported, which
+    is all the paper's equi-join setting needs. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Float of float
+  | Bool of bool
+  | Null  (** absent / unknown; never equal to anything, including itself *)
+
+type ty = TInt | TStr | TFloat | TBool
+
+(** [type_of v] is the declared type of [v], or [None] for [Null]. *)
+val type_of : t -> ty option
+
+(** [equal a b] is SQL-style equality: [Null] compares false against
+    everything (so a null join key never matches). *)
+val equal : t -> t -> bool
+
+(** [compare] is a total order usable as a container key; unlike {!equal} it
+    treats [Null] as a smallest distinct element so that values can live in
+    maps and sets. *)
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+
+(** [matches_ty v ty] holds when [v] can legally populate an attribute of
+    type [ty]; [Null] matches every type. *)
+val matches_ty : t -> ty -> bool
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/streams/element.ml: Fmt Punctuation Relational

@@ -1,0 +1,1 @@
+lib/streams/element.mli: Format Punctuation Relational

@@ -1,0 +1,1 @@
+lib/streams/heartbeat.ml: Element List Punctuation Relational Schema Scheme Seq Tuple Value

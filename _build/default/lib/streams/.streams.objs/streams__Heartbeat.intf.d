@@ -1,0 +1,1 @@
+lib/streams/heartbeat.mli: Relational Scheme Source

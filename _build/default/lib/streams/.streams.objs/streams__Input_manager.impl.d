@@ -1,0 +1,1 @@
+lib/streams/input_manager.ml: List Seq Source String

@@ -1,0 +1,1 @@
+lib/streams/input_manager.mli: Element Seq Source Trace

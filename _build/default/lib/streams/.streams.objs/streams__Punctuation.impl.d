@@ -1,0 +1,1 @@
+lib/streams/punctuation.ml: Array Fmt Int List Printf Relational Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/streams/punctuation.mli: Format Relational

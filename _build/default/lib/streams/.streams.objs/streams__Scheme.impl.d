@@ -1,0 +1,1 @@
+lib/streams/scheme.ml: Array Fmt Hashtbl List Printf Punctuation Relational Schema String Value

@@ -1,0 +1,1 @@
+lib/streams/scheme.mli: Format Punctuation Relational

@@ -1,0 +1,1 @@
+lib/streams/source.ml: Element List Seq

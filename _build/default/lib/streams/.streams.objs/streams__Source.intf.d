@@ -1,0 +1,1 @@
+lib/streams/source.mli: Element Seq

@@ -1,0 +1,1 @@
+lib/streams/stream_def.ml: Fmt List Printf Relational Schema Scheme String

@@ -1,0 +1,1 @@
+lib/streams/stream_def.mli: Format Relational Scheme

@@ -1,0 +1,1 @@
+lib/streams/trace.ml: Element Fmt Hashtbl List Punctuation Relational Scheme String

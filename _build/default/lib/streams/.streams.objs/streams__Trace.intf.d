@@ -1,0 +1,1 @@
+lib/streams/trace.mli: Element Format Punctuation Relational Scheme

@@ -1,0 +1,1 @@
+lib/streams/trace_io.ml: Buffer Char Element Fmt Fun List Printf Punctuation Relational Stream_def String Tuple Value

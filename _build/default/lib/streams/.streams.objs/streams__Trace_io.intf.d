@@ -1,0 +1,1 @@
+lib/streams/trace_io.mli: Stream_def Trace

@@ -1,0 +1,15 @@
+type t =
+  | Data of Relational.Tuple.t
+  | Punct of Punctuation.t
+
+let schema = function
+  | Data t -> Relational.Tuple.schema t
+  | Punct p -> Punctuation.schema p
+
+let stream_name e = Relational.Schema.stream_name (schema e)
+let is_data = function Data _ -> true | Punct _ -> false
+let is_punct = function Punct _ -> true | Data _ -> false
+
+let pp ppf = function
+  | Data t -> Fmt.pf ppf "data %a" Relational.Tuple.pp t
+  | Punct p -> Fmt.pf ppf "punct %a" Punctuation.pp p

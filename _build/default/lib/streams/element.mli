@@ -1,0 +1,12 @@
+(** Stream elements: a punctuated stream interleaves data tuples and
+    punctuations. *)
+
+type t =
+  | Data of Relational.Tuple.t
+  | Punct of Punctuation.t
+
+val stream_name : t -> string
+val schema : t -> Relational.Schema.t
+val is_data : t -> bool
+val is_punct : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+open Relational
+
+let scheme ~schema ~attr = Scheme.ordered schema [ attr ]
+
+let attach ~schema ~attr ~every ~slack source =
+  if every <= 0 then invalid_arg "Heartbeat.attach: every must be positive";
+  if slack < 0 then invalid_arg "Heartbeat.attach: negative slack";
+  let idx = Schema.attr_index schema attr in
+  (match (Schema.attr_at schema idx).Schema.ty with
+  | Value.TInt -> ()
+  | Value.TStr | Value.TFloat | Value.TBool ->
+      invalid_arg "Heartbeat.attach: heartbeat attribute must be an int");
+  (* fold state: elements seen since the last heartbeat, high-water mark,
+     and the bound of the last emitted heartbeat (never regress) *)
+  let state = ref (0, min_int, min_int) in
+  let step e =
+    match e with
+    | Element.Punct _ -> [ e ]
+    | Element.Data tup ->
+        let count, high, last = !state in
+        let high =
+          match Tuple.get tup idx with
+          | Value.Int v -> max high v
+          | _ -> high
+        in
+        let count = count + 1 in
+        if count >= every && high > min_int then begin
+          let bound = high - slack + 1 in
+          if bound > last then begin
+            state := (0, high, bound);
+            [
+              e;
+              Element.Punct
+                (Punctuation.watermark schema attr (Value.Int bound));
+            ]
+          end
+          else begin
+            state := (0, high, last);
+            [ e ]
+          end
+        end
+        else begin
+          state := (count, high, last);
+          [ e ]
+        end
+  in
+  Seq.concat_map (fun e -> List.to_seq (step e)) source

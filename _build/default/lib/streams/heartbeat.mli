@@ -1,0 +1,26 @@
+(** Heartbeat generation — Srivastava & Widom's [11] *system-side*
+    punctuations. The paper's punctuations come from application semantics;
+    heartbeats instead come from the DSMS itself, which observes a
+    monotonically progressing attribute (a timestamp, a sequence number)
+    and periodically asserts "the stream has advanced past [v]".
+
+    [attach] wraps a source: it tracks the maximum value seen on the
+    designated integer attribute and, every [every] data elements, emits the
+    order punctuation [attr < max - slack + 1] — sound whenever the
+    stream's disorder (how far behind the maximum a late element may be) is
+    at most [slack]. Use {!Trace.check} downstream to detect violated
+    disorder assumptions. *)
+
+(** @raise Invalid_argument when [attr] is not an integer attribute of
+    [schema], or [every <= 0], or [slack < 0]. *)
+val attach :
+  schema:Relational.Schema.t ->
+  attr:string ->
+  every:int ->
+  slack:int ->
+  Source.t ->
+  Source.t
+
+(** [scheme ~schema ~attr] — the ordered scheme describing what [attach]
+    emits, for declaring the stream to the checker. *)
+val scheme : schema:Relational.Schema.t -> attr:string -> Scheme.t

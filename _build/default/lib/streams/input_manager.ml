@@ -1,0 +1,93 @@
+type policy =
+  | Round_robin
+  | Weighted of (string * int) list
+
+type t = {
+  seed : int;
+  policy : policy;
+  sources : (string * Source.t) list;
+}
+
+let create ?(seed = 42) ?(policy = Round_robin) sources =
+  let names = List.map fst sources in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Input_manager.create: duplicate stream source";
+  { seed; policy; sources }
+
+(* Sources may be ephemeral (side-effecting pulls), while the merge below
+   inspects heads it does not always consume — so memoize each source before
+   building cursors. *)
+let sequence t =
+  let weight name =
+    match t.policy with
+    | Round_robin -> 1
+    | Weighted ws -> (
+        match List.assoc_opt name ws with Some w -> max 1 w | None -> 1)
+  in
+  let make_cursors () =
+    List.map
+      (fun (name, src) -> (name, ref (Seq.memoize src), weight name))
+      t.sources
+  in
+  match t.policy with
+  | Round_robin ->
+      let cursors = make_cursors () in
+      let rec round remaining () =
+        match remaining with
+        | [] ->
+            let live =
+              List.filter
+                (fun (_, src, _) ->
+                  match !src () with
+                  | Seq.Nil -> false
+                  | Seq.Cons _ -> true)
+                cursors
+            in
+            if live = [] then Seq.Nil else round live ()
+        | (_, src, _) :: rest -> (
+            match !src () with
+            | Seq.Nil -> round rest ()
+            | Seq.Cons (e, tail) ->
+                src := tail;
+                Seq.Cons (e, round rest))
+      in
+      round []
+  | Weighted _ ->
+      let cursors = make_cursors () in
+      let state = ref t.seed in
+      let next_int bound =
+        let x = !state in
+        let x = x lxor (x lsl 13) in
+        let x = x lxor (x lsr 7) in
+        let x = x lxor (x lsl 17) in
+        state := x land max_int;
+        !state mod bound
+      in
+      let rec next () =
+        let live =
+          List.filter_map
+            (fun (_, src, w) ->
+              match !src () with
+              | Seq.Nil -> None
+              | Seq.Cons (e, tail) -> Some (src, e, tail, w))
+            cursors
+        in
+        match live with
+        | [] -> Seq.Nil
+        | _ ->
+            let total = List.fold_left (fun s (_, _, _, w) -> s + w) 0 live in
+            let pick = next_int total in
+            let rec choose acc = function
+              | [] -> assert false
+              | (src, e, tail, w) :: rest ->
+                  if pick < acc + w then begin
+                    src := tail;
+                    Seq.Cons (e, next)
+                  end
+                  else choose (acc + w) rest
+            in
+            choose 0 live
+      in
+      next
+
+let to_trace t = List.of_seq (sequence t)

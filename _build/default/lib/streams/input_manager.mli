@@ -1,0 +1,24 @@
+(** The input manager of Figure 2: accepts the per-stream sources and hands
+    the query processor one interleaved arrival sequence.
+
+    Interleaving is deterministic (seeded) so every experiment is exactly
+    reproducible. *)
+
+type policy =
+  | Round_robin  (** one element from each live stream in turn *)
+  | Weighted of (string * int) list
+      (** stream name to relative arrival rate; unlisted streams weigh 1 *)
+
+type t
+
+(** [create ?seed ?policy sources] registers one source per stream.
+    @raise Invalid_argument if two sources produce the same stream (checked
+    lazily, on first element). *)
+val create : ?seed:int -> ?policy:policy -> (string * Source.t) list -> t
+
+(** [sequence t] is the merged global arrival order, lazily produced. Each
+    stream's internal order is preserved. *)
+val sequence : t -> Element.t Seq.t
+
+(** [to_trace t] forces the merged sequence into a trace. *)
+val to_trace : t -> Trace.t

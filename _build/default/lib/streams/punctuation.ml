@@ -1,0 +1,149 @@
+open Relational
+
+type pattern =
+  | Wildcard
+  | Const of Value.t
+  | Less_than of Value.t
+
+type t = { schema : Schema.t; patterns : pattern array }
+
+let check_ty schema i v =
+  let a = Schema.attr_at schema i in
+  if not (Value.matches_ty v a.Schema.ty) then
+    invalid_arg
+      (Printf.sprintf "Punctuation.make: attribute %s expects %s, got %s"
+         a.Schema.name
+         (Value.ty_to_string a.Schema.ty)
+         (Value.to_string v))
+
+let make schema patterns =
+  let arr = Array.of_list patterns in
+  if Array.length arr <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Punctuation.make: arity mismatch for %s"
+         (Schema.stream_name schema));
+  let has_constraint = ref false in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Wildcard -> ()
+      | Const v | Less_than v ->
+          has_constraint := true;
+          check_ty schema i v)
+    arr;
+  if not !has_constraint then
+    invalid_arg "Punctuation.make: all-wildcard punctuation";
+  { schema; patterns = arr }
+
+let of_constraints schema constraints =
+  let arr = Array.make (Schema.arity schema) Wildcard in
+  List.iter
+    (fun (name, p) -> arr.(Schema.attr_index schema name) <- p)
+    constraints;
+  make schema (Array.to_list arr)
+
+let of_bindings schema bindings =
+  of_constraints schema (List.map (fun (n, v) -> (n, Const v)) bindings)
+
+let watermark schema attr v = of_constraints schema [ (attr, Less_than v) ]
+
+let schema t = t.schema
+let patterns t = Array.to_list t.patterns
+let pattern_at t i = t.patterns.(i)
+
+let constraints t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i p -> match p with Wildcard -> () | Const _ | Less_than _ ->
+        acc := (i, p) :: !acc)
+    t.patterns;
+  List.rev !acc
+
+let const_bindings t =
+  List.filter_map
+    (fun (i, p) -> match p with Const v -> Some (i, v) | _ -> None)
+    (constraints t)
+
+let is_ordered t =
+  Array.exists (function Less_than _ -> true | _ -> false) t.patterns
+
+(* Does a value satisfy a (non-wildcard) pattern? *)
+let satisfies p x =
+  match p with
+  | Wildcard -> true
+  | Const v -> Value.equal x v
+  | Less_than v -> Value.compare x v < 0
+
+let matches t tuple =
+  Array.length t.patterns = Tuple.arity tuple
+  && List.for_all
+       (fun (i, p) -> satisfies p (Tuple.get tuple i))
+       (constraints t)
+
+let covers t bindings =
+  List.for_all
+    (fun (i, p) ->
+      List.exists (fun (j, x) -> i = j && satisfies p x) bindings)
+    (constraints t)
+
+(* cb implies ca: every value passing [cb] passes [ca]. *)
+let pattern_implies ~weaker:ca ~stronger:cb =
+  match cb, ca with
+  | Const vb, Const va -> Value.equal vb va
+  | Const vb, Less_than va -> Value.compare vb va < 0
+  | Less_than vb, Less_than va -> Value.compare vb va <= 0
+  | Less_than _, Const _ -> false
+  | Wildcard, _ | _, Wildcard -> false
+
+let subsumes a b =
+  (* a's forbidden set contains b's: for each constraint of a, b constrains
+     the same position at least as strongly. *)
+  List.for_all
+    (fun (i, ca) ->
+      List.exists
+        (fun (j, cb) -> i = j && pattern_implies ~weaker:ca ~stronger:cb)
+        (constraints b))
+    (constraints a)
+
+let compare a b =
+  let pat_rank = function Wildcard -> 0 | Const _ -> 1 | Less_than _ -> 2 in
+  let pat_compare p q =
+    match p, q with
+    | Wildcard, Wildcard -> 0
+    | Const v, Const w -> Value.compare v w
+    | Less_than v, Less_than w -> Value.compare v w
+    | _ -> Int.compare (pat_rank p) (pat_rank q)
+  in
+  let c =
+    String.compare
+      (Schema.stream_name a.schema)
+      (Schema.stream_name b.schema)
+  in
+  if c <> 0 then c
+  else
+    let la = Array.length a.patterns and lb = Array.length b.patterns in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else
+      let rec loop i =
+        if i = la then 0
+        else
+          let c = pat_compare a.patterns.(i) b.patterns.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  let pp_pattern ppf = function
+    | Wildcard -> Fmt.string ppf "*"
+    | Const v -> Value.pp ppf v
+    | Less_than v -> Fmt.pf ppf "<%a" Value.pp v
+  in
+  Fmt.pf ppf "%s@[(%a)@]"
+    (Schema.stream_name t.schema)
+    (Fmt.array ~sep:Fmt.comma pp_pattern)
+    t.patterns
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,75 @@
+(** Punctuations: predicates that no future tuple of a stream will satisfy.
+
+    Following Tucker et al. (adopted in §2.3 of the paper), a punctuation for
+    a stream [S(A_1, ..., A_n)] is a pattern per attribute. The paper uses
+    wildcards (no constraint) and constants (equality); we additionally
+    support *order* patterns [Less_than v] — "no future tuple has this
+    attribute below [v]" — which are exactly the watermarks/heartbeats of
+    Srivastava & Widom [11] and of modern stream processors. A punctuation
+    [(*, 1, *)] on the bid stream promises that no future bid has
+    [itemid = 1]; a watermark at 100 on the first attribute promises the
+    stream has advanced past 99 there. *)
+
+type pattern =
+  | Wildcard
+  | Const of Relational.Value.t
+  | Less_than of Relational.Value.t
+      (** forbids future values strictly below the bound (per
+          {!Relational.Value.compare}) *)
+
+type t
+
+(** [make schema patterns] aligns [patterns] with [schema] positionally.
+    @raise Invalid_argument on arity mismatch, an all-wildcard pattern
+    (which would punctuate the whole stream and carries no information), or
+    a constant/bound whose type contradicts the schema. *)
+val make : Relational.Schema.t -> pattern list -> t
+
+(** [of_bindings schema bindings] builds the punctuation constraining exactly
+    the attributes named in [bindings] to constants, wildcard elsewhere. *)
+val of_bindings :
+  Relational.Schema.t -> (string * Relational.Value.t) list -> t
+
+(** [of_constraints schema constraints] — general form: named attributes get
+    the given patterns, the rest are wildcards. *)
+val of_constraints : Relational.Schema.t -> (string * pattern) list -> t
+
+(** [watermark schema attr v] — the order punctuation [attr < v is over]:
+    no future tuple carries a value below [v] on [attr]. *)
+val watermark :
+  Relational.Schema.t -> string -> Relational.Value.t -> t
+
+val schema : t -> Relational.Schema.t
+val patterns : t -> pattern list
+val pattern_at : t -> int -> pattern
+
+(** [const_bindings p] is the list of [(attr_index, value)] pairs [p] pins
+    with equality patterns (order patterns are not included). *)
+val const_bindings : t -> (int * Relational.Value.t) list
+
+(** [constraints p] — every non-wildcard pattern with its position. *)
+val constraints : t -> (int * pattern) list
+
+(** [is_ordered p] — does [p] carry at least one order pattern? *)
+val is_ordered : t -> bool
+
+(** [matches p tuple] holds when [tuple] satisfies [p]'s predicate — i.e.
+    [p] forbids such tuples in the future. *)
+val matches : t -> Relational.Tuple.t -> bool
+
+(** [covers p bindings] holds when [p] alone guarantees that no future tuple
+    agrees with [bindings] (a map from attribute index to value): every
+    constrained attribute of [p] must appear in [bindings] with a value
+    satisfying the constraint (equal to the constant, or below the order
+    bound). *)
+val covers : t -> (int * Relational.Value.t) list -> bool
+
+(** [subsumes a b] holds when [a]'s guarantee implies [b]'s — every tuple
+    [b] forbids is forbidden by [a] (e.g. a later watermark subsumes an
+    earlier one). *)
+val subsumes : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,165 @@
+open Relational
+
+type mark = Punctuatable | Ordered | Not_punctuatable
+
+type t = { schema : Schema.t; marks : mark array }
+
+let make schema marks =
+  let arr = Array.of_list marks in
+  if Array.length arr <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Scheme.make: arity mismatch for %s"
+         (Schema.stream_name schema));
+  if not (Array.exists (fun m -> m <> Not_punctuatable) arr) then
+    invalid_arg "Scheme.make: no punctuatable attribute";
+  Array.iteri
+    (fun i m ->
+      if m = Ordered && (Schema.attr_at schema i).Schema.ty <> Value.TInt then
+        invalid_arg
+          (Printf.sprintf "Scheme.make: ordered attribute %s must be an int"
+             (Schema.attr_at schema i).Schema.name))
+    arr;
+  { schema; marks = arr }
+
+let of_marks schema mark attrs =
+  let arr = Array.make (Schema.arity schema) Not_punctuatable in
+  List.iter (fun name -> arr.(Schema.attr_index schema name) <- mark) attrs;
+  make schema (Array.to_list arr)
+
+let of_attrs schema attrs = of_marks schema Punctuatable attrs
+let ordered schema attrs = of_marks schema Ordered attrs
+
+let schema t = t.schema
+let stream_name t = Schema.stream_name t.schema
+let marks t = Array.to_list t.marks
+
+let punctuatable_indices t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i m -> if m <> Not_punctuatable then acc := i :: !acc)
+    t.marks;
+  List.rev !acc
+
+let ordered_indices t =
+  let acc = ref [] in
+  Array.iteri (fun i m -> if m = Ordered then acc := i :: !acc) t.marks;
+  List.rev !acc
+
+let punctuatable_attrs t =
+  List.map (fun i -> (Schema.attr_at t.schema i).Schema.name)
+    (punctuatable_indices t)
+
+let ordered_attrs t =
+  List.map (fun i -> (Schema.attr_at t.schema i).Schema.name)
+    (ordered_indices t)
+
+let is_punctuatable t name =
+  match Schema.attr_index t.schema name with
+  | i -> t.marks.(i) <> Not_punctuatable
+  | exception Not_found -> false
+
+let is_ordered t name =
+  match Schema.attr_index t.schema name with
+  | i -> t.marks.(i) = Ordered
+  | exception Not_found -> false
+
+let instantiates t p =
+  Schema.equal (Punctuation.schema p) t.schema
+  && Array.to_list t.marks
+     |> List.mapi (fun i m -> (i, m))
+     |> List.for_all (fun (i, m) ->
+            match m, Punctuation.pattern_at p i with
+            | Punctuatable, Punctuation.Const _ -> true
+            | Ordered, Punctuation.Less_than _ -> true
+            | Not_punctuatable, Punctuation.Wildcard -> true
+            | _, _ -> false)
+
+let instantiate t bindings =
+  let expected = punctuatable_attrs t in
+  let given = List.map fst bindings in
+  if
+    List.sort String.compare given <> List.sort String.compare expected
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Scheme.instantiate: bindings must cover exactly {%s} on %s"
+         (String.concat ", " expected) (stream_name t));
+  Punctuation.of_constraints t.schema
+    (List.map
+       (fun (name, v) ->
+         if is_ordered t name then
+           match v with
+           | Value.Int x -> (name, Punctuation.Less_than (Value.Int (x + 1)))
+           | _ ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Scheme.instantiate: ordered attribute %s needs an int"
+                    name)
+         else (name, Punctuation.Const v))
+       bindings)
+
+let equal a b = Schema.equal a.schema b.schema && a.marks = b.marks
+
+let pp ppf t =
+  let pp_mark ppf = function
+    | Punctuatable -> Fmt.string ppf "+"
+    | Ordered -> Fmt.string ppf "^"
+    | Not_punctuatable -> Fmt.string ppf "_"
+  in
+  Fmt.pf ppf "%s@[(%a)@]" (stream_name t)
+    (Fmt.array ~sep:Fmt.comma pp_mark)
+    t.marks
+
+let to_string t = Fmt.str "%a" pp t
+
+module Set = struct
+  type scheme = t
+
+  (* Schemes are kept in declaration order and additionally indexed by
+     stream name: the safety checker's graph constructions look schemes up
+     once per join predicate, and the paper's linear-time construction
+     claim (§4.1, validated by bench C1) needs these lookups to be O(1). *)
+  type nonrec t = {
+    schemes : scheme list;
+    by_stream : (string, scheme list) Hashtbl.t;
+  }
+
+  let of_list schemes =
+    let by_stream = Hashtbl.create 16 in
+    List.iter
+      (fun sch ->
+        let s = stream_name sch in
+        let existing =
+          match Hashtbl.find_opt by_stream s with Some l -> l | None -> []
+        in
+        Hashtbl.replace by_stream s (existing @ [ sch ]))
+      schemes;
+    { schemes; by_stream }
+
+  let empty = of_list []
+  let schemes t = t.schemes
+
+  let for_stream t s =
+    match Hashtbl.find_opt t.by_stream s with Some l -> l | None -> []
+
+  let single_attribute t =
+    of_list
+      (List.filter
+         (fun sch -> List.length (punctuatable_indices sch) = 1)
+         t.schemes)
+
+  let stream_has_punctuatable t ~stream ~attr =
+    List.exists
+      (fun sch ->
+        match punctuatable_attrs sch with
+        | [ a ] -> String.equal a attr
+        | _ -> false)
+      (for_stream t stream)
+
+  let instantiated_by t p =
+    List.find_opt (fun sch -> instantiates sch p) t.schemes
+
+  let add t sch = of_list (t.schemes @ [ sch ])
+  let cardinal t = List.length t.schemes
+  let pp ppf t = Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma pp) t.schemes
+end

@@ -1,0 +1,97 @@
+(** Punctuation schemes: the application-level declaration of which
+    punctuations a stream *may* produce (§2.3).
+
+    A scheme [P^S = (P_1, ..., P_n)] marks each attribute of [S] as
+    punctuatable (["+"]) or not (["_"]). A punctuation instantiates a scheme
+    by assigning constants to exactly the punctuatable attributes. A stream
+    may declare several schemes; the system-wide collection is the scheme set
+    [ℜ] consulted by the safety checker. *)
+
+type mark =
+  | Punctuatable  (** ["+"]: equality punctuations on this attribute *)
+  | Ordered
+      (** ["^"]: watermark punctuations ([Less_than]) on this attribute —
+          an extension beyond the paper (its future work (ii)); requires an
+          integer attribute, since instantiation needs a successor. For
+          safety checking an ordered attribute behaves like a punctuatable
+          one: a single watermark past a value covers it. *)
+  | Not_punctuatable  (** ["_"] *)
+
+type t
+
+(** [make schema marks] aligns [marks] with [schema] positionally.
+    @raise Invalid_argument on arity mismatch, when no attribute is
+    punctuatable/ordered (such a scheme can instantiate no punctuation), or
+    when an [Ordered] mark sits on a non-integer attribute. *)
+val make : Relational.Schema.t -> mark list -> t
+
+(** [of_attrs schema attrs] marks exactly the named attributes punctuatable. *)
+val of_attrs : Relational.Schema.t -> string list -> t
+
+(** [ordered schema attrs] marks exactly the named attributes ordered. *)
+val ordered : Relational.Schema.t -> string list -> t
+
+val schema : t -> Relational.Schema.t
+val stream_name : t -> string
+val marks : t -> mark list
+
+(** [punctuatable_indices t] are the positions marked ["+"] or ["^"],
+    ascending — everything the safety graphs treat as pinnable. *)
+val punctuatable_indices : t -> int list
+
+(** [punctuatable_attrs t] are the names of the ["+"]/["^"] attributes. *)
+val punctuatable_attrs : t -> string list
+
+(** [ordered_attrs t] are the names of the ["^"] attributes only. *)
+val ordered_attrs : t -> string list
+
+val is_punctuatable : t -> string -> bool
+val is_ordered : t -> string -> bool
+
+(** [instantiates t p] holds when punctuation [p] is an instantiation of
+    scheme [t]: constants exactly on the punctuatable attributes and order
+    bounds exactly on the ordered ones. *)
+val instantiates : t -> Punctuation.t -> bool
+
+(** [instantiate t bindings] builds the instantiation of [t] that covers the
+    given attribute-name bindings: a constant for a ["+"] attribute, and for
+    a ["^"] attribute the watermark just past the bound value (no future
+    tuple at or below it).
+    @raise Invalid_argument when [bindings] does not cover exactly the
+    punctuatable attributes, or an ordered binding is not an integer. *)
+val instantiate : t -> (string * Relational.Value.t) list -> Punctuation.t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** A punctuation scheme set [ℜ]: every scheme declared in the DSMS. *)
+module Set : sig
+  type scheme = t
+  type t
+
+  val of_list : scheme list -> t
+  val empty : t
+  val schemes : t -> scheme list
+
+  (** [for_stream t s] is every scheme declared on stream [s]. *)
+  val for_stream : t -> string -> scheme list
+
+  (** [single_attribute t] restricts to schemes with exactly one
+      punctuatable attribute (the §4.1 setting). *)
+  val single_attribute : t -> t
+
+  (** [stream_has_punctuatable t ~stream ~attr] holds when some scheme on
+      [stream] has only [attr] punctuatable — the condition creating a plain
+      punctuation-graph edge (Def 7). *)
+  val stream_has_punctuatable : t -> stream:string -> attr:string -> bool
+
+  (** [instantiated_by t p] is the first scheme of [t] that punctuation [p]
+      instantiates, if any — punctuations that instantiate no declared scheme
+      are illegal input. *)
+  val instantiated_by : t -> Punctuation.t -> scheme option
+
+  val add : t -> scheme -> t
+  val cardinal : t -> int
+  val pp : Format.formatter -> t -> unit
+end

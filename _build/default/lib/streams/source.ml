@@ -1,0 +1,15 @@
+type t = Element.t Seq.t
+
+let of_list = List.to_seq
+let to_list = List.of_seq
+
+let of_fun f =
+  let rec next () = match f () with None -> Seq.Nil | Some e -> Seq.Cons (e, next) in
+  next
+
+let unfold f state = Seq.unfold f state
+let take = Seq.take
+let append = Seq.append
+let map = Seq.map
+let filter = Seq.filter
+let length t = Seq.fold_left (fun n _ -> n + 1) 0 t

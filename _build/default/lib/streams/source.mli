@@ -1,0 +1,22 @@
+(** Lazy element sources.
+
+    A source produces the elements of one stream on demand, so benchmarks can
+    run over inputs far larger than memory. Built on [Seq.t]. *)
+
+type t = Element.t Seq.t
+
+val of_list : Element.t list -> t
+val to_list : t -> Element.t list
+
+(** [of_fun f] produces elements by repeatedly calling [f] until it returns
+    [None]. [f] is called at most once per element, in order. *)
+val of_fun : (unit -> Element.t option) -> t
+
+(** [unfold f state] is the classic stateful generator. *)
+val unfold : ('s -> (Element.t * 's) option) -> 's -> t
+
+val take : int -> t -> t
+val append : t -> t -> t
+val map : (Element.t -> Element.t) -> t -> t
+val filter : (Element.t -> bool) -> t -> t
+val length : t -> int

@@ -1,0 +1,30 @@
+open Relational
+
+type t = { schema : Schema.t; schemes : Scheme.t list }
+
+let make schema schemes =
+  List.iter
+    (fun sch ->
+      if not (Schema.equal (Scheme.schema sch) schema) then
+        invalid_arg
+          (Printf.sprintf "Stream_def.make: scheme %s not over stream %s"
+             (Scheme.to_string sch) (Schema.stream_name schema)))
+    schemes;
+  { schema; schemes }
+
+let schema t = t.schema
+let name t = Schema.stream_name t.schema
+let schemes t = t.schemes
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v2>%a@,schemes: %a@]" Schema.pp t.schema
+    (Fmt.list ~sep:Fmt.comma Scheme.pp)
+    t.schemes
+
+let scheme_set defs =
+  Scheme.Set.of_list (List.concat_map (fun d -> d.schemes) defs)
+
+let find defs n =
+  match List.find_opt (fun d -> String.equal (name d) n) defs with
+  | Some d -> d
+  | None -> raise Not_found

@@ -1,0 +1,21 @@
+(** A stream definition: schema plus the punctuation schemes the application
+    declares for it. This is what the paper's query register stores. *)
+
+type t
+
+(** [make schema schemes] checks every scheme is over [schema].
+    @raise Invalid_argument otherwise. *)
+val make : Relational.Schema.t -> Scheme.t list -> t
+
+val schema : t -> Relational.Schema.t
+val name : t -> string
+val schemes : t -> Scheme.t list
+val pp : Format.formatter -> t -> unit
+
+(** [scheme_set defs] collects every scheme of every definition into the
+    system-wide scheme set ℜ. *)
+val scheme_set : t list -> Scheme.Set.t
+
+(** [find defs name] is the definition of stream [name].
+    @raise Not_found if absent. *)
+val find : t list -> string -> t

@@ -1,0 +1,107 @@
+type t = Element.t list
+
+let streams t =
+  List.sort_uniq String.compare (List.map Element.stream_name t)
+
+let data_count t = List.length (List.filter Element.is_data t)
+let punct_count t = List.length (List.filter Element.is_punct t)
+
+let for_stream t s =
+  List.filter (fun e -> String.equal (Element.stream_name e) s) t
+
+type violation =
+  | Tuple_after_punctuation of Relational.Tuple.t * Punctuation.t
+  | Unregistered_punctuation of Punctuation.t
+
+let pp_violation ppf = function
+  | Tuple_after_punctuation (tup, p) ->
+      Fmt.pf ppf "tuple %a arrived after punctuation %a" Relational.Tuple.pp
+        tup Punctuation.pp p
+  | Unregistered_punctuation p ->
+      Fmt.pf ppf "punctuation %a instantiates no declared scheme"
+        Punctuation.pp p
+
+let check ~schemes t =
+  (* Single pass per stream, remembering the punctuations seen so far. *)
+  let seen : (string, Punctuation.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let past s =
+    match Hashtbl.find_opt seen s with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add seen s r;
+        r
+  in
+  List.concat_map
+    (fun e ->
+      let s = Element.stream_name e in
+      match e with
+      | Element.Punct p ->
+          (past s) := p :: !(past s);
+          if Scheme.Set.instantiated_by schemes p = None then
+            [ Unregistered_punctuation p ]
+          else []
+      | Element.Data tup ->
+          List.filter_map
+            (fun p ->
+              if Punctuation.matches p tup then
+                Some (Tuple_after_punctuation (tup, p))
+              else None)
+            !(past s))
+    t
+
+let interleave ?(seed = 42) weighted =
+  let weighted =
+    List.filter (fun (_, w) -> w > 0) weighted
+    |> List.map (fun (tr, w) -> (ref tr, w))
+  in
+  let state = ref seed in
+  (* xorshift-style deterministic PRNG; quality is irrelevant, determinism
+     and portability are what matters. *)
+  let next_int bound =
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    !state mod bound
+  in
+  let rec loop acc =
+    let live = List.filter (fun (tr, _) -> !tr <> []) weighted in
+    match live with
+    | [] -> List.rev acc
+    | _ ->
+        let total = List.fold_left (fun s (_, w) -> s + w) 0 live in
+        let pick = next_int total in
+        let rec choose acc_w = function
+          | [] -> assert false
+          | (tr, w) :: rest ->
+              if pick < acc_w + w then tr else choose (acc_w + w) rest
+        in
+        let tr = choose 0 live in
+        (match !tr with
+        | [] -> assert false
+        | e :: rest ->
+            tr := rest;
+            loop (e :: acc))
+  in
+  loop []
+
+let round_robin traces =
+  let refs = List.map ref traces in
+  let rec loop acc progressed =
+    let acc, progressed =
+      List.fold_left
+        (fun (acc, progressed) tr ->
+          match !tr with
+          | [] -> (acc, progressed)
+          | e :: rest ->
+              tr := rest;
+              (e :: acc, true))
+        (acc, progressed) refs
+    in
+    if progressed then loop acc false else List.rev acc
+  in
+  loop [] false
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Element.pp) t

@@ -1,0 +1,137 @@
+open Relational
+
+exception Format_error of { line : int; message : string }
+
+let fail line fmt =
+  Fmt.kstr (fun message -> raise (Format_error { line; message })) fmt
+
+(* percent-escape the separators and the escape itself *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ',' | '%' | ' ' | '\n' ->
+          Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      | _ -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape line s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' then
+        if i + 2 < n then begin
+          (match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+          | Some code -> Buffer.add_char buf (Char.chr code)
+          | None -> fail line "bad escape in %S" s);
+          go (i + 3)
+        end
+        else fail line "truncated escape in %S" s
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let value_to_string = function
+  | Value.Int i -> Printf.sprintf "i:%d" i
+  | Value.Float f -> Printf.sprintf "f:%h" f
+  | Value.Str s -> "s:" ^ escape s
+  | Value.Bool b -> Printf.sprintf "b:%b" b
+  | Value.Null -> "null"
+
+let value_of_string line s =
+  if s = "null" then Value.Null
+  else if String.length s < 2 || s.[1] <> ':' then
+    fail line "bad value %S" s
+  else
+    let body = String.sub s 2 (String.length s - 2) in
+    match s.[0] with
+    | 'i' -> (
+        match int_of_string_opt body with
+        | Some i -> Value.Int i
+        | None -> fail line "bad int %S" body)
+    | 'f' -> (
+        match float_of_string_opt body with
+        | Some f -> Value.Float f
+        | None -> fail line "bad float %S" body)
+    | 's' -> Value.Str (unescape line body)
+    | 'b' -> (
+        match bool_of_string_opt body with
+        | Some b -> Value.Bool b
+        | None -> fail line "bad bool %S" body)
+    | c -> fail line "unknown value tag %C" c
+
+let pattern_to_string = function
+  | Punctuation.Wildcard -> "*"
+  | Punctuation.Const v -> "=" ^ value_to_string v
+  | Punctuation.Less_than v -> "<" ^ value_to_string v
+
+let pattern_of_string line s =
+  if s = "*" then Punctuation.Wildcard
+  else if String.length s >= 1 && s.[0] = '=' then
+    Punctuation.Const (value_of_string line (String.sub s 1 (String.length s - 1)))
+  else if String.length s >= 1 && s.[0] = '<' then
+    Punctuation.Less_than
+      (value_of_string line (String.sub s 1 (String.length s - 1)))
+  else fail line "bad pattern %S" s
+
+let element_to_string e =
+  match e with
+  | Element.Data tup ->
+      Printf.sprintf "data %s %s"
+        (Element.stream_name e)
+        (String.concat "," (List.map value_to_string (Tuple.values tup)))
+  | Element.Punct p ->
+      Printf.sprintf "punct %s %s"
+        (Element.stream_name e)
+        (String.concat "," (List.map pattern_to_string (Punctuation.patterns p)))
+
+let to_string trace =
+  String.concat "\n" (List.map element_to_string trace) ^ "\n"
+
+let save ~path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))
+
+let of_string ~defs text =
+  let schema_of line name =
+    match Stream_def.find defs name with
+    | def -> Stream_def.schema def
+    | exception Not_found -> fail line "unknown stream %S" name
+  in
+  String.split_on_char '\n' text
+  |> List.mapi (fun i raw -> (i + 1, String.trim raw))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  |> List.map (fun (line, l) ->
+         match String.split_on_char ' ' l with
+         | [ "data"; stream; body ] ->
+             let schema = schema_of line stream in
+             let values =
+               List.map (value_of_string line) (String.split_on_char ',' body)
+             in
+             (try Element.Data (Tuple.make schema values)
+              with Invalid_argument m -> fail line "%s" m)
+         | [ "punct"; stream; body ] ->
+             let schema = schema_of line stream in
+             let patterns =
+               List.map (pattern_of_string line) (String.split_on_char ',' body)
+             in
+             (try Element.Punct (Punctuation.make schema patterns)
+              with Invalid_argument m -> fail line "%s" m)
+         | _ -> fail line "cannot parse %S" l)
+
+let load ~defs ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string ~defs (really_input_string ic len))

@@ -1,0 +1,26 @@
+(** Plain-text trace serialization, so workloads can be saved, inspected,
+    edited by hand and replayed through the command-line tools.
+
+    One element per line:
+
+    {v
+    data item i:1,i:42,s:widget,f:9.5
+    punct bid *,=i:1,*
+    punct orders <i:100,*
+    v}
+
+    Values are typed ([i:] int, [f:] float, [s:] string percent-escaped,
+    [b:] bool, [null]); punctuation patterns are [*] (wildcard), [=v]
+    (constant) or [<v] (order bound / watermark). Loading requires the
+    stream definitions to resolve schemas. *)
+
+exception Format_error of { line : int; message : string }
+
+val save : path:string -> Trace.t -> unit
+val to_string : Trace.t -> string
+
+(** @raise Format_error on malformed input (1-based line numbers);
+    @raise Invalid_argument when a value contradicts its schema. *)
+val load : defs:Stream_def.t list -> path:string -> Trace.t
+
+val of_string : defs:Stream_def.t list -> string -> Trace.t

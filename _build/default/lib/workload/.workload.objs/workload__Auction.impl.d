@@ -1,0 +1,1 @@
+lib/workload/auction.ml: Hashtbl Int List Predicate Printf Query Relational Rng Schema Streams Tuple Value Zipf

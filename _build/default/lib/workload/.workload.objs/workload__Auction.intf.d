@@ -1,0 +1,1 @@
+lib/workload/auction.mli: Query Relational Streams

@@ -1,0 +1,1 @@
+lib/workload/netmon.ml: Array List Predicate Query Relational Rng Schema Streams Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/netmon.mli: Query Relational Streams

@@ -1,0 +1,1 @@
+lib/workload/orders.mli: Query Relational Streams

@@ -1,0 +1,1 @@
+lib/workload/synth.ml: Fun Hashtbl List Predicate Printf Query Relational Rng Schema Streams String Tuple Value

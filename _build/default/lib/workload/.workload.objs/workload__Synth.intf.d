@@ -1,0 +1,1 @@
+lib/workload/synth.mli: Query Streams

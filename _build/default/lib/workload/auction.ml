@@ -1,0 +1,151 @@
+open Relational
+module Scheme = Streams.Scheme
+module Punctuation = Streams.Punctuation
+module Element = Streams.Element
+module Stream_def = Streams.Stream_def
+
+type config = {
+  n_items : int;
+  bids_per_item : int;
+  overlap : int;
+  theta : float;
+  punct_items : bool;
+  punct_bid_close : bool;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_items = 100;
+    bids_per_item = 10;
+    overlap = 5;
+    theta = 0.8;
+    punct_items = true;
+    punct_bid_close = true;
+    seed = 42;
+  }
+
+let item_schema =
+  Schema.make ~stream:"item"
+    [
+      { Schema.name = "sellerid"; ty = Value.TInt };
+      { Schema.name = "itemid"; ty = Value.TInt };
+      { Schema.name = "name"; ty = Value.TStr };
+      { Schema.name = "initialprice"; ty = Value.TFloat };
+    ]
+
+let bid_schema =
+  Schema.make ~stream:"bid"
+    [
+      { Schema.name = "bidderid"; ty = Value.TInt };
+      { Schema.name = "itemid"; ty = Value.TInt };
+      { Schema.name = "increase"; ty = Value.TFloat };
+    ]
+
+let stream_defs () =
+  [
+    Stream_def.make item_schema [ Scheme.of_attrs item_schema [ "itemid" ] ];
+    Stream_def.make bid_schema [ Scheme.of_attrs bid_schema [ "itemid" ] ];
+  ]
+
+let query () =
+  Query.Cjq.make (stream_defs ())
+    [ Predicate.atom "item" "itemid" "bid" "itemid" ]
+
+let item_tuple rng itemid =
+  Tuple.make item_schema
+    [
+      Value.Int (Rng.int rng 1000);
+      Value.Int itemid;
+      Value.Str (Printf.sprintf "item-%d" itemid);
+      Value.Float (float_of_int (1 + Rng.int rng 100));
+    ]
+
+let bid_tuple rng itemid =
+  Tuple.make bid_schema
+    [
+      Value.Int (Rng.int rng 10_000);
+      Value.Int itemid;
+      Value.Float (float_of_int (1 + Rng.int rng 50));
+    ]
+
+let trace config =
+  if config.n_items <= 0 || config.overlap <= 0 then
+    invalid_arg "Auction.trace: n_items and overlap must be positive";
+  let rng = Rng.create ~seed:config.seed in
+  let zipf = Zipf.create ~n:(max 1 config.overlap) ~theta:config.theta in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  (* Open auctions with their remaining bid budget, most recent first. *)
+  let open_items = ref [] in
+  let next_item = ref 1 in
+  let close (itemid, _) =
+    if config.punct_bid_close then
+      emit
+        (Element.Punct
+           (Punctuation.of_bindings bid_schema
+              [ ("itemid", Value.Int itemid) ]));
+    open_items := List.filter (fun (id, _) -> id <> itemid) !open_items
+  in
+  let post_item () =
+    let itemid = !next_item in
+    incr next_item;
+    emit (Element.Data (item_tuple rng itemid));
+    if config.punct_items then
+      emit
+        (Element.Punct
+           (Punctuation.of_bindings item_schema
+              [ ("itemid", Value.Int itemid) ]));
+    open_items := (itemid, ref config.bids_per_item) :: !open_items
+  in
+  let place_bid () =
+    let n_open = List.length !open_items in
+    let rank = min n_open (Zipf.draw zipf rng) in
+    let itemid, remaining = List.nth !open_items (rank - 1) in
+    emit (Element.Data (bid_tuple rng itemid));
+    decr remaining;
+    if !remaining <= 0 then close (itemid, remaining)
+  in
+  let rec loop () =
+    if !next_item <= config.n_items && List.length !open_items < config.overlap
+    then begin
+      post_item ();
+      loop ()
+    end
+    else if !open_items <> [] then begin
+      if config.bids_per_item > 0 then place_bid ()
+      else close (List.hd !open_items);
+      loop ()
+    end
+    else if !next_item <= config.n_items then begin
+      post_item ();
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !out
+
+let expected_sums config =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match e with
+      | Element.Data tup
+        when Schema.stream_name (Tuple.schema tup) = "bid" -> (
+          let itemid =
+            match Tuple.get_named tup "itemid" with
+            | Value.Int i -> i
+            | _ -> assert false
+          in
+          let inc =
+            match Tuple.get_named tup "increase" with
+            | Value.Float f -> f
+            | _ -> assert false
+          in
+          match Hashtbl.find_opt tbl itemid with
+          | Some total -> Hashtbl.replace tbl itemid (total +. inc)
+          | None -> Hashtbl.add tbl itemid inc)
+      | _ -> ())
+    (trace config);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

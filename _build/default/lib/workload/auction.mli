@@ -1,0 +1,41 @@
+(** The online-auction workload of Example 1 / Figure 1.
+
+    An [item] stream of posted items and a [bid] stream of bids, joined on
+    [itemid]. Two punctuation schemes carry the application semantics the
+    paper describes:
+    - itemids are unique in the item stream, so a punctuation
+      [(*, itemid, *, *)] follows every item tuple;
+    - when an auction closes, no more bids for it can arrive: the bid
+      stream punctuates [(*, itemid, *)].
+
+    The generator keeps at most [overlap] auctions open; each item receives
+    [bids_per_item] bids (Zipf-skewed across open auctions), then closes. *)
+
+type config = {
+  n_items : int;
+  bids_per_item : int;
+  overlap : int;  (** concurrently open auctions *)
+  theta : float;  (** Zipf skew when picking which open auction gets a bid *)
+  punct_items : bool;  (** emit the item-uniqueness punctuations *)
+  punct_bid_close : bool;  (** emit the auction-close punctuations *)
+  seed : int;
+}
+
+val default_config : config
+
+val item_schema : Relational.Schema.t
+val bid_schema : Relational.Schema.t
+
+(** [stream_defs ()] — both streams with their declared schemes. *)
+val stream_defs : unit -> Streams.Stream_def.t list
+
+(** [query ()] — the CJQ [item ⋈_{itemid} bid]. *)
+val query : unit -> Query.Cjq.t
+
+(** [trace config] — the interleaved arrival sequence. Well-formed by
+    construction (checked in tests with {!Streams.Trace.check}). *)
+val trace : config -> Streams.Trace.t
+
+(** [expected_sums config] — per itemid, the total bid increase: the ground
+    truth for the join + group-by pipeline (Example 1's query). *)
+val expected_sums : config -> (int * float) list

@@ -1,0 +1,129 @@
+open Relational
+module Scheme = Streams.Scheme
+module Punctuation = Streams.Punctuation
+module Element = Streams.Element
+module Stream_def = Streams.Stream_def
+
+type config = {
+  n_flows : int;
+  packets_per_flow : int;
+  overlap : int;
+  seq_space : int;
+  drop_fin_prob : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_flows = 50;
+    packets_per_flow = 8;
+    overlap = 4;
+    seq_space = 1 lsl 16;
+    drop_fin_prob = 0.0;
+    seed = 7;
+  }
+
+let packet_schema name =
+  Schema.make ~stream:name
+    [
+      { Schema.name = "flowid"; ty = Value.TInt };
+      { Schema.name = "seq"; ty = Value.TInt };
+      { Schema.name = "bytes"; ty = Value.TInt };
+    ]
+
+let inbound_schema = packet_schema "inbound"
+let outbound_schema = packet_schema "outbound"
+
+let stream_defs () =
+  [
+    Stream_def.make inbound_schema
+      [ Scheme.of_attrs inbound_schema [ "flowid" ] ];
+    Stream_def.make outbound_schema
+      [ Scheme.of_attrs outbound_schema [ "flowid" ] ];
+  ]
+
+let query () =
+  Query.Cjq.make (stream_defs ())
+    [
+      Predicate.atom "inbound" "flowid" "outbound" "flowid";
+      Predicate.atom "inbound" "seq" "outbound" "seq";
+    ]
+
+let packet schema ~flowid ~seq ~bytes =
+  Tuple.make schema [ Value.Int flowid; Value.Int seq; Value.Int bytes ]
+
+let trace config =
+  if config.n_flows <= 0 || config.overlap <= 0 || config.seq_space <= 0 then
+    invalid_arg "Netmon.trace: positive n_flows, overlap, seq_space required";
+  let rng = Rng.create ~seed:config.seed in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  (* flow id -> (next per-flow seq counter, packets remaining) *)
+  let open_flows = ref [] in
+  let next_flow = ref 1 in
+  let fin flowid =
+    if Rng.float rng >= config.drop_fin_prob then begin
+      emit
+        (Element.Punct
+           (Punctuation.of_bindings inbound_schema
+              [ ("flowid", Value.Int flowid) ]));
+      emit
+        (Element.Punct
+           (Punctuation.of_bindings outbound_schema
+              [ ("flowid", Value.Int flowid) ]))
+    end;
+    open_flows := List.filter (fun (id, _, _) -> id <> flowid) !open_flows
+  in
+  let open_flow () =
+    let flowid = !next_flow in
+    incr next_flow;
+    open_flows := (flowid, ref 0, ref config.packets_per_flow) :: !open_flows
+  in
+  let send_pair () =
+    let flowid, seq_counter, remaining = Rng.pick rng !open_flows in
+    let seq = !seq_counter mod config.seq_space in
+    incr seq_counter;
+    let bytes = 40 + Rng.int rng 1460 in
+    emit (Element.Data (packet inbound_schema ~flowid ~seq ~bytes));
+    emit (Element.Data (packet outbound_schema ~flowid ~seq ~bytes));
+    decr remaining;
+    if !remaining <= 0 then fin flowid
+  in
+  let rec loop () =
+    if !next_flow <= config.n_flows && List.length !open_flows < config.overlap
+    then begin
+      open_flow ();
+      loop ()
+    end
+    else if !open_flows <> [] then begin
+      if config.packets_per_flow > 0 then send_pair ()
+      else
+        (match !open_flows with
+        | (id, _, _) :: _ -> fin id
+        | [] -> ());
+      loop ()
+    end
+    else if !next_flow <= config.n_flows then begin
+      open_flow ();
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !out
+
+let expected_matches config =
+  (* Per flow: inbound packet i pairs with outbound packet j when their
+     wrapped sequence numbers collide (i ≡ j mod seq_space). *)
+  let p = config.packets_per_flow in
+  let per_flow =
+    if config.seq_space >= p then p
+    else begin
+      let counts = Array.make config.seq_space 0 in
+      for i = 0 to p - 1 do
+        let r = i mod config.seq_space in
+        counts.(r) <- counts.(r) + 1
+      done;
+      Array.fold_left (fun acc c -> acc + (c * c)) 0 counts
+    end
+  in
+  config.n_flows * per_flow

@@ -1,0 +1,33 @@
+(** The network-monitoring workload of §5.1.
+
+    Two packet streams — the two directions of TCP flows — joined on
+    [flowid] and [seq] (matching a request packet to its echo). A flow's end
+    (FIN) produces punctuations on [flowid] from both directions.
+
+    §5.1's lifespan discussion is exercised by the sequence-number space:
+    [seq] values wrap modulo [seq_space], so punctuations must not outlive a
+    wrap (bench C8 runs the engine with a punctuation lifespan against this
+    workload). *)
+
+type config = {
+  n_flows : int;
+  packets_per_flow : int;
+  overlap : int;  (** concurrently open flows *)
+  seq_space : int;  (** sequence numbers wrap modulo this *)
+  drop_fin_prob : float;  (** probability a flow's FIN punctuation is lost *)
+  seed : int;
+}
+
+val default_config : config
+
+val inbound_schema : Relational.Schema.t
+val outbound_schema : Relational.Schema.t
+val stream_defs : unit -> Streams.Stream_def.t list
+
+(** [query ()] — [inbound ⋈_{flowid, seq} outbound]. *)
+val query : unit -> Query.Cjq.t
+
+val trace : config -> Streams.Trace.t
+
+(** [expected_matches config] — how many packet pairs the join must emit. *)
+val expected_matches : config -> int

@@ -1,0 +1,110 @@
+open Relational
+module Scheme = Streams.Scheme
+module Punctuation = Streams.Punctuation
+module Element = Streams.Element
+module Stream_def = Streams.Stream_def
+
+type config = {
+  n_orders : int;
+  slack : int;
+  watermark_every : int;
+  ship_delay : int;
+  seed : int;
+}
+
+let default_config =
+  { n_orders = 200; slack = 4; watermark_every = 10; ship_delay = 3; seed = 5 }
+
+let orders_schema =
+  Schema.make ~stream:"orders"
+    [
+      { Schema.name = "order_id"; ty = Value.TInt };
+      { Schema.name = "amount"; ty = Value.TInt };
+    ]
+
+let shipments_schema =
+  Schema.make ~stream:"shipments"
+    [
+      { Schema.name = "order_id"; ty = Value.TInt };
+      { Schema.name = "carrier"; ty = Value.TInt };
+    ]
+
+let stream_defs () =
+  [
+    Stream_def.make orders_schema
+      [ Scheme.ordered orders_schema [ "order_id" ] ];
+    Stream_def.make shipments_schema
+      [ Scheme.ordered shipments_schema [ "order_id" ] ];
+  ]
+
+let query () =
+  Query.Cjq.make (stream_defs ())
+    [ Predicate.atom "orders" "order_id" "shipments" "order_id" ]
+
+(* Ids 1..n shuffled within windows of [slack], so the stream is "almost
+   sorted" the way event time usually is. *)
+let jittered_ids rng n slack =
+  let ids = Array.init n (fun i -> i + 1) in
+  let step = max 1 slack in
+  let i = ref 0 in
+  while !i < n do
+    let upper = min n (!i + step) in
+    let window = Array.sub ids !i (upper - !i) in
+    let shuffled = Array.of_list (Rng.shuffle rng (Array.to_list window)) in
+    Array.blit shuffled 0 ids !i (upper - !i);
+    i := upper
+  done;
+  Array.to_list ids
+
+let trace config =
+  if config.n_orders <= 0 || config.slack < 1 || config.watermark_every < 1
+  then invalid_arg "Orders.trace: bad configuration";
+  let rng = Rng.create ~seed:config.seed in
+  let per_stream schema id_list =
+    (* Emits data plus a watermark every [watermark_every] tuples. A
+       watermark at position i may assert "past the minimum of everything
+       still to come" — with slack-windowed shuffling that is the smallest
+       id in the remaining suffix. *)
+    let rec walk emitted count suffix acc =
+      match suffix with
+      | [] -> List.rev acc
+      | id :: rest ->
+          let values =
+            match Schema.stream_name schema with
+            | "orders" -> [ Value.Int id; Value.Int (10 + Rng.int rng 90) ]
+            | _ -> [ Value.Int id; Value.Int (Rng.int rng 5) ]
+          in
+          let acc = Element.Data (Tuple.make schema values) :: acc in
+          let count = count + 1 in
+          if count mod config.watermark_every = 0 && rest <> [] then
+            let low_water =
+              List.fold_left min (List.hd rest) rest
+            in
+            walk emitted count rest
+              (Element.Punct
+                 (Punctuation.watermark schema "order_id"
+                    (Value.Int low_water))
+              :: acc)
+          else walk emitted count rest acc
+    in
+    walk 0 0 id_list []
+  in
+  let order_ids = jittered_ids rng config.n_orders config.slack in
+  let shipment_ids = jittered_ids rng config.n_orders config.slack in
+  let orders = per_stream orders_schema order_ids in
+  let shipments = per_stream shipments_schema shipment_ids in
+  (* shipments trail their orders by a fixed head start, then both streams
+     advance in lockstep — the steady state a fulfilment pipeline has *)
+  let rec split n xs =
+    if n <= 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+          let head, tail = split (n - 1) rest in
+          (x :: head, tail)
+  in
+  let head, rest_orders = split config.ship_delay orders in
+  head @ Streams.Trace.round_robin [ rest_orders; shipments ]
+
+let expected_matches config = config.n_orders

@@ -1,0 +1,34 @@
+(** An order-fulfilment workload for the watermark extension: an [orders]
+    stream and a [shipments] stream joined on [order_id], where ids are
+    handed out monotonically (modulo a bounded reordering slack) and both
+    streams emit periodic *watermarks* — order punctuations asserting the
+    stream has advanced past an id. This is the Flink-style event-time
+    pattern; under ordered schemes the query is safe and the join state
+    stays within the slack window. *)
+
+type config = {
+  n_orders : int;
+  slack : int;  (** maximum id reordering distance within a stream *)
+  watermark_every : int;  (** emit a watermark after this many tuples *)
+  ship_delay : int;  (** how many orders later the shipment trails *)
+  seed : int;
+}
+
+val default_config : config
+
+val orders_schema : Relational.Schema.t
+val shipments_schema : Relational.Schema.t
+
+(** [stream_defs ()] — both streams declare an ordered ([^]) scheme on
+    [order_id]. *)
+val stream_defs : unit -> Streams.Stream_def.t list
+
+(** [query ()] — [orders ⋈_{order_id} shipments]. *)
+val query : unit -> Query.Cjq.t
+
+(** [trace config] — interleaved, watermarked, well-formed by construction:
+    each watermark trails the lowest id still outstanding. *)
+val trace : config -> Streams.Trace.t
+
+(** [expected_matches config] — every order ships exactly once. *)
+val expected_matches : config -> int

@@ -1,0 +1,24 @@
+(** A small deterministic PRNG (splitmix64) so every workload, test and
+    benchmark is exactly reproducible across runs and platforms —
+    [Stdlib.Random] is avoided on purpose. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int t bound] — uniform in [0, bound). @raise Invalid_argument when
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] — uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [pick t xs] — uniform element. @raise Invalid_argument on empty list. *)
+val pick : t -> 'a list -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+
+(** [sample t k xs] — [k] distinct elements (all of [xs] when shorter). *)
+val sample : t -> int -> 'a list -> 'a list

@@ -1,0 +1,29 @@
+type t = { cumulative : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be >= 0";
+  let weights =
+    Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  { cumulative }
+
+let draw t rng =
+  let u = Rng.float rng in
+  (* binary search for the first cumulative weight >= u *)
+  let n = Array.length t.cumulative in
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cumulative.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1)

@@ -1,0 +1,11 @@
+(** Zipf-distributed sampling over ranks [1..n] — skewed popularity for
+    realistic workloads (a few hot auction items, many cold ones). *)
+
+type t
+
+(** [create ~n ~theta] — [theta = 0] is uniform; [theta ≈ 1] is classic
+    Zipf. @raise Invalid_argument when [n <= 0] or [theta < 0]. *)
+val create : n:int -> theta:float -> t
+
+(** [draw t rng] — a rank in [1, n], rank 1 most popular. *)
+val draw : t -> Rng.t -> int

@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest List Predicate Query Relational Schema Streams String Tuple Value

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Fixtures Float List Option Predicate Query Relation Relational Streams String Value Workload

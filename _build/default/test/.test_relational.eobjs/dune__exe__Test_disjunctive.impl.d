@@ -1,0 +1,1 @@
+test/test_disjunctive.ml: Alcotest Core Engine Fixtures List Predicate Printf Query Relational Streams Value Workload

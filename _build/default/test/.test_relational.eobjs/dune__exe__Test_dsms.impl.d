@@ -1,0 +1,1 @@
+test/test_dsms.ml: Alcotest Core Engine Fixtures List Predicate Relational Result Streams String Value

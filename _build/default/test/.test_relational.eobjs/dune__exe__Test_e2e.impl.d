@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Core Engine Fixtures Float List Printf Query Relational Streams Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Core Engine Fixtures Float List Option Predicate QCheck2 QCheck_alcotest Query Relation Relational Schema Streams Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Core Engine Fixtures List Predicate Query Relational Streams Value Workload

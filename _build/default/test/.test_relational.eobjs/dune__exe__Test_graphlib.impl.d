@@ -1,0 +1,1 @@
+test/test_graphlib.ml: Alcotest Array Fixtures Fmt Graphlib List Printf QCheck2 QCheck_alcotest String

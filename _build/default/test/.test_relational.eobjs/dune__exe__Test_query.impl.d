@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Core Fixtures List Predicate Query Relational Schema Streams Value

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Fixtures Float List Predicate QCheck2 QCheck_alcotest Relation Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_relops.ml: Alcotest Engine Fixtures Fmt List Predicate Query Relational Streams Tuple Value Workload

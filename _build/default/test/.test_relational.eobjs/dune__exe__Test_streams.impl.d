@@ -1,0 +1,1 @@
+test/test_streams.ml: Alcotest Fixtures List QCheck2 QCheck_alcotest Relational Schema Streams Tuple Value Workload

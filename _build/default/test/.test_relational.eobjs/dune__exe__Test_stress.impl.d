@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Core Engine Fixtures List Query Relational Streams Sys Workload

@@ -1,0 +1,1 @@
+test/test_theorem_equiv.ml: Alcotest Core Engine List QCheck2 QCheck_alcotest Query Relational Streams String Workload

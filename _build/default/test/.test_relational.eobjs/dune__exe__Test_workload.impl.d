@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Core Fixtures List Query Relational Schema Streams Tuple Workload

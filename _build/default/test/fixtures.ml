@@ -1,0 +1,75 @@
+(* Shared constructions of the paper's worked examples, used across the
+   test suites. *)
+
+open Relational
+module Scheme = Streams.Scheme
+module Stream_def = Streams.Stream_def
+
+let int_schema name attrs =
+  Schema.make ~stream:name
+    (List.map (fun a -> { Schema.name = a; ty = Value.TInt }) attrs)
+
+(* The triangle query of Figures 3/5/8: S1(A,B), S2(B,C), S3(C,A) with
+   predicates S1.B = S2.B, S2.C = S3.C, S3.A = S1.A. *)
+let s1 = int_schema "S1" [ "A"; "B" ]
+let s2 = int_schema "S2" [ "B"; "C" ]
+let s3 = int_schema "S3" [ "C"; "A" ]
+
+let triangle_preds =
+  [
+    Predicate.atom "S1" "B" "S2" "B";
+    Predicate.atom "S2" "C" "S3" "C";
+    Predicate.atom "S3" "A" "S1" "A";
+  ]
+
+(* Figure 3's acyclic variant: only the two predicates of Example 2. *)
+let path_preds =
+  [ Predicate.atom "S1" "B" "S2" "B"; Predicate.atom "S2" "C" "S3" "C" ]
+
+(* Example 3 / Figure 5 schemes: B on S1, C on S2, A on S3 (the
+   combination that makes the punctuation graph one directed cycle; the
+   paper prints S3's scheme as "(+,_)" against an (A,C) ordering). *)
+let fig5_schemes =
+  Scheme.Set.of_list
+    [
+      Scheme.of_attrs s1 [ "B" ];
+      Scheme.of_attrs s2 [ "C" ];
+      Scheme.of_attrs s3 [ "A" ];
+    ]
+
+(* §4.2 / Figure 8 schemes: {S1(_,+), S2(+,_), S2(_,+), S3(+,+)}. *)
+let fig8_schemes =
+  Scheme.Set.of_list
+    [
+      Scheme.of_attrs s1 [ "B" ];
+      Scheme.of_attrs s2 [ "B" ];
+      Scheme.of_attrs s2 [ "C" ];
+      Scheme.of_attrs s3 [ "C"; "A" ];
+    ]
+
+let triangle_query schemes =
+  let scheme_list = Scheme.Set.schemes schemes in
+  let defs =
+    List.map
+      (fun schema ->
+        Stream_def.make schema
+          (List.filter
+             (fun sch -> Scheme.stream_name sch = Schema.stream_name schema)
+             scheme_list))
+      [ s1; s2; s3 ]
+  in
+  Query.Cjq.make defs triangle_preds
+
+let fig5_query () = triangle_query fig5_schemes
+let fig8_query () = triangle_query fig8_schemes
+
+(* The Figure 3 MJoin purge example: states Υ_S2 = {(b1,c1)..(b1,cm)} and
+   the root tuple t = (a1,b1) from S1. *)
+let tuple schema values = Tuple.make schema (List.map (fun v -> Value.Int v) values)
+
+(* Alcotest helpers. *)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let sorted_strings = List.sort String.compare

@@ -1,0 +1,245 @@
+(* The query register and multi-query runtime of Figure 2: admission,
+   rejection with reasons, minimal relevant schemes, and punctuation
+   routing ("avoid unnecessary processing of the irrelevant punctuations",
+   §1). *)
+
+open Relational
+module Scheme = Streams.Scheme
+module Stream_def = Streams.Stream_def
+module Element = Streams.Element
+module Punctuation = Streams.Punctuation
+module Register = Core.Register
+module Dsms = Engine.Dsms
+open Fixtures
+
+(* Three streams: item and bid as in Example 1, plus a promo stream joined
+   to bid on bidderid. bid declares schemes on both join attributes, so
+   each query needs a different subset of bid's punctuations. *)
+let item = int_schema "item" [ "itemid"; "price" ]
+let bid = int_schema "bid" [ "bidderid"; "itemid"; "amount" ]
+let promo = int_schema "promo" [ "bidderid"; "discount" ]
+
+let declare reg =
+  Register.declare_stream reg
+    (Stream_def.make item [ Scheme.of_attrs item [ "itemid" ] ]);
+  Register.declare_stream reg
+    (Stream_def.make bid
+       [ Scheme.of_attrs bid [ "itemid" ]; Scheme.of_attrs bid [ "bidderid" ] ]);
+  Register.declare_stream reg
+    (Stream_def.make promo [ Scheme.of_attrs promo [ "bidderid" ] ])
+
+let register_both reg =
+  let r1 =
+    Register.register_query reg ~name:"auction" ~streams:[ "item"; "bid" ]
+      ~predicates:[ Predicate.atom "item" "itemid" "bid" "itemid" ]
+  in
+  let r2 =
+    Register.register_query reg ~name:"promos" ~streams:[ "bid"; "promo" ]
+      ~predicates:[ Predicate.atom "bid" "bidderid" "promo" "bidderid" ]
+  in
+  (r1, r2)
+
+(* ------------------------------------------------------------------ *)
+(* Register *)
+
+let test_declare_idempotent_and_conflicting () =
+  let reg = Register.create () in
+  declare reg;
+  (* identical re-declaration is fine *)
+  Register.declare_stream reg
+    (Stream_def.make item [ Scheme.of_attrs item [ "itemid" ] ]);
+  check_int "three streams" 3 (List.length (Register.streams reg));
+  Alcotest.check_raises "conflicting declaration"
+    (Invalid_argument "Register.declare_stream: item already declared differently")
+    (fun () ->
+      Register.declare_stream reg (Stream_def.make item []))
+
+let test_admission_accepts_safe () =
+  let reg = Register.create () in
+  declare reg;
+  let r1, r2 = register_both reg in
+  check_bool "auction admitted" true (Result.is_ok r1);
+  check_bool "promos admitted" true (Result.is_ok r2);
+  Alcotest.(check (list string)) "both registered" [ "auction"; "promos" ]
+    (Register.queries reg)
+
+let test_admission_rejects_unsafe () =
+  let reg = Register.create () in
+  Register.declare_stream reg (Stream_def.make item []);
+  Register.declare_stream reg
+    (Stream_def.make bid [ Scheme.of_attrs bid [ "bidderid" ] ]);
+  (* §1's motivating case: only a bidderid scheme, joining on itemid *)
+  match
+    Register.register_query reg ~name:"auction" ~streams:[ "item"; "bid" ]
+      ~predicates:[ Predicate.atom "item" "itemid" "bid" "itemid" ]
+  with
+  | Ok _ -> Alcotest.fail "must be rejected"
+  | Error { reason; report } ->
+      check_bool "names the stuck stream" true
+        (String.length reason > 0 && not report.Core.Checker.safe);
+      check_int "nothing registered" 0 (List.length (Register.queries reg))
+
+let test_register_errors () =
+  let reg = Register.create () in
+  declare reg;
+  ignore (register_both reg);
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Register: query \"auction\" already registered")
+    (fun () ->
+      ignore
+        (Register.register_query reg ~name:"auction" ~streams:[ "item"; "bid" ]
+           ~predicates:[ Predicate.atom "item" "itemid" "bid" "itemid" ]));
+  Alcotest.check_raises "unknown stream"
+    (Invalid_argument "Register: stream \"nope\" not declared") (fun () ->
+      ignore
+        (Register.register_query reg ~name:"x" ~streams:[ "item"; "nope" ]
+           ~predicates:[]))
+
+let test_relevant_schemes_minimal () =
+  let reg = Register.create () in
+  declare reg;
+  ignore (register_both reg);
+  let auction = Register.relevant_schemes reg "auction" in
+  let promos = Register.relevant_schemes reg "promos" in
+  (* the auction query never needs bid's bidderid scheme, nor vice versa *)
+  check_bool "auction ignores bidderid schemes" true
+    (List.for_all
+       (fun sch -> Scheme.punctuatable_attrs sch <> [ "bidderid" ]
+                   || Scheme.stream_name sch = "promo")
+       (Scheme.Set.schemes auction));
+  check_bool "auction still safe on subset" true
+    (Core.Checker.is_safe ~schemes:auction (Register.query_of reg "auction"));
+  check_bool "promos still safe on subset" true
+    (Core.Checker.is_safe ~schemes:promos (Register.query_of reg "promos"))
+
+let test_routing () =
+  let reg = Register.create () in
+  declare reg;
+  ignore (register_both reg);
+  let bid_tuple = Element.Data (tuple bid [ 9; 1; 50 ]) in
+  Alcotest.(check (list string)) "bid data goes to both" [ "auction"; "promos" ]
+    (Register.route reg bid_tuple);
+  let item_tuple = Element.Data (tuple item [ 1; 100 ]) in
+  Alcotest.(check (list string)) "item data to auction only" [ "auction" ]
+    (Register.route reg item_tuple);
+  let itemid_punct =
+    Element.Punct (Punctuation.of_bindings bid [ ("itemid", Value.Int 1) ])
+  in
+  Alcotest.(check (list string)) "itemid punct to auction only" [ "auction" ]
+    (Register.route reg itemid_punct);
+  let bidder_punct =
+    Element.Punct (Punctuation.of_bindings bid [ ("bidderid", Value.Int 9) ])
+  in
+  Alcotest.(check (list string)) "bidderid punct to promos only" [ "promos" ]
+    (Register.route reg bidder_punct);
+  let promo_punct =
+    Element.Punct (Punctuation.of_bindings promo [ ("bidderid", Value.Int 9) ])
+  in
+  Alcotest.(check (list string)) "promo punct to promos" [ "promos" ]
+    (Register.route reg promo_punct)
+
+(* ------------------------------------------------------------------ *)
+(* DSMS runtime *)
+
+let shared_trace () =
+  (* one interleaved input touching all three streams, with punctuations
+     for both queries *)
+  let d schema values = Element.Data (tuple schema values) in
+  let p schema bindings =
+    Element.Punct
+      (Punctuation.of_bindings schema
+         (List.map (fun (a, v) -> (a, Value.Int v)) bindings))
+  in
+  [
+    d item [ 1; 100 ];
+    p item [ ("itemid", 1) ];
+    d promo [ 9; 15 ];
+    d bid [ 9; 1; 50 ];
+    p bid [ ("itemid", 1) ];
+    p bid [ ("bidderid", 9) ];
+    p promo [ ("bidderid", 9) ];
+    d item [ 2; 60 ];
+    p item [ ("itemid", 2) ];
+    d bid [ 8; 2; 10 ];
+    p bid [ ("itemid", 2) ];
+    p bid [ ("bidderid", 8) ];
+    p promo [ ("bidderid", 8) ];
+  ]
+
+let test_dsms_runs_both_queries () =
+  let reg = Register.create () in
+  declare reg;
+  ignore (register_both reg);
+  let dsms = Dsms.of_register reg in
+  let results = Dsms.run dsms (List.to_seq (shared_trace ())) in
+  check_int "auction: two joins" 2
+    (List.length (List.assoc "auction" results));
+  check_int "promos: one join (bidder 9 only)" 1
+    (List.length (List.assoc "promos" results))
+
+let test_dsms_routing_saves_punctuations () =
+  let reg = Register.create () in
+  declare reg;
+  ignore (register_both reg);
+  let dsms = Dsms.of_register reg in
+  ignore (Dsms.run dsms (List.to_seq (shared_trace ())));
+  let stats = Dsms.stats dsms in
+  check_int "saw everything" 13 stats.Dsms.elements_seen;
+  (* bid's itemid puncts are useless to promos, bidderid puncts to auction:
+     2 + 2 skipped deliveries *)
+  check_int "skipped punctuation deliveries" 4 stats.Dsms.punctuations_skipped;
+  check_bool "fewer deliveries than broadcast" true
+    (stats.Dsms.deliveries < 2 * stats.Dsms.elements_seen)
+
+let test_dsms_results_match_solo_runs () =
+  let reg = Register.create () in
+  declare reg;
+  ignore (register_both reg);
+  let dsms = Dsms.of_register reg in
+  let results = Dsms.run dsms (List.to_seq (shared_trace ())) in
+  List.iter
+    (fun name ->
+      let q = Register.query_of reg name in
+      let solo =
+        Engine.Executor.run
+          (Engine.Executor.compile q (Register.plan_of reg name))
+          (List.to_seq (shared_trace ()))
+      in
+      check_int
+        (name ^ " matches solo run")
+        (List.length
+           (List.filter Element.is_data solo.Engine.Executor.outputs))
+        (List.length (List.assoc name results)))
+    [ "auction"; "promos" ]
+
+let test_dsms_state_bounded () =
+  let reg = Register.create () in
+  declare reg;
+  ignore (register_both reg);
+  let dsms = Dsms.of_register reg in
+  ignore (Dsms.run dsms (List.to_seq (shared_trace ())));
+  check_int "auction drained" 0 (Dsms.state_of dsms "auction");
+  check_int "promos drained" 0 (Dsms.state_of dsms "promos")
+
+let () =
+  Alcotest.run "dsms"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "stream declarations" `Quick
+            test_declare_idempotent_and_conflicting;
+          Alcotest.test_case "admits safe" `Quick test_admission_accepts_safe;
+          Alcotest.test_case "rejects unsafe" `Quick test_admission_rejects_unsafe;
+          Alcotest.test_case "errors" `Quick test_register_errors;
+          Alcotest.test_case "relevant schemes" `Quick test_relevant_schemes_minimal;
+          Alcotest.test_case "routing" `Quick test_routing;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "runs both queries" `Quick test_dsms_runs_both_queries;
+          Alcotest.test_case "routing saves punctuations" `Quick
+            test_dsms_routing_saves_punctuations;
+          Alcotest.test_case "matches solo runs" `Quick test_dsms_results_match_solo_runs;
+          Alcotest.test_case "state bounded" `Quick test_dsms_state_bounded;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* End-to-end reproductions of the paper's scenarios: the Figure 1 auction
+   pipeline, the Figure 5/7 plan-shape story run live, and the operational
+   reading of safety (bounded vs unbounded state). *)
+
+open Relational
+module Scheme = Streams.Scheme
+module Element = Streams.Element
+module Cjq = Query.Cjq
+module Plan = Query.Plan
+module Executor = Engine.Executor
+module Metrics = Engine.Metrics
+module Purge_policy = Engine.Purge_policy
+open Fixtures
+
+let count_data outputs = List.length (List.filter Element.is_data outputs)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the auction pipeline *)
+
+let run_auction ?(policy = Purge_policy.Eager) cfg =
+  let query = Workload.Auction.query () in
+  let trace = Workload.Auction.trace cfg in
+  let c = Executor.compile ~policy query (Plan.mjoin [ "item"; "bid" ]) in
+  let gb =
+    Engine.Groupby.create
+      ~input:(Executor.output_schema c)
+      ~group_by:[ "bid.itemid" ]
+      ~aggregate:(Engine.Groupby.Sum "bid.increase") ()
+  in
+  let r = Executor.run ~sink:gb c (List.to_seq trace) in
+  (r, gb)
+
+let test_auction_group_sums_match () =
+  let cfg = { Workload.Auction.default_config with n_items = 80; bids_per_item = 7 } in
+  let r, _ = run_auction cfg in
+  let groups =
+    List.filter_map
+      (function Element.Data t -> Some t | Element.Punct _ -> None)
+      r.Engine.Executor.outputs
+  in
+  let expected = Workload.Auction.expected_sums cfg in
+  check_int "one group per item" (List.length expected) (List.length groups);
+  List.iter
+    (fun (itemid, total) ->
+      let found =
+        List.exists
+          (fun t ->
+            Tuple.get_named t "bid.itemid" = Value.Int itemid
+            &&
+            match Tuple.get_named t "agg" with
+            | Value.Float f -> Float.abs (f -. total) < 1e-9
+            | _ -> false)
+          groups
+      in
+      check_bool (Printf.sprintf "sum for item %d" itemid) true found)
+    expected
+
+let test_auction_state_bounded_by_punctuation () =
+  let cfg = { Workload.Auction.default_config with n_items = 300; bids_per_item = 5 } in
+  let r, _ = run_auction cfg in
+  (* Punctuations keep the join state near the open-auction window, far
+     below the total data volume. *)
+  check_bool "peak well below total" true
+    (Metrics.peak_data_state r.Engine.Executor.metrics < 100);
+  check_bool "no growth" true (Metrics.growth_slope r.Engine.Executor.metrics < 0.02)
+
+let test_auction_without_punctuation_grows () =
+  let cfg =
+    {
+      Workload.Auction.default_config with
+      n_items = 300;
+      bids_per_item = 5;
+      punct_items = false;
+      punct_bid_close = false;
+    }
+  in
+  let r, _ = run_auction cfg in
+  check_bool "state grows linearly" true
+    (Metrics.growth_slope r.Engine.Executor.metrics > 0.5)
+
+let test_auction_groupby_blocked_without_close_punctuation () =
+  let cfg =
+    { Workload.Auction.default_config with n_items = 50; punct_bid_close = false }
+  in
+  let r, _ = run_auction cfg in
+  check_int "group-by never unblocks" 0 (count_data r.Engine.Executor.outputs)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5 / Figure 7 live: the MJoin is safe, every binary tree leaks *)
+
+let fig5_trace rounds =
+  Workload.Synth.round_trace (fig5_query ())
+    { Workload.Synth.default_trace_config with rounds }
+
+let test_fig5_mjoin_bounded_fig7_tree_grows () =
+  let q = fig5_query () in
+  let trace = fig5_trace 150 in
+  let run plan =
+    let c = Executor.compile ~policy:Purge_policy.Eager q plan in
+    let r = Executor.run ~sample_every:30 c (List.to_seq trace) in
+    (count_data r.Engine.Executor.outputs, Metrics.growth_slope r.Engine.Executor.metrics)
+  in
+  let mjoin_out, mjoin_slope = run (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
+  let tree_out, tree_slope =
+    run (Plan.join [ Plan.join [ Plan.Leaf "S1"; Plan.Leaf "S2" ]; Plan.Leaf "S3" ])
+  in
+  check_int "same results" mjoin_out tree_out;
+  check_int "all rounds" 150 mjoin_out;
+  check_bool "MJoin bounded" true (mjoin_slope < 0.02);
+  check_bool "binary tree leaks (Figure 7)" true (tree_slope > 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Netmon with lifespans (§5.1) *)
+
+let test_netmon_pipeline_matches () =
+  let cfg = { Workload.Netmon.default_config with n_flows = 60; packets_per_flow = 5 } in
+  let q = Workload.Netmon.query () in
+  let trace = Workload.Netmon.trace cfg in
+  let c = Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "inbound"; "outbound" ]) in
+  let r = Executor.run c (List.to_seq trace) in
+  check_int "every packet pair matched" (Workload.Netmon.expected_matches cfg)
+    (count_data r.Engine.Executor.outputs);
+  check_bool "flow state bounded" true
+    (Metrics.peak_data_state r.Engine.Executor.metrics < 60)
+
+let test_netmon_missed_fins_leave_garbage () =
+  (* §5.1: punctuations can be lost; data purgeability then leaves stale
+     tuples behind — the motivation for background cleanup. *)
+  let q = Workload.Netmon.query () in
+  let run drop =
+    let cfg =
+      { Workload.Netmon.default_config with n_flows = 60; drop_fin_prob = drop }
+    in
+    let trace = Workload.Netmon.trace cfg in
+    let c = Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "inbound"; "outbound" ]) in
+    let r = Executor.run c (List.to_seq trace) in
+    match Metrics.final r.Engine.Executor.metrics with
+    | Some s -> s.Metrics.data_state
+    | None -> -1
+  in
+  let clean = run 0.0 in
+  let lossy = run 0.5 in
+  check_bool "lost FINs strand state" true (lossy > clean)
+
+(* ------------------------------------------------------------------ *)
+(* Parser -> checker -> executor, end to end *)
+
+let test_parse_check_run_roundtrip () =
+  let q =
+    Query.Parser.parse
+      {|
+stream item(sellerid:int, itemid:int, name:str, initialprice:float)
+stream bid(bidderid:int, itemid:int, increase:float)
+scheme item(_, +, _, _)
+scheme bid(_, +, _)
+join item.itemid = bid.itemid
+|}
+  in
+  check_bool "parsed query is safe" true (Core.Checker.is_safe q);
+  let trace = Workload.Auction.trace { Workload.Auction.default_config with n_items = 20 } in
+  let c = Executor.compile q (Plan.mjoin [ "item"; "bid" ]) in
+  let r = Executor.run c (List.to_seq trace) in
+  check_bool "produces joins" true (count_data r.Engine.Executor.outputs > 0)
+
+let test_unsafe_query_rejected_before_running () =
+  let q =
+    Query.Parser.parse
+      {|
+stream item(sellerid:int, itemid:int, name:str, initialprice:float)
+stream bid(bidderid:int, itemid:int, increase:float)
+scheme bid(+, _, _)
+join item.itemid = bid.itemid
+|}
+  in
+  (* the bidderid scheme is useless for this join: the register must
+     reject the query (the paper's motivating scenario in §1) *)
+  check_bool "rejected" false (Core.Checker.is_safe q);
+  let report = Core.Checker.check q in
+  check_bool "neither stream purgeable" true
+    (List.for_all (fun (sr : Core.Checker.stream_report) -> not sr.purgeable)
+       report.Core.Checker.streams)
+
+let () =
+  Alcotest.run "e2e"
+    [
+      ( "auction (Figure 1)",
+        [
+          Alcotest.test_case "group sums" `Quick test_auction_group_sums_match;
+          Alcotest.test_case "bounded state" `Quick test_auction_state_bounded_by_punctuation;
+          Alcotest.test_case "unbounded without punctuation" `Quick
+            test_auction_without_punctuation_grows;
+          Alcotest.test_case "group-by stays blocked" `Quick
+            test_auction_groupby_blocked_without_close_punctuation;
+        ] );
+      ( "figure 5/7 live",
+        [
+          Alcotest.test_case "MJoin bounded, tree leaks" `Quick
+            test_fig5_mjoin_bounded_fig7_tree_grows;
+        ] );
+      ( "netmon (§5.1)",
+        [
+          Alcotest.test_case "pipeline matches" `Quick test_netmon_pipeline_matches;
+          Alcotest.test_case "missed FINs strand state" `Quick
+            test_netmon_missed_fins_leave_garbage;
+        ] );
+      ( "register workflow",
+        [
+          Alcotest.test_case "parse/check/run" `Quick test_parse_check_run_roundtrip;
+          Alcotest.test_case "unsafe rejected" `Quick test_unsafe_query_rejected_before_running;
+        ] );
+    ]

@@ -1,0 +1,761 @@
+open Relational
+module Scheme = Streams.Scheme
+module Punctuation = Streams.Punctuation
+module Element = Streams.Element
+module Cjq = Query.Cjq
+module Plan = Query.Plan
+module Join_state = Engine.Join_state
+module Punct_store = Engine.Punct_store
+module Purge_policy = Engine.Purge_policy
+module Metrics = Engine.Metrics
+module Mjoin = Engine.Mjoin
+module Sym_hash_join = Engine.Sym_hash_join
+module Groupby = Engine.Groupby
+module Project = Engine.Project
+module Executor = Engine.Executor
+open Fixtures
+
+let punct schema bindings =
+  Punctuation.of_bindings schema
+    (List.map (fun (a, v) -> (a, Value.Int v)) bindings)
+
+(* ------------------------------------------------------------------ *)
+(* Join_state *)
+
+let test_join_state_insert_size () =
+  let st = Join_state.create s1 in
+  Join_state.insert st (tuple s1 [ 1; 2 ]);
+  Join_state.insert st (tuple s1 [ 3; 4 ]);
+  check_int "size" 2 (Join_state.size st);
+  check_int "insertions" 2 (Join_state.insertions st)
+
+let test_join_state_probe () =
+  let st = Join_state.create s1 in
+  Join_state.insert st (tuple s1 [ 1; 7 ]);
+  Join_state.insert st (tuple s1 [ 2; 7 ]);
+  Join_state.insert st (tuple s1 [ 3; 8 ]);
+  check_int "two with B=7" 2
+    (List.length (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 7 ]));
+  check_int "none with B=9" 0
+    (List.length (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 9 ]));
+  Join_state.insert st (tuple s1 [ 4; 7 ]);
+  check_int "index sees later insert" 3
+    (List.length (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 7 ]))
+
+let test_join_state_purge () =
+  let st = Join_state.create s1 in
+  List.iter (fun b -> Join_state.insert st (tuple s1 [ b; b ])) [ 1; 2; 3; 4 ];
+  ignore (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 1 ]);
+  let removed = Join_state.purge_if st (fun t -> Tuple.get t 0 < Value.Int 3) in
+  check_int "removed" 2 removed;
+  check_int "left" 2 (Join_state.size st);
+  check_int "B=1 gone from index too" 0
+    (List.length (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 1 ]))
+
+let test_join_state_to_relation_and_matching () =
+  let st = Join_state.create s1 in
+  Join_state.insert st (tuple s1 [ 1; 7 ]);
+  check_int "snapshot" 1 (Relation.cardinality (Join_state.to_relation st));
+  check_bool "matching" true (Join_state.exists_matching st (punct s1 [ ("B", 7) ]));
+  check_bool "not matching" false
+    (Join_state.exists_matching st (punct s1 [ ("B", 9) ]))
+
+let test_join_state_schema_mismatch () =
+  let st = Join_state.create s1 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Join_state.insert: schema mismatch") (fun () ->
+      Join_state.insert st (tuple s2 [ 1; 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Punct_store *)
+
+let test_punct_store_insert_covers () =
+  let ps = Punct_store.create s1 in
+  check_bool "fresh" true (Punct_store.insert ps ~now:0 (punct s1 [ ("B", 7) ]));
+  check_int "size" 1 (Punct_store.size ps);
+  check_bool "covers" true (Punct_store.covers ps [ (1, Value.Int 7) ]);
+  check_bool "covers with extra bindings" true
+    (Punct_store.covers ps [ (0, Value.Int 1); (1, Value.Int 7) ]);
+  check_bool "no cover" false (Punct_store.covers ps [ (1, Value.Int 8) ])
+
+let test_punct_store_subsumption () =
+  let ps = Punct_store.create s1 in
+  ignore (Punct_store.insert ps ~now:0 (punct s1 [ ("B", 7) ]));
+  check_bool "subsumed dropped" false
+    (Punct_store.insert ps ~now:1 (punct s1 [ ("A", 1); ("B", 7) ]));
+  check_int "still one" 1 (Punct_store.size ps);
+  let ps2 = Punct_store.create s1 in
+  ignore (Punct_store.insert ps2 ~now:0 (punct s1 [ ("A", 1); ("B", 7) ]));
+  ignore (Punct_store.insert ps2 ~now:1 (punct s1 [ ("B", 7) ]));
+  check_int "narrow replaced by wide" 1 (Punct_store.size ps2);
+  check_bool "wide guarantee kept" true (Punct_store.covers ps2 [ (1, Value.Int 7) ])
+
+let test_punct_store_duplicate () =
+  let ps = Punct_store.create s1 in
+  ignore (Punct_store.insert ps ~now:0 (punct s1 [ ("B", 7) ]));
+  check_bool "duplicate uninformative" false
+    (Punct_store.insert ps ~now:1 (punct s1 [ ("B", 7) ]))
+
+let test_punct_store_forbids () =
+  let ps = Punct_store.create s1 in
+  ignore (Punct_store.insert ps ~now:0 (punct s1 [ ("B", 7) ]));
+  check_bool "violating tuple" true (Punct_store.forbids ps (tuple s1 [ 1; 7 ]));
+  check_bool "ok tuple" false (Punct_store.forbids ps (tuple s1 [ 1; 8 ]))
+
+let test_punct_store_expire () =
+  let ps = Punct_store.create s1 in
+  ignore (Punct_store.insert ps ~now:0 (punct s1 [ ("B", 1) ]));
+  ignore (Punct_store.insert ps ~now:50 (punct s1 [ ("B", 2) ]));
+  let dropped = Punct_store.expire ps ~now:60 { Core.Punct_purge.ttl = 20 } in
+  check_int "old one dropped" 1 dropped;
+  check_bool "young survives" true (Punct_store.covers ps [ (1, Value.Int 2) ])
+
+let test_punct_store_forwarded_flag () =
+  let ps = Punct_store.create s1 in
+  let p = punct s1 [ ("B", 7) ] in
+  ignore (Punct_store.insert ps ~now:0 p);
+  check_bool "initially not forwarded" false (Punct_store.is_forwarded ps p);
+  Punct_store.mark_forwarded ps p;
+  check_bool "marked" true (Punct_store.is_forwarded ps p)
+
+(* ------------------------------------------------------------------ *)
+(* Purge policy / metrics *)
+
+let test_purge_policy_due () =
+  let due p ~pending ~state =
+    Purge_policy.due p ~punctuations_pending:pending ~state_size:state
+  in
+  check_bool "eager" true (due Purge_policy.Eager ~pending:1 ~state:0);
+  check_bool "eager idle" false (due Purge_policy.Eager ~pending:0 ~state:99);
+  check_bool "lazy below" false (due (Purge_policy.Lazy 5) ~pending:4 ~state:0);
+  check_bool "lazy at" true (due (Purge_policy.Lazy 5) ~pending:5 ~state:0);
+  check_bool "never" false (due Purge_policy.Never ~pending:100 ~state:1000);
+  let adaptive = Purge_policy.Adaptive { batch = 10; state_trigger = 50 } in
+  check_bool "adaptive small state waits" false (due adaptive ~pending:3 ~state:10);
+  check_bool "adaptive batch fires" true (due adaptive ~pending:10 ~state:10);
+  check_bool "adaptive pressure fires" true (due adaptive ~pending:1 ~state:60);
+  check_bool "adaptive needs a punctuation" false (due adaptive ~pending:0 ~state:600)
+
+let test_metrics_series_and_slope () =
+  let m = Metrics.create ~sample_every:1 () in
+  List.iteri
+    (fun i st -> Metrics.force m ~tick:i ~data_state:st ~punct_state:0 ~emitted:0)
+    [ 0; 10; 20; 30; 40; 50 ];
+  check_int "peak" 50 (Metrics.peak_data_state m);
+  check_bool "positive slope" true (Metrics.growth_slope m > 5.0);
+  let flat = Metrics.create ~sample_every:1 () in
+  List.iter
+    (fun i -> Metrics.force flat ~tick:i ~data_state:7 ~punct_state:0 ~emitted:0)
+    [ 0; 1; 2; 3 ];
+  check_bool "flat slope" true (Float.abs (Metrics.growth_slope flat) < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Binary join *)
+
+let bin_inputs () =
+  ( { Sym_hash_join.name = "S1"; schema = s1; schemes = [ Scheme.of_attrs s1 [ "B" ] ] },
+    { Sym_hash_join.name = "S2"; schema = s2; schemes = [ Scheme.of_attrs s2 [ "B" ] ] } )
+
+(* the single S1-S2 atom: a binary operator only accepts its own atoms *)
+let bin_preds = [ Predicate.atom "S1" "B" "S2" "B" ]
+
+let test_binary_join_matches () =
+  let left, right = bin_inputs () in
+  let op = Sym_hash_join.create ~left ~right ~predicates:bin_preds () in
+  check_int "no early match" 0
+    (List.length (op.Engine.Operator.push (Element.Data (tuple s1 [ 1; 7 ]))));
+  let out = op.Engine.Operator.push (Element.Data (tuple s2 [ 7; 100 ])) in
+  check_int "one match" 1 (List.length out);
+  (match out with
+  | [ Element.Data t ] ->
+      check_bool "joined values" true
+        (Tuple.get_named t "S1.A" = Value.Int 1
+        && Tuple.get_named t "S2.C" = Value.Int 100)
+  | _ -> Alcotest.fail "expected one data element");
+  check_int "both stored" 2 (op.Engine.Operator.data_state_size ())
+
+let test_binary_join_purges_opposite () =
+  let left, right = bin_inputs () in
+  let op = Sym_hash_join.create ~left ~right ~predicates:bin_preds () in
+  ignore (op.Engine.Operator.push (Element.Data (tuple s1 [ 1; 7 ])));
+  ignore (op.Engine.Operator.push (Element.Data (tuple s1 [ 2; 8 ])));
+  ignore (op.Engine.Operator.push (Element.Punct (punct s2 [ ("B", 7) ])));
+  check_int "one left" 1 (op.Engine.Operator.data_state_size ());
+  check_int "purged count" 1 (op.Engine.Operator.stats ()).Engine.Operator.tuples_purged
+
+let test_binary_join_never_loses_results () =
+  let left, right = bin_inputs () in
+  let op = Sym_hash_join.create ~left ~right ~predicates:bin_preds () in
+  ignore (op.Engine.Operator.push (Element.Data (tuple s1 [ 1; 7 ])));
+  ignore (op.Engine.Operator.push (Element.Punct (punct s2 [ ("B", 7) ])));
+  ignore (op.Engine.Operator.push (Element.Data (tuple s1 [ 2; 8 ])));
+  let out = op.Engine.Operator.push (Element.Data (tuple s2 [ 8; 5 ])) in
+  check_int "late match found" 1
+    (List.length (List.filter Element.is_data out))
+
+let test_binary_join_drops_dead_on_arrival () =
+  (* the auction pattern: the punctuation that kills a tuple arrives BEFORE
+     the tuple does; it must emit its matches and not be stored (otherwise
+     nothing ever re-checks it and the state leaks — found by bench T1) *)
+  let left, right = bin_inputs () in
+  let op = Sym_hash_join.create ~left ~right ~predicates:bin_preds () in
+  ignore (op.Engine.Operator.push (Element.Data (tuple s2 [ 7; 100 ])));
+  ignore (op.Engine.Operator.push (Element.Punct (punct s2 [ ("B", 7) ])));
+  let out = op.Engine.Operator.push (Element.Data (tuple s1 [ 1; 7 ])) in
+  check_int "still emits its matches" 1
+    (List.length (List.filter Element.is_data out));
+  (* only the S2 tuple remains; the dead S1 arrival was never stored *)
+  check_int "not stored" 1 (op.Engine.Operator.data_state_size ());
+  check_int "counted as purged" 1
+    (op.Engine.Operator.stats ()).Engine.Operator.tuples_purged
+
+let test_binary_join_propagates_drained_punct () =
+  let left, right = bin_inputs () in
+  let op = Sym_hash_join.create ~left ~right ~predicates:bin_preds () in
+  let out = op.Engine.Operator.push (Element.Punct (punct s1 [ ("B", 7) ])) in
+  let puncts = List.filter Element.is_punct out in
+  check_int "propagated immediately when no matching state" 1 (List.length puncts);
+  match puncts with
+  | [ Element.Punct p ] ->
+      check_bool "pins lifted attribute" true
+        (Punctuation.covers p
+           [ (Schema.attr_index (Punctuation.schema p) "S1.B", Value.Int 7) ])
+  | _ -> Alcotest.fail "expected punct"
+
+let test_binary_join_delays_punct_until_drained () =
+  let left, right = bin_inputs () in
+  let op = Sym_hash_join.create ~left ~right ~predicates:bin_preds () in
+  ignore (op.Engine.Operator.push (Element.Data (tuple s1 [ 1; 7 ])));
+  let out = op.Engine.Operator.push (Element.Punct (punct s1 [ ("B", 7) ])) in
+  check_int "not yet propagated" 0
+    (List.length (List.filter Element.is_punct out));
+  let out2 = op.Engine.Operator.push (Element.Punct (punct s2 [ ("B", 7) ])) in
+  check_int "both propagate after drain" 2
+    (List.length (List.filter Element.is_punct out2))
+
+(* ------------------------------------------------------------------ *)
+(* MJoin *)
+
+let mjoin_inputs schemes =
+  List.map2
+    (fun schema sch -> { Mjoin.name = Schema.stream_name schema; schema; schemes = sch })
+    [ s1; s2; s3 ] schemes
+
+let fig5_mjoin ?policy () =
+  Mjoin.create ?policy
+    ~inputs:
+      (mjoin_inputs
+         [ [ Scheme.of_attrs s1 [ "B" ] ];
+           [ Scheme.of_attrs s2 [ "C" ] ];
+           [ Scheme.of_attrs s3 [ "A" ] ] ])
+    ~predicates:triangle_preds ()
+
+let test_mjoin_three_way_match () =
+  let op = fig5_mjoin () in
+  ignore (op.Engine.Operator.push (Element.Data (tuple s1 [ 1; 2 ])));
+  ignore (op.Engine.Operator.push (Element.Data (tuple s2 [ 2; 3 ])));
+  let out = op.Engine.Operator.push (Element.Data (tuple s3 [ 3; 1 ])) in
+  check_int "full match" 1 (List.length (List.filter Element.is_data out));
+  match List.filter Element.is_data out with
+  | [ Element.Data t ] ->
+      check_int "six attributes" 6 (Tuple.arity t);
+      check_bool "values" true
+        (Tuple.get_named t "S1.A" = Value.Int 1
+        && Tuple.get_named t "S2.C" = Value.Int 3
+        && Tuple.get_named t "S3.A" = Value.Int 1)
+  | _ -> Alcotest.fail "expected one tuple"
+
+let test_mjoin_respects_all_predicates () =
+  let op = fig5_mjoin () in
+  ignore (op.Engine.Operator.push (Element.Data (tuple s1 [ 1; 2 ])));
+  ignore (op.Engine.Operator.push (Element.Data (tuple s2 [ 2; 3 ])));
+  let out = op.Engine.Operator.push (Element.Data (tuple s3 [ 3; 99 ])) in
+  check_int "triangle must close" 0
+    (List.length (List.filter Element.is_data out))
+
+let test_mjoin_purge_plans () =
+  let inputs =
+    mjoin_inputs
+      [ [ Scheme.of_attrs s1 [ "B" ] ];
+        [ Scheme.of_attrs s2 [ "C" ] ];
+        [ Scheme.of_attrs s3 [ "A" ] ] ]
+  in
+  let plans = Mjoin.purge_plans ~inputs ~predicates:triangle_preds in
+  check_bool "all inputs purgeable" true
+    (List.for_all (fun (_, p) -> p <> None) plans);
+  let partial = mjoin_inputs [ [ Scheme.of_attrs s1 [ "B" ] ]; []; [] ] in
+  let plans' = Mjoin.purge_plans ~inputs:partial ~predicates:triangle_preds in
+  (* S2 reaches only S1 through the lone edge: nobody can purge *)
+  check_bool "nobody purgeable" true
+    (List.for_all (fun (_, p) -> p = None) plans')
+
+let test_mjoin_chained_purge_runtime () =
+  let op = fig5_mjoin () in
+  ignore (op.Engine.Operator.push (Element.Data (tuple s1 [ 1; 2 ])));
+  check_int "stored" 1 (op.Engine.Operator.data_state_size ());
+  (* S2's punctuation alone leaves the chain open through S3 *)
+  ignore (op.Engine.Operator.push (Element.Punct (punct s2 [ ("B", 2) ])));
+  check_int "still stored" 1 (op.Engine.Operator.data_state_size ());
+  (* S3's punctuation on A=1 completes the chain for the S1 tuple *)
+  ignore (op.Engine.Operator.push (Element.Punct (punct s3 [ ("A", 1) ])));
+  check_int "purged once chain covered" 0 (op.Engine.Operator.data_state_size ())
+
+let count_data outputs = List.length (List.filter Element.is_data outputs)
+
+let test_mjoin_policies_agree_on_results () =
+  let q = fig5_query () in
+  let trace =
+    Workload.Synth.round_trace q
+      { Workload.Synth.default_trace_config with rounds = 30 }
+  in
+  let run policy =
+    let c = Executor.compile ~policy q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
+    count_data (Executor.run c (List.to_seq trace)).Executor.outputs
+  in
+  let eager = run Purge_policy.Eager in
+  check_int "eager = never" (run Purge_policy.Never) eager;
+  check_int "lazy = never" (run (Purge_policy.Lazy 10)) eager;
+  check_int "adaptive = never"
+    (run (Purge_policy.Adaptive { batch = 20; state_trigger = 10 }))
+    eager;
+  check_int "expected count" 30 eager
+
+let test_adaptive_policy_caps_state () =
+  let q = fig5_query () in
+  let trace =
+    Workload.Synth.round_trace q
+      { Workload.Synth.default_trace_config with rounds = 200 }
+  in
+  let peak policy =
+    let c = Executor.compile ~policy q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
+    Metrics.peak_data_state
+      (Executor.run ~sample_every:10 c (List.to_seq trace)).Executor.metrics
+  in
+  let lazy_peak = peak (Purge_policy.Lazy 1000) in
+  let adaptive_peak =
+    peak (Purge_policy.Adaptive { batch = 1000; state_trigger = 30 })
+  in
+  check_bool "lazy balloons" true (lazy_peak > 100);
+  (* the trigger fires at the next punctuation after 30 stored tuples *)
+  check_bool "adaptive caps near its trigger" true (adaptive_peak <= 40)
+
+let test_mjoin_unknown_input_rejected () =
+  let op = fig5_mjoin () in
+  Alcotest.check_raises "unknown input"
+    (Invalid_argument "Mjoin mjoin: element for unknown input bid") (fun () ->
+      ignore
+        (op.Engine.Operator.push
+           (Element.Data
+              (Tuple.make Workload.Auction.bid_schema
+                 [ Value.Int 1; Value.Int 2; Value.Float 1.0 ]))))
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence properties *)
+
+let binary_query () =
+  let defs =
+    [
+      Streams.Stream_def.make s1 [ Scheme.of_attrs s1 [ "B" ] ];
+      Streams.Stream_def.make s2 [ Scheme.of_attrs s2 [ "B" ] ];
+    ]
+  in
+  Cjq.make defs [ Predicate.atom "S1" "B" "S2" "B" ]
+
+let prop_pjoin_equals_mjoin =
+  QCheck2.Test.make ~name:"Sym_hash_join = Mjoin = brute force" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let q = binary_query () in
+      let trace =
+        Workload.Synth.random_trace q ~elements_per_stream:40 ~value_range:8
+          ~punct_prob:0.7 ~seed
+      in
+      let plan = Plan.mjoin [ "S1"; "S2" ] in
+      let run impl =
+        let c = Executor.compile ~binary_impl:impl q plan in
+        count_data (Executor.run c (List.to_seq trace)).Executor.outputs
+      in
+      let expected = Workload.Synth.brute_force_results q trace in
+      run Executor.Use_pjoin = expected && run Executor.Use_mjoin = expected)
+
+let prop_policies_preserve_results =
+  QCheck2.Test.make ~name:"purge policies never change results" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let q = fig5_query () in
+      let trace =
+        Workload.Synth.random_trace q ~elements_per_stream:25 ~value_range:5
+          ~punct_prob:0.8 ~seed
+      in
+      let run policy =
+        let c = Executor.compile ~policy q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
+        count_data (Executor.run c (List.to_seq trace)).Executor.outputs
+      in
+      let expected = Workload.Synth.brute_force_results q trace in
+      run Purge_policy.Never = expected
+      && run Purge_policy.Eager = expected
+      && run (Purge_policy.Lazy 7) = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Groupby / project *)
+
+let test_groupby_blocks_until_punctuation () =
+  let op =
+    Groupby.create ~input:s2 ~group_by:[ "B" ] ~aggregate:(Groupby.Sum "C") ()
+  in
+  check_int "no output yet" 0
+    (List.length (op.Engine.Operator.push (Element.Data (tuple s2 [ 1; 10 ]))));
+  check_int "accumulating" 0
+    (List.length (op.Engine.Operator.push (Element.Data (tuple s2 [ 1; 5 ]))));
+  let out = op.Engine.Operator.push (Element.Punct (punct s2 [ ("B", 1) ])) in
+  (match List.filter Element.is_data out with
+  | [ Element.Data t ] ->
+      check_bool "sum emitted" true (Tuple.get_named t "agg" = Value.Int 15)
+  | _ -> Alcotest.fail "expected one group");
+  check_int "group state dropped" 0 (op.Engine.Operator.data_state_size ());
+  check_int "punct forwarded" 1 (List.length (List.filter Element.is_punct out))
+
+let test_groupby_count_min_max () =
+  let feed aggregate =
+    let op = Groupby.create ~input:s2 ~group_by:[ "B" ] ~aggregate () in
+    ignore (op.Engine.Operator.push (Element.Data (tuple s2 [ 1; 10 ])));
+    ignore (op.Engine.Operator.push (Element.Data (tuple s2 [ 1; 4 ])));
+    match
+      List.filter Element.is_data
+        (op.Engine.Operator.push (Element.Punct (punct s2 [ ("B", 1) ])))
+    with
+    | [ Element.Data t ] -> Tuple.get_named t "agg"
+    | _ -> Alcotest.fail "expected one group"
+  in
+  check_bool "count" true (feed Groupby.Count = Value.Int 2);
+  check_bool "min" true (feed (Groupby.Min "C") = Value.Int 4);
+  check_bool "max" true (feed (Groupby.Max "C") = Value.Int 10)
+
+let test_groupby_punct_covers_only_its_groups () =
+  let op = Groupby.create ~input:s2 ~group_by:[ "B" ] ~aggregate:Groupby.Count () in
+  ignore (op.Engine.Operator.push (Element.Data (tuple s2 [ 1; 10 ])));
+  ignore (op.Engine.Operator.push (Element.Data (tuple s2 [ 2; 10 ])));
+  let out = op.Engine.Operator.push (Element.Punct (punct s2 [ ("B", 1) ])) in
+  check_int "one group emitted" 1 (List.length (List.filter Element.is_data out));
+  check_int "one group left" 1 (op.Engine.Operator.data_state_size ())
+
+let test_groupby_rejects_non_numeric () =
+  Alcotest.check_raises "non-numeric"
+    (Invalid_argument "Groupby.create: attribute name is not numeric")
+    (fun () ->
+      ignore
+        (Groupby.create ~input:Workload.Auction.item_schema
+           ~group_by:[ "itemid" ] ~aggregate:(Groupby.Sum "name") ()))
+
+let test_project_tuples_and_puncts () =
+  let op = Project.create ~input:s2 ~keep:[ "C" ] () in
+  (match op.Engine.Operator.push (Element.Data (tuple s2 [ 1; 10 ])) with
+  | [ Element.Data t ] -> check_int "narrowed" 1 (Tuple.arity t)
+  | _ -> Alcotest.fail "expected tuple");
+  check_int "punct on kept attr survives" 1
+    (List.length (op.Engine.Operator.push (Element.Punct (punct s2 [ ("C", 10) ]))));
+  check_int "punct on dropped attr vanishes" 0
+    (List.length (op.Engine.Operator.push (Element.Punct (punct s2 [ ("B", 1) ]))))
+
+(* ------------------------------------------------------------------ *)
+(* Executor *)
+
+let chain4 () = Workload.Synth.chain_query ~n:4 ()
+
+let test_executor_tree_equals_mjoin_results () =
+  let q = chain4 () in
+  let trace =
+    Workload.Synth.round_trace q
+      { Workload.Synth.default_trace_config with rounds = 25 }
+  in
+  let run plan =
+    let c = Executor.compile q plan in
+    count_data (Executor.run c (List.to_seq trace)).Executor.outputs
+  in
+  let flat = run (Plan.mjoin (Cjq.stream_names q)) in
+  check_int "flat count" 25 flat;
+  check_int "left-deep agrees" flat (run (Plan.left_deep (Cjq.stream_names q)));
+  check_int "bushy agrees" flat
+    (run
+       (Plan.join
+          [
+            Plan.join [ Plan.Leaf "S1"; Plan.Leaf "S2" ];
+            Plan.join [ Plan.Leaf "S3"; Plan.Leaf "S4" ];
+          ]))
+
+let test_executor_tree_state_bounded () =
+  let q = chain4 () in
+  let trace =
+    Workload.Synth.round_trace q
+      { Workload.Synth.default_trace_config with rounds = 120 }
+  in
+  let c =
+    Executor.compile ~policy:Purge_policy.Eager q
+      (Plan.left_deep (Cjq.stream_names q))
+  in
+  let r = Executor.run ~sample_every:20 c (List.to_seq trace) in
+  check_bool "slope flat" true (Metrics.growth_slope r.Engine.Executor.metrics < 0.05);
+  check_bool "peak small" true (Metrics.peak_data_state r.Engine.Executor.metrics < 60)
+
+let test_executor_derived_schemes () =
+  let q = chain4 () in
+  let c = Executor.compile q (Plan.left_deep (Cjq.stream_names q)) in
+  check_bool "derived schemes exist" true (Executor.derived_schemes c <> [])
+
+let test_executor_ignores_foreign_streams () =
+  let q = binary_query () in
+  let c = Executor.compile q (Plan.mjoin [ "S1"; "S2" ]) in
+  let r = Executor.run c (List.to_seq [ Element.Data (tuple s3 [ 1; 2 ]) ]) in
+  check_int "consumed but ignored" 1 r.Engine.Executor.consumed;
+  check_int "no outputs" 0 (List.length r.Engine.Executor.outputs)
+
+let test_executor_unsafe_stream_grows () =
+  let schemes =
+    Scheme.Set.of_list [ Scheme.of_attrs s1 [ "B" ]; Scheme.of_attrs s2 [ "C" ] ]
+  in
+  let q = triangle_query schemes in
+  check_bool "unsafe" false (Core.Checker.is_safe q);
+  let trace =
+    Workload.Synth.round_trace q
+      { Workload.Synth.default_trace_config with rounds = 150 }
+  in
+  let c =
+    Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "S1"; "S2"; "S3" ])
+  in
+  let r = Executor.run ~sample_every:30 c (List.to_seq trace) in
+  check_bool "state grows" true (Metrics.growth_slope r.Engine.Executor.metrics > 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic safety: witness, lifespans, partner purging *)
+
+let test_witness_dynamic_unpurgeability () =
+  let schemes =
+    Scheme.Set.of_list [ Scheme.of_attrs s1 [ "B" ]; Scheme.of_attrs s2 [ "B" ] ]
+  in
+  let q = triangle_query schemes in
+  let w = Option.get (Core.Witness.build q ~root:"S1") in
+  let c =
+    Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "S1"; "S2"; "S3" ])
+  in
+  let r = Executor.run c (List.to_seq (Core.Witness.trace w ~rounds:6)) in
+  check_bool "revivals keep producing" true (count_data r.Engine.Executor.outputs >= 6);
+  check_bool "state retained" true (Executor.total_data_state c > 0)
+
+let test_punct_lifespan_bounds_store () =
+  let q = fig5_query () in
+  let trace =
+    Workload.Synth.round_trace q
+      { Workload.Synth.default_trace_config with rounds = 100 }
+  in
+  let run lifespan =
+    let c =
+      Executor.compile ~policy:Purge_policy.Eager ?punct_lifespan:lifespan q
+        (Plan.mjoin [ "S1"; "S2"; "S3" ])
+    in
+    let r = Executor.run c (List.to_seq trace) in
+    Metrics.peak_punct_state r.Engine.Executor.metrics
+  in
+  check_bool "lifespan shrinks punctuation store" true
+    (run (Some { Core.Punct_purge.ttl = 30 }) < run None)
+
+let test_punct_partner_purge_bounds_store () =
+  let q = fig5_query () in
+  let trace =
+    Workload.Synth.round_trace q
+      { Workload.Synth.default_trace_config with rounds = 100 }
+  in
+  let run partner =
+    let c =
+      Executor.compile ~policy:Purge_policy.Eager ~punct_partner_purge:partner
+        q (Plan.mjoin [ "S1"; "S2"; "S3" ])
+    in
+    let r = Executor.run c (List.to_seq trace) in
+    Metrics.peak_punct_state r.Engine.Executor.metrics
+  in
+  check_bool "partner purging does not hurt" true (run true <= run false)
+
+(* Random multiway queries and traces: the full executor (random safe or
+   unsafe query, random plan shape irrelevant — single MJoin) must agree
+   with the nested-loop oracle. *)
+let prop_multiway_equals_brute_force =
+  QCheck2.Test.make ~name:"multiway MJoin = brute force on random queries"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 3 4))
+    (fun (seed, n_streams) ->
+      let q =
+        Workload.Synth.random_query
+          {
+            Workload.Synth.n_streams;
+            extra_edges = 1;
+            attrs_per_stream = 2;
+            single_scheme_prob = 0.7;
+            multi_scheme_prob = 0.2;
+            ordered_scheme_prob = 0.0;
+            seed;
+          }
+      in
+      let trace =
+        Workload.Synth.random_trace q ~elements_per_stream:12 ~value_range:3
+          ~punct_prob:0.6 ~seed:(seed + 1)
+      in
+      let c =
+        Executor.compile ~policy:Purge_policy.Eager q
+          (Plan.mjoin (Cjq.stream_names q))
+      in
+      let r = Executor.run c (List.to_seq trace) in
+      count_data r.Executor.outputs = Workload.Synth.brute_force_results q trace)
+
+let prop_parser_round_trip_random =
+  QCheck2.Test.make ~name:"parser round-trips random queries" ~count:150
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let q =
+        Workload.Synth.random_query
+          {
+            Workload.Synth.default_query_config with
+            seed;
+            ordered_scheme_prob = 0.3;
+          }
+      in
+      let q2 = Query.Parser.parse (Query.Parser.to_text q) in
+      Cjq.stream_names q = Cjq.stream_names q2
+      && Cjq.predicates q = Cjq.predicates q2
+      && List.for_all2
+           (fun a b ->
+             List.for_all2 Scheme.equal
+               (Streams.Stream_def.schemes a)
+               (Streams.Stream_def.schemes b))
+           (Cjq.stream_defs q) (Cjq.stream_defs q2)
+      && Core.Checker.is_safe q = Core.Checker.is_safe q2)
+
+let prop_trace_io_round_trip_random =
+  QCheck2.Test.make ~name:"trace serialization round-trips" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let q =
+        Workload.Synth.random_query
+          { Workload.Synth.default_query_config with seed }
+      in
+      let trace =
+        Workload.Synth.random_trace q ~elements_per_stream:15 ~value_range:5
+          ~punct_prob:0.5 ~seed
+      in
+      Streams.Trace_io.of_string
+        ~defs:(Cjq.stream_defs q)
+        (Streams.Trace_io.to_string trace)
+      = trace)
+
+(* Model-based check of the punctuation store: after any mix of constant
+   and watermark insertions, [covers] must agree with scanning a naive list
+   of every inserted punctuation — subsumption-based eviction must never
+   change the answer. *)
+let prop_punct_store_covers_model =
+  QCheck2.Test.make ~name:"Punct_store.covers = naive model" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 15)
+           (triple bool (int_range 0 4) (int_range 0 4)))
+        (list_size (int_range 0 10) (pair (int_range 0 4) (int_range 0 4))))
+    (fun (inserts, queries) ->
+      let store = Punct_store.create s1 in
+      let model = ref [] in
+      List.iteri
+        (fun i (ordered, a, b) ->
+          let p =
+            if ordered then Punctuation.watermark s1 "B" (Value.Int b)
+            else
+              Punctuation.of_bindings s1
+                (if a mod 2 = 0 then [ ("B", Value.Int b) ]
+                 else [ ("A", Value.Int a); ("B", Value.Int b) ])
+          in
+          ignore (Punct_store.insert store ~now:i p);
+          model := p :: !model)
+        inserts;
+      List.for_all
+        (fun (a, b) ->
+          let bindings = [ (0, Value.Int a); (1, Value.Int b) ] in
+          Punct_store.covers store bindings
+          = List.exists (fun p -> Punctuation.covers p bindings) !model)
+        queries)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_punct_store_covers_model;
+      prop_pjoin_equals_mjoin;
+      prop_policies_preserve_results;
+      prop_multiway_equals_brute_force;
+      prop_parser_round_trip_random;
+      prop_trace_io_round_trip_random;
+    ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "join_state",
+        [
+          Alcotest.test_case "insert/size" `Quick test_join_state_insert_size;
+          Alcotest.test_case "probe" `Quick test_join_state_probe;
+          Alcotest.test_case "purge" `Quick test_join_state_purge;
+          Alcotest.test_case "snapshot/matching" `Quick test_join_state_to_relation_and_matching;
+          Alcotest.test_case "schema mismatch" `Quick test_join_state_schema_mismatch;
+        ] );
+      ( "punct_store",
+        [
+          Alcotest.test_case "insert/covers" `Quick test_punct_store_insert_covers;
+          Alcotest.test_case "subsumption" `Quick test_punct_store_subsumption;
+          Alcotest.test_case "duplicates" `Quick test_punct_store_duplicate;
+          Alcotest.test_case "forbids" `Quick test_punct_store_forbids;
+          Alcotest.test_case "expiry" `Quick test_punct_store_expire;
+          Alcotest.test_case "forwarded flag" `Quick test_punct_store_forwarded_flag;
+        ] );
+      ( "policy/metrics",
+        [
+          Alcotest.test_case "policy due" `Quick test_purge_policy_due;
+          Alcotest.test_case "metrics slope" `Quick test_metrics_series_and_slope;
+        ] );
+      ( "sym_hash_join",
+        [
+          Alcotest.test_case "matches" `Quick test_binary_join_matches;
+          Alcotest.test_case "direct purge" `Quick test_binary_join_purges_opposite;
+          Alcotest.test_case "no lost results" `Quick test_binary_join_never_loses_results;
+          Alcotest.test_case "dead on arrival" `Quick test_binary_join_drops_dead_on_arrival;
+          Alcotest.test_case "propagation" `Quick test_binary_join_propagates_drained_punct;
+          Alcotest.test_case "propagation waits for drain" `Quick
+            test_binary_join_delays_punct_until_drained;
+        ] );
+      ( "mjoin",
+        [
+          Alcotest.test_case "3-way match" `Quick test_mjoin_three_way_match;
+          Alcotest.test_case "all predicates" `Quick test_mjoin_respects_all_predicates;
+          Alcotest.test_case "purge plans" `Quick test_mjoin_purge_plans;
+          Alcotest.test_case "chained purge at runtime" `Quick test_mjoin_chained_purge_runtime;
+          Alcotest.test_case "policies agree on results" `Quick
+            test_mjoin_policies_agree_on_results;
+          Alcotest.test_case "adaptive caps state" `Quick test_adaptive_policy_caps_state;
+          Alcotest.test_case "unknown input" `Quick test_mjoin_unknown_input_rejected;
+        ] );
+      ( "groupby/project",
+        [
+          Alcotest.test_case "unblocking" `Quick test_groupby_blocks_until_punctuation;
+          Alcotest.test_case "aggregates" `Quick test_groupby_count_min_max;
+          Alcotest.test_case "selective emission" `Quick test_groupby_punct_covers_only_its_groups;
+          Alcotest.test_case "non-numeric rejected" `Quick test_groupby_rejects_non_numeric;
+          Alcotest.test_case "project" `Quick test_project_tuples_and_puncts;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "tree = mjoin results" `Quick test_executor_tree_equals_mjoin_results;
+          Alcotest.test_case "tree state bounded" `Quick test_executor_tree_state_bounded;
+          Alcotest.test_case "derived schemes" `Quick test_executor_derived_schemes;
+          Alcotest.test_case "foreign streams ignored" `Quick test_executor_ignores_foreign_streams;
+          Alcotest.test_case "unsafe grows" `Quick test_executor_unsafe_stream_grows;
+        ] );
+      ( "dynamic safety",
+        [
+          Alcotest.test_case "witness unpurgeability" `Quick test_witness_dynamic_unpurgeability;
+          Alcotest.test_case "punct lifespan" `Quick test_punct_lifespan_bounds_store;
+          Alcotest.test_case "partner punct purge" `Quick test_punct_partner_purge_bounds_store;
+        ] );
+      ("properties", props);
+    ]

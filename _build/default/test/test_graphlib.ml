@@ -1,0 +1,253 @@
+open Fixtures
+
+module G = Graphlib.Digraph.Make (struct
+  type t = string
+
+  let compare = String.compare
+  let pp = Fmt.string
+end)
+
+module H = Graphlib.Hypergraph.Make (struct
+  type t = string
+
+  let compare = String.compare
+  let pp = Fmt.string
+end)
+
+let g_of edges vertices = G.of_edges vertices edges
+
+(* ------------------------------------------------------------------ *)
+(* Digraph basics *)
+
+let test_add_and_query () =
+  let g = g_of [ ("a", "b"); ("b", "c") ] [ "a"; "b"; "c"; "d" ] in
+  check_int "vertices" 4 (G.n_vertices g);
+  check_int "edges" 2 (G.n_edges g);
+  check_bool "mem edge" true (G.mem_edge g "a" "b");
+  check_bool "no reverse edge" false (G.mem_edge g "b" "a");
+  Alcotest.(check (list string)) "succ" [ "b" ] (G.succ g "a");
+  Alcotest.(check (list string)) "pred" [ "b" ] (G.pred g "c");
+  check_bool "isolated vertex" true (G.mem_vertex g "d")
+
+let test_duplicate_edges_collapse () =
+  let g = g_of [ ("a", "b"); ("a", "b") ] [] in
+  check_int "one edge" 1 (G.n_edges g)
+
+let test_transpose () =
+  let g = g_of [ ("a", "b"); ("b", "c") ] [] in
+  let t = G.transpose g in
+  check_bool "reversed" true (G.mem_edge t "b" "a" && G.mem_edge t "c" "b");
+  check_int "same edge count" (G.n_edges g) (G.n_edges t)
+
+let test_restrict () =
+  let g = g_of [ ("a", "b"); ("b", "c"); ("c", "a") ] [] in
+  let r = G.restrict g (G.VSet.of_list [ "a"; "b" ]) in
+  check_int "two vertices" 2 (G.n_vertices r);
+  check_int "one edge survives" 1 (G.n_edges r)
+
+(* ------------------------------------------------------------------ *)
+(* Reachability / strong connectivity *)
+
+let test_reachable () =
+  let g = g_of [ ("a", "b"); ("b", "c"); ("d", "a") ] [] in
+  let r = G.reachable g "a" in
+  check_int "a reaches a,b,c" 3 (G.VSet.cardinal r);
+  check_bool "not d" false (G.VSet.mem "d" r);
+  check_bool "reaches_all from d" true (G.reaches_all g "d");
+  check_bool "not from a" false (G.reaches_all g "a")
+
+let test_strongly_connected () =
+  check_bool "cycle" true
+    (G.is_strongly_connected (g_of [ ("a", "b"); ("b", "c"); ("c", "a") ] []));
+  check_bool "path is not" false
+    (G.is_strongly_connected (g_of [ ("a", "b"); ("b", "c") ] []));
+  check_bool "empty graph" true (G.is_strongly_connected G.empty);
+  check_bool "singleton" true
+    (G.is_strongly_connected (G.add_vertex G.empty "a"))
+
+(* ------------------------------------------------------------------ *)
+(* SCC / condensation *)
+
+let test_scc_partition () =
+  let g =
+    g_of
+      [ ("a", "b"); ("b", "a"); ("b", "c"); ("c", "d"); ("d", "c") ]
+      [ "e" ]
+  in
+  let comps = G.scc g in
+  check_int "three components" 3 (List.length comps);
+  let sizes = List.sort compare (List.map List.length comps) in
+  Alcotest.(check (list int)) "sizes" [ 1; 2; 2 ] sizes;
+  (* every vertex exactly once *)
+  let all = List.concat comps in
+  Alcotest.(check (list string))
+    "partition" [ "a"; "b"; "c"; "d"; "e" ]
+    (sorted_strings all)
+
+let test_scc_reverse_topological () =
+  let g = g_of [ ("a", "b"); ("b", "c") ] [] in
+  let comps = G.scc g in
+  (* Tarjan emits components in reverse topological order: sinks first. *)
+  check_bool "c first" true (List.hd comps = [ "c" ])
+
+let test_condensation () =
+  let g = g_of [ ("a", "b"); ("b", "a"); ("b", "c") ] [] in
+  let comps, edges = G.condensation g in
+  check_int "two components" 2 (Array.length comps);
+  check_int "one cross edge" 1 (List.length edges);
+  let cu, cv = List.hd edges in
+  check_bool "edge from {a,b} to {c}" true
+    (List.length comps.(cu) = 2 && comps.(cv) = [ "c" ])
+
+let test_spanning_arborescence () =
+  let g = g_of [ ("a", "b"); ("a", "c"); ("c", "d") ] [] in
+  (match G.spanning_arborescence g "a" with
+  | None -> Alcotest.fail "expected a tree"
+  | Some edges ->
+      check_int "three edges" 3 (List.length edges);
+      check_bool "parent of d is c" true (List.mem ("c", "d") edges));
+  check_bool "missing root" true (G.spanning_arborescence g "z" = None)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_to_dot_shape () =
+  let g = g_of [ ("a", "b") ] [] in
+  let dot = G.to_dot ~name:"t" g in
+  check_bool "digraph header" true (String.length dot > 0 && String.sub dot 0 9 = "digraph t");
+  check_bool "edge rendered" true (contains dot "\"a\" -> \"b\"")
+
+(* ------------------------------------------------------------------ *)
+(* Hypergraph *)
+
+let test_hyper_plain_edges () =
+  let h = H.add_plain_edge (H.add_plain_edge H.empty "a" "b") "b" "c" in
+  check_bool "reaches" true (H.reaches_all h "a");
+  check_bool "not back" false (H.reaches_all h "c");
+  check_bool "not strongly connected" false (H.is_strongly_connected h)
+
+let test_hyper_conjunctive_firing () =
+  (* {a, b} -> c : c reachable only when both a and b are. *)
+  let h =
+    H.add_edge
+      (H.add_plain_edge (H.add_plain_edge H.empty "a" "b") "b" "a")
+      ~groups:[ [ "a" ]; [ "b" ] ] ~target:"c"
+  in
+  check_bool "a reaches c through the pair" true (H.reaches_all h "a");
+  let h2 =
+    H.add_edge (H.add_vertex (H.add_vertex H.empty "a") "b")
+      ~groups:[ [ "a" ]; [ "b" ] ] ~target:"c"
+  in
+  check_bool "a alone cannot fire" false
+    (H.VSet.mem "c" (H.reachable h2 "a"))
+
+let test_hyper_candidate_groups () =
+  (* group with alternatives: {a or b} -> c *)
+  let h = H.add_edge H.empty ~groups:[ [ "a"; "b" ] ] ~target:"c" in
+  check_bool "a fires it" true (H.VSet.mem "c" (H.reachable h "a"));
+  check_bool "b fires it" true (H.VSet.mem "c" (H.reachable h "b"))
+
+let test_hyper_rejects_empty_group () =
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Hypergraph.add_edge: empty source group") (fun () ->
+      ignore (H.add_edge H.empty ~groups:[ [] ] ~target:"c"));
+  Alcotest.check_raises "no groups"
+    (Invalid_argument "Hypergraph.add_edge: no source groups") (fun () ->
+      ignore (H.add_edge H.empty ~groups:[] ~target:"c"))
+
+let test_hyper_reflexive () =
+  let h = H.add_vertex H.empty "a" in
+  check_bool "self reachable" true (H.VSet.mem "a" (H.reachable h "a"));
+  check_bool "singleton strongly connected" true (H.is_strongly_connected h)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: SCC correctness against brute-force reachability *)
+
+let random_graph_gen =
+  QCheck2.Gen.(
+    let vertex = map (fun i -> Printf.sprintf "v%d" i) (int_range 0 7) in
+    list_size (int_range 0 20) (pair vertex vertex))
+
+let brute_mutually_reachable g u v =
+  G.VSet.mem v (G.reachable g u) && G.VSet.mem u (G.reachable g v)
+
+let prop_scc_equals_mutual_reachability =
+  QCheck2.Test.make ~name:"scc groups = mutual reachability classes" ~count:200
+    random_graph_gen (fun edges ->
+      let g = G.of_edges [] edges in
+      let comps = G.scc g in
+      let same_comp u v =
+        List.exists (fun c -> List.mem u c && List.mem v c) comps
+      in
+      List.for_all
+        (fun u ->
+          List.for_all
+            (fun v -> same_comp u v = brute_mutually_reachable g u v)
+            (G.vertices g))
+        (G.vertices g))
+
+let prop_strongly_connected_iff_one_scc =
+  QCheck2.Test.make ~name:"strongly connected iff single SCC" ~count:200
+    random_graph_gen (fun edges ->
+      let g = G.of_edges [] edges in
+      G.n_vertices g = 0
+      || G.is_strongly_connected g = (List.length (G.scc g) = 1))
+
+let prop_hyper_plain_equals_digraph =
+  QCheck2.Test.make
+    ~name:"hypergraph with plain edges = digraph reachability" ~count:200
+    random_graph_gen (fun edges ->
+      let g = G.of_edges [] edges in
+      let h =
+        List.fold_left
+          (fun h (u, v) -> H.add_plain_edge h u v)
+          H.empty edges
+      in
+      List.for_all
+        (fun v ->
+          G.VSet.elements (G.reachable g v) = H.VSet.elements (H.reachable h v))
+        (G.vertices g))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_scc_equals_mutual_reachability;
+      prop_strongly_connected_iff_one_scc;
+      prop_hyper_plain_equals_digraph;
+    ]
+
+let () =
+  Alcotest.run "graphlib"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "add/query" `Quick test_add_and_query;
+          Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges_collapse;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+        ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "reachable sets" `Quick test_reachable;
+          Alcotest.test_case "strong connectivity" `Quick test_strongly_connected;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "partition" `Quick test_scc_partition;
+          Alcotest.test_case "reverse topological" `Quick test_scc_reverse_topological;
+          Alcotest.test_case "condensation" `Quick test_condensation;
+          Alcotest.test_case "arborescence" `Quick test_spanning_arborescence;
+          Alcotest.test_case "dot export" `Quick test_to_dot_shape;
+        ] );
+      ( "hypergraph",
+        [
+          Alcotest.test_case "plain edges" `Quick test_hyper_plain_edges;
+          Alcotest.test_case "conjunctive firing" `Quick test_hyper_conjunctive_firing;
+          Alcotest.test_case "candidate groups" `Quick test_hyper_candidate_groups;
+          Alcotest.test_case "empty groups rejected" `Quick test_hyper_rejects_empty_group;
+          Alcotest.test_case "reflexive" `Quick test_hyper_reflexive;
+        ] );
+      ("properties", props);
+    ]

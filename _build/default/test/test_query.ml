@@ -1,0 +1,366 @@
+open Relational
+module Scheme = Streams.Scheme
+module Stream_def = Streams.Stream_def
+module Cjq = Query.Cjq
+module Join_graph = Query.Join_graph
+module Plan = Query.Plan
+module Plan_enum = Query.Plan_enum
+open Fixtures
+
+(* ------------------------------------------------------------------ *)
+(* Cjq validation *)
+
+let defs_plain = List.map (fun s -> Stream_def.make s []) [ s1; s2; s3 ]
+
+let test_cjq_make_valid () =
+  let q = Cjq.make defs_plain triangle_preds in
+  Alcotest.(check (list string)) "streams" [ "S1"; "S2"; "S3" ] (Cjq.stream_names q);
+  check_int "n_streams" 3 (Cjq.n_streams q);
+  check_int "predicates" 3 (List.length (Cjq.predicates q));
+  check_string "schema lookup" "S2" (Schema.stream_name (Cjq.schema_of q "S2"))
+
+let expect_invalid name f =
+  match f () with
+  | exception Cjq.Invalid _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Cjq.Invalid")
+
+let test_cjq_rejects_single_stream () =
+  expect_invalid "one stream" (fun () ->
+      Cjq.make [ Stream_def.make s1 [] ] [])
+
+let test_cjq_rejects_duplicate_stream () =
+  expect_invalid "duplicate" (fun () ->
+      Cjq.make [ Stream_def.make s1 []; Stream_def.make s1 [] ] [])
+
+let test_cjq_rejects_unknown_stream () =
+  expect_invalid "unknown stream in atom" (fun () ->
+      Cjq.make
+        [ Stream_def.make s1 []; Stream_def.make s2 [] ]
+        [ Predicate.atom "S1" "B" "S9" "B" ])
+
+let test_cjq_rejects_unknown_attr () =
+  expect_invalid "unknown attribute" (fun () ->
+      Cjq.make
+        [ Stream_def.make s1 []; Stream_def.make s2 [] ]
+        [ Predicate.atom "S1" "Z" "S2" "B" ])
+
+let test_cjq_rejects_type_mismatch () =
+  let s_text =
+    Schema.make ~stream:"T" [ { Schema.name = "B"; ty = Value.TStr } ]
+  in
+  expect_invalid "type mismatch" (fun () ->
+      Cjq.make
+        [ Stream_def.make s1 []; Stream_def.make s_text [] ]
+        [ Predicate.atom "S1" "B" "T" "B" ])
+
+let test_cjq_rejects_cross_product () =
+  expect_invalid "disconnected" (fun () ->
+      Cjq.make
+        [ Stream_def.make s1 []; Stream_def.make s2 []; Stream_def.make s3 [] ]
+        [ Predicate.atom "S1" "B" "S2" "B" ])
+
+let test_cjq_restrict () =
+  let q = Cjq.make defs_plain triangle_preds in
+  let sub = Cjq.restrict q [ "S1"; "S2" ] in
+  check_int "two streams" 2 (Cjq.n_streams sub);
+  check_int "one atom survives" 1 (List.length (Cjq.predicates sub))
+
+let test_cjq_scheme_set () =
+  let q = fig8_query () in
+  check_int "declared schemes" 4 (Scheme.Set.cardinal (Cjq.scheme_set q))
+
+(* ------------------------------------------------------------------ *)
+(* Join graph (Def 6) *)
+
+let test_join_graph_shape () =
+  let jg = Join_graph.make [ "S1"; "S2"; "S3" ] triangle_preds in
+  Alcotest.(check (list string)) "streams" [ "S1"; "S2"; "S3" ] (Join_graph.streams jg);
+  check_int "three edges" 3 (List.length (Join_graph.edges jg));
+  Alcotest.(check (list string))
+    "neighbors of S2" [ "S1"; "S3" ]
+    (sorted_strings (Join_graph.neighbors jg "S2"));
+  check_int "label S1-S2" 1 (List.length (Join_graph.label jg "S1" "S2"))
+
+let test_join_graph_connectivity_and_cycles () =
+  let triangle = Join_graph.make [ "S1"; "S2"; "S3" ] triangle_preds in
+  check_bool "triangle connected" true (Join_graph.is_connected triangle);
+  check_bool "triangle cyclic" true (Join_graph.is_cyclic triangle);
+  let path = Join_graph.make [ "S1"; "S2"; "S3" ] path_preds in
+  check_bool "path connected" true (Join_graph.is_connected path);
+  check_bool "path acyclic" false (Join_graph.is_cyclic path);
+  let disconnected = Join_graph.make [ "S1"; "S2"; "S3" ] (Predicate.between triangle_preds "S1" "S2") in
+  check_bool "disconnected" false (Join_graph.is_connected disconnected)
+
+let test_join_graph_conjunctive_edge_not_cycle () =
+  (* Two atoms between the same pair form one edge, not a cycle. *)
+  let preds =
+    [ Predicate.atom "S1" "A" "S2" "B"; Predicate.atom "S1" "B" "S2" "C" ]
+  in
+  let jg = Join_graph.make [ "S1"; "S2" ] preds in
+  check_int "one edge" 1 (List.length (Join_graph.edges jg));
+  check_bool "acyclic" false (Join_graph.is_cyclic jg);
+  check_int "conjunction of two atoms" 2
+    (List.length (Join_graph.label jg "S1" "S2"))
+
+let test_join_graph_join_attrs () =
+  let jg = Join_graph.make [ "S1"; "S2"; "S3" ] triangle_preds in
+  Alcotest.(check (list string)) "S1 attrs" [ "A"; "B" ] (Join_graph.join_attrs_of jg "S1");
+  Alcotest.(check (list string)) "S2 attrs" [ "B"; "C" ] (Join_graph.join_attrs_of jg "S2")
+
+let test_join_graph_spanning_tree () =
+  let jg = Join_graph.make [ "S1"; "S2"; "S3" ] path_preds in
+  (match Join_graph.spanning_tree jg "S1" with
+  | None -> Alcotest.fail "expected tree"
+  | Some edges -> check_int "two edges" 2 (List.length edges));
+  let disconnected = Join_graph.make [ "S1"; "S2"; "S3" ] (Predicate.between triangle_preds "S1" "S2") in
+  check_bool "no tree when disconnected" true
+    (Join_graph.spanning_tree disconnected "S1" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Plan *)
+
+let test_plan_constructors () =
+  let m = Plan.mjoin [ "S1"; "S2"; "S3" ] in
+  check_bool "single mjoin" true (Plan.is_single_mjoin m);
+  check_bool "not binary" false (Plan.is_binary_tree m);
+  check_int "one operator" 1 (Plan.n_operators m);
+  let ld = Plan.left_deep [ "S1"; "S2"; "S3" ] in
+  check_bool "binary" true (Plan.is_binary_tree ld);
+  check_int "two operators" 2 (Plan.n_operators ld);
+  Alcotest.(check (list string)) "leaves" [ "S1"; "S2"; "S3" ]
+    (sorted_strings (Plan.leaves ld))
+
+let test_plan_join_rejects () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Plan.join: a join operator needs at least two inputs")
+    (fun () -> ignore (Plan.join [ Plan.Leaf "S1" ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Plan.join: a stream appears twice") (fun () ->
+      ignore (Plan.join [ Plan.Leaf "S1"; Plan.Leaf "S1" ]))
+
+let test_plan_equal_unordered () =
+  let a = Plan.join [ Plan.Leaf "S1"; Plan.Leaf "S2" ] in
+  let b = Plan.join [ Plan.Leaf "S2"; Plan.Leaf "S1" ] in
+  check_bool "children order-insensitive" true (Plan.equal a b)
+
+let test_plan_operators_bottom_up () =
+  let p = Plan.join [ Plan.join [ Plan.Leaf "S1"; Plan.Leaf "S2" ]; Plan.Leaf "S3" ] in
+  let ops = Plan.operators p in
+  check_int "two operators" 2 (List.length ops);
+  (* children listed before parents *)
+  check_bool "bottom-up" true (List.nth ops 1 = p);
+  let inputs = Plan.inputs_of_operator p in
+  check_int "two inputs" 2 (List.length inputs)
+
+let test_plan_validate () =
+  let q = Cjq.make defs_plain triangle_preds in
+  Plan.validate (Plan.mjoin [ "S1"; "S2"; "S3" ]) q;
+  Alcotest.check_raises "missing stream"
+    (Invalid_argument
+       "Plan.validate: plan leaves {S1, S2} differ from query streams {S1, S2, S3}")
+    (fun () -> Plan.validate (Plan.mjoin [ "S1"; "S2" ]) q)
+
+(* ------------------------------------------------------------------ *)
+(* Plan enumeration *)
+
+let test_set_partitions_count () =
+  (* Bell numbers: 1, 1, 2, 5, 15, 52 *)
+  check_int "B3" 5 (List.length (Plan_enum.set_partitions [ 1; 2; 3 ]));
+  check_int "B4" 15 (List.length (Plan_enum.set_partitions [ 1; 2; 3; 4 ]));
+  check_int "B5" 52 (List.length (Plan_enum.set_partitions [ 1; 2; 3; 4; 5 ]))
+
+let test_all_plans_counts () =
+  (* A000311: 1, 4, 26, 236 for n = 2..5 *)
+  check_int "n=2" 1 (List.length (Plan_enum.all_plans [ "a"; "b" ]));
+  check_int "n=3" 4 (List.length (Plan_enum.all_plans [ "a"; "b"; "c" ]));
+  check_int "n=4" 26 (List.length (Plan_enum.all_plans [ "a"; "b"; "c"; "d" ]));
+  check_int "count n=4" 26 (Plan_enum.count_all_plans 4);
+  check_int "count n=5" 236 (Plan_enum.count_all_plans 5);
+  check_int "count n=6" 2752 (Plan_enum.count_all_plans 6)
+
+let test_all_plans_distinct () =
+  let plans = Plan_enum.all_plans [ "a"; "b"; "c"; "d" ] in
+  let sorted = List.sort_uniq Plan.compare plans in
+  check_int "no duplicates" (List.length plans) (List.length sorted)
+
+let test_binary_plans () =
+  (* Unordered binary trees over n labeled leaves: (2n-3)!! = 3, 15 for n=3,4 *)
+  check_int "n=3" 3 (List.length (Plan_enum.binary_plans [ "a"; "b"; "c" ]));
+  check_int "n=4" 15 (List.length (Plan_enum.binary_plans [ "a"; "b"; "c"; "d" ]));
+  check_bool "all binary" true
+    (List.for_all Plan.is_binary_tree (Plan_enum.binary_plans [ "a"; "b"; "c"; "d" ]))
+
+let test_connected_only_pruning () =
+  (* Path S1-S2-S3: the binary plan joining S1 and S3 first is a cross
+     product and must be pruned. *)
+  let q = Cjq.make defs_plain path_preds in
+  let all = Plan_enum.binary_plans [ "S1"; "S2"; "S3" ] in
+  let pruned = Plan_enum.binary_plans ~connected_only:q [ "S1"; "S2"; "S3" ] in
+  check_int "three raw" 3 (List.length all);
+  check_int "two connected" 2 (List.length pruned);
+  let bad = Plan.join [ Plan.join [ Plan.Leaf "S1"; Plan.Leaf "S3" ]; Plan.Leaf "S2" ] in
+  check_bool "S1xS3 pruned" false (List.exists (Plan.equal bad) pruned)
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let auction_text =
+  {|
+# online auction (Example 1)
+stream item(sellerid:int, itemid:int, name:str, initialprice:float)
+stream bid(bidderid:int, itemid:int, increase:float)
+scheme item(_, +, _, _)
+scheme bid(_, +, _)
+join item.itemid = bid.itemid
+|}
+
+let test_parser_accepts_auction () =
+  let q = Query.Parser.parse auction_text in
+  Alcotest.(check (list string)) "streams" [ "bid"; "item" ]
+    (sorted_strings (Cjq.stream_names q));
+  check_int "schemes" 2 (Scheme.Set.cardinal (Cjq.scheme_set q));
+  check_int "one atom" 1 (List.length (Cjq.predicates q))
+
+let test_parser_round_trip () =
+  let q = Query.Parser.parse auction_text in
+  let q2 = Query.Parser.parse (Query.Parser.to_text q) in
+  Alcotest.(check (list string)) "streams stable"
+    (sorted_strings (Cjq.stream_names q))
+    (sorted_strings (Cjq.stream_names q2));
+  check_int "schemes stable"
+    (Scheme.Set.cardinal (Cjq.scheme_set q))
+    (Scheme.Set.cardinal (Cjq.scheme_set q2))
+
+let expect_parse_error text expected_line =
+  match Query.Parser.parse text with
+  | exception Query.Parser.Parse_error { line; _ } ->
+      check_int "line number" expected_line line
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_parser_errors () =
+  expect_parse_error "bogus statement" 1;
+  expect_parse_error "stream s(a:int)\nscheme t(+)" 2;
+  expect_parse_error "stream s(a:int)\nstream t(b:wat)" 2;
+  expect_parse_error "stream s(a:int)\nstream t(b:int)\njoin s.a = t" 3
+
+let test_parser_semantic_error_propagates () =
+  expect_invalid "invalid query surfaced" (fun () ->
+      Query.Parser.parse "stream s(a:int)\nstream t(b:int)\n")
+
+(* ------------------------------------------------------------------ *)
+(* SQL front end *)
+
+let auction_defs () =
+  Cjq.stream_defs (Query.Parser.parse auction_text)
+
+let test_sql_select_star () =
+  let q =
+    Query.Sql.parse ~defs:(auction_defs ())
+      "SELECT * FROM item, bid WHERE item.itemid = bid.itemid"
+  in
+  check_bool "no projection" true (q.Query.Sql.projection = None);
+  Alcotest.(check (list string)) "streams" [ "bid"; "item" ]
+    (sorted_strings (Cjq.stream_names q.Query.Sql.cjq));
+  check_int "one atom" 1 (List.length (Cjq.predicates q.Query.Sql.cjq))
+
+let test_sql_projection_and_case () =
+  let q =
+    Query.Sql.parse ~defs:(auction_defs ())
+      "select item.itemid, bid.increase from item, bid where item.itemid = bid.itemid"
+  in
+  Alcotest.(check (option (list string))) "projection"
+    (Some [ "item.itemid"; "bid.increase" ])
+    q.Query.Sql.projection
+
+let test_sql_multiway_and () =
+  let defs =
+    List.map (fun sch -> Stream_def.make sch []) [ s1; s2; s3 ]
+  in
+  let q =
+    Query.Sql.parse ~defs
+      "SELECT * FROM S1, S2, S3 WHERE S1.B = S2.B AND S2.C = S3.C AND S3.A = S1.A"
+  in
+  check_int "three atoms" 3 (List.length (Cjq.predicates q.Query.Sql.cjq))
+
+let expect_sql_error text =
+  match Query.Sql.parse ~defs:(auction_defs ()) text with
+  | exception Query.Sql.Sql_error _ -> ()
+  | _ -> Alcotest.fail ("expected Sql_error for: " ^ text)
+
+let test_sql_errors () =
+  expect_sql_error "FROM item, bid";
+  expect_sql_error "SELECT FROM item, bid WHERE item.itemid = bid.itemid";
+  expect_sql_error "SELECT * FROM";
+  expect_sql_error "SELECT * FROM item, ghost WHERE item.itemid = ghost.x";
+  expect_sql_error "SELECT * FROM item, bid WHERE item.itemid == bid.itemid";
+  expect_sql_error "SELECT * FROM item, bid WHERE item.itemid = bid.itemid OR item.itemid = bid.itemid";
+  expect_sql_error "SELECT item.nope FROM item, bid WHERE item.itemid = bid.itemid";
+  expect_sql_error "SELECT ghost.x FROM item, bid WHERE item.itemid = bid.itemid"
+
+let test_sql_semantic_errors_via_cjq () =
+  expect_invalid "cross product" (fun () ->
+      (Query.Sql.parse ~defs:(auction_defs ()) "SELECT * FROM item, bid").Query.Sql.cjq)
+
+let test_sql_checks_safety_end_to_end () =
+  let q =
+    Query.Sql.parse ~defs:(auction_defs ())
+      "SELECT * FROM item, bid WHERE item.itemid = bid.itemid"
+  in
+  check_bool "the SQL query is safe" true (Core.Checker.is_safe q.Query.Sql.cjq)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "cjq",
+        [
+          Alcotest.test_case "valid" `Quick test_cjq_make_valid;
+          Alcotest.test_case "single stream" `Quick test_cjq_rejects_single_stream;
+          Alcotest.test_case "duplicate stream" `Quick test_cjq_rejects_duplicate_stream;
+          Alcotest.test_case "unknown stream" `Quick test_cjq_rejects_unknown_stream;
+          Alcotest.test_case "unknown attribute" `Quick test_cjq_rejects_unknown_attr;
+          Alcotest.test_case "type mismatch" `Quick test_cjq_rejects_type_mismatch;
+          Alcotest.test_case "cross product" `Quick test_cjq_rejects_cross_product;
+          Alcotest.test_case "restrict" `Quick test_cjq_restrict;
+          Alcotest.test_case "scheme set" `Quick test_cjq_scheme_set;
+        ] );
+      ( "join_graph",
+        [
+          Alcotest.test_case "shape" `Quick test_join_graph_shape;
+          Alcotest.test_case "connectivity/cycles" `Quick test_join_graph_connectivity_and_cycles;
+          Alcotest.test_case "conjunctive edges" `Quick test_join_graph_conjunctive_edge_not_cycle;
+          Alcotest.test_case "join attributes" `Quick test_join_graph_join_attrs;
+          Alcotest.test_case "spanning tree" `Quick test_join_graph_spanning_tree;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "constructors" `Quick test_plan_constructors;
+          Alcotest.test_case "rejections" `Quick test_plan_join_rejects;
+          Alcotest.test_case "unordered equality" `Quick test_plan_equal_unordered;
+          Alcotest.test_case "bottom-up operators" `Quick test_plan_operators_bottom_up;
+          Alcotest.test_case "validate" `Quick test_plan_validate;
+        ] );
+      ( "plan_enum",
+        [
+          Alcotest.test_case "set partitions" `Quick test_set_partitions_count;
+          Alcotest.test_case "all plans counts" `Quick test_all_plans_counts;
+          Alcotest.test_case "distinct" `Quick test_all_plans_distinct;
+          Alcotest.test_case "binary plans" `Quick test_binary_plans;
+          Alcotest.test_case "connected-only pruning" `Quick test_connected_only_pruning;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "auction example" `Quick test_parser_accepts_auction;
+          Alcotest.test_case "round trip" `Quick test_parser_round_trip;
+          Alcotest.test_case "syntax errors" `Quick test_parser_errors;
+          Alcotest.test_case "semantic errors" `Quick test_parser_semantic_error_propagates;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "select star" `Quick test_sql_select_star;
+          Alcotest.test_case "projection / case" `Quick test_sql_projection_and_case;
+          Alcotest.test_case "multiway AND" `Quick test_sql_multiway_and;
+          Alcotest.test_case "syntax errors" `Quick test_sql_errors;
+          Alcotest.test_case "semantic errors" `Quick test_sql_semantic_errors_via_cjq;
+          Alcotest.test_case "safety end to end" `Quick test_sql_checks_safety_end_to_end;
+        ] );
+    ]

@@ -1,0 +1,334 @@
+open Relational
+open Fixtures
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_equal_null () =
+  check_bool "null <> null (SQL)" false (Value.equal Value.Null Value.Null);
+  check_bool "null <> 1" false (Value.equal Value.Null (Value.Int 1));
+  check_bool "1 = 1" true (Value.equal (Value.Int 1) (Value.Int 1));
+  check_bool "1 <> 2" false (Value.equal (Value.Int 1) (Value.Int 2));
+  check_bool "\"a\" = \"a\"" true (Value.equal (Value.Str "a") (Value.Str "a"));
+  check_bool "1 <> 1.0" false (Value.equal (Value.Int 1) (Value.Float 1.0))
+
+let test_value_compare_total () =
+  check_int "null = null under compare" 0 (Value.compare Value.Null Value.Null);
+  check_bool "int < str by rank" true (Value.compare (Value.Int 5) (Value.Str "a") < 0);
+  check_bool "antisymmetry" true
+    (Value.compare (Value.Str "a") (Value.Int 5)
+     = -Value.compare (Value.Int 5) (Value.Str "a"))
+
+let test_value_type_of () =
+  Alcotest.(check (option (testable Value.pp_ty ( = ))))
+    "int" (Some Value.TInt)
+    (Value.type_of (Value.Int 3));
+  Alcotest.(check (option (testable Value.pp_ty ( = ))))
+    "null" None (Value.type_of Value.Null)
+
+let test_value_matches_ty () =
+  check_bool "int matches TInt" true (Value.matches_ty (Value.Int 1) Value.TInt);
+  check_bool "int does not match TStr" false
+    (Value.matches_ty (Value.Int 1) Value.TStr);
+  check_bool "null matches anything" true
+    (Value.matches_ty Value.Null Value.TBool)
+
+let test_value_to_string () =
+  check_string "int" "3" (Value.to_string (Value.Int 3));
+  check_string "str quoted" "\"x\"" (Value.to_string (Value.Str "x"));
+  check_string "null" "null" (Value.to_string Value.Null)
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let test_schema_basics () =
+  let s = int_schema "S" [ "a"; "b"; "c" ] in
+  check_string "stream name" "S" (Schema.stream_name s);
+  check_int "arity" 3 (Schema.arity s);
+  check_int "index of b" 1 (Schema.attr_index s "b");
+  check_bool "mem a" true (Schema.mem s "a");
+  check_bool "mem z" false (Schema.mem s "z");
+  check_string "attr at 2" "c" (Schema.attr_at s 2).Schema.name
+
+let test_schema_rejects_duplicates () =
+  Alcotest.check_raises "duplicate attr"
+    (Invalid_argument "Schema.make: duplicate attribute \"a\" in stream \"S\"")
+    (fun () -> ignore (int_schema "S" [ "a"; "a" ]))
+
+let test_schema_rejects_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Schema.make: empty attribute list") (fun () ->
+      ignore (Schema.make ~stream:"S" []))
+
+let test_schema_equal () =
+  check_bool "equal" true (Schema.equal s1 (int_schema "S1" [ "A"; "B" ]));
+  check_bool "name differs" false (Schema.equal s1 (int_schema "S9" [ "A"; "B" ]));
+  check_bool "attrs differ" false (Schema.equal s1 (int_schema "S1" [ "A"; "C" ]))
+
+let test_schema_concat_qualifies () =
+  let joined = Schema.concat ~stream:"J" s1 s2 in
+  check_int "arity" 4 (Schema.arity joined);
+  check_int "S1.B position" 1 (Schema.attr_index joined "S1.B");
+  check_int "S2.C position" 3 (Schema.attr_index joined "S2.C");
+  (* already-qualified attributes are not re-qualified *)
+  let nested = Schema.concat ~stream:"K" joined s3 in
+  check_int "still S1.B" 1 (Schema.attr_index nested "S1.B");
+  check_int "S3.A qualified once" 5 (Schema.attr_index nested "S3.A")
+
+let test_schema_concat_all () =
+  let all = Schema.concat_all ~stream:"M" [ s1; s2; s3 ] in
+  check_int "arity" 6 (Schema.arity all);
+  check_string "qualify helper" "S1.B" (Schema.qualify_attr ~origin:"S1" "B");
+  check_string "idempotent" "S1.B" (Schema.qualify_attr ~origin:"X" "S1.B")
+
+(* ------------------------------------------------------------------ *)
+(* Tuple *)
+
+let test_tuple_make_and_get () =
+  let t = tuple s1 [ 10; 20 ] in
+  check_int "arity" 2 (Tuple.arity t);
+  check_bool "get 0" true (Tuple.get t 0 = Value.Int 10);
+  check_bool "get_named B" true (Tuple.get_named t "B" = Value.Int 20)
+
+let test_tuple_arity_mismatch () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Tuple: arity mismatch for S1: got 3, want 2")
+    (fun () -> ignore (tuple s1 [ 1; 2; 3 ]))
+
+let test_tuple_type_mismatch () =
+  Alcotest.check_raises "type"
+    (Invalid_argument "Tuple: attribute A of S1 expects int, got \"x\"")
+    (fun () -> ignore (Tuple.make s1 [ Value.Str "x"; Value.Int 1 ]))
+
+let test_tuple_null_allowed () =
+  let t = Tuple.make s1 [ Value.Null; Value.Int 1 ] in
+  check_bool "null stored" true (Tuple.get t 0 = Value.Null)
+
+let test_tuple_project () =
+  let t = tuple s1 [ 5; 6 ] in
+  check_bool "project [1;0]" true
+    (Tuple.project t [ 1; 0 ] = [ Value.Int 6; Value.Int 5 ])
+
+let test_tuple_concat () =
+  let joined = Schema.concat ~stream:"J" s1 s2 in
+  let t = Tuple.concat joined (tuple s1 [ 1; 2 ]) (tuple s2 [ 2; 3 ]) in
+  check_bool "S2.C value" true (Tuple.get_named t "S2.C" = Value.Int 3)
+
+let test_tuple_equal_compare () =
+  let a = tuple s1 [ 1; 2 ] and b = tuple s1 [ 1; 2 ] and c = tuple s1 [ 1; 3 ] in
+  check_bool "equal" true (Tuple.equal a b);
+  check_bool "not equal" false (Tuple.equal a c);
+  check_bool "compare consistent" true (Tuple.compare a c <> 0);
+  check_int "hash equal tuples" (Tuple.hash a) (Tuple.hash b)
+
+(* ------------------------------------------------------------------ *)
+(* Predicate *)
+
+let test_atom_normalization () =
+  let a = Predicate.atom "S2" "B" "S1" "B" in
+  let b = Predicate.atom "S1" "B" "S2" "B" in
+  check_bool "orientation-free equality" true (Predicate.atom_equal a b);
+  let l, r = Predicate.streams_of a in
+  check_string "left sorted" "S1" l;
+  check_string "right sorted" "S2" r
+
+let test_atom_self_join_rejected () =
+  Alcotest.check_raises "self join"
+    (Invalid_argument "Predicate.atom: self-join on stream \"S1\" not supported")
+    (fun () -> ignore (Predicate.atom "S1" "A" "S1" "B"))
+
+let test_atom_sides () =
+  let a = Predicate.atom "S1" "B" "S2" "Bx" in
+  check_string "attr_on S1" "B" (Predicate.attr_on a "S1");
+  check_string "attr_on S2" "Bx" (Predicate.attr_on a "S2");
+  check_bool "involves" true (Predicate.involves a "S2");
+  check_bool "not involves" false (Predicate.involves a "S3");
+  let other, attr = Predicate.other_side a "S1" in
+  check_string "other stream" "S2" other;
+  check_string "other attr" "Bx" attr;
+  Alcotest.check_raises "attr_on missing" Not_found (fun () ->
+      ignore (Predicate.attr_on a "S9"))
+
+let test_atom_eval () =
+  let a = Predicate.atom "S1" "B" "S2" "B" in
+  check_bool "match" true (Predicate.eval a (tuple s1 [ 1; 7 ]) (tuple s2 [ 7; 9 ]));
+  check_bool "order independent" true
+    (Predicate.eval a (tuple s2 [ 7; 9 ]) (tuple s1 [ 1; 7 ]));
+  check_bool "no match" false
+    (Predicate.eval a (tuple s1 [ 1; 7 ]) (tuple s2 [ 8; 9 ]))
+
+let test_eval_null_never_matches () =
+  let a = Predicate.atom "S1" "B" "S2" "B" in
+  let t1 = Tuple.make s1 [ Value.Int 1; Value.Null ] in
+  let t2 = Tuple.make s2 [ Value.Null; Value.Int 2 ] in
+  check_bool "null join key" false (Predicate.eval a t1 t2)
+
+let test_between_and_eval_all () =
+  check_int "S1-S2 atoms" 1 (List.length (Predicate.between triangle_preds "S1" "S2"));
+  check_int "no S1-S1" 0 (List.length (Predicate.between triangle_preds "S1" "S1"));
+  check_bool "eval_all ignores other streams" true
+    (Predicate.eval_all triangle_preds (tuple s1 [ 1; 2 ]) (tuple s2 [ 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Relation *)
+
+let rel schema rows = Relation.make schema (List.map (tuple schema) rows)
+
+let test_relation_join () =
+  let r1 = rel s1 [ [ 1; 10 ]; [ 2; 20 ] ] in
+  let r2 = rel s2 [ [ 10; 100 ]; [ 10; 101 ]; [ 30; 300 ] ] in
+  let j = Relation.join ~name:"J" triangle_preds r1 r2 in
+  check_int "two matches" 2 (Relation.cardinality j);
+  check_int "joined arity" 4 (Schema.arity (Relation.schema j))
+
+let test_relation_semijoin () =
+  let r1 = rel s1 [ [ 1; 10 ]; [ 2; 20 ] ] in
+  let r2 = rel s2 [ [ 10; 100 ] ] in
+  let sj = Relation.semijoin triangle_preds r1 r2 in
+  check_int "one survivor" 1 (Relation.cardinality sj);
+  check_bool "right one" true
+    (Tuple.equal (List.hd (Relation.tuples sj)) (tuple s1 [ 1; 10 ]))
+
+let test_relation_distinct_project () =
+  let r = rel s2 [ [ 1; 5 ]; [ 1; 5 ]; [ 2; 5 ]; [ 1; 6 ] ] in
+  check_int "distinct B" 2 (List.length (Relation.distinct_project r [ "B" ]));
+  check_int "distinct B,C" 3 (List.length (Relation.distinct_project r [ "B"; "C" ]))
+
+let test_relation_add_filter () =
+  let r = Relation.add (Relation.empty s1) (tuple s1 [ 1; 2 ]) in
+  check_int "one" 1 (Relation.cardinality r);
+  let f = Relation.filter (fun t -> Tuple.get t 0 = Value.Int 9) r in
+  check_int "filtered out" 0 (Relation.cardinality f)
+
+let test_relation_schema_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Relation.make: tuple schema mismatch") (fun () ->
+      ignore (Relation.make s1 [ tuple s2 [ 1; 2 ] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Value.Int i) (int_range (-50) 50);
+        map (fun f -> Value.Float (Float.of_int f)) (int_range (-50) 50);
+        map (fun s -> Value.Str s) (string_size ~gen:(char_range 'a' 'e') (int_range 0 3));
+        map (fun b -> Value.Bool b) bool;
+        return Value.Null;
+      ])
+
+let prop_compare_antisymmetric =
+  QCheck2.Test.make ~name:"Value.compare antisymmetric" ~count:500
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+
+let prop_compare_transitive =
+  QCheck2.Test.make ~name:"Value.compare transitive" ~count:500
+    QCheck2.Gen.(triple value_gen value_gen value_gen)
+    (fun (a, b, c) ->
+      let sorted = List.sort Value.compare [ a; b; c ] in
+      List.sort Value.compare sorted = sorted)
+
+let prop_equal_implies_compare_zero =
+  QCheck2.Test.make ~name:"Value.equal implies compare = 0" ~count:500
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.compare a b = 0)
+
+let prop_semijoin_subset =
+  QCheck2.Test.make ~name:"semijoin result is a subset" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 10) (pair (int_range 0 5) (int_range 0 5)))
+        (list_size (int_range 0 10) (pair (int_range 0 5) (int_range 0 5))))
+    (fun (rows1, rows2) ->
+      let r1 = rel s1 (List.map (fun (a, b) -> [ a; b ]) rows1) in
+      let r2 = rel s2 (List.map (fun (b, c) -> [ b; c ]) rows2) in
+      let sj = Relation.semijoin path_preds r1 r2 in
+      Relation.cardinality sj <= Relation.cardinality r1
+      && List.for_all
+           (fun t -> List.exists (Tuple.equal t) (Relation.tuples r1))
+           (Relation.tuples sj))
+
+let prop_join_card_matches_nested_loop =
+  QCheck2.Test.make ~name:"join cardinality equals nested-loop count" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 8) (pair (int_range 0 4) (int_range 0 4)))
+        (list_size (int_range 0 8) (pair (int_range 0 4) (int_range 0 4))))
+    (fun (rows1, rows2) ->
+      let r1 = rel s1 (List.map (fun (a, b) -> [ a; b ]) rows1) in
+      let r2 = rel s2 (List.map (fun (b, c) -> [ b; c ]) rows2) in
+      let j = Relation.join ~name:"J" path_preds r1 r2 in
+      let expected =
+        List.fold_left
+          (fun acc t1 ->
+            acc
+            + List.length
+                (List.filter
+                   (fun t2 -> Predicate.eval_all path_preds t1 t2)
+                   (Relation.tuples r2)))
+          0 (Relation.tuples r1)
+      in
+      Relation.cardinality j = expected)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_compare_antisymmetric;
+      prop_compare_transitive;
+      prop_equal_implies_compare_zero;
+      prop_semijoin_subset;
+      prop_join_card_matches_nested_loop;
+    ]
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "SQL equality" `Quick test_value_equal_null;
+          Alcotest.test_case "total order" `Quick test_value_compare_total;
+          Alcotest.test_case "type_of" `Quick test_value_type_of;
+          Alcotest.test_case "matches_ty" `Quick test_value_matches_ty;
+          Alcotest.test_case "to_string" `Quick test_value_to_string;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "duplicates rejected" `Quick test_schema_rejects_duplicates;
+          Alcotest.test_case "empty rejected" `Quick test_schema_rejects_empty;
+          Alcotest.test_case "equality" `Quick test_schema_equal;
+          Alcotest.test_case "concat qualifies" `Quick test_schema_concat_qualifies;
+          Alcotest.test_case "concat_all" `Quick test_schema_concat_all;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "make/get" `Quick test_tuple_make_and_get;
+          Alcotest.test_case "arity mismatch" `Quick test_tuple_arity_mismatch;
+          Alcotest.test_case "type mismatch" `Quick test_tuple_type_mismatch;
+          Alcotest.test_case "null allowed" `Quick test_tuple_null_allowed;
+          Alcotest.test_case "project" `Quick test_tuple_project;
+          Alcotest.test_case "concat" `Quick test_tuple_concat;
+          Alcotest.test_case "equality/compare/hash" `Quick test_tuple_equal_compare;
+        ] );
+      ( "predicate",
+        [
+          Alcotest.test_case "normalization" `Quick test_atom_normalization;
+          Alcotest.test_case "self-join rejected" `Quick test_atom_self_join_rejected;
+          Alcotest.test_case "sides" `Quick test_atom_sides;
+          Alcotest.test_case "eval" `Quick test_atom_eval;
+          Alcotest.test_case "null never matches" `Quick test_eval_null_never_matches;
+          Alcotest.test_case "between / eval_all" `Quick test_between_and_eval_all;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "join" `Quick test_relation_join;
+          Alcotest.test_case "semijoin" `Quick test_relation_semijoin;
+          Alcotest.test_case "distinct projection" `Quick test_relation_distinct_project;
+          Alcotest.test_case "add/filter" `Quick test_relation_add_filter;
+          Alcotest.test_case "schema mismatch" `Quick test_relation_schema_mismatch;
+        ] );
+      ("properties", props);
+    ]

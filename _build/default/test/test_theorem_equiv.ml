@@ -1,0 +1,370 @@
+(* Randomized cross-validation of the paper's theorems.
+
+   The Definition-9 fixpoint (GPG closure) is the ground truth; every other
+   procedure must agree with it on thousands of random queries:
+
+   - Theorem 5: the TPG transformation agrees with GPG strong connectivity;
+   - Theorem 2 (single-attribute schemes): plain PG strong connectivity
+     agrees with GPG strong connectivity;
+   - Theorems 2/4 operationally: a safe verdict coincides with the
+     existence of a safe plan found by exhaustive enumeration (small n);
+   - Theorem 1/3 per stream: purgeable iff reaches-all;
+   - monotonicity: adding punctuation schemes never makes a safe query
+     unsafe; removing streams' schemes never helps. *)
+
+module Scheme = Streams.Scheme
+module Cjq = Query.Cjq
+module Checker = Core.Checker
+module Block = Core.Block
+
+let query_gen ?(ordered = 0.0) ~multi () =
+  QCheck2.Gen.(
+    let* n_streams = int_range 2 6 in
+    let* extra_edges = int_range 0 3 in
+    let* attrs = int_range 2 4 in
+    let* single_p = float_range 0.2 0.9 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      {
+        Workload.Synth.n_streams;
+        extra_edges;
+        attrs_per_stream = attrs;
+        single_scheme_prob = single_p;
+        multi_scheme_prob = (if multi then 0.5 else 0.0);
+        ordered_scheme_prob = ordered;
+        seed;
+      })
+
+let build config = Workload.Synth.random_query config
+
+let prop_tpg_equals_gpg =
+  QCheck2.Test.make ~name:"Theorem 5: TPG verdict = GPG closure verdict"
+    ~count:1500 (query_gen ~multi:true ()) (fun config ->
+      let q = build config in
+      Checker.is_safe ~method_:Checker.Tpg q
+      = Checker.is_safe ~method_:Checker.Gpg_closure q)
+
+let prop_tpg_equals_gpg_with_watermarks =
+  QCheck2.Test.make
+    ~name:"Theorem 5 holds with ordered (watermark) schemes mixed in"
+    ~count:800
+    (query_gen ~ordered:0.5 ~multi:true ())
+    (fun config ->
+      let q = build config in
+      Checker.is_safe ~method_:Checker.Tpg q
+      = Checker.is_safe ~method_:Checker.Gpg_closure q)
+
+let prop_pg_equals_gpg_single_attr =
+  QCheck2.Test.make
+    ~name:"Theorem 2: PG = GPG under single-attribute schemes" ~count:1000
+    (query_gen ~multi:false ()) (fun config ->
+      let q = build config in
+      Checker.is_safe ~method_:Checker.Pg q
+      = Checker.is_safe ~method_:Checker.Gpg_closure q)
+
+let prop_safe_iff_safe_plan_exists =
+  (* exhaustive plan enumeration explodes fast; keep n small *)
+  QCheck2.Test.make
+    ~name:"Theorems 2/4: safe iff some plan is safe (enumeration)" ~count:250
+    QCheck2.Gen.(
+      let* n_streams = int_range 2 4 in
+      let* extra_edges = int_range 0 2 in
+      let* single_p = float_range 0.2 0.9 in
+      let* multi_p = float_range 0.0 0.6 in
+      let* seed = int_range 0 1_000_000 in
+      return
+        {
+          Workload.Synth.n_streams;
+          extra_edges;
+          attrs_per_stream = 3;
+          single_scheme_prob = single_p;
+          multi_scheme_prob = multi_p;
+          ordered_scheme_prob = 0.2;
+          seed;
+        })
+    (fun config ->
+      let q = build config in
+      Checker.is_safe q = Checker.exists_safe_plan_by_enumeration q)
+
+let prop_stream_purgeable_iff_reaches_all =
+  QCheck2.Test.make
+    ~name:"Theorem 3: stream purgeable iff GPG reaches-all" ~count:800
+    (query_gen ~multi:true ()) (fun config ->
+      let q = build config in
+      let gpg = Core.Gpg.of_query q in
+      List.for_all
+        (fun s ->
+          Checker.stream_purgeable q s
+          = Core.Gpg.reaches_all gpg (Block.singleton s))
+        (Cjq.stream_names q))
+
+let prop_purgeable_iff_purge_plan =
+  QCheck2.Test.make
+    ~name:"chained purge plan exists iff stream purgeable" ~count:800
+    (query_gen ~ordered:0.3 ~multi:true ()) (fun config ->
+      let q = build config in
+      let schemes = Cjq.scheme_set q in
+      List.for_all
+        (fun s ->
+          Checker.stream_purgeable q s
+          = (Core.Chained_purge.derive (Cjq.stream_names q)
+               (Cjq.predicates q) schemes ~root:s
+            <> None))
+        (Cjq.stream_names q))
+
+let prop_adding_schemes_monotone =
+  QCheck2.Test.make
+    ~name:"adding schemes never turns safe into unsafe" ~count:600
+    QCheck2.Gen.(pair (query_gen ~multi:true ()) (int_range 0 1_000_000))
+    (fun (config, seed2) ->
+      let q = build config in
+      if not (Checker.is_safe q) then true
+      else begin
+        (* enrich: also declare every join attribute punctuatable *)
+        let rng = Workload.Rng.create ~seed:seed2 in
+        ignore rng;
+        let richer =
+          List.concat_map
+            (fun def ->
+              let schema = Streams.Stream_def.schema def in
+              let s = Streams.Stream_def.name def in
+              let join_attrs =
+                List.filter_map
+                  (fun a ->
+                    if Relational.Predicate.involves a s then
+                      Some (Relational.Predicate.attr_on a s)
+                    else None)
+                  (Cjq.predicates q)
+                |> List.sort_uniq String.compare
+              in
+              List.map (fun attr -> Scheme.of_attrs schema [ attr ]) join_attrs)
+            (Cjq.stream_defs q)
+        in
+        let bigger =
+          Scheme.Set.of_list (Scheme.Set.schemes (Cjq.scheme_set q) @ richer)
+        in
+        Checker.is_safe ~schemes:bigger q
+      end)
+
+let prop_witness_exists_iff_unsafe_stream =
+  QCheck2.Test.make
+    ~name:"Theorem 1 witness exists iff stream not purgeable" ~count:400
+    (query_gen ~ordered:0.3 ~multi:true ()) (fun config ->
+      let q = build config in
+      List.for_all
+        (fun s ->
+          (Core.Witness.build q ~root:s <> None)
+          = not (Checker.stream_purgeable q s))
+        (Cjq.stream_names q))
+
+let prop_witness_traces_well_formed =
+  QCheck2.Test.make ~name:"witness traces are well-formed" ~count:200
+    (query_gen ~ordered:0.3 ~multi:true ()) (fun config ->
+      let q = build config in
+      List.for_all
+        (fun s ->
+          match Core.Witness.build q ~root:s with
+          | None -> true
+          | Some w ->
+              Streams.Trace.check ~schemes:(Cjq.scheme_set q)
+                (Core.Witness.trace w ~rounds:3)
+              = [])
+        (Cjq.stream_names q))
+
+let prop_full_schemes_always_safe =
+  QCheck2.Test.make
+    ~name:"every join attribute punctuatable implies safe" ~count:400
+    QCheck2.Gen.(pair (int_range 2 7) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let config =
+        {
+          Workload.Synth.n_streams = n;
+          extra_edges = 2;
+          attrs_per_stream = 3;
+          single_scheme_prob = 0.0;
+          multi_scheme_prob = 0.0;
+          ordered_scheme_prob = 0.0;
+          seed;
+        }
+      in
+      let q = build config in
+      (* replace schemes: every join attribute punctuatable *)
+      let full =
+        List.concat_map
+          (fun def ->
+            let schema = Streams.Stream_def.schema def in
+            let s = Streams.Stream_def.name def in
+            List.filter_map
+              (fun a ->
+                if Relational.Predicate.involves a s then
+                  Some
+                    (Scheme.of_attrs schema [ Relational.Predicate.attr_on a s ])
+                else None)
+              (Cjq.predicates q))
+          (Cjq.stream_defs q)
+      in
+      Checker.is_safe ~schemes:(Scheme.Set.of_list full) q)
+
+(* §4.3's complexity argument: "the maximum number of steps for the
+   transformation procedure is n - 1". *)
+let prop_tpg_iterations_bounded =
+  QCheck2.Test.make ~name:"TPG terminates within n-1 iterations" ~count:800
+    (query_gen ~ordered:0.2 ~multi:true ())
+    (fun config ->
+      let q = build config in
+      let tpg = Core.Tpg.of_query q in
+      List.length (Core.Tpg.steps tpg) <= max 1 (Cjq.n_streams q - 1))
+
+(* Theorems 1-4, dynamically: running a random SAFE query over the
+   generously-punctuated round workload keeps state bounded (everything is
+   eventually purged), while a random UNSAFE query retains at least its
+   unpurgeable streams' tuples forever. *)
+let run_rounds q rounds =
+  let trace =
+    Workload.Synth.round_trace q
+      { Workload.Synth.default_trace_config with rounds }
+  in
+  let c =
+    Engine.Executor.compile ~policy:Engine.Purge_policy.Eager q
+      (Query.Plan.mjoin (Cjq.stream_names q))
+  in
+  ignore (Engine.Executor.run c (List.to_seq trace));
+  Engine.Executor.total_data_state c
+
+let prop_safe_queries_drain =
+  QCheck2.Test.make
+    ~name:"dynamic Thm 2/4: safe queries drain completely on round traces"
+    ~count:40
+    (query_gen ~multi:true ())
+    (fun config ->
+      let q = build config in
+      (not (Checker.is_safe q)) || run_rounds q 25 = 0)
+
+let prop_unsafe_queries_retain =
+  QCheck2.Test.make
+    ~name:"dynamic Thm 1/3: unsafe queries retain unpurgeable state"
+    ~count:40
+    (query_gen ~multi:true ())
+    (fun config ->
+      let q = build config in
+      let unpurgeable =
+        List.filter
+          (fun s -> not (Checker.stream_purgeable q s))
+          (Cjq.stream_names q)
+      in
+      match unpurgeable with
+      | [] -> true
+      | _ ->
+          let rounds = 25 in
+          (* every tuple of every unpurgeable stream must still be there *)
+          run_rounds q rounds >= rounds * List.length unpurgeable)
+
+(* Theorem 1's witness, dynamically and at random: for any random unsafe
+   stream, replaying the witness trace through the engine must produce at
+   least one result per revival round and leave retained state behind. *)
+let prop_witness_dynamic =
+  QCheck2.Test.make
+    ~name:"dynamic Thm 1: witness revivals keep producing results" ~count:25
+    (query_gen ~multi:true ())
+    (fun config ->
+      let q = build config in
+      let unpurgeable =
+        List.filter
+          (fun s -> not (Checker.stream_purgeable q s))
+          (Cjq.stream_names q)
+      in
+      match unpurgeable with
+      | [] -> true
+      | root :: _ -> (
+          match Core.Witness.build q ~root with
+          | None -> false
+          | Some w ->
+              let rounds = 4 in
+              let c =
+                Engine.Executor.compile ~policy:Engine.Purge_policy.Eager q
+                  (Query.Plan.mjoin (Cjq.stream_names q))
+              in
+              let r =
+                Engine.Executor.run c
+                  (List.to_seq (Core.Witness.trace w ~rounds))
+              in
+              let results =
+                List.length
+                  (List.filter Streams.Element.is_data
+                     r.Engine.Executor.outputs)
+              in
+              results >= rounds
+              && Engine.Executor.total_data_state c > 0))
+
+(* Heartbeat soundness: whenever the actual disorder stays within the
+   declared slack, every generated watermark is legal. *)
+let prop_heartbeat_sound =
+  QCheck2.Test.make ~name:"heartbeats are sound within their slack" ~count:150
+    QCheck2.Gen.(
+      triple (int_range 0 6) (int_range 1 20) (int_range 0 100_000))
+    (fun (jitter, every, seed) ->
+      let schema =
+        Relational.Schema.make ~stream:"H"
+          [
+            { Relational.Schema.name = "id"; ty = Relational.Value.TInt };
+            { Relational.Schema.name = "ts"; ty = Relational.Value.TInt };
+          ]
+      in
+      let rng = Workload.Rng.create ~seed in
+      let source =
+        Streams.Source.of_list
+          (List.init 120 (fun i ->
+               let v = max 0 (i - Workload.Rng.int rng (jitter + 1)) in
+               Streams.Element.Data
+                 (Relational.Tuple.make schema
+                    [ Relational.Value.Int i; Relational.Value.Int v ])))
+      in
+      let wrapped =
+        Streams.Heartbeat.attach ~schema ~attr:"ts" ~every ~slack:jitter
+          source
+      in
+      let schemes =
+        Scheme.Set.of_list [ Streams.Heartbeat.scheme ~schema ~attr:"ts" ]
+      in
+      Streams.Trace.check ~schemes (List.of_seq wrapped) = [])
+
+let prop_no_schemes_always_unsafe =
+  QCheck2.Test.make ~name:"empty scheme set is always unsafe" ~count:200
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let config =
+        {
+          Workload.Synth.n_streams = n;
+          extra_edges = 1;
+          attrs_per_stream = 3;
+          single_scheme_prob = 0.0;
+          multi_scheme_prob = 0.0;
+          ordered_scheme_prob = 0.0;
+          seed;
+        }
+      in
+      let q = build config in
+      not (Checker.is_safe ~schemes:Scheme.Set.empty q))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_tpg_equals_gpg;
+      prop_tpg_equals_gpg_with_watermarks;
+      prop_pg_equals_gpg_single_attr;
+      prop_safe_iff_safe_plan_exists;
+      prop_stream_purgeable_iff_reaches_all;
+      prop_purgeable_iff_purge_plan;
+      prop_adding_schemes_monotone;
+      prop_witness_exists_iff_unsafe_stream;
+      prop_witness_traces_well_formed;
+      prop_full_schemes_always_safe;
+      prop_no_schemes_always_unsafe;
+      prop_tpg_iterations_bounded;
+      prop_safe_queries_drain;
+      prop_unsafe_queries_retain;
+      prop_witness_dynamic;
+      prop_heartbeat_sound;
+    ]
+
+let () = Alcotest.run "theorem_equivalence" [ ("properties", props) ]
