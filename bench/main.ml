@@ -855,6 +855,159 @@ let x1 () =
     "(a tuple is purged only once punctuations rule out BOTH disjuncts —      the dual of the conjunctive rule)@."
 
 (* ------------------------------------------------------------------ *)
+(* B1 — bounded state, memory-true: the machine-readable trajectory     *)
+
+(* Each scenario runs a query and records the full memory accounting:
+   live tuples, secondary-index entries and approximate bytes, with their
+   growth slopes. The result is written to BENCH_bounded_state.json so
+   future PRs can diff the trajectory instead of scraping stdout. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type bounded_row = {
+  br_id : string;
+  br_rounds : int;
+  br_elements : int;
+  br_results : int;
+  br_peak_data : int;
+  br_peak_index : int;
+  br_peak_bytes : int;
+  br_final_data : int;
+  br_final_index : int;
+  br_slope : float;
+  br_index_slope : float;
+}
+
+let bounded_row ~id ~rounds ~policy ?(sample_every = 50) query plan trace =
+  let _, r = run_plan ~policy ~sample_every query plan trace in
+  let final field =
+    match Metrics.final r.Executor.metrics with
+    | Some s -> field s
+    | None -> -1
+  in
+  {
+    br_id = id;
+    br_rounds = rounds;
+    br_elements = List.length trace;
+    br_results = count_data r.Executor.outputs;
+    br_peak_data = Metrics.peak_data_state r.Executor.metrics;
+    br_peak_index = Metrics.peak_index_state r.Executor.metrics;
+    br_peak_bytes = Metrics.peak_state_bytes r.Executor.metrics;
+    br_final_data = final (fun s -> s.Metrics.data_state);
+    br_final_index = final (fun s -> s.Metrics.index_state);
+    br_slope = Metrics.growth_slope r.Executor.metrics;
+    br_index_slope = Metrics.index_growth_slope r.Executor.metrics;
+  }
+
+let write_bounded_state_json path rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"schema\": \"bounded_state/v1\",\n  \"generated_by\": \"dune exec \
+     bench/main.exe -- B1\",\n  \"scenarios\": [\n";
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"id\": \"%s\", \"rounds\": %d, \"elements\": %d, \
+            \"results\": %d, \"peak_data_state\": %d, \"peak_index_entries\": \
+            %d, \"peak_state_bytes\": %d, \"final_data_state\": %d, \
+            \"final_index_entries\": %d, \"growth_slope\": %.6f, \
+            \"index_growth_slope\": %.6f}%s\n"
+           (json_escape row.br_id) row.br_rounds row.br_elements row.br_results
+           row.br_peak_data row.br_peak_index row.br_peak_bytes
+           row.br_final_data row.br_final_index row.br_slope row.br_index_slope
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+(* A two-stream join whose key domain never repeats: the adversarial
+   workload for index maintenance. Every key is seen once, joined once and
+   punctuated away — bounded state requires the indexes to forget it. *)
+let monotone_key_scenario ~rounds =
+  let sa = schema "S1" [ "A"; "B" ] in
+  let sb = schema "S2" [ "B"; "C" ] in
+  let q =
+    Cjq.make
+      [
+        Streams.Stream_def.make sa [ Scheme.of_attrs sa [ "B" ] ];
+        Streams.Stream_def.make sb [ Scheme.of_attrs sb [ "B" ] ];
+      ]
+      [ Predicate.atom "S1" "B" "S2" "B" ]
+  in
+  let trace =
+    List.concat_map
+      (fun k ->
+        [
+          Element.Data (Tuple.make sa [ Value.Int k; Value.Int k ]);
+          Element.Data (Tuple.make sb [ Value.Int k; Value.Int (k + 1) ]);
+          Element.Punct
+            (Streams.Punctuation.of_bindings sa [ ("B", Value.Int k) ]);
+          Element.Punct
+            (Streams.Punctuation.of_bindings sb [ ("B", Value.Int k) ]);
+        ])
+      (List.init rounds (fun i -> i + 1))
+  in
+  (q, trace)
+
+let b1 () =
+  section "B1" "bounded state with memory-true accounting -> BENCH_bounded_state.json";
+  let rounds = 400 in
+  let triangle_trace q =
+    Workload.Synth.round_trace q
+      { Workload.Synth.default_trace_config with rounds }
+  in
+  let fig5 = fig5_query () and fig8 = fig8_query () in
+  let mono_q, mono_trace = monotone_key_scenario ~rounds:2000 in
+  let rows =
+    [
+      bounded_row ~id:"fig5_triangle_eager" ~rounds ~policy:Purge_policy.Eager
+        fig5
+        (Plan.mjoin [ "S1"; "S2"; "S3" ])
+        (triangle_trace fig5);
+      bounded_row ~id:"fig8_multi_attr_eager" ~rounds
+        ~policy:Purge_policy.Eager fig8
+        (Plan.mjoin [ "S1"; "S2"; "S3" ])
+        (triangle_trace fig8);
+      bounded_row ~id:"fig5_triangle_never_unbounded_baseline" ~rounds
+        ~policy:Purge_policy.Never fig5
+        (Plan.mjoin [ "S1"; "S2"; "S3" ])
+        (triangle_trace fig5);
+      bounded_row ~id:"monotone_keys_eager" ~rounds:2000
+        ~policy:Purge_policy.Eager mono_q
+        (Plan.mjoin [ "S1"; "S2" ])
+        mono_trace;
+    ]
+  in
+  row "%-42s %-9s %-10s %-11s %-11s %-9s %-9s@." "scenario" "results" "peak"
+    "peak(idx)" "~bytes" "slope" "idx-slope";
+  List.iter
+    (fun r ->
+      row "%-42s %-9d %-10d %-11d %-11d %-9.4f %-9.4f@." r.br_id r.br_results
+        r.br_peak_data r.br_peak_index r.br_peak_bytes r.br_slope
+        r.br_index_slope)
+    rows;
+  let path = "BENCH_bounded_state.json" in
+  write_bounded_state_json path rows;
+  row "wrote %s@." path;
+  row
+    "(eager rows: index entries track live tuples and both slopes are ~0; \
+     the 'never' baseline is what an index leak used to look like even \
+     with purging on)@."
+
+(* ------------------------------------------------------------------ *)
 (* T1 — engine throughput under the policies and join implementations   *)
 
 let t1 () =
@@ -908,6 +1061,7 @@ let experiments =
     ("W2", w2);
     ("D1", d1);
     ("X1", x1);
+    ("B1", b1);
     ("T1", t1);
   ]
 

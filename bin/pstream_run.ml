@@ -6,7 +6,7 @@
 open Cmdliner
 module Element = Streams.Element
 
-let run_query file rounds tuples_per_round punct_lag policy_name force
+let run_query file rounds tuples_per_round punct_lag policy force
     sample_every replay save_trace =
   match Query.Parser.parse_file file with
   | exception Query.Parser.Parse_error { line; message } ->
@@ -25,15 +25,6 @@ let run_query file rounds tuples_per_round punct_lag policy_name force
         2
       end
       else begin
-        let policy =
-          match policy_name with
-          | "never" -> Engine.Purge_policy.Never
-          | "eager" -> Engine.Purge_policy.Eager
-          | s -> (
-              match int_of_string_opt s with
-              | Some n when n > 0 -> Engine.Purge_policy.Lazy n
-              | _ -> Engine.Purge_policy.Eager)
-        in
         let trace =
           match replay with
           | Some path ->
@@ -83,6 +74,8 @@ let run_query file rounds tuples_per_round punct_lag policy_name force
           result.Engine.Executor.metrics;
         Fmt.pr "growth slope (second half): %.4f tuples/element@."
           (Engine.Metrics.growth_slope result.Engine.Executor.metrics);
+        Fmt.pr "index growth slope (second half): %.4f entries/element@."
+          (Engine.Metrics.index_growth_slope result.Engine.Executor.metrics);
         0
       end
 
@@ -103,10 +96,49 @@ let punct_lag =
     value & opt int 0
     & info [ "lag" ] ~doc:"Rounds between data and its punctuations.")
 
+(* A malformed --policy used to fall back to Eager silently; it is now a
+   Cmdliner conversion error. *)
+let policy_conv : Engine.Purge_policy.t Arg.conv =
+  let parse s =
+    let module P = Engine.Purge_policy in
+    let positive what v =
+      match int_of_string_opt v with
+      | Some n when n > 0 -> Ok n
+      | _ -> Error (`Msg (Fmt.str "%s must be a positive integer, got %S" what v))
+    in
+    let invalid () =
+      Error
+        (`Msg
+           (Fmt.str
+              "invalid purge policy %S: expected eager, never, a lazy batch \
+               size N (or lazy:N), or adaptive:BATCH:TRIGGER"
+              s))
+    in
+    match String.lowercase_ascii s with
+    | "eager" -> Ok P.Eager
+    | "never" -> Ok P.Never
+    | spec -> (
+        match String.split_on_char ':' spec with
+        | [ n ] when int_of_string_opt n = None -> invalid ()
+        | [ n ] | [ "lazy"; n ] ->
+            Result.map (fun n -> P.Lazy n) (positive "lazy batch size" n)
+        | [ "adaptive"; batch; trigger ] ->
+            Result.bind (positive "adaptive batch" batch) (fun batch ->
+                Result.map
+                  (fun state_trigger -> P.Adaptive { batch; state_trigger })
+                  (positive "adaptive state trigger" trigger))
+        | _ -> invalid ())
+  in
+  Arg.conv (parse, Engine.Purge_policy.pp)
+
 let policy =
   Arg.(
-    value & opt string "eager"
-    & info [ "policy" ] ~doc:"Purge policy: eager, never, or a lazy batch size.")
+    value
+    & opt policy_conv Engine.Purge_policy.Eager
+    & info [ "policy" ]
+        ~doc:
+          "Purge policy: $(b,eager), $(b,never), a lazy batch size \
+           ($(b,N) or $(b,lazy:N)), or $(b,adaptive:BATCH:TRIGGER).")
 
 let force =
   Arg.(value & flag & info [ "force" ] ~doc:"Run even if the query is unsafe.")

@@ -128,5 +128,12 @@ let create ?(name = "antijoin") ~left ~right ~predicates () =
       (fun () -> Join_state.size pending + Join_state.size right_state);
     punct_state_size =
       (fun () -> Punct_store.size right_puncts + Punct_store.size left_puncts);
+    index_state_size =
+      (fun () ->
+        Join_state.index_entries pending + Join_state.index_entries right_state);
+    state_bytes =
+      (fun () ->
+        (Join_state.mem_stats pending).Join_state.approx_bytes
+        + (Join_state.mem_stats right_state).Join_state.approx_bytes);
     stats = (fun () -> !stats);
   }

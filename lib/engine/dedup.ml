@@ -53,5 +53,7 @@ let create ?(name = "dedup") ~input ~key () =
     flush = (fun () -> []);
     data_state_size = (fun () -> Hashtbl.length seen);
     punct_state_size = (fun () -> 0);
+    index_state_size = (fun () -> 0);
+    state_bytes = (fun () -> Hashtbl.length seen * 6 * (Sys.word_size / 8));
     stats = (fun () -> !stats);
   }

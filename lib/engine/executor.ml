@@ -159,6 +159,16 @@ let total_punct_state c =
     (fun acc (op : Operator.t) -> acc + op.punct_state_size ())
     0 c.all_ops
 
+let total_index_state c =
+  List.fold_left
+    (fun acc (op : Operator.t) -> acc + op.index_state_size ())
+    0 c.all_ops
+
+let total_state_bytes c =
+  List.fold_left
+    (fun acc (op : Operator.t) -> acc + op.state_bytes ())
+    0 c.all_ops
+
 let state_breakdown c =
   List.map
     (fun (op : Operator.t) ->
@@ -224,9 +234,13 @@ let run ?(sample_every = 100) ?sink c elements =
       accept (feed c.root element);
       Metrics.observe metrics ~tick:!consumed
         ~data_state:(total_data_state c)
-        ~punct_state:(total_punct_state c) ~emitted:!emitted)
+        ~punct_state:(total_punct_state c)
+        ~index_state:(total_index_state c)
+        ~state_bytes:(total_state_bytes c) ~emitted:!emitted ())
     elements;
   accept (final_flush c.root);
-  Metrics.force metrics ~tick:!consumed ~data_state:(total_data_state c)
-    ~punct_state:(total_punct_state c) ~emitted:!emitted;
+  Metrics.flush metrics ~tick:!consumed ~data_state:(total_data_state c)
+    ~punct_state:(total_punct_state c)
+    ~index_state:(total_index_state c)
+    ~state_bytes:(total_state_bytes c) ~emitted:!emitted ();
   { outputs = List.rev !outputs; metrics; consumed = !consumed }

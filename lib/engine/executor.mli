@@ -58,6 +58,14 @@ val run :
     punctuations across all operators. *)
 val total_data_state : compiled -> int
 
+(** [total_index_state c] — secondary-index entries across all operators;
+    stays O({!total_data_state}) now that purging maintains the indexes. *)
+val total_index_state : compiled -> int
+
+(** [total_state_bytes c] — approximate resident bytes of all join states
+    (see {!Join_state.mem_stats}). *)
+val total_state_bytes : compiled -> int
+
 val total_punct_state : compiled -> int
 
 (** [state_breakdown c] — per operator: (name, stored tuples, stored

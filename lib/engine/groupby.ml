@@ -123,5 +123,7 @@ let create ?(name = "groupby") ~input ~group_by ~aggregate () =
     flush = (fun () -> []);
     data_state_size = (fun () -> Hashtbl.length groups);
     punct_state_size = (fun () -> 0);
+    index_state_size = (fun () -> 0);
+    state_bytes = (fun () -> Hashtbl.length groups * 8 * (Sys.word_size / 8));
     stats = (fun () -> !stats);
   }

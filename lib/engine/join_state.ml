@@ -9,13 +9,25 @@ end
 
 module KeyTbl = Hashtbl.Make (Key)
 
-type index = { attrs : int list; buckets : int list ref KeyTbl.t }
+type index = {
+  attrs : int list;
+  buckets : int list ref KeyTbl.t;
+  mutable entries : int;  (** total ids across all buckets (kept exact) *)
+}
 
 type t = {
   schema : Schema.t;
   live : (int, int * Tuple.t) Hashtbl.t;  (** id -> (insertion tick, tuple) *)
   mutable indexes : index list;
   mutable next_id : int;
+}
+
+type mem_stats = {
+  live_tuples : int;
+  index_entries : int;
+  buckets : int;
+  indexes : int;
+  approx_bytes : int;
 }
 
 let create schema =
@@ -25,9 +37,10 @@ let schema t = t.schema
 
 let index_insert idx id tup =
   let key = Tuple.project tup idx.attrs in
-  match KeyTbl.find_opt idx.buckets key with
+  (match KeyTbl.find_opt idx.buckets key with
   | Some ids -> ids := id :: !ids
-  | None -> KeyTbl.add idx.buckets key (ref [ id ])
+  | None -> KeyTbl.add idx.buckets key (ref [ id ]));
+  idx.entries <- idx.entries + 1
 
 let insert ?tick t tup =
   if not (Schema.equal (Tuple.schema tup) t.schema) then
@@ -38,25 +51,62 @@ let insert ?tick t tup =
   Hashtbl.replace t.live id (tick, tup);
   List.iter (fun idx -> index_insert idx id tup) t.indexes
 
+(* Eagerly drop [victims] (already removed from [live]) from every index:
+   one pass over the affected buckets, emptied buckets are deleted so the
+   key table cannot accumulate keys the stream will never repeat. *)
+let remove_from_indexes (t : t) victims =
+  if victims <> [] then
+    match t.indexes with
+    | [] -> ()
+    | indexes ->
+        let dead = Hashtbl.create (2 * List.length victims) in
+        List.iter (fun (id, _) -> Hashtbl.replace dead id ()) victims;
+        List.iter
+          (fun idx ->
+            let touched = KeyTbl.create 16 in
+            List.iter
+              (fun (_, tup) ->
+                let key = Tuple.project tup idx.attrs in
+                if not (KeyTbl.mem touched key) then KeyTbl.add touched key ())
+              victims;
+            KeyTbl.iter
+              (fun key () ->
+                match KeyTbl.find_opt idx.buckets key with
+                | None -> ()
+                | Some ids ->
+                    let keep =
+                      List.filter (fun id -> not (Hashtbl.mem dead id)) !ids
+                    in
+                    idx.entries <-
+                      idx.entries - (List.length !ids - List.length keep);
+                    if keep = [] then KeyTbl.remove idx.buckets key
+                    else ids := keep)
+              touched)
+          indexes
+
+let remove_victims t victims =
+  List.iter (fun (id, _) -> Hashtbl.remove t.live id) victims;
+  remove_from_indexes t victims;
+  List.length victims
+
 let evict_before t ~tick =
   let victims =
     Hashtbl.fold
-      (fun id (k, _) acc -> if k < tick then id :: acc else acc)
+      (fun id (k, tup) acc -> if k < tick then (id, tup) :: acc else acc)
       t.live []
   in
-  List.iter (Hashtbl.remove t.live) victims;
-  List.length victims
+  remove_victims t victims
 
 let size t = Hashtbl.length t.live
 let insertions t = t.next_id
 
 let build_index t attrs =
-  let idx = { attrs; buckets = KeyTbl.create 64 } in
+  let idx = { attrs; buckets = KeyTbl.create 64; entries = 0 } in
   Hashtbl.iter (fun id (_, tup) -> index_insert idx id tup) t.live;
   t.indexes <- idx :: t.indexes;
   idx
 
-let probe t ~attrs values =
+let probe (t : t) ~attrs values =
   let idx =
     match List.find_opt (fun i -> i.attrs = attrs) t.indexes with
     | Some i -> i
@@ -65,7 +115,9 @@ let probe t ~attrs values =
   match KeyTbl.find_opt idx.buckets values with
   | None -> []
   | Some ids ->
-      (* Compact the bucket while filtering out purged ids. *)
+      (* Purge maintains the indexes eagerly, so every id should be live;
+         keep the compaction as a defensive sweep and never leave an empty
+         bucket behind. *)
       let alive =
         List.filter_map
           (fun id ->
@@ -74,7 +126,9 @@ let probe t ~attrs values =
             | None -> None)
           !ids
       in
-      ids := List.map fst alive;
+      idx.entries <- idx.entries - (List.length !ids - List.length alive);
+      if alive = [] then KeyTbl.remove idx.buckets values
+      else ids := List.map fst alive;
       List.map snd alive
 
 let iter f t = Hashtbl.iter (fun _ (_, tup) -> f tup) t.live
@@ -85,11 +139,10 @@ let to_relation t = Relation.make t.schema (fold (fun acc x -> x :: acc) [] t)
 let purge_if t pred =
   let victims =
     Hashtbl.fold
-      (fun id (_, tup) acc -> if pred tup then id :: acc else acc)
+      (fun id (_, tup) acc -> if pred tup then (id, tup) :: acc else acc)
       t.live []
   in
-  List.iter (Hashtbl.remove t.live) victims;
-  List.length victims
+  remove_victims t victims
 
 let exists_matching t p =
   let exception Found in
@@ -97,3 +150,42 @@ let exists_matching t p =
     iter (fun tup -> if Streams.Punctuation.matches p tup then raise Found) t;
     false
   with Found -> true
+
+(* --- memory accounting ------------------------------------------------- *)
+
+let index_entries (t : t) =
+  List.fold_left (fun acc idx -> acc + idx.entries) 0 t.indexes
+
+let bucket_count (t : t) =
+  List.fold_left
+    (fun acc (idx : index) -> acc + KeyTbl.length idx.buckets)
+    0 t.indexes
+
+let word = Sys.word_size / 8
+
+let mem_stats (t : t) =
+  let live_tuples = Hashtbl.length t.live in
+  let arity = Schema.arity t.schema in
+  (* Per live tuple: the (tick, tuple) pair, the tuple block and one boxed
+     value per attribute, plus a hash-table slot. Per index entry: a list
+     cell. Per bucket: the ref, the key list and its boxed values, plus a
+     table slot. A deliberate estimate — the point is the trend, not the
+     exact byte. *)
+  let tuple_bytes = word * (8 + (3 * arity)) in
+  let entry_bytes = 3 * word in
+  let buckets = bucket_count t in
+  let bucket_bytes (idx : index) =
+    word * (8 + (3 * List.length idx.attrs)) * KeyTbl.length idx.buckets
+  in
+  let approx_bytes =
+    (live_tuples * tuple_bytes)
+    + (index_entries t * entry_bytes)
+    + List.fold_left (fun acc idx -> acc + bucket_bytes idx) 0 t.indexes
+  in
+  {
+    live_tuples;
+    index_entries = index_entries t;
+    buckets;
+    indexes = List.length t.indexes;
+    approx_bytes;
+  }

@@ -1,8 +1,27 @@
 (** A join state [Υ_S]: the stored tuples of one input of a join operator,
     with hash indexes built on demand per probe key (the hash tables of the
-    symmetric hash join / MJoin algorithms the paper assumes). *)
+    symmetric hash join / MJoin algorithms the paper assumes).
+
+    Purging maintains the secondary indexes eagerly: removing a tuple also
+    removes its id from every index bucket, and a bucket that empties is
+    deleted from its key table. Total operator memory — not just the live
+    tuple count — is therefore O(live tuples), which is what Theorem 1's
+    bounded-state guarantee is about. {!mem_stats} exposes the accounting. *)
 
 type t
+
+(** Memory accounting for one join state. [index_entries] counts tuple ids
+    across all buckets of all indexes; [buckets] counts non-empty buckets;
+    [approx_bytes] is a word-counting estimate of the resident size (tuples
+    + index cells + bucket keys), meant for trend analysis rather than
+    byte-exact measurement. *)
+type mem_stats = {
+  live_tuples : int;
+  index_entries : int;
+  buckets : int;
+  indexes : int;
+  approx_bytes : int;
+}
 
 val create : Relational.Schema.t -> t
 val schema : t -> Relational.Schema.t
@@ -42,3 +61,12 @@ val purge_if : t -> (Relational.Tuple.t -> bool) -> int
 (** [exists_matching t p] — is some live tuple matched by punctuation [p]?
     (punctuation-propagation drain test). *)
 val exists_matching : t -> Streams.Punctuation.t -> bool
+
+(** [index_entries t] — tuple ids stored across all index buckets. With
+    eager index maintenance this is [size t * number of indexes]. *)
+val index_entries : t -> int
+
+(** [bucket_count t] — non-empty hash buckets across all indexes. *)
+val bucket_count : t -> int
+
+val mem_stats : t -> mem_stats

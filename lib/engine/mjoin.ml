@@ -229,5 +229,16 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
     punct_state_size =
       (fun () ->
         List.fold_left (fun acc s -> acc + Punct_store.size s.puncts) 0 slots);
+    index_state_size =
+      (fun () ->
+        List.fold_left
+          (fun acc s -> acc + Join_state.index_entries s.state)
+          0 slots);
+    state_bytes =
+      (fun () ->
+        List.fold_left
+          (fun acc s ->
+            acc + (Join_state.mem_stats s.state).Join_state.approx_bytes)
+          0 slots);
     stats = (fun () -> !stats);
   }

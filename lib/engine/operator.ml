@@ -33,5 +33,7 @@ type t = {
   flush : unit -> Streams.Element.t list;
   data_state_size : unit -> int;
   punct_state_size : unit -> int;
+  index_state_size : unit -> int;
+  state_bytes : unit -> int;
   stats : unit -> stats;
 }

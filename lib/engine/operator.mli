@@ -26,5 +26,12 @@ type t = {
       (** run any deferred purge/propagation work (lazy policies) *)
   data_state_size : unit -> int;
   punct_state_size : unit -> int;
+  index_state_size : unit -> int;
+      (** entries held by secondary join-state indexes — with eager index
+          maintenance this stays O(data_state_size); a gap between the two
+          is a purge leak *)
+  state_bytes : unit -> int;
+      (** approximate resident bytes of the operator's data state including
+          index structures (trend indicator, not an exact measurement) *)
   stats : unit -> stats;
 }

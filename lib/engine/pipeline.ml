@@ -54,6 +54,16 @@ let compose stages =
             List.fold_left
               (fun acc (s : Operator.t) -> acc + s.punct_state_size ())
               0 stages);
+        index_state_size =
+          (fun () ->
+            List.fold_left
+              (fun acc (s : Operator.t) -> acc + s.index_state_size ())
+              0 stages);
+        state_bytes =
+          (fun () ->
+            List.fold_left
+              (fun acc (s : Operator.t) -> acc + s.state_bytes ())
+              0 stages);
         stats =
           (fun () ->
             List.fold_left

@@ -40,5 +40,7 @@ let create ?(name = "project") ~input ~keep () =
     flush = (fun () -> []);
     data_state_size = (fun () -> 0);
     punct_state_size = (fun () -> 0);
+    index_state_size = (fun () -> 0);
+    state_bytes = (fun () -> 0);
     stats = (fun () -> !stats);
   }

@@ -63,6 +63,12 @@ let group_for t positions =
       t.groups <- g :: t.groups;
       g
 
+(* An emptied group would otherwise pin its key table (and its positions
+   entry in [groups]) forever — the same shape of leak the join-state
+   indexes had. *)
+let drop_empty_groups t =
+  t.groups <- List.filter (fun g -> KeyTbl.length g.entries > 0) t.groups
+
 let remove_subsumed_by t p =
   let p_positions = positions_of p in
   List.iter
@@ -80,6 +86,7 @@ let remove_subsumed_by t p =
         List.iter (KeyTbl.remove g.entries) victims
       end)
     t.groups;
+  drop_empty_groups t;
   t.ordered <-
     List.filter (fun e -> not (Punctuation.subsumes p e.punct)) t.ordered
 
@@ -110,6 +117,9 @@ let insert t ~now p =
 let size t =
   List.fold_left (fun acc g -> acc + KeyTbl.length g.entries) 0 t.groups
   + List.length t.ordered
+
+let group_count t = List.length t.groups
+let pending_count t = List.length t.pending_forward
 
 let insertions t = t.insertions
 
@@ -143,8 +153,12 @@ let remove_where t pred =
         count + List.length victims)
       0 t.groups
   in
+  drop_empty_groups t;
   let keep, drop = List.partition (fun e -> not (pred e)) t.ordered in
   t.ordered <- keep;
+  (* a removed punctuation must not be forwarded later: expire/purge_if and
+     the forward queue stay symmetric *)
+  t.pending_forward <- List.filter (fun e -> not (pred e)) t.pending_forward;
   count + List.length drop
 
 let expire t ~now lifespan =

@@ -16,6 +16,16 @@ val insert : t -> now:int -> Streams.Punctuation.t -> bool
 val size : t -> int
 val insertions : t -> int
 
+(** [group_count t] — constant-punctuation index groups currently held.
+    Groups that empty out (all entries expired/purged/subsumed) are dropped
+    eagerly, so this stays proportional to the live punctuation shapes. *)
+val group_count : t -> int
+
+(** [pending_count t] — punctuations queued for forwarding. {!expire} and
+    {!purge_if} remove their victims from this queue too: a punctuation the
+    store no longer holds is never forwarded. *)
+val pending_count : t -> int
+
 (** [covers t bindings] — does some stored punctuation guarantee that no
     future tuple agrees with [bindings] (position/value pairs)? This is the
     oracle the chained purge test consumes. *)

@@ -49,5 +49,7 @@ let create ?(name = "select") ~input ~conditions () =
     flush = (fun () -> []);
     data_state_size = (fun () -> 0);
     punct_state_size = (fun () -> 0);
+    index_state_size = (fun () -> 0);
+    state_bytes = (fun () -> 0);
     stats = (fun () -> !stats);
   }

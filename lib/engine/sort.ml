@@ -57,5 +57,7 @@ let create ?(name = "sort") ~input ~by () =
         List.map (fun t -> Element.Data t) sorted);
     data_state_size = (fun () -> List.length !buffer);
     punct_state_size = (fun () -> 0);
+    index_state_size = (fun () -> 0);
+    state_bytes = (fun () -> List.length !buffer * 8 * (Sys.word_size / 8));
     stats = (fun () -> !stats);
   }

@@ -211,5 +211,12 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
       (fun () -> Join_state.size l.state + Join_state.size r.state);
     punct_state_size =
       (fun () -> Punct_store.size l.puncts + Punct_store.size r.puncts);
+    index_state_size =
+      (fun () ->
+        Join_state.index_entries l.state + Join_state.index_entries r.state);
+    state_bytes =
+      (fun () ->
+        (Join_state.mem_stats l.state).Join_state.approx_bytes
+        + (Join_state.mem_stats r.state).Join_state.approx_bytes);
     stats = (fun () -> !stats);
   }

@@ -79,5 +79,7 @@ let create ?(name = "union") ~left ~right () =
     punct_state_size =
       (fun () ->
         List.fold_left (fun acc (_, s) -> acc + Punct_store.size s) 0 stores);
+    index_state_size = (fun () -> 0);
+    state_bytes = (fun () -> 0);
     stats = (fun () -> !stats);
   }

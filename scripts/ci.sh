@@ -1,0 +1,25 @@
+#!/bin/sh
+# CI entry point: build everything, run the full test battery (unit,
+# integration, property, and the boundedness stress suite), and regenerate
+# the bounded-state benchmark artifact so a state leak fails the pipeline
+# loudly rather than silently shifting the tracked JSON.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest (includes the stress suite) =="
+dune runtest
+
+echo "== bounded-state benchmark (B1 -> BENCH_bounded_state.json) =="
+dune exec bench/main.exe -- B1
+
+# BENCH_bounded_state.json is tracked: a diff here means the memory
+# behaviour of the engine changed and must be reviewed, not ignored.
+if ! git diff --quiet -- BENCH_bounded_state.json 2>/dev/null; then
+  echo "NOTE: BENCH_bounded_state.json changed; review and commit the new numbers." >&2
+fi
+
+echo "CI OK"

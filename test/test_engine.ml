@@ -66,6 +66,70 @@ let test_join_state_schema_mismatch () =
     (Invalid_argument "Join_state.insert: schema mismatch") (fun () ->
       Join_state.insert st (tuple s2 [ 1; 2 ]))
 
+(* The bounded-state bug this PR fixes: purging must clean the secondary
+   indexes, not just the live table. *)
+let test_join_state_purge_cleans_indexes () =
+  let st = Join_state.create s1 in
+  List.iter (fun b -> Join_state.insert st (tuple s1 [ b; b ])) [ 1; 2; 3; 4 ];
+  ignore (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 1 ]);
+  check_int "entries before" 4 (Join_state.index_entries st);
+  check_int "buckets before" 4 (Join_state.bucket_count st);
+  ignore (Join_state.purge_if st (fun t -> Tuple.get t 0 < Value.Int 3));
+  check_int "entries track live" 2 (Join_state.index_entries st);
+  check_int "emptied buckets dropped" 2 (Join_state.bucket_count st);
+  ignore (Join_state.purge_if st (fun _ -> true));
+  let m = Join_state.mem_stats st in
+  check_int "no entries left" 0 m.Join_state.index_entries;
+  check_int "no buckets left" 0 m.Join_state.buckets;
+  check_int "index survives" 1 m.Join_state.indexes
+
+let test_join_state_evict_cleans_indexes () =
+  let st = Join_state.create s1 in
+  List.iteri
+    (fun i b -> Join_state.insert ~tick:i st (tuple s1 [ b; b ]))
+    [ 1; 2; 3; 4 ];
+  (* two indexes on different attrs: both must be maintained *)
+  ignore (Join_state.probe st ~attrs:[ 0 ] [ Value.Int 1 ]);
+  ignore (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 1 ]);
+  check_int "entries = live x indexes" 8 (Join_state.index_entries st);
+  check_int "evicted" 3 (Join_state.evict_before st ~tick:3);
+  check_int "entries after evict" 2 (Join_state.index_entries st);
+  check_int "buckets after evict" 2 (Join_state.bucket_count st);
+  check_int "evict rest" 1 (Join_state.evict_before st ~tick:99);
+  check_int "all buckets dropped" 0 (Join_state.bucket_count st)
+
+let test_join_state_probe_after_purge_no_empty_buckets () =
+  let st = Join_state.create s1 in
+  Join_state.insert st (tuple s1 [ 1; 7 ]);
+  ignore (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 7 ]);
+  ignore (Join_state.purge_if st (fun _ -> true));
+  (* probing purged and never-seen keys must not leave buckets behind *)
+  check_int "probe after purge" 0
+    (List.length (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 7 ]));
+  check_int "probe miss" 0
+    (List.length (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 42 ]));
+  check_int "no buckets" 0 (Join_state.bucket_count st);
+  (* the index keeps serving correct results after cleanup *)
+  Join_state.insert st (tuple s1 [ 2; 7 ]);
+  check_int "reinserted key probes" 1
+    (List.length (Join_state.probe st ~attrs:[ 1 ] [ Value.Int 7 ]))
+
+let test_join_state_mem_stats_bounded_under_unique_keys () =
+  (* the adversarial pattern in miniature: every key is used once, then
+     purged; without index maintenance entries/buckets grow with i *)
+  let st = Join_state.create s1 in
+  for i = 1 to 500 do
+    Join_state.insert st (tuple s1 [ i; i ]);
+    ignore (Join_state.probe st ~attrs:[ 1 ] [ Value.Int i ]);
+    ignore (Join_state.purge_if st (fun t -> Tuple.get t 1 = Value.Int i));
+    let m = Join_state.mem_stats st in
+    check_bool "entries bounded" true (m.Join_state.index_entries <= 1);
+    check_bool "buckets bounded" true (m.Join_state.buckets <= 1)
+  done;
+  check_int "all inserted" 500 (Join_state.insertions st);
+  check_int "approx bytes at zero state" 0
+    ((Join_state.mem_stats st).Join_state.approx_bytes)
+
 (* ------------------------------------------------------------------ *)
 (* Punct_store *)
 
@@ -118,6 +182,34 @@ let test_punct_store_forwarded_flag () =
   Punct_store.mark_forwarded ps p;
   check_bool "marked" true (Punct_store.is_forwarded ps p)
 
+(* expire/purge_if symmetry: a punctuation removed from the store must also
+   leave the forward queue and its (emptied) index group. *)
+let test_punct_store_purge_symmetry () =
+  let ps = Punct_store.create s1 in
+  ignore (Punct_store.insert ps ~now:0 (punct s1 [ ("B", 1) ]));
+  ignore (Punct_store.insert ps ~now:0 (punct s1 [ ("A", 5); ("B", 2) ]));
+  check_int "two groups" 2 (Punct_store.group_count ps);
+  check_int "two pending" 2 (Punct_store.pending_count ps);
+  check_int "purged" 2 (Punct_store.purge_if ps (fun _ -> true));
+  check_int "size empty" 0 (Punct_store.size ps);
+  check_int "groups dropped" 0 (Punct_store.group_count ps);
+  check_int "pending dropped" 0 (Punct_store.pending_count ps);
+  check_int "nothing forwardable" 0
+    (List.length (Punct_store.collect_forwardable ps ~drained:(fun _ -> true)))
+
+let test_punct_store_expire_clears_pending () =
+  let ps = Punct_store.create s1 in
+  ignore (Punct_store.insert ps ~now:0 (punct s1 [ ("B", 1) ]));
+  ignore (Punct_store.insert ps ~now:50 (punct s1 [ ("B", 2) ]));
+  ignore (Punct_store.expire ps ~now:60 { Core.Punct_purge.ttl = 20 });
+  check_int "only the survivor pending" 1 (Punct_store.pending_count ps);
+  let forwarded =
+    Punct_store.collect_forwardable ps ~drained:(fun _ -> true)
+  in
+  check_int "only the survivor forwarded" 1 (List.length forwarded);
+  check_bool "it is the young one" true
+    (Streams.Punctuation.equal (List.hd forwarded) (punct s1 [ ("B", 2) ]))
+
 (* ------------------------------------------------------------------ *)
 (* Purge policy / metrics *)
 
@@ -139,15 +231,41 @@ let test_purge_policy_due () =
 let test_metrics_series_and_slope () =
   let m = Metrics.create ~sample_every:1 () in
   List.iteri
-    (fun i st -> Metrics.force m ~tick:i ~data_state:st ~punct_state:0 ~emitted:0)
+    (fun i st -> Metrics.force m ~tick:i ~data_state:st ~punct_state:0 ~emitted:0 ())
     [ 0; 10; 20; 30; 40; 50 ];
   check_int "peak" 50 (Metrics.peak_data_state m);
   check_bool "positive slope" true (Metrics.growth_slope m > 5.0);
   let flat = Metrics.create ~sample_every:1 () in
   List.iter
-    (fun i -> Metrics.force flat ~tick:i ~data_state:7 ~punct_state:0 ~emitted:0)
+    (fun i -> Metrics.force flat ~tick:i ~data_state:7 ~punct_state:0 ~emitted:0 ())
     [ 0; 1; 2; 3 ];
   check_bool "flat slope" true (Float.abs (Metrics.growth_slope flat) < 0.01)
+
+(* Ticks are 1-based, so a run shorter than sample_every records nothing
+   through observe; flush must land the closing sample exactly once. *)
+let test_metrics_flush_contract () =
+  let m = Metrics.create ~sample_every:100 () in
+  for tick = 1 to 5 do
+    Metrics.observe m ~tick ~data_state:tick ~punct_state:0 ~index_state:tick
+      ~emitted:0 ()
+  done;
+  check_int "short run: observe records nothing" 0
+    (List.length (Metrics.samples m));
+  Metrics.flush m ~tick:5 ~data_state:5 ~punct_state:0 ~index_state:5
+    ~emitted:0 ();
+  check_int "flush lands the final sample" 1 (List.length (Metrics.samples m));
+  check_int "peak visible" 5 (Metrics.peak_data_state m);
+  check_int "index peak visible" 5 (Metrics.peak_index_state m);
+  (* a run length on the grid: flush replaces, never duplicates *)
+  let g = Metrics.create ~sample_every:5 () in
+  for tick = 1 to 5 do
+    Metrics.observe g ~tick ~data_state:10 ~punct_state:0 ~emitted:0 ()
+  done;
+  Metrics.flush g ~tick:5 ~data_state:0 ~punct_state:0 ~emitted:0 ();
+  check_int "no duplicate final point" 1 (List.length (Metrics.samples g));
+  (match Metrics.final g with
+  | Some s -> check_int "post-flush value wins" 0 s.Metrics.data_state
+  | None -> Alcotest.fail "expected a final sample")
 
 (* ------------------------------------------------------------------ *)
 (* Binary join *)
@@ -699,6 +817,14 @@ let () =
           Alcotest.test_case "purge" `Quick test_join_state_purge;
           Alcotest.test_case "snapshot/matching" `Quick test_join_state_to_relation_and_matching;
           Alcotest.test_case "schema mismatch" `Quick test_join_state_schema_mismatch;
+          Alcotest.test_case "purge cleans indexes" `Quick
+            test_join_state_purge_cleans_indexes;
+          Alcotest.test_case "evict cleans indexes" `Quick
+            test_join_state_evict_cleans_indexes;
+          Alcotest.test_case "probe after purge" `Quick
+            test_join_state_probe_after_purge_no_empty_buckets;
+          Alcotest.test_case "mem stats bounded" `Quick
+            test_join_state_mem_stats_bounded_under_unique_keys;
         ] );
       ( "punct_store",
         [
@@ -708,11 +834,16 @@ let () =
           Alcotest.test_case "forbids" `Quick test_punct_store_forbids;
           Alcotest.test_case "expiry" `Quick test_punct_store_expire;
           Alcotest.test_case "forwarded flag" `Quick test_punct_store_forwarded_flag;
+          Alcotest.test_case "purge symmetry" `Quick test_punct_store_purge_symmetry;
+          Alcotest.test_case "expire clears pending" `Quick
+            test_punct_store_expire_clears_pending;
         ] );
       ( "policy/metrics",
         [
           Alcotest.test_case "policy due" `Quick test_purge_policy_due;
           Alcotest.test_case "metrics slope" `Quick test_metrics_series_and_slope;
+          Alcotest.test_case "metrics flush contract" `Quick
+            test_metrics_flush_contract;
         ] );
       ( "sym_hash_join",
         [

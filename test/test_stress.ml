@@ -91,6 +91,53 @@ let test_dedup_100k_stream () =
   check_int "exactly the distinct keys" 1000 !distinct;
   check_bool "seen-set stays O(1)" true (!peak <= 2)
 
+let test_monotone_keys_bounded_indexes () =
+  (* Adversarial for the old lazy-compaction indexes: every round joins on a
+     brand-new key, so the key domain is unbounded.  Purging removed the
+     tuples but left one bucket per key behind — index entries grew forever
+     while the tuple counter said "bounded".  With eager index maintenance
+     the whole memory triple (tuples, index entries, bytes) must stay O(1). *)
+  let module Value = Relational.Value in
+  let sa = s1 and sb = s2 in
+  let q =
+    Cjq.make
+      [
+        Streams.Stream_def.make sa [ Streams.Scheme.of_attrs sa [ "B" ] ];
+        Streams.Stream_def.make sb [ Streams.Scheme.of_attrs sb [ "B" ] ];
+      ]
+      [ Relational.Predicate.atom "S1" "B" "S2" "B" ]
+  in
+  let rounds = 20_000 in
+  let trace =
+    List.concat_map
+      (fun k ->
+        [
+          Element.Data (tuple sa [ k; k ]);
+          Element.Data (tuple sb [ k; k + 1 ]);
+          Element.Punct
+            (Streams.Punctuation.of_bindings sa [ ("B", Value.Int k) ]);
+          Element.Punct
+            (Streams.Punctuation.of_bindings sb [ ("B", Value.Int k) ]);
+        ])
+      (List.init rounds (fun i -> i + 1))
+  in
+  let c =
+    Executor.compile ~policy:Purge_policy.Eager
+      ~punct_lifespan:{ Core.Punct_purge.ttl = 64 }
+      q (Plan.mjoin [ "S1"; "S2" ])
+  in
+  let r = Executor.run ~sample_every:1 c (List.to_seq trace) in
+  check_int "every round joins" rounds
+    (List.length (List.filter Element.is_data r.Executor.outputs));
+  check_bool "tuples bounded" true (Metrics.peak_data_state r.Executor.metrics < 10);
+  check_bool "index entries bounded" true
+    (Metrics.peak_index_state r.Executor.metrics < 10);
+  check_bool "approx bytes bounded" true
+    (Metrics.peak_state_bytes r.Executor.metrics < 100_000);
+  check_int "indexes fully drained" 0 (Executor.total_index_state c);
+  check_bool "no residual growth" true
+    (Float.abs (Metrics.index_growth_slope r.Executor.metrics) < 0.001)
+
 let () =
   Alcotest.run "stress"
     [
@@ -101,5 +148,7 @@ let () =
           Alcotest.test_case "watermarks 20k orders" `Slow test_watermark_20k_orders;
           Alcotest.test_case "checker at 100 streams" `Slow test_checker_on_100_stream_query;
           Alcotest.test_case "dedup 100k tuples" `Slow test_dedup_100k_stream;
+          Alcotest.test_case "monotone keys: indexes bounded" `Slow
+            test_monotone_keys_bounded_indexes;
         ] );
     ]
