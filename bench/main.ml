@@ -885,15 +885,29 @@ type bounded_row = {
   br_final_index : int;
   br_slope : float;
   br_index_slope : float;
+  br_purges : int;  (** purge rounds observed (histogram sample count) *)
+  br_lag_p50 : int;  (** purge lag, ticks: eager ≈ 0, lazy > 0 *)
+  br_lag_p99 : int;
 }
 
 let bounded_row ~id ~rounds ~policy ?(sample_every = 50) query plan trace =
-  let _, r = run_plan ~policy ~sample_every query plan trace in
+  (* An enabled telemetry handle (null sink) so the run records the
+     per-operator purge-lag histograms — the §5 cost axis the eager/lazy
+     scenarios are meant to expose. *)
+  let telemetry = Engine.Telemetry.create () in
+  let c = Executor.compile ~policy ~telemetry query plan in
+  let r = Executor.run ~sample_every c (List.to_seq trace) in
   let final field =
     match Metrics.final r.Executor.metrics with
     | Some s -> field s
     | None -> -1
   in
+  let lag =
+    Obs.Registry.merged_histogram
+      (Engine.Telemetry.registry telemetry)
+      "purge_lag"
+  in
+  let lag_stat f = match lag with Some h -> f h | None -> 0 in
   {
     br_id = id;
     br_rounds = rounds;
@@ -906,13 +920,16 @@ let bounded_row ~id ~rounds ~policy ?(sample_every = 50) query plan trace =
     br_final_index = final (fun s -> s.Metrics.index_state);
     br_slope = Metrics.growth_slope r.Executor.metrics;
     br_index_slope = Metrics.index_growth_slope r.Executor.metrics;
+    br_purges = lag_stat Obs.Histogram.count;
+    br_lag_p50 = lag_stat (fun h -> Obs.Histogram.percentile h 0.5);
+    br_lag_p99 = lag_stat (fun h -> Obs.Histogram.percentile h 0.99);
   }
 
 let write_bounded_state_json path rows =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    "  \"schema\": \"bounded_state/v1\",\n  \"generated_by\": \"dune exec \
+    "  \"schema\": \"bounded_state/v2\",\n  \"generated_by\": \"dune exec \
      bench/main.exe -- B1\",\n  \"scenarios\": [\n";
   List.iteri
     (fun i row ->
@@ -922,10 +939,12 @@ let write_bounded_state_json path rows =
             \"results\": %d, \"peak_data_state\": %d, \"peak_index_entries\": \
             %d, \"peak_state_bytes\": %d, \"final_data_state\": %d, \
             \"final_index_entries\": %d, \"growth_slope\": %.6f, \
-            \"index_growth_slope\": %.6f}%s\n"
+            \"index_growth_slope\": %.6f, \"purge_rounds\": %d, \
+            \"purge_lag_p50\": %d, \"purge_lag_p99\": %d}%s\n"
            (json_escape row.br_id) row.br_rounds row.br_elements row.br_results
            row.br_peak_data row.br_peak_index row.br_peak_bytes
            row.br_final_data row.br_final_index row.br_slope row.br_index_slope
+           row.br_purges row.br_lag_p50 row.br_lag_p99
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -977,6 +996,10 @@ let b1 () =
         fig5
         (Plan.mjoin [ "S1"; "S2"; "S3" ])
         (triangle_trace fig5);
+      bounded_row ~id:"fig5_triangle_lazy25" ~rounds
+        ~policy:(Purge_policy.Lazy 25) fig5
+        (Plan.mjoin [ "S1"; "S2"; "S3" ])
+        (triangle_trace fig5);
       bounded_row ~id:"fig8_multi_attr_eager" ~rounds
         ~policy:Purge_policy.Eager fig8
         (Plan.mjoin [ "S1"; "S2"; "S3" ])
@@ -991,21 +1014,23 @@ let b1 () =
         mono_trace;
     ]
   in
-  row "%-42s %-9s %-10s %-11s %-11s %-9s %-9s@." "scenario" "results" "peak"
-    "peak(idx)" "~bytes" "slope" "idx-slope";
+  row "%-42s %-9s %-10s %-11s %-11s %-9s %-9s %-12s@." "scenario" "results"
+    "peak" "peak(idx)" "~bytes" "slope" "idx-slope" "lag(p50/p99)";
   List.iter
     (fun r ->
-      row "%-42s %-9d %-10d %-11d %-11d %-9.4f %-9.4f@." r.br_id r.br_results
-        r.br_peak_data r.br_peak_index r.br_peak_bytes r.br_slope
-        r.br_index_slope)
+      row "%-42s %-9d %-10d %-11d %-11d %-9.4f %-9.4f %5d/%d@." r.br_id
+        r.br_results r.br_peak_data r.br_peak_index r.br_peak_bytes r.br_slope
+        r.br_index_slope r.br_lag_p50 r.br_lag_p99)
     rows;
   let path = "BENCH_bounded_state.json" in
   write_bounded_state_json path rows;
   row "wrote %s@." path;
   row
-    "(eager rows: index entries track live tuples and both slopes are ~0; \
-     the 'never' baseline is what an index leak used to look like even \
-     with purging on)@."
+    "(eager rows: index entries track live tuples, both slopes are ~0 and \
+     purge lag is ~0 ticks; the lazy row trades a positive purge lag — \
+     victims linger until the batch fires — for fewer purge rounds; the \
+     'never' baseline is what an index leak used to look like even with \
+     purging on)@."
 
 (* ------------------------------------------------------------------ *)
 (* T1 — engine throughput under the policies and join implementations   *)

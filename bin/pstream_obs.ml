@@ -1,0 +1,149 @@
+(* pstream-obs: offline telemetry tooling. `verify` closes the provenance
+   loop CI relies on: replay a JSONL event trace, recompute every
+   per-operator counter independently, and insist the JSON report written
+   by the same run agrees — plus optional expectations about watchdog
+   alarms (quiet on safe runs, naming the unreachable input on forced
+   unsafe runs). *)
+
+open Cmdliner
+
+let read_report path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Obs.Json.parse s with
+  | Ok j -> Ok j
+  | Error e -> Error (Fmt.str "%s: %s" path e)
+
+let read_trace path =
+  let ic = open_in path in
+  let events = ref [] in
+  let line_no = ref 0 in
+  let result =
+    try
+      let rec loop () =
+        let line = input_line ic in
+        incr line_no;
+        if String.trim line <> "" then begin
+          match Obs.Event.of_line line with
+          | Ok e -> events := e :: !events
+          | Error msg ->
+              failwith (Fmt.str "%s:%d: %s" path !line_no msg)
+        end;
+        loop ()
+      in
+      loop ()
+    with
+    | End_of_file -> Ok (List.rev !events)
+    | Failure msg -> Error msg
+  in
+  close_in ic;
+  result
+
+let report_alarms report =
+  match Option.bind (Obs.Json.member "alarms" report) Obs.Json.to_list with
+  | None -> []
+  | Some alarms ->
+      List.filter_map
+        (fun a ->
+          let op =
+            Option.bind (Obs.Json.member "op" a) Obs.Json.to_str
+          and unreachable =
+            match
+              Option.bind
+                (Obs.Json.member "unreachable_inputs" a)
+                Obs.Json.to_list
+            with
+            | Some l -> List.filter_map Obs.Json.to_str l
+            | None -> []
+          in
+          Option.map (fun op -> (op, unreachable)) op)
+        alarms
+
+let verify report_path trace_path expect_quiet expect_alarms =
+  match read_report report_path, read_trace trace_path with
+  | Error e, _ | _, Error e ->
+      Fmt.epr "%s@." e;
+      1
+  | Ok report, Ok events -> (
+      let problems = ref [] in
+      (match Obs.Report.verify ~report ~events with
+      | Ok () -> ()
+      | Error ps -> problems := !problems @ ps);
+      let alarms = report_alarms report in
+      if expect_quiet && alarms <> [] then
+        problems :=
+          !problems
+          @ List.map
+              (fun (op, unreachable) ->
+                Fmt.str
+                  "expected a quiet watchdog, got an alarm on %s \
+                   (unreachable: %s)"
+                  op
+                  (String.concat ", " unreachable))
+              alarms;
+      List.iter
+        (fun input ->
+          if
+            not
+              (List.exists
+                 (fun (_, unreachable) -> List.mem input unreachable)
+                 alarms)
+          then
+            problems :=
+              !problems
+              @ [
+                  Fmt.str
+                    "expected a watchdog alarm naming unreachable input %s; \
+                     report has %d alarm(s)"
+                    input (List.length alarms);
+                ])
+        expect_alarms;
+      match !problems with
+      | [] ->
+          Fmt.pr "verify OK: %d trace events consistent with %s@."
+            (List.length events) report_path;
+          0
+      | ps ->
+          List.iter (fun p -> Fmt.epr "verify FAIL: %s@." p) ps;
+          1)
+
+let report_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"REPORT" ~doc:"JSON run report (pstream-run --report).")
+
+let trace_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"JSONL event trace (pstream-run --trace).")
+
+let expect_quiet =
+  Arg.(
+    value & flag
+    & info [ "expect-quiet" ]
+        ~doc:"Fail if the report contains any watchdog alarm.")
+
+let expect_alarms =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "expect-alarm" ] ~docv:"INPUT"
+        ~doc:
+          "Fail unless some watchdog alarm names $(docv) among its \
+           unreachable inputs (repeatable).")
+
+let verify_cmd =
+  let doc = "replay a trace and check it against the run report" in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const verify $ report_arg $ trace_arg $ expect_quiet $ expect_alarms)
+
+let cmd =
+  let doc = "inspect and verify pstream telemetry artifacts" in
+  Cmd.group (Cmd.info "pstream-obs" ~doc) [ verify_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -7,7 +7,7 @@ open Cmdliner
 module Element = Streams.Element
 
 let run_query file rounds tuples_per_round punct_lag policy force
-    sample_every replay save_trace =
+    sample_every replay save_trace report_file trace_file =
   match Query.Parser.parse_file file with
   | exception Query.Parser.Parse_error { line; message } ->
       Fmt.epr "%s:%d: %s@." file line message;
@@ -52,13 +52,23 @@ let run_query file rounds tuples_per_round punct_lag policy force
             (fun v -> Fmt.epr "  %a@." Streams.Trace.pp_violation v)
             violations
         end;
+        let sink =
+          match trace_file with
+          | Some path -> Obs.Sink.jsonl_file path
+          | None -> Obs.Sink.null
+        in
+        let telemetry =
+          Engine.Telemetry.create ~sink ~watchdog:(Obs.Watchdog.create ()) ()
+        in
         let compiled =
-          Engine.Executor.compile ~policy query
+          Engine.Executor.compile ~policy ~telemetry query
             (Query.Plan.mjoin (Query.Cjq.stream_names query))
         in
         let result =
-          Engine.Executor.run ~sample_every compiled (List.to_seq trace)
+          Engine.Executor.run ~sample_every ~label:file compiled
+            (List.to_seq trace)
         in
+        Engine.Telemetry.close telemetry;
         let n_results =
           List.length (List.filter Element.is_data result.Engine.Executor.outputs)
         in
@@ -76,7 +86,34 @@ let run_query file rounds tuples_per_round punct_lag policy force
           (Engine.Metrics.growth_slope result.Engine.Executor.metrics);
         Fmt.pr "index growth slope (second half): %.4f entries/element@."
           (Engine.Metrics.index_growth_slope result.Engine.Executor.metrics);
-        0
+        let alarms = Engine.Telemetry.alarms telemetry in
+        List.iter
+          (fun a -> Fmt.pr "WATCHDOG ALARM: %a@." Obs.Watchdog.pp_alarm a)
+          alarms;
+        (match trace_file with
+        | Some path -> Fmt.pr "trace written to %s@." path
+        | None -> ());
+        (match report_file with
+        | Some path ->
+            let rep =
+              Engine.Executor.report
+                ~meta:
+                  [
+                    ("query", Obs.Json.String file);
+                    ( "policy",
+                      Obs.Json.String
+                        (Fmt.str "%a" Engine.Purge_policy.pp policy) );
+                    ("safe", Obs.Json.Bool safe);
+                  ]
+                compiled result
+            in
+            let oc = open_out path in
+            output_string oc (Obs.Json.to_string (Obs.Report.to_json rep));
+            output_char oc '\n';
+            close_out oc;
+            Fmt.pr "report written to %s@." path
+        | None -> ());
+        if alarms <> [] then 3 else 0
       end
 
 let file =
@@ -159,11 +196,31 @@ let save_trace =
     & opt (some string) None
     & info [ "save-trace" ] ~doc:"Write the input trace to this file.")
 
+let report_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ]
+        ~doc:
+          "Write the machine-readable JSON run report (per-operator stats, \
+           counters, histograms, state series, watchdog alarms) to this \
+           file.")
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Write the structured JSONL event trace (tuple/punctuation flow, \
+           purges, samples, alarms) to this file; replaying it reproduces \
+           the report's counters (see pstream-obs verify).")
+
 let cmd =
   let doc = "run a continuous join query over a synthetic punctuated workload" in
   Cmd.v (Cmd.info "pstream-run" ~doc)
     Term.(
       const run_query $ file $ rounds $ tuples_per_round $ punct_lag $ policy
-      $ force $ sample_every $ replay $ save_trace)
+      $ force $ sample_every $ replay $ save_trace $ report_file $ trace_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -15,7 +15,14 @@ type node =
       schemes : Scheme.t list;  (** derived schemes of this output *)
     }
 
-type compiled = { root : node; all_ops : Operator.t list }
+type compiled = {
+  root : node;
+  all_ops : Operator.t list;
+  telemetry : Telemetry.t;
+  unreachable : (string * string list) list;
+      (* per operator: inputs whose state fails the GPG purge-reachability
+         check — the watchdog's static diagnosis *)
+}
 
 let node_name = function
   | Leaf l -> l.stream
@@ -41,11 +48,13 @@ let attr_in_node node s attr =
   | Inner _ -> Schema.qualify_attr ~origin:s attr
 
 let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
-    ?punct_lifespan ?(punct_partner_purge = false) query plan =
+    ?punct_lifespan ?(punct_partner_purge = false)
+    ?(telemetry = Telemetry.null) query plan =
   Plan.validate plan query;
   let preds = Cjq.predicates query in
   let counter = ref 0 in
   let ops = ref [] in
+  let unreachable = ref [] in
   let rec build = function
     | Plan.Leaf s ->
         let def = Cjq.def query s in
@@ -99,12 +108,13 @@ let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
                   schemes = node_schemes n;
                 }
               in
-              Sym_hash_join.create ~name:op_name ~policy ~left:(side a)
-                ~right:(side b) ~predicates:lifted ()
+              Sym_hash_join.create ~name:op_name ~policy ~telemetry
+                ~left:(side a) ~right:(side b) ~predicates:lifted ()
           | _ ->
               Mjoin.create ~name:op_name ~policy ?punct_lifespan
-                ~punct_partner_purge ~inputs ~predicates:lifted ()
+                ~punct_partner_purge ~telemetry ~inputs ~predicates:lifted ()
         in
+        let op = Telemetry.wrap_op telemetry op in
         ops := op :: !ops;
         (* Derived schemes of this output: lift each input's schemes when
            that input's state is purgeable inside this operator. *)
@@ -113,6 +123,13 @@ let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
           Scheme.Set.of_list (List.concat_map node_schemes nodes)
         in
         let gpg = Core.Gpg.of_streams input_names lifted scheme_set in
+        unreachable :=
+          ( op_name,
+            List.filter
+              (fun n ->
+                not (Core.Gpg.reaches_all gpg (Core.Block.singleton n)))
+              input_names )
+          :: !unreachable;
         let derived =
           List.concat_map
             (fun n ->
@@ -141,9 +158,13 @@ let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
           }
   in
   let root = build plan in
-  { root; all_ops = List.rev !ops }
+  { root; all_ops = List.rev !ops; telemetry; unreachable = List.rev !unreachable }
 
 let operators ~c = c.all_ops
+let telemetry c = c.telemetry
+
+let unreachable_inputs c op_name =
+  match List.assoc_opt op_name c.unreachable with Some l -> l | None -> []
 
 let output_schema c = node_schema c.root
 
@@ -169,16 +190,31 @@ let total_state_bytes c =
     (fun acc (op : Operator.t) -> acc + op.state_bytes ())
     0 c.all_ops
 
+type breakdown = {
+  op_name : string;
+  data : int;
+  puncts : int;
+  index : int;
+  bytes : int;
+}
+
 let state_breakdown c =
   List.map
     (fun (op : Operator.t) ->
-      (op.name, op.data_state_size (), op.punct_state_size ()))
+      {
+        op_name = op.name;
+        data = op.data_state_size ();
+        puncts = op.punct_state_size ();
+        index = op.index_state_size ();
+        bytes = op.state_bytes ();
+      })
     c.all_ops
 
 type result = {
   outputs : Element.t list;
   metrics : Metrics.t;
   consumed : int;
+  emitted : int;
 }
 
 (* Push one raw-stream element through the tree; returns root outputs. *)
@@ -213,34 +249,144 @@ let feed_element c element = feed c.root element
 
 let flush_tree c = final_flush c.root
 
-let run ?(sample_every = 100) ?sink c elements =
+let run ?(sample_every = 100) ?sink ?(label = "run") c elements =
+  let telemetry = c.telemetry in
   let metrics = Metrics.create ~sample_every () in
   let outputs = ref [] in
   let emitted = ref 0 in
   let consumed = ref 0 in
+  (* [emitted] counts the data tuples that actually reach the outputs —
+     when a sink operator filters or aggregates, it is counted *after* the
+     sink, not before (the pre-sink count over-reported under filtering
+     sinks). *)
   let accept outs =
     List.iter
       (fun e ->
-        if Element.is_data e then incr emitted;
-        (match sink with
+        match sink with
         | Some (op : Operator.t) ->
-            List.iter (fun e' -> outputs := e' :: !outputs) (op.push e)
-        | None -> outputs := e :: !outputs))
+            List.iter
+              (fun e' ->
+                if Element.is_data e' then incr emitted;
+                outputs := e' :: !outputs)
+              (op.push e)
+        | None ->
+            if Element.is_data e then incr emitted;
+            outputs := e :: !outputs)
       outs
   in
+  let sample ~tick =
+    if Telemetry.enabled telemetry then begin
+      Telemetry.emit telemetry
+        (Obs.Event.Sample
+           {
+             tick;
+             data_state = total_data_state c;
+             punct_state = total_punct_state c;
+             index_state = total_index_state c;
+             state_bytes = total_state_bytes c;
+             emitted = !emitted;
+           });
+      match Telemetry.watchdog telemetry with
+      | None -> ()
+      | Some w ->
+          List.iter
+            (fun (op : Operator.t) ->
+              match
+                Obs.Watchdog.observe w ~op:op.name ~tick
+                  ~size:(op.data_state_size ())
+                  ~unreachable:(unreachable_inputs c op.name)
+              with
+              | None -> ()
+              | Some (a : Obs.Watchdog.alarm) ->
+                  Telemetry.emit telemetry
+                    (Obs.Event.Alarm
+                       {
+                         tick = a.tick;
+                         op = a.op;
+                         slope = a.slope;
+                         size = a.size;
+                         unreachable = a.unreachable;
+                       }))
+            c.all_ops
+    end
+  in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.set_clock telemetry 0;
+    Telemetry.emit telemetry (Obs.Event.Run_start { tick = 0; label })
+  end;
   Seq.iter
     (fun element ->
       incr consumed;
+      Telemetry.set_clock telemetry !consumed;
       accept (feed c.root element);
       Metrics.observe metrics ~tick:!consumed
         ~data_state:(total_data_state c)
         ~punct_state:(total_punct_state c)
         ~index_state:(total_index_state c)
-        ~state_bytes:(total_state_bytes c) ~emitted:!emitted ())
+        ~state_bytes:(total_state_bytes c) ~emitted:!emitted ();
+      if !consumed mod sample_every = 0 then sample ~tick:!consumed)
     elements;
   accept (final_flush c.root);
   Metrics.flush metrics ~tick:!consumed ~data_state:(total_data_state c)
     ~punct_state:(total_punct_state c)
     ~index_state:(total_index_state c)
     ~state_bytes:(total_state_bytes c) ~emitted:!emitted ();
-  { outputs = List.rev !outputs; metrics; consumed = !consumed }
+  sample ~tick:!consumed;
+  if Telemetry.enabled telemetry then
+    Telemetry.emit telemetry
+      (Obs.Event.Run_end { tick = !consumed; emitted = !emitted });
+  {
+    outputs = List.rev !outputs;
+    metrics;
+    consumed = !consumed;
+    emitted = !emitted;
+  }
+
+(* --- report ----------------------------------------------------------- *)
+
+let series_json metrics =
+  Obs.Json.List
+    (List.map
+       (fun (s : Metrics.sample) ->
+         Obs.Json.Obj
+           [
+             ("tick", Obs.Json.Int s.tick);
+             ("data_state", Obs.Json.Int s.data_state);
+             ("punct_state", Obs.Json.Int s.punct_state);
+             ("index_state", Obs.Json.Int s.index_state);
+             ("state_bytes", Obs.Json.Int s.state_bytes);
+             ("emitted", Obs.Json.Int s.emitted);
+           ])
+       (Metrics.samples metrics))
+
+let report ?(meta = []) c (r : result) =
+  let operators =
+    List.map
+      (fun (op : Operator.t) ->
+        {
+          Obs.Report.name = op.Operator.name;
+          inputs = op.input_names;
+          unreachable_inputs = unreachable_inputs c op.Operator.name;
+          stats = Operator.stats_to_alist (op.stats ());
+          state =
+            [
+              ("data", op.data_state_size ());
+              ("puncts", op.punct_state_size ());
+              ("index", op.index_state_size ());
+              ("bytes", op.state_bytes ());
+            ];
+        })
+      c.all_ops
+  in
+  {
+    Obs.Report.meta =
+      meta
+      @ [
+          ("consumed", Obs.Json.Int r.consumed);
+          ("emitted", Obs.Json.Int r.emitted);
+        ];
+    operators;
+    registry = Telemetry.registry c.telemetry;
+    series = series_json r.metrics;
+    alarms = Telemetry.alarms c.telemetry;
+  }

@@ -17,17 +17,33 @@ type binary_impl =
 
 type compiled
 
+(** [compile ?telemetry query plan] — [telemetry] (default
+    {!Telemetry.null}) is shared by every operator of the tree: operators
+    are created with it and wrapped by {!Telemetry.wrap_op}, so an enabled
+    handle sees the full event stream and per-operator registry. With the
+    default null handle compilation (and the run) is behaviour-identical to
+    the uninstrumented engine. *)
 val compile :
   ?policy:Purge_policy.t ->
   ?binary_impl:binary_impl ->
   ?punct_lifespan:Core.Punct_purge.lifespan ->
   ?punct_partner_purge:bool ->
+  ?telemetry:Telemetry.t ->
   Query.Cjq.t ->
   Query.Plan.t ->
   compiled
 
 (** [operators c] — bottom-up (each operator after its children). *)
 val operators : c:compiled -> Operator.t list
+
+(** [telemetry c] — the handle the tree was compiled with. *)
+val telemetry : compiled -> Telemetry.t
+
+(** [unreachable_inputs c op] — inputs of [op] whose state fails the GPG
+    purge-reachability check ({!Core.Gpg.reaches_all}); empty for safe
+    plans and unknown operators. This is the static diagnosis the watchdog
+    attaches to its alarms. *)
+val unreachable_inputs : compiled -> string -> string list
 
 (** [output_schema c] — schema of the root's results. *)
 val output_schema : compiled -> Relational.Schema.t
@@ -40,16 +56,24 @@ type result = {
   outputs : Streams.Element.t list;  (** root outputs, in emission order *)
   metrics : Metrics.t;
   consumed : int;
+  emitted : int;
+      (** data tuples that reached the outputs, counted *after* the sink
+          (a filtering/aggregating sink reduces it) *)
 }
 
-(** [run ?sample_every ?sink c elements] pushes every element through the
-    tree (elements of streams the plan does not read are ignored), flushes
-    deferred purge work at the end, and samples total operator state every
-    [sample_every] elements. [sink], when given, additionally consumes every
-    root output as it is emitted (e.g. a group-by operator). *)
+(** [run ?sample_every ?sink ?label c elements] pushes every element
+    through the tree (elements of streams the plan does not read are
+    ignored), flushes deferred purge work at the end, and samples total
+    operator state every [sample_every] elements. [sink], when given,
+    additionally consumes every root output as it is emitted (e.g. a
+    group-by operator). Under an enabled telemetry handle the run also
+    emits [Run_start]/[Sample]/[Run_end] events (with [label] on the start
+    marker), stamps the element clock, and feeds the watchdog one
+    state-size point per operator on the sampling grid. *)
 val run :
   ?sample_every:int ->
   ?sink:Operator.t ->
+  ?label:string ->
   compiled ->
   Streams.Element.t Seq.t ->
   result
@@ -68,10 +92,27 @@ val total_state_bytes : compiled -> int
 
 val total_punct_state : compiled -> int
 
-(** [state_breakdown c] — per operator: (name, stored tuples, stored
-    punctuations), bottom-up. The quickest way to see *which* operator of a
-    plan is the one leaking. *)
-val state_breakdown : compiled -> (string * int * int) list
+(** Per-operator state snapshot: stored tuples, stored punctuations,
+    secondary-index entries and approximate resident bytes — the columns a
+    leak diagnosis needs (an index column diverging from data is exactly
+    the historical leak shape). *)
+type breakdown = {
+  op_name : string;
+  data : int;
+  puncts : int;
+  index : int;
+  bytes : int;
+}
+
+(** [state_breakdown c] — one {!breakdown} per operator, bottom-up. The
+    quickest way to see *which* operator of a plan is the one leaking. *)
+val state_breakdown : compiled -> breakdown list
+
+(** [report ?meta c result] — the machine-readable run report: per-operator
+    stats/state with unreachable-input diagnoses, the telemetry registry,
+    the metrics series and watchdog alarms. [meta] entries are prepended to
+    the run metadata ([consumed]/[emitted] are always present). *)
+val report : ?meta:(string * Obs.Json.t) list -> compiled -> result -> Obs.Report.t
 
 (** Element-at-a-time driving, for callers that multiplex several compiled
     queries over one input (the DSMS): [feed_element] pushes one element

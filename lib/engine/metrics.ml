@@ -52,13 +52,17 @@ let peak_state_bytes t =
 let final t = match t.samples with [] -> None | s :: _ -> Some s
 
 (* Least-squares slope of [field] against the tick over the second half of
-   the run: ≈ 0 when bounded, > 0 when the series grows without bound. *)
+   the run: ≈ 0 when bounded, > 0 when the series grows without bound.
+   Degenerate windows — empty, a single sample, or samples all landing on
+   one tick (repeated [force] at the same clock) — have no defined slope
+   and answer 0 rather than dividing by a vanishing variance. *)
 let slope_of field t =
   let all = samples t in
   let n = List.length all in
   let tail = List.filteri (fun i _ -> i >= n / 2) all in
   match tail with
   | [] | [ _ ] -> 0.0
+  | first :: rest when List.for_all (fun s -> s.tick = first.tick) rest -> 0.0
   | _ ->
       let m = float_of_int (List.length tail) in
       let sx = List.fold_left (fun a s -> a +. float_of_int s.tick) 0.0 tail in

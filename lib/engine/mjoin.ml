@@ -28,7 +28,8 @@ type slot = {
 }
 
 let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
-    ?(punct_partner_purge = false) ~inputs ~predicates () =
+    ?(punct_partner_purge = false) ?(telemetry = Telemetry.null) ~inputs
+    ~predicates () =
   if List.length inputs < 2 then
     invalid_arg "Mjoin.create: need at least two inputs";
   let names = List.map (fun i -> i.name) inputs in
@@ -62,6 +63,11 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
   let stats = ref Operator.empty_stats in
   let now = ref 0 in
   let pending_puncts = ref 0 in
+  (* Global tick of the oldest informative punctuation not yet followed by
+     a purge round: the purge-lag baseline. Eager purging fires in the same
+     push, so lag is 0; lazy purging defers, so lag reflects the flush
+     cadence (§5's cost axis). *)
+  let pending_since = ref None in
 
   (* --- result assembly ---------------------------------------------- *)
   let assemble assignment =
@@ -84,7 +90,21 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
 
   (* --- purging -------------------------------------------------------- *)
   let covered ~stream bindings = Punct_store.covers (slot_of stream).puncts bindings in
-  let purge_round () =
+  let record_purge ~input ~trigger ~victims =
+    if victims > 0 && Telemetry.enabled telemetry then begin
+      let tick = Telemetry.now telemetry in
+      let lag =
+        match !pending_since with Some t0 -> max 0 (tick - t0) | None -> 0
+      in
+      Telemetry.emit telemetry
+        (Obs.Event.Purge { tick; op = name; input; trigger; victims; lag });
+      Telemetry.incr ~by:victims telemetry (name ^ ".purged_tuples");
+      Telemetry.incr telemetry (name ^ ".purge_rounds");
+      Telemetry.observe telemetry (name ^ ".purge_batch") victims;
+      Telemetry.observe ~n:victims telemetry (name ^ ".purge_lag") lag
+    end
+  in
+  let purge_round ~trigger =
     stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
     List.iter
       (fun slot ->
@@ -129,6 +149,7 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
                       Hashtbl.add memo key b;
                       b)
             in
+            record_purge ~input:slot.input.name ~trigger ~victims:removed;
             stats :=
               { !stats with tuples_purged = !stats.tuples_purged + removed })
       slots
@@ -172,10 +193,11 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
                Punctuation.of_constraints out_schema lifted))
       slots
   in
-  let purge_and_propagate () =
-    purge_round ();
+  let purge_and_propagate ~trigger () =
+    purge_round ~trigger;
     maintain_punct_stores ();
     pending_puncts := 0;
+    pending_since := None;
     let out = propagate () in
     stats := { !stats with puncts_out = !stats.puncts_out + List.length out };
     List.map (fun p -> Element.Punct p) out
@@ -191,6 +213,10 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
     match element with
     | Element.Data tup ->
         stats := { !stats with tuples_in = !stats.tuples_in + 1 };
+        if Telemetry.enabled telemetry then begin
+          Telemetry.incr telemetry (name ^ ".probes");
+          Telemetry.incr telemetry (name ^ ".inserts")
+        end;
         let results = probe_from input_name tup in
         Join_state.insert (slot_of input_name).state tup;
         stats :=
@@ -199,7 +225,11 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
     | Element.Punct p ->
         stats := { !stats with puncts_in = !stats.puncts_in + 1 };
         let informative = Punct_store.insert (slot_of input_name).puncts ~now:!now p in
-        if informative then incr pending_puncts;
+        if informative then begin
+          incr pending_puncts;
+          if !pending_since = None then
+            pending_since := Some (Telemetry.now telemetry)
+        end;
         let state_size =
           List.fold_left
             (fun acc s -> acc + Join_state.size s.state)
@@ -208,14 +238,16 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
         if
           Purge_policy.due policy ~punctuations_pending:!pending_puncts
             ~state_size
-        then purge_and_propagate ()
+        then
+          purge_and_propagate ~trigger:(Fmt.str "%a" Purge_policy.pp policy) ()
         else []
   in
   let flush () =
     match policy with
     | Purge_policy.Never -> []
     | Purge_policy.Eager | Purge_policy.Lazy _ | Purge_policy.Adaptive _ ->
-        if !pending_puncts > 0 then purge_and_propagate () else []
+        if !pending_puncts > 0 then purge_and_propagate ~trigger:"flush" ()
+        else []
   in
   {
     Operator.name;
@@ -240,5 +272,25 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
           (fun acc s ->
             acc + (Join_state.mem_stats s.state).Join_state.approx_bytes)
           0 slots);
-    stats = (fun () -> !stats);
+    stats =
+      (* The store-level conservation counters are folded in on read so the
+         hot path stays untouched: arrivals the store rejected count as
+         dropped, stored entries displaced by a subsuming insert count as
+         purged. *)
+      (fun () ->
+        let dropped =
+          List.fold_left
+            (fun acc s -> acc + Punct_store.rejected_count s.puncts)
+            0 slots
+        in
+        let subsumed =
+          List.fold_left
+            (fun acc s -> acc + Punct_store.subsumed_count s.puncts)
+            0 slots
+        in
+        {
+          !stats with
+          puncts_dropped = dropped;
+          puncts_purged = !stats.puncts_purged + subsumed;
+        });
   }

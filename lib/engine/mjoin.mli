@@ -29,6 +29,9 @@ type input = {
 
 (** [create ~inputs ~predicates ()] builds the operator.
     [predicates] atoms must reference input names/attributes.
+    [telemetry] (default {!Telemetry.null}) receives structured purge
+    events and per-operator probe/insert/purge-lag measurements; the null
+    handle makes every instrumentation site a no-op.
     @raise Invalid_argument on malformed inputs (fewer than two, duplicate
     names, atoms over unknown inputs). *)
 val create :
@@ -36,6 +39,7 @@ val create :
   ?policy:Purge_policy.t ->
   ?punct_lifespan:Core.Punct_purge.lifespan ->
   ?punct_partner_purge:bool ->
+  ?telemetry:Telemetry.t ->
   inputs:input list ->
   predicates:Relational.Predicate.t ->
   unit ->

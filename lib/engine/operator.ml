@@ -5,6 +5,7 @@ type stats = {
   puncts_out : int;
   tuples_purged : int;
   puncts_purged : int;
+  puncts_dropped : int;
   purge_rounds : int;
 }
 
@@ -16,14 +17,27 @@ let empty_stats =
     puncts_out = 0;
     tuples_purged = 0;
     puncts_purged = 0;
+    puncts_dropped = 0;
     purge_rounds = 0;
   }
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "in: %d tuples / %d puncts; out: %d tuples / %d puncts; purged: %d tuples / %d puncts in %d rounds"
+    "in: %d tuples / %d puncts; out: %d tuples / %d puncts; purged: %d tuples / %d puncts in %d rounds; dropped %d puncts"
     s.tuples_in s.puncts_in s.tuples_out s.puncts_out s.tuples_purged
-    s.puncts_purged s.purge_rounds
+    s.puncts_purged s.purge_rounds s.puncts_dropped
+
+let stats_to_alist s =
+  [
+    ("tuples_in", s.tuples_in);
+    ("puncts_in", s.puncts_in);
+    ("tuples_out", s.tuples_out);
+    ("puncts_out", s.puncts_out);
+    ("tuples_purged", s.tuples_purged);
+    ("puncts_purged", s.puncts_purged);
+    ("puncts_dropped", s.puncts_dropped);
+    ("purge_rounds", s.purge_rounds);
+  ]
 
 type t = {
   name : string;

@@ -10,11 +10,22 @@ type stats = {
   puncts_out : int;
   tuples_purged : int;
   puncts_purged : int;
+      (** punctuations removed from the store: expired, partner-purged, or
+          displaced by a subsuming later punctuation *)
+  puncts_dropped : int;
+      (** punctuations that arrived uninformative (already subsumed by the
+          store) and were never kept.  Together these close the
+          conservation law
+          [puncts_in = punct_state + puncts_purged + puncts_dropped]. *)
   purge_rounds : int;
 }
 
 val empty_stats : stats
 val pp_stats : Format.formatter -> stats -> unit
+
+(** [stats_to_alist s] — the stats record flattened to named integers, in
+    declaration order (report/JSON rendering). *)
+val stats_to_alist : stats -> (string * int) list
 
 type t = {
   name : string;

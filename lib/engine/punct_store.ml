@@ -29,10 +29,22 @@ type t = {
   mutable ordered : entry list;
   mutable pending_forward : entry list;  (** reversed insertion order *)
   mutable insertions : int;
+  mutable rejected : int;  (** arrivals already subsumed by the store *)
+  mutable subsumed : int;  (** stored entries displaced by a later insert *)
+  mutable removed : int;  (** entries removed via expire/purge_if *)
 }
 
 let create schema =
-  { schema; groups = []; ordered = []; pending_forward = []; insertions = 0 }
+  {
+    schema;
+    groups = [];
+    ordered = [];
+    pending_forward = [];
+    insertions = 0;
+    rejected = 0;
+    subsumed = 0;
+    removed = 0;
+  }
 
 let schema t = t.schema
 
@@ -83,12 +95,16 @@ let remove_subsumed_by t p =
               if Punctuation.subsumes p e.punct then key :: acc else acc)
             g.entries []
         in
-        List.iter (KeyTbl.remove g.entries) victims
+        List.iter (KeyTbl.remove g.entries) victims;
+        t.subsumed <- t.subsumed + List.length victims
       end)
     t.groups;
   drop_empty_groups t;
-  t.ordered <-
-    List.filter (fun e -> not (Punctuation.subsumes p e.punct)) t.ordered
+  let keep, gone =
+    List.partition (fun e -> not (Punctuation.subsumes p e.punct)) t.ordered
+  in
+  t.subsumed <- t.subsumed + List.length gone;
+  t.ordered <- keep
 
 let subsumed_by_stored t p =
   List.exists (fun e -> Punctuation.subsumes e.punct p) t.ordered
@@ -100,7 +116,10 @@ let already_subsumed = subsumed_by_stored
 let insert t ~now p =
   if not (Schema.equal (Punctuation.schema p) t.schema) then
     invalid_arg "Punct_store.insert: schema mismatch";
-  if already_subsumed t p then false
+  if already_subsumed t p then begin
+    t.rejected <- t.rejected + 1;
+    false
+  end
   else begin
     remove_subsumed_by t p;
     let entry = { punct = p; inserted_at = now; forwarded = false } in
@@ -122,6 +141,9 @@ let group_count t = List.length t.groups
 let pending_count t = List.length t.pending_forward
 
 let insertions t = t.insertions
+let rejected_count t = t.rejected
+let subsumed_count t = t.subsumed
+let removed_count t = t.removed
 
 let forbids t tuple =
   List.exists
@@ -159,7 +181,9 @@ let remove_where t pred =
   (* a removed punctuation must not be forwarded later: expire/purge_if and
      the forward queue stay symmetric *)
   t.pending_forward <- List.filter (fun e -> not (pred e)) t.pending_forward;
-  count + List.length drop
+  let total = count + List.length drop in
+  t.removed <- t.removed + total;
+  total
 
 let expire t ~now lifespan =
   remove_where t (fun e ->

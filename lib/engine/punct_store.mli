@@ -16,6 +16,17 @@ val insert : t -> now:int -> Streams.Punctuation.t -> bool
 val size : t -> int
 val insertions : t -> int
 
+(** Conservation accounting, cumulative over the store's lifetime:
+    every arrival is either rejected (uninformative) or inserted, and every
+    insertion is now resident, displaced by a subsuming later insert, or
+    removed by {!expire}/{!purge_if} —
+    [insertions t = size t + subsumed_count t + removed_count t]. The
+    stats-conservation property test pins both identities. *)
+val rejected_count : t -> int
+
+val subsumed_count : t -> int
+val removed_count : t -> int
+
 (** [group_count t] — constant-punctuation index groups currently held.
     Groups that empty out (all entries expired/purged/subsumed) are dropped
     eagerly, so this stays proportional to the live punctuation shapes. *)

@@ -14,8 +14,8 @@ type slot = {
   puncts : Punct_store.t;
 }
 
-let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
-    ~predicates () =
+let create ?(name = "join") ?(policy = Purge_policy.Eager)
+    ?(telemetry = Telemetry.null) ~left ~right ~predicates () =
   if String.equal left.name right.name then
     invalid_arg "Sym_hash_join.create: identical input names";
   List.iter
@@ -39,6 +39,23 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
   let stats = ref Operator.empty_stats in
   let now = ref 0 in
   let pending = ref 0 in
+  (* Oldest informative punctuation not yet consumed by a purge round; the
+     purge-lag baseline (0 under Eager, flush-cadence under Lazy). *)
+  let pending_since = ref None in
+  let record_purge ~input ~trigger ~victims =
+    if victims > 0 && Telemetry.enabled telemetry then begin
+      let tick = Telemetry.now telemetry in
+      let lag =
+        match !pending_since with Some t0 -> max 0 (tick - t0) | None -> 0
+      in
+      Telemetry.emit telemetry
+        (Obs.Event.Purge { tick; op = name; input; trigger; victims; lag });
+      Telemetry.incr ~by:victims telemetry (name ^ ".purged_tuples");
+      Telemetry.incr telemetry (name ^ ".purge_rounds");
+      Telemetry.observe telemetry (name ^ ".purge_batch") victims;
+      Telemetry.observe ~n:victims telemetry (name ^ ".purge_lag") lag
+    end
+  in
   let this_and_other input_name =
     if String.equal input_name l.side.name then (l, r)
     else if String.equal input_name r.side.name then (r, l)
@@ -117,14 +134,19 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
           Join_state.purge_if other.state (fun x ->
               List.exists (fun y -> Tuple.equal x y) victims)
   in
-  let full_purge () =
+  let full_purge ~trigger () =
     stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
     let sweep mine other =
-      Join_state.purge_if other.state (fun x ->
-          Punct_store.covers mine.puncts (partner_bindings other x))
+      let removed =
+        Join_state.purge_if other.state (fun x ->
+            Punct_store.covers mine.puncts (partner_bindings other x))
+      in
+      record_purge ~input:other.side.name ~trigger ~victims:removed;
+      removed
     in
     let removed = sweep l r + sweep r l in
     stats := { !stats with tuples_purged = !stats.tuples_purged + removed };
+    pending_since := None;
     removed
   in
   let propagate () =
@@ -154,11 +176,18 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
     match element with
     | Element.Data tup ->
         stats := { !stats with tuples_in = !stats.tuples_in + 1 };
+        if Telemetry.enabled telemetry then begin
+          Telemetry.incr telemetry (name ^ ".probes");
+          Telemetry.incr telemetry (name ^ ".inserts")
+        end;
         let results = probe mine other tup in
         (* dead on arrival: its partners are already punctuated away, so
            after these results it can never match again — do not store *)
-        if Punct_store.covers other.puncts (partner_bindings mine tup) then
-          stats := { !stats with tuples_purged = !stats.tuples_purged + 1 }
+        if Punct_store.covers other.puncts (partner_bindings mine tup) then begin
+          stats := { !stats with tuples_purged = !stats.tuples_purged + 1 };
+          record_purge ~input:mine.side.name ~trigger:"dead_on_arrival"
+            ~victims:1
+        end
         else Join_state.insert mine.state tup;
         stats :=
           { !stats with tuples_out = !stats.tuples_out + List.length results };
@@ -166,15 +195,22 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
     | Element.Punct p ->
         stats := { !stats with puncts_in = !stats.puncts_in + 1 };
         let informative = Punct_store.insert mine.puncts ~now:!now p in
-        if informative then incr pending;
+        if informative then begin
+          incr pending;
+          if !pending_since = None then
+            pending_since := Some (Telemetry.now telemetry)
+        end;
         (match policy with
         | Purge_policy.Eager ->
             pending := 0;
             if informative then begin
               stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
               let removed = purge_opposite mine other p in
+              record_purge ~input:other.side.name ~trigger:"eager"
+                ~victims:removed;
               stats :=
-                { !stats with tuples_purged = !stats.tuples_purged + removed }
+                { !stats with tuples_purged = !stats.tuples_purged + removed };
+              pending_since := None
             end;
             propagate ()
         | Purge_policy.Lazy _ | Purge_policy.Adaptive _ ->
@@ -184,7 +220,8 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
             if Purge_policy.due policy ~punctuations_pending:!pending ~state_size
             then begin
               pending := 0;
-              ignore (full_purge ());
+              ignore
+                (full_purge ~trigger:(Fmt.str "%a" Purge_policy.pp policy) ());
               propagate ()
             end
             else []
@@ -196,7 +233,7 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
     | Purge_policy.Eager | Purge_policy.Lazy _ | Purge_policy.Adaptive _ ->
         if !pending > 0 then begin
           pending := 0;
-          ignore (full_purge ());
+          ignore (full_purge ~trigger:"flush" ());
           propagate ()
         end
         else []
@@ -218,5 +255,22 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager) ~left ~right
       (fun () ->
         (Join_state.mem_stats l.state).Join_state.approx_bytes
         + (Join_state.mem_stats r.state).Join_state.approx_bytes);
-    stats = (fun () -> !stats);
+    stats =
+      (* Fold in the store-level conservation counters on read: rejected
+         arrivals are dropped punctuations, subsumption-displaced entries
+         are purged punctuations. *)
+      (fun () ->
+        let dropped =
+          Punct_store.rejected_count l.puncts
+          + Punct_store.rejected_count r.puncts
+        in
+        let subsumed =
+          Punct_store.subsumed_count l.puncts
+          + Punct_store.subsumed_count r.puncts
+        in
+        {
+          !stats with
+          puncts_dropped = dropped;
+          puncts_purged = !stats.puncts_purged + subsumed;
+        });
   }

@@ -15,11 +15,14 @@ type side = {
 }
 
 (** [create ~left ~right ~predicates ()] — [predicates] atoms must all link
-    [left] and [right].
+    [left] and [right]. [telemetry] (default {!Telemetry.null}) receives
+    structured purge events (including [dead_on_arrival] drops) and
+    probe/insert/purge-lag measurements.
     @raise Invalid_argument otherwise. *)
 val create :
   ?name:string ->
   ?policy:Purge_policy.t ->
+  ?telemetry:Telemetry.t ->
   left:side ->
   right:side ->
   predicates:Relational.Predicate.t ->

@@ -9,7 +9,8 @@ let pp_spec ppf = function
 
 type input = { name : string; schema : Schema.t }
 
-let create ?(name = "window_join") ~window ~inputs ~predicates () =
+let create ?(name = "window_join") ?(telemetry = Telemetry.null) ~window
+    ~inputs ~predicates () =
   (match window with
   | Count n | Ticks n ->
       if n <= 0 then invalid_arg "Window_join.create: non-positive window");
@@ -51,14 +52,22 @@ let create ?(name = "window_join") ~window ~inputs ~predicates () =
   let evict_stale () =
     let removed =
       List.fold_left
-        (fun acc (_, state) ->
-          acc
-          +
-          match window with
-          | Ticks n -> Join_state.evict_before state ~tick:(!now - n)
-          | Count n ->
-              Join_state.evict_before state
-                ~tick:(Join_state.insertions state - n))
+        (fun acc (input, state) ->
+          let victims =
+            match window with
+            | Ticks n -> Join_state.evict_before state ~tick:(!now - n)
+            | Count n ->
+                Join_state.evict_before state
+                  ~tick:(Join_state.insertions state - n)
+          in
+          if victims > 0 && Telemetry.enabled telemetry then begin
+            Telemetry.emit telemetry
+              (Obs.Event.Evict
+                 { tick = Telemetry.now telemetry; op = name; input;
+                   victims });
+            Telemetry.incr ~by:victims telemetry (name ^ ".evicted_tuples")
+          end;
+          acc + victims)
         0 states
     in
     stats := { !stats with tuples_purged = !stats.tuples_purged + removed }

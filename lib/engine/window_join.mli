@@ -18,10 +18,12 @@ val pp_spec : Format.formatter -> spec -> unit
 type input = { name : string; schema : Relational.Schema.t }
 
 (** [create ~window ~inputs ~predicates ()] — same input/predicate
-    conventions as {!Mjoin.create}.
+    conventions as {!Mjoin.create}. [telemetry] (default {!Telemetry.null})
+    receives [Evict] events and the [<op>.evicted_tuples] counter.
     @raise Invalid_argument on malformed inputs or a non-positive window. *)
 val create :
   ?name:string ->
+  ?telemetry:Telemetry.t ->
   window:spec ->
   inputs:input list ->
   predicates:Relational.Predicate.t ->

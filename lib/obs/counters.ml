@@ -1,0 +1,35 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; gauges = Hashtbl.create 8 }
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl name r;
+      r
+
+let incr ?(by = 1) t name =
+  if by < 0 then invalid_arg "Counters.incr: negative increment";
+  let r = cell t.counters name in
+  r := !r + by
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v = cell t.gauges name := v
+
+let get_gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0
+
+let sorted_alist tbl =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_alist t = sorted_alist t.counters
+let gauges_to_alist t = sorted_alist t.gauges
+let counter_names t = List.map fst (to_alist t)

@@ -1,0 +1,28 @@
+(** Named monotonic counters and gauges.
+
+    Counters only ever increase ([incr] with a negative increment is
+    rejected); gauges record the latest value of a level. Names are
+    free-form, but the engine follows the ["<operator>.<metric>"]
+    convention documented in docs/TELEMETRY.md so reports can be grouped
+    per operator. *)
+
+type t
+
+val create : unit -> t
+
+(** [incr ?by t name] — add [by] (default 1) to counter [name], creating
+    it at 0. @raise Invalid_argument when [by < 0]. *)
+val incr : ?by:int -> t -> string -> unit
+
+val get : t -> string -> int
+
+(** [set_gauge t name v] — record the current level [v] for gauge [name]. *)
+val set_gauge : t -> string -> int -> unit
+
+val get_gauge : t -> string -> int
+
+(** Name-sorted snapshots. *)
+val to_alist : t -> (string * int) list
+
+val gauges_to_alist : t -> (string * int) list
+val counter_names : t -> string list

@@ -1,0 +1,225 @@
+type t =
+  | Run_start of { tick : int; label : string }
+  | Run_end of { tick : int; emitted : int }
+  | Tuple_in of { tick : int; op : string; input : string }
+  | Tuple_out of { tick : int; op : string; count : int }
+  | Punct_in of { tick : int; op : string; input : string }
+  | Punct_out of { tick : int; op : string; count : int }
+  | Purge of {
+      tick : int;
+      op : string;
+      input : string;
+      trigger : string;
+      victims : int;
+      lag : int;
+    }
+  | Evict of { tick : int; op : string; input : string; victims : int }
+  | Sample of {
+      tick : int;
+      data_state : int;
+      punct_state : int;
+      index_state : int;
+      state_bytes : int;
+      emitted : int;
+    }
+  | Alarm of {
+      tick : int;
+      op : string;
+      slope : float;
+      size : int;
+      unreachable : string list;
+    }
+
+let op_of = function
+  | Run_start _ | Run_end _ | Sample _ -> None
+  | Tuple_in { op; _ }
+  | Tuple_out { op; _ }
+  | Punct_in { op; _ }
+  | Punct_out { op; _ }
+  | Purge { op; _ }
+  | Evict { op; _ }
+  | Alarm { op; _ } ->
+      Some op
+
+let tick_of = function
+  | Run_start { tick; _ }
+  | Run_end { tick; _ }
+  | Tuple_in { tick; _ }
+  | Tuple_out { tick; _ }
+  | Punct_in { tick; _ }
+  | Punct_out { tick; _ }
+  | Purge { tick; _ }
+  | Evict { tick; _ }
+  | Sample { tick; _ }
+  | Alarm { tick; _ } ->
+      tick
+
+let to_json e =
+  let f fields = Json.Obj fields in
+  match e with
+  | Run_start { tick; label } ->
+      f [ ("ev", String "run_start"); ("tick", Int tick); ("label", String label) ]
+  | Run_end { tick; emitted } ->
+      f [ ("ev", String "run_end"); ("tick", Int tick); ("emitted", Int emitted) ]
+  | Tuple_in { tick; op; input } ->
+      f
+        [
+          ("ev", String "tuple_in");
+          ("tick", Int tick);
+          ("op", String op);
+          ("input", String input);
+        ]
+  | Tuple_out { tick; op; count } ->
+      f
+        [
+          ("ev", String "tuple_out");
+          ("tick", Int tick);
+          ("op", String op);
+          ("count", Int count);
+        ]
+  | Punct_in { tick; op; input } ->
+      f
+        [
+          ("ev", String "punct_in");
+          ("tick", Int tick);
+          ("op", String op);
+          ("input", String input);
+        ]
+  | Punct_out { tick; op; count } ->
+      f
+        [
+          ("ev", String "punct_out");
+          ("tick", Int tick);
+          ("op", String op);
+          ("count", Int count);
+        ]
+  | Purge { tick; op; input; trigger; victims; lag } ->
+      f
+        [
+          ("ev", String "purge");
+          ("tick", Int tick);
+          ("op", String op);
+          ("input", String input);
+          ("trigger", String trigger);
+          ("victims", Int victims);
+          ("lag", Int lag);
+        ]
+  | Evict { tick; op; input; victims } ->
+      f
+        [
+          ("ev", String "evict");
+          ("tick", Int tick);
+          ("op", String op);
+          ("input", String input);
+          ("victims", Int victims);
+        ]
+  | Sample { tick; data_state; punct_state; index_state; state_bytes; emitted }
+    ->
+      f
+        [
+          ("ev", String "sample");
+          ("tick", Int tick);
+          ("data_state", Int data_state);
+          ("punct_state", Int punct_state);
+          ("index_state", Int index_state);
+          ("state_bytes", Int state_bytes);
+          ("emitted", Int emitted);
+        ]
+  | Alarm { tick; op; slope; size; unreachable } ->
+      f
+        [
+          ("ev", String "alarm");
+          ("tick", Int tick);
+          ("op", String op);
+          ("slope", Float slope);
+          ("size", Int size);
+          ("unreachable", List (List.map (fun s -> Json.String s) unreachable));
+        ]
+
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let int name = field name Json.to_int in
+  let str name = field name Json.to_str in
+  let* ev = str "ev" in
+  match ev with
+  | "run_start" ->
+      let* tick = int "tick" in
+      let* label = str "label" in
+      Ok (Run_start { tick; label })
+  | "run_end" ->
+      let* tick = int "tick" in
+      let* emitted = int "emitted" in
+      Ok (Run_end { tick; emitted })
+  | "tuple_in" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* input = str "input" in
+      Ok (Tuple_in { tick; op; input })
+  | "tuple_out" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* count = int "count" in
+      Ok (Tuple_out { tick; op; count })
+  | "punct_in" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* input = str "input" in
+      Ok (Punct_in { tick; op; input })
+  | "punct_out" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* count = int "count" in
+      Ok (Punct_out { tick; op; count })
+  | "purge" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* input = str "input" in
+      let* trigger = str "trigger" in
+      let* victims = int "victims" in
+      let* lag = int "lag" in
+      Ok (Purge { tick; op; input; trigger; victims; lag })
+  | "evict" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* input = str "input" in
+      let* victims = int "victims" in
+      Ok (Evict { tick; op; input; victims })
+  | "sample" ->
+      let* tick = int "tick" in
+      let* data_state = int "data_state" in
+      let* punct_state = int "punct_state" in
+      let* index_state = int "index_state" in
+      let* state_bytes = int "state_bytes" in
+      let* emitted = int "emitted" in
+      Ok
+        (Sample
+           { tick; data_state; punct_state; index_state; state_bytes; emitted })
+  | "alarm" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* slope = field "slope" Json.to_float in
+      let* size = int "size" in
+      let* unreachable =
+        match Option.bind (Json.member "unreachable" j) Json.to_list with
+        | Some vs -> (
+            let names = List.filter_map Json.to_str vs in
+            if List.length names = List.length vs then Ok names
+            else Error "ill-typed field \"unreachable\"")
+        | None -> Error "missing field \"unreachable\""
+      in
+      Ok (Alarm { tick; op; slope; size; unreachable })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let to_line e = Json.to_string (to_json e)
+
+let of_line s =
+  match Json.parse s with
+  | Error msg -> Error ("bad JSON: " ^ msg)
+  | Ok j -> of_json j
+
+let pp ppf e = Fmt.string ppf (to_line e)

@@ -1,0 +1,61 @@
+(** Structured trace events: the replayable provenance log of a run.
+
+    Every state-changing moment of the engine — a tuple or punctuation
+    entering an operator, results leaving it, a purge round removing
+    victims, a window eviction, a metrics sample, a watchdog alarm —
+    becomes one typed event. Serialized one-per-line as JSON (JSONL), a
+    trace can be replayed offline to reproduce the run's per-operator
+    counters exactly ({!Report.replay}); CI uses this to cross-check the
+    report a run emitted against the trace it wrote.
+
+    Ticks are the executor's element clock (elements consumed so far);
+    [lag] on {!Purge} is the purge lag in ticks — see docs/TELEMETRY.md. *)
+
+type t =
+  | Run_start of { tick : int; label : string }
+  | Run_end of { tick : int; emitted : int }
+  | Tuple_in of { tick : int; op : string; input : string }
+  | Tuple_out of { tick : int; op : string; count : int }
+  | Punct_in of { tick : int; op : string; input : string }
+  | Punct_out of { tick : int; op : string; count : int }
+  | Purge of {
+      tick : int;
+      op : string;
+      input : string;  (** the input whose join state lost the victims *)
+      trigger : string;  (** what fired the round: eager / lazy / flush … *)
+      victims : int;
+      lag : int;  (** ticks the victims lingered past purgeability *)
+    }
+  | Evict of { tick : int; op : string; input : string; victims : int }
+  | Sample of {
+      tick : int;
+      data_state : int;
+      punct_state : int;
+      index_state : int;
+      state_bytes : int;
+      emitted : int;
+    }
+  | Alarm of {
+      tick : int;
+      op : string;
+      slope : float;
+      size : int;
+      unreachable : string list;
+    }
+
+(** [op_of e] — the operator an event belongs to, if any (samples and run
+    markers are global). *)
+val op_of : t -> string option
+
+val tick_of : t -> int
+val to_json : t -> Json.t
+
+(** [of_json j] — inverse of {!to_json}; [Error] names the offending
+    field. *)
+val of_json : Json.t -> (t, string) result
+
+(** [to_line e] / [of_line s] — the JSONL codec (no trailing newline). *)
+val to_line : t -> string
+
+val of_line : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

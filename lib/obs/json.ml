@@ -1,0 +1,265 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing --------------------------------------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_lexeme f =
+  if Float.is_nan f then "null" (* JSON has no NaN; degrade explicitly *)
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_lexeme f)
+    | String s -> escape buf s
+    | List vs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            go v)
+          vs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape buf k;
+            Buffer.add_char buf ':';
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.string ppf (float_lexeme f)
+  | String s ->
+      let buf = Buffer.create (String.length s + 2) in
+      escape buf s;
+      Fmt.string ppf (Buffer.contents buf)
+  | List [] -> Fmt.string ppf "[]"
+  | List vs ->
+      Fmt.pf ppf "@[<v 2>[@,%a@]@,]"
+        (Fmt.list ~sep:(Fmt.any ",@,") pp)
+        vs
+  | Obj [] -> Fmt.string ppf "{}"
+  | Obj fields ->
+      let field ppf (k, v) =
+        let buf = Buffer.create (String.length k + 2) in
+        escape buf k;
+        Fmt.pf ppf "@[<hov 2>%s:@ %a@]" (Buffer.contents buf) pp v
+      in
+      Fmt.pf ppf "@[<v 2>{@,%a@]@,}" (Fmt.list ~sep:(Fmt.any ",@,") field) fields
+
+(* --- parsing ---------------------------------------------------------- *)
+
+exception Bad of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c msg = raise (Bad (Printf.sprintf "at offset %d: %s" c.pos msg))
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance c; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance c; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then fail c "bad \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some n -> n
+              | None -> fail c "bad \\u escape"
+            in
+            c.pos <- c.pos + 4;
+            (* we only emit \u for control chars; decode the BMP subset
+               losslessly enough for round-tripping our own output *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+            go ()
+        | _ -> fail c "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let lexeme = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt lexeme with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt lexeme with
+      | Some f -> Float f
+      | None -> fail c (Printf.sprintf "bad number %S" lexeme))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_body c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List (List.rev (v :: acc))
+          | _ -> fail c "expected ',' or ']'"
+        in
+        items []
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance c;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail c "expected ',' or '}'"
+        in
+        fields []
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "at offset %d: trailing garbage" c.pos)
+      else Ok v
+  | exception Bad msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok v -> v | Error msg -> failwith ("Json.parse: " ^ msg)
+
+(* --- accessors -------------------------------------------------------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List vs -> Some vs | _ -> None
+let to_obj = function Obj fields -> Some fields | _ -> None

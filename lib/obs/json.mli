@@ -1,0 +1,39 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The telemetry subsystem needs exactly two things from JSON: emitting
+    machine-readable reports/traces and re-reading them for verification
+    (trace replay in CI). Rather than pulling an external dependency into
+    the build, this module implements the subset we emit: objects, arrays,
+    strings (with escape handling), booleans, null, and numbers. Numbers
+    are kept as [Int] when the lexeme is integral and in range, [Float]
+    otherwise. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string v] — compact single-line rendering (JSONL-friendly). *)
+val to_string : t -> string
+
+(** [pp ppf v] — indented, human-diffable rendering. *)
+val pp : Format.formatter -> t -> unit
+
+(** [parse s] — parse one JSON value; trailing whitespace allowed. *)
+val parse : string -> (t, string) result
+
+(** [parse_exn s] — @raise Failure on malformed input. *)
+val parse_exn : string -> t
+
+(* Accessors: total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

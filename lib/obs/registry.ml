@@ -1,0 +1,54 @@
+type t = { counters : Counters.t; hists : (string, Histogram.t) Hashtbl.t }
+
+let create () = { counters = Counters.create (); hists = Hashtbl.create 16 }
+let counters t = t.counters
+let incr ?by t name = Counters.incr ?by t.counters name
+let counter t name = Counters.get t.counters name
+let set_gauge t name v = Counters.set_gauge t.counters name v
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add t.hists name h;
+      h
+
+let observe ?n t name v = Histogram.observe ?n (histogram t name) v
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merged_histogram t suffix =
+  let dotted = "." ^ suffix in
+  let matches name =
+    String.equal name suffix
+    || String.length name > String.length dotted
+       && String.equal dotted
+            (String.sub name
+               (String.length name - String.length dotted)
+               (String.length dotted))
+  in
+  let merged =
+    List.fold_left
+      (fun acc (name, h) ->
+        if matches name then
+          Some (match acc with None -> h | Some m -> Histogram.merge m h)
+        else acc)
+      None (histograms t)
+  in
+  match merged with
+  | Some h when Histogram.count h > 0 -> Some h
+  | _ -> None
+
+let to_json t =
+  let ints alist = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) alist) in
+  Json.Obj
+    [
+      ("counters", ints (Counters.to_alist t.counters));
+      ("gauges", ints (Counters.gauges_to_alist t.counters));
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (k, h) -> (k, Histogram.to_json h)) (histograms t)) );
+    ]

@@ -1,0 +1,31 @@
+(** The metrics registry: one place holding every named counter, gauge and
+    histogram of a run. Operators record through it (via
+    [Engine.Telemetry]); {!Report} renders it; CI replays the event trace
+    and compares against it. *)
+
+type t
+
+val create : unit -> t
+val counters : t -> Counters.t
+
+val incr : ?by:int -> t -> string -> unit
+val counter : t -> string -> int
+val set_gauge : t -> string -> int -> unit
+
+(** [histogram t name] — find-or-create. *)
+val histogram : t -> string -> Histogram.t
+
+(** [observe ?n t name v] — record into histogram [name]. *)
+val observe : ?n:int -> t -> string -> int -> unit
+
+(** Name-sorted histogram snapshot. *)
+val histograms : t -> (string * Histogram.t) list
+
+(** [merged_histogram t suffix] — merge every histogram whose name ends
+    with [("." ^ suffix)]; [None] when no such histogram has
+    observations. Used to aggregate a per-operator metric (e.g.
+    ["purge_lag"]) across operators. *)
+val merged_histogram : t -> string -> Histogram.t option
+
+(** Flat object: {"counters": {..}, "gauges": {..}, "histograms": {..}}. *)
+val to_json : t -> Json.t

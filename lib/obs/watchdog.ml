@@ -1,0 +1,120 @@
+type config = {
+  window : int;
+  min_ticks : int;
+  slope_threshold : float;
+  size_floor : int;
+}
+
+let default_config =
+  { window = 8; min_ticks = 50; slope_threshold = 0.02; size_floor = 32 }
+
+type alarm = {
+  op : string;
+  tick : int;
+  slope : float;
+  size : int;
+  unreachable : string list;
+}
+
+let pp_alarm ppf a =
+  Fmt.pf ppf
+    "operator %s: state growing at %.4f tuples/tick (size %d at tick %d)%a" a.op
+    a.slope a.size a.tick
+    (fun ppf -> function
+      | [] -> Fmt.pf ppf "; every input is purge-reachable (check the policy)"
+      | us ->
+          Fmt.pf ppf "; unreachable input(s): %s" (String.concat ", " us))
+    a.unreachable
+
+(* A same-tick resample (Metrics.flush replaces the closing sample) or a
+   window still sitting on a single tick must not divide by a ~0 denom:
+   [slope] returns 0 for every window with < 2 distinct ticks. *)
+let slope points =
+  match points with
+  | [] | [ _ ] -> 0.0
+  | (t0, _) :: rest when List.for_all (fun (t, _) -> t = t0) rest -> 0.0
+  | _ ->
+      let m = float_of_int (List.length points) in
+      let fold f init = List.fold_left f init points in
+      let sx = fold (fun a (t, _) -> a +. float_of_int t) 0.0 in
+      let sy = fold (fun a (_, s) -> a +. float_of_int s) 0.0 in
+      let sxx =
+        fold (fun a (t, _) -> a +. (float_of_int t *. float_of_int t)) 0.0
+      in
+      let sxy =
+        fold (fun a (t, s) -> a +. (float_of_int t *. float_of_int s)) 0.0
+      in
+      let denom = (m *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-9 then 0.0
+      else ((m *. sxy) -. (sx *. sy)) /. denom
+
+type series = {
+  ring : (int * int) array;  (** (tick, size), capacity [config.window] *)
+  mutable filled : int;
+  mutable next : int;
+  mutable latched : bool;
+}
+
+type t = {
+  config : config;
+  per_op : (string, series) Hashtbl.t;
+  mutable raised : alarm list;  (** reversed *)
+}
+
+let create ?(config = default_config) () =
+  if config.window < 3 then invalid_arg "Watchdog.create: window < 3";
+  { config; per_op = Hashtbl.create 8; raised = [] }
+
+let series_of t op =
+  match Hashtbl.find_opt t.per_op op with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          ring = Array.make t.config.window (0, 0);
+          filled = 0;
+          next = 0;
+          latched = false;
+        }
+      in
+      Hashtbl.add t.per_op op s;
+      s
+
+let window_points t s =
+  let cap = t.config.window in
+  let n = s.filled in
+  let start = s.next - n in
+  List.init n (fun i -> s.ring.(((start + i) mod cap + cap) mod cap))
+
+let observe t ~op ~tick ~size ~unreachable =
+  let cfg = t.config in
+  let s = series_of t op in
+  (* A same-tick observation replaces the previous one (mirrors the
+     Metrics.flush contract) instead of degenerating the window. *)
+  let last_tick =
+    if s.filled = 0 then None
+    else Some (fst s.ring.((s.next - 1 + cfg.window) mod cfg.window))
+  in
+  (match last_tick with
+  | Some last when last = tick ->
+      s.ring.((s.next - 1 + cfg.window) mod cfg.window) <- (tick, size)
+  | _ ->
+      s.ring.(s.next mod cfg.window) <- (tick, size);
+      s.next <- (s.next + 1) mod cfg.window;
+      s.filled <- min (s.filled + 1) cfg.window);
+  if s.latched || s.filled < cfg.window || size < cfg.size_floor then None
+  else
+    let points = window_points t s in
+    let span = fst (List.nth points (List.length points - 1)) - fst (List.hd points) in
+    if span < cfg.min_ticks then None
+    else
+      let sl = slope points in
+      if sl > cfg.slope_threshold then begin
+        s.latched <- true;
+        let a = { op; tick; slope = sl; size; unreachable } in
+        t.raised <- a :: t.raised;
+        Some a
+      end
+      else None
+
+let alarms t = List.rev t.raised

@@ -1,0 +1,58 @@
+(** The runtime safety watchdog.
+
+    Theorem 1 makes "this operator's state stays bounded" a compile-time
+    fact; the watchdog is its runtime contrapositive. It watches each
+    operator's state-size series through a sliding window and, when the
+    windowed least-squares slope exceeds a threshold while the state is
+    already past a floor, raises a structured alarm naming the operator
+    and — via the caller-supplied purge-reachability diagnosis
+    ({!Core.Gpg.reaches_all} in the engine) — the inputs whose state no
+    punctuation scheme can reach. A safe query run to plateau never trips
+    it; an unsafe query run with [--force] does, and the alarm says why.
+
+    Alarms latch per operator: one alarm per run per operator, so a
+    steadily leaking operator does not flood the sink. *)
+
+type config = {
+  window : int;  (** samples in the sliding window (>= 3) *)
+  min_ticks : int;  (** minimum tick span the window must cover *)
+  slope_threshold : float;  (** tuples per tick; alarm above this *)
+  size_floor : int;  (** ignore slopes while the state is below this *)
+}
+
+(** window = 8, min_ticks = 50, slope_threshold = 0.02, size_floor = 32 —
+    tuned so the round-based synthetic workloads' plateau oscillation stays
+    well below threshold while an unpurged input (>= 1 tuple per round
+    retained forever) trips it within a few hundred elements. *)
+val default_config : config
+
+type alarm = {
+  op : string;
+  tick : int;  (** tick of the sample that tripped the alarm *)
+  slope : float;  (** tuples per tick over the window *)
+  size : int;  (** state size at the alarm tick *)
+  unreachable : string list;
+      (** inputs of [op] whose state purge-reachability fails *)
+}
+
+val pp_alarm : Format.formatter -> alarm -> unit
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** [observe t ~op ~tick ~size ~unreachable] — record one sample of
+    [op]'s state series; returns the alarm this sample tripped, if any.
+    [unreachable] is the static diagnosis attached to the alarm. *)
+val observe :
+  t -> op:string -> tick:int -> size:int -> unreachable:string list ->
+  alarm option
+
+(** Alarms raised so far, in the order raised. *)
+val alarms : t -> alarm list
+
+(** [slope points] — least-squares slope of [(tick, size)] points.
+    Degenerate windows are handled explicitly: fewer than two points, or
+    all points on the same tick (the flush-replaces-same-tick path can
+    produce both), yield 0. *)
+val slope : (int * int) list -> float

@@ -22,4 +22,32 @@ if ! git diff --quiet -- BENCH_bounded_state.json 2>/dev/null; then
   echo "NOTE: BENCH_bounded_state.json changed; review and commit the new numbers." >&2
 fi
 
+echo "== telemetry smoke: report/trace consistency + watchdog =="
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+
+# Safe run: the report must match an independent replay of its own event
+# trace, and the watchdog must stay quiet.
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
+  --report "$OBS_TMP/safe_report.json" --trace "$OBS_TMP/safe_trace.jsonl" \
+  > /dev/null
+dune exec bin/pstream_obs.exe -- verify \
+  "$OBS_TMP/safe_report.json" "$OBS_TMP/safe_trace.jsonl" --expect-quiet
+
+# Forced unsafe run: still consistent, and the watchdog must raise an
+# alarm naming a purge-unreachable input (pstream-run exits 3 on alarm).
+set +e
+dune exec bin/pstream_run.exe -- examples/unsafe.query --rounds 200 --force \
+  --report "$OBS_TMP/unsafe_report.json" --trace "$OBS_TMP/unsafe_trace.jsonl" \
+  > /dev/null
+status=$?
+set -e
+if [ "$status" -ne 3 ]; then
+  echo "expected pstream-run to exit 3 (watchdog alarm) on the forced unsafe run, got $status" >&2
+  exit 1
+fi
+dune exec bin/pstream_obs.exe -- verify \
+  "$OBS_TMP/unsafe_report.json" "$OBS_TMP/unsafe_trace.jsonl" \
+  --expect-alarm S2 --expect-alarm S3
+
 echo "CI OK"

@@ -1,0 +1,620 @@
+(* The telemetry subsystem: JSON/event codecs, histograms, the watchdog's
+   degenerate-window guards, sinks, and the engine integration — null-sink
+   identity, trace-replay verification, emitted-count accounting and the
+   stats conservation laws. *)
+
+open Relational
+module Scheme = Streams.Scheme
+module Element = Streams.Element
+module Plan = Query.Plan
+module Executor = Engine.Executor
+module Metrics = Engine.Metrics
+module Purge_policy = Engine.Purge_policy
+module Telemetry = Engine.Telemetry
+open Fixtures
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Obs.Json.Null;
+      Obs.Json.Bool true;
+      Obs.Json.Int (-42);
+      Obs.Json.Float 0.25;
+      Obs.Json.String "he said \"hi\"\nand left \\ fast";
+      Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Null; Obs.Json.Bool false ];
+      Obs.Json.Obj
+        [
+          ("empty", Obs.Json.Obj []);
+          ("xs", Obs.Json.List []);
+          ("n", Obs.Json.Int 7);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Obs.Json.parse (Obs.Json.to_string v) with
+      | Ok v' ->
+          check_bool (Fmt.str "roundtrip %s" (Obs.Json.to_string v)) true
+            (v = v')
+      | Error e -> Alcotest.failf "parse error: %s" e)
+    samples
+
+let test_json_accessors () =
+  let v = Obs.Json.parse_exn {| {"a": {"b": [1, 2, 3]}, "s": "x"} |} in
+  check_bool "member chain" true
+    (Option.bind (Obs.Json.member "a" v) (Obs.Json.member "b") <> None);
+  check_bool "to_str" true
+    (Option.bind (Obs.Json.member "s" v) Obs.Json.to_str = Some "x");
+  check_bool "missing member" true (Obs.Json.member "zzz" v = None);
+  check_bool "malformed rejected" true
+    (match Obs.Json.parse "{\"a\": }" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Event codec *)
+
+let all_events =
+  [
+    Obs.Event.Run_start { tick = 0; label = "t/\"quote\".query" };
+    Obs.Event.Run_end { tick = 99; emitted = 12 };
+    Obs.Event.Tuple_in { tick = 1; op = "J1"; input = "S1" };
+    Obs.Event.Tuple_out { tick = 2; op = "J1"; count = 3 };
+    Obs.Event.Punct_in { tick = 3; op = "J1"; input = "S2" };
+    Obs.Event.Punct_out { tick = 4; op = "J1"; count = 1 };
+    Obs.Event.Purge
+      {
+        tick = 5;
+        op = "J2";
+        input = "S3";
+        trigger = "lazy(25)";
+        victims = 7;
+        lag = 13;
+      };
+    Obs.Event.Evict { tick = 6; op = "W1"; input = "S1"; victims = 2 };
+    Obs.Event.Sample
+      {
+        tick = 7;
+        data_state = 10;
+        punct_state = 11;
+        index_state = 12;
+        state_bytes = 13;
+        emitted = 14;
+      };
+    Obs.Event.Alarm
+      {
+        tick = 8;
+        op = "J1";
+        slope = 0.5;
+        size = 640;
+        unreachable = [ "S1"; "S2" ];
+      };
+  ]
+
+let test_event_roundtrip () =
+  List.iter
+    (fun e ->
+      match Obs.Event.of_line (Obs.Event.to_line e) with
+      | Ok e' ->
+          check_bool (Fmt.str "roundtrip %s" (Obs.Event.to_line e)) true
+            (e = e')
+      | Error msg -> Alcotest.failf "of_line: %s" msg)
+    all_events;
+  check_bool "garbage rejected" true
+    (match Obs.Event.of_line {| {"ev": "warp"} |} with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram / counters *)
+
+let test_histogram_basics () =
+  let h = Obs.Histogram.create () in
+  check_int "empty count" 0 (Obs.Histogram.count h);
+  check_int "empty percentile" 0 (Obs.Histogram.percentile h 0.99);
+  List.iter (Obs.Histogram.observe h) [ 0; 0; 1; 3; 100 ];
+  check_int "count" 5 (Obs.Histogram.count h);
+  check_int "sum" 104 (Obs.Histogram.sum h);
+  check_int "min" 0 (Obs.Histogram.min_value h);
+  check_int "max" 100 (Obs.Histogram.max_value h);
+  (* ranks: two 0s, a 1, a 3 (bucket [2,4)), a 100 (bucket [64,128)) *)
+  check_int "p50 lands on the 1" 1 (Obs.Histogram.percentile h 0.5);
+  check_int "p99 lands in [64,128)" 64 (Obs.Histogram.percentile h 0.99);
+  check_bool "zero bucket distinct from [1,2)" true
+    (List.mem_assoc 0 (Obs.Histogram.buckets h));
+  Obs.Histogram.observe ~n:3 h 5;
+  check_int "weighted observe" 8 (Obs.Histogram.count h);
+  check_int "negative clamps to 0"
+    (Obs.Histogram.min_value h)
+    (let h' = Obs.Histogram.create () in
+     Obs.Histogram.observe h' (-9);
+     Obs.Histogram.min_value h')
+
+let test_histogram_merge () =
+  let a = Obs.Histogram.create () and b = Obs.Histogram.create () in
+  Obs.Histogram.observe a 2;
+  Obs.Histogram.observe ~n:2 b 50;
+  let m = Obs.Histogram.merge a b in
+  check_int "merged count" 3 (Obs.Histogram.count m);
+  check_int "merged sum" 102 (Obs.Histogram.sum m);
+  check_int "merged max" 50 (Obs.Histogram.max_value m);
+  check_int "merged min" 2 (Obs.Histogram.min_value m)
+
+let test_counters () =
+  let c = Obs.Counters.create () in
+  Obs.Counters.incr c "x";
+  Obs.Counters.incr ~by:4 c "x";
+  check_int "accumulates" 5 (Obs.Counters.get c "x");
+  check_int "absent reads 0" 0 (Obs.Counters.get c "y");
+  check_bool "negative increment rejected" true
+    (match Obs.Counters.incr ~by:(-1) c "x" with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Obs.Counters.set_gauge c "level" 9;
+  Obs.Counters.set_gauge c "level" 3;
+  check_int "gauge keeps latest" 3 (Obs.Counters.get_gauge c "level")
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog *)
+
+let test_watchdog_slope_degenerate () =
+  check_bool "no points" true (Obs.Watchdog.slope [] = 0.0);
+  check_bool "one point" true (Obs.Watchdog.slope [ (10, 100) ] = 0.0);
+  check_bool "two points, same tick" true
+    (Obs.Watchdog.slope [ (10, 0); (10, 1000) ] = 0.0);
+  check_bool "all points on one tick" true
+    (Obs.Watchdog.slope [ (5, 1); (5, 2); (5, 3) ] = 0.0);
+  let s = Obs.Watchdog.slope [ (0, 0); (10, 20); (20, 40) ] in
+  check_bool "linear growth slope" true (Float.abs (s -. 2.0) < 1e-9)
+
+let test_watchdog_alarm_and_latch () =
+  let config =
+    { Obs.Watchdog.default_config with min_ticks = 10; size_floor = 5 }
+  in
+  let w = Obs.Watchdog.create ~config () in
+  let alarm = ref None in
+  for i = 1 to 20 do
+    match
+      Obs.Watchdog.observe w ~op:"J1" ~tick:(i * 10) ~size:(i * 10)
+        ~unreachable:[ "S9" ]
+    with
+    | Some a when !alarm = None -> alarm := Some a
+    | Some _ -> Alcotest.fail "alarm must latch per operator"
+    | None -> ()
+  done;
+  match !alarm with
+  | None -> Alcotest.fail "growing series never tripped the watchdog"
+  | Some a ->
+      check_string "alarm names the operator" "J1" a.Obs.Watchdog.op;
+      check_bool "alarm carries the diagnosis" true
+        (a.Obs.Watchdog.unreachable = [ "S9" ]);
+      check_bool "slope is the growth rate" true (a.Obs.Watchdog.slope > 0.5);
+      check_int "one alarm total" 1 (List.length (Obs.Watchdog.alarms w))
+
+let test_watchdog_quiet_on_plateau () =
+  let w = Obs.Watchdog.create () in
+  for i = 1 to 60 do
+    (* bounded oscillation well above the size floor *)
+    match
+      Obs.Watchdog.observe w ~op:"J1" ~tick:(i * 25)
+        ~size:(100 + (i mod 3))
+        ~unreachable:[]
+    with
+    | Some _ -> Alcotest.fail "plateau tripped the watchdog"
+    | None -> ()
+  done;
+  check_int "no alarms" 0 (List.length (Obs.Watchdog.alarms w));
+  (* growth below the size floor is also quiet *)
+  let w2 =
+    Obs.Watchdog.create
+      ~config:{ Obs.Watchdog.default_config with size_floor = 1000 } ()
+  in
+  for i = 1 to 60 do
+    ignore (Obs.Watchdog.observe w2 ~op:"J1" ~tick:(i * 25) ~size:i ~unreachable:[])
+  done;
+  check_int "below floor: quiet" 0 (List.length (Obs.Watchdog.alarms w2))
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let ev tick = Obs.Event.Tuple_out { tick; op = "J1"; count = 1 }
+
+let test_sink_memory_ring () =
+  let sink, contents = Obs.Sink.memory ~capacity:3 () in
+  for i = 1 to 10 do
+    sink.Obs.Sink.emit (ev i)
+  done;
+  check_bool "ring keeps the newest 3" true
+    (contents () = [ ev 8; ev 9; ev 10 ]);
+  let unbounded, all = Obs.Sink.memory () in
+  for i = 1 to 5 do
+    unbounded.Obs.Sink.emit (ev i)
+  done;
+  check_int "unbounded keeps everything" 5 (List.length (all ()))
+
+let test_sink_tee () =
+  let a, ca = Obs.Sink.memory () and b, cb = Obs.Sink.memory () in
+  let t = Obs.Sink.tee [ a; b ] in
+  t.Obs.Sink.emit (ev 1);
+  t.Obs.Sink.close ();
+  check_bool "both sinks saw it" true (ca () = [ ev 1 ] && cb () = [ ev 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Metrics degenerate slopes (satellite: all-same-tick guard) *)
+
+let test_metrics_degenerate_slopes () =
+  let m = Metrics.create ~sample_every:10 () in
+  check_bool "no samples" true (Metrics.growth_slope m = 0.0);
+  Metrics.force m ~tick:10 ~data_state:5 ~punct_state:0 ~emitted:0 ();
+  check_bool "one sample" true (Metrics.growth_slope m = 0.0);
+  (* two same-tick samples via force: variance of ticks is zero *)
+  Metrics.force m ~tick:10 ~data_state:500 ~punct_state:0 ~emitted:0 ();
+  check_bool "two samples on one tick" true (Metrics.growth_slope m = 0.0);
+  Metrics.force m ~tick:10 ~data_state:9999 ~punct_state:0 ~emitted:0 ();
+  check_bool "three samples on one tick" true (Metrics.growth_slope m = 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration *)
+
+let triangle_trace ?(rounds = 60) q =
+  Workload.Synth.round_trace q
+    { Workload.Synth.default_trace_config with rounds }
+
+let render_outputs outs = List.map (Fmt.str "%a" Element.pp) outs
+
+(* A compile with the default (null) handle must behave exactly like an
+   instrumented one: same outputs, same emitted count, same state series. *)
+let test_null_telemetry_identity () =
+  let q = fig5_query () in
+  let plan = Plan.mjoin [ "S1"; "S2"; "S3" ] in
+  let trace = triangle_trace q in
+  let run telemetry =
+    let c =
+      match telemetry with
+      | None -> Executor.compile ~policy:(Purge_policy.Lazy 7) q plan
+      | Some t ->
+          Executor.compile ~policy:(Purge_policy.Lazy 7) ~telemetry:t q plan
+    in
+    Executor.run ~sample_every:25 c (List.to_seq trace)
+  in
+  let plain = run None in
+  let sink, _events = Obs.Sink.memory () in
+  let instrumented =
+    run (Some (Telemetry.create ~sink ~watchdog:(Obs.Watchdog.create ()) ()))
+  in
+  check_bool "outputs identical" true
+    (render_outputs plain.Executor.outputs
+    = render_outputs instrumented.Executor.outputs);
+  check_int "emitted identical" plain.Executor.emitted
+    instrumented.Executor.emitted;
+  check_int "consumed identical" plain.Executor.consumed
+    instrumented.Executor.consumed;
+  check_bool "metrics series identical" true
+    (Metrics.samples plain.Executor.metrics
+    = Metrics.samples instrumented.Executor.metrics)
+
+(* The report's counters must match an independent replay of the event
+   trace — and a tampered report must fail verification. *)
+let test_report_matches_trace_replay () =
+  let q = fig5_query () in
+  let sink, events = Obs.Sink.memory () in
+  let telemetry = Telemetry.create ~sink () in
+  let c =
+    Executor.compile ~policy:Purge_policy.Eager ~telemetry q
+      (Plan.mjoin [ "S1"; "S2"; "S3" ])
+  in
+  let r = Executor.run ~sample_every:25 c (List.to_seq (triangle_trace q)) in
+  let report_json = Obs.Report.to_json (Executor.report c r) in
+  let events = events () in
+  check_bool "trace is non-trivial" true (List.length events > 100);
+  (match Obs.Report.verify ~report:report_json ~events with
+  | Ok () -> ()
+  | Error ps ->
+      Alcotest.failf "verify failed:@.%a"
+        Fmt.(list ~sep:cut string)
+        ps);
+  (* serialize + reparse the report (the CI path goes through a file) *)
+  let reparsed = Obs.Json.parse_exn (Obs.Json.to_string report_json) in
+  check_bool "verify after JSON roundtrip" true
+    (Obs.Report.verify ~report:reparsed ~events = Ok ());
+  (* tamper with one counter: verification must name the discrepancy *)
+  let tampered =
+    match report_json with
+    | Obs.Json.Obj fields ->
+        Obs.Json.Obj
+          (List.map
+             (function
+               | "counters", Obs.Json.Obj cs ->
+                   ( "counters",
+                     Obs.Json.Obj
+                       (List.map
+                          (function
+                            | "J1.tuples_in", Obs.Json.Int n ->
+                                ("J1.tuples_in", Obs.Json.Int (n + 1))
+                            | kv -> kv)
+                          cs) )
+               | kv -> kv)
+             fields)
+    | _ -> Alcotest.fail "report is not an object"
+  in
+  let contains_substring ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  match Obs.Report.verify ~report:tampered ~events with
+  | Ok () -> Alcotest.fail "tampered report passed verification"
+  | Error ps ->
+      check_bool "discrepancy names the counter" true
+        (List.exists (contains_substring ~needle:"J1.tuples_in") ps)
+
+(* Regression: [emitted] counts data tuples *after* the sink operator. A
+   sink that swallows everything must leave emitted at 0 (it used to count
+   the pre-sink elements). *)
+let test_emitted_counted_post_sink () =
+  let q = fig5_query () in
+  let plan = Plan.mjoin [ "S1"; "S2"; "S3" ] in
+  let trace = triangle_trace q in
+  let c = Executor.compile q plan in
+  let out_schema = Executor.output_schema c in
+  let swallow =
+    {
+      Engine.Operator.name = "swallow";
+      out_schema;
+      input_names = [];
+      push = (fun _ -> []);
+      flush = (fun () -> []);
+      data_state_size = (fun () -> 0);
+      punct_state_size = (fun () -> 0);
+      index_state_size = (fun () -> 0);
+      state_bytes = (fun () -> 0);
+      stats = (fun () -> Engine.Operator.empty_stats);
+    }
+  in
+  let r = Executor.run ~sink:swallow c (List.to_seq trace) in
+  check_int "swallowing sink: emitted 0" 0 r.Executor.emitted;
+  check_int "swallowing sink: no outputs" 0 (List.length r.Executor.outputs);
+  (* without a sink the count equals the data tuples in outputs, and the
+     final metrics sample agrees *)
+  let c2 = Executor.compile q plan in
+  let r2 = Executor.run c2 (List.to_seq trace) in
+  check_int "no sink: emitted = data outputs"
+    (List.length (List.filter Element.is_data r2.Executor.outputs))
+    r2.Executor.emitted;
+  match Metrics.final r2.Executor.metrics with
+  | Some s -> check_int "metrics agree" r2.Executor.emitted s.Metrics.emitted
+  | None -> Alcotest.fail "no final metrics sample"
+
+(* Conservation laws, across policies and punctuation lags:
+     tuples_in  = data_state  + tuples_purged            (joins never drop)
+     puncts_in  = punct_state + puncts_purged + puncts_dropped
+   and the punct-store identity insertions = size + subsumed + removed. *)
+let test_stats_conservation () =
+  let q = fig5_query () in
+  let plan = Plan.mjoin [ "S1"; "S2"; "S3" ] in
+  List.iter
+    (fun (policy, punct_lag) ->
+      let trace =
+        Workload.Synth.round_trace q
+          {
+            Workload.Synth.default_trace_config with
+            rounds = 50;
+            punct_lag;
+          }
+      in
+      let c = Executor.compile ~policy q plan in
+      ignore (Executor.run c (List.to_seq trace));
+      List.iter
+        (fun (op : Engine.Operator.t) ->
+          let s = op.stats () in
+          let ctx =
+            Fmt.str "%s under %a lag=%d" op.Engine.Operator.name
+              Purge_policy.pp policy punct_lag
+          in
+          check_int
+            (ctx ^ ": tuples_in = data_state + tuples_purged")
+            s.Engine.Operator.tuples_in
+            (op.data_state_size () + s.Engine.Operator.tuples_purged);
+          check_int
+            (ctx ^ ": puncts_in = punct_state + purged + dropped")
+            s.Engine.Operator.puncts_in
+            (op.punct_state_size () + s.Engine.Operator.puncts_purged
+           + s.Engine.Operator.puncts_dropped))
+        (Executor.operators ~c))
+    [
+      (Purge_policy.Eager, 0);
+      (Purge_policy.Eager, 3);
+      (Purge_policy.Lazy 7, 0);
+      (Purge_policy.Lazy 7, 3);
+      (Purge_policy.Never, 0);
+      (Purge_policy.Adaptive { batch = 5; state_trigger = 40 }, 2);
+    ]
+
+(* The same conservation, for the binary sym-hash-join implementation
+   (dead-on-arrival drops count as purged). *)
+let test_stats_conservation_pjoin () =
+  let sa = s1 and sb = s2 in
+  let q =
+    Query.Cjq.make
+      [
+        Streams.Stream_def.make sa [ Scheme.of_attrs sa [ "B" ] ];
+        Streams.Stream_def.make sb [ Scheme.of_attrs sb [ "B" ] ];
+      ]
+      [ Predicate.atom "S1" "B" "S2" "B" ]
+  in
+  List.iter
+    (fun policy ->
+      let trace =
+        Workload.Synth.round_trace q
+          { Workload.Synth.default_trace_config with rounds = 50 }
+      in
+      let c =
+        Executor.compile ~policy ~binary_impl:Executor.Use_pjoin q
+          (Plan.mjoin [ "S1"; "S2" ])
+      in
+      ignore (Executor.run c (List.to_seq trace));
+      List.iter
+        (fun (op : Engine.Operator.t) ->
+          let s = op.stats () in
+          check_int "pjoin: tuples conserved" s.Engine.Operator.tuples_in
+            (op.data_state_size () + s.Engine.Operator.tuples_purged);
+          check_int "pjoin: puncts conserved" s.Engine.Operator.puncts_in
+            (op.punct_state_size () + s.Engine.Operator.puncts_purged
+           + s.Engine.Operator.puncts_dropped))
+        (Executor.operators ~c))
+    [ Purge_policy.Eager; Purge_policy.Lazy 5; Purge_policy.Never ]
+
+(* Purge lag: eager purges in the same push (lag 0); a lazy batch defers
+   (lag > 0). Read off the recorded histograms, as bench B1 does. *)
+let test_purge_lag_eager_vs_lazy () =
+  let q = fig5_query () in
+  let plan = Plan.mjoin [ "S1"; "S2"; "S3" ] in
+  let lag_stats policy =
+    let telemetry = Telemetry.create () in
+    let c = Executor.compile ~policy ~telemetry q plan in
+    ignore (Executor.run c (List.to_seq (triangle_trace q)));
+    match
+      Obs.Registry.merged_histogram (Telemetry.registry telemetry) "purge_lag"
+    with
+    | Some h -> (Obs.Histogram.count h, Obs.Histogram.max_value h)
+    | None -> (0, 0)
+  in
+  let eager_n, eager_max = lag_stats Purge_policy.Eager in
+  let lazy_n, lazy_max = lag_stats (Purge_policy.Lazy 20) in
+  check_bool "eager purges happened" true (eager_n > 0);
+  check_int "eager lag is 0" 0 eager_max;
+  check_bool "lazy purges happened" true (lazy_n > 0);
+  check_bool "lazy lag is positive" true (lazy_max > 0)
+
+(* The watchdog: silent on a safe run; on a forced unsafe run it raises an
+   alarm naming the operator and its purge-unreachable inputs. *)
+let unsafe_triangle () =
+  (* the triangle with S1's scheme dropped — the checker rejects it *)
+  triangle_query
+    (Scheme.Set.of_list
+       [ Scheme.of_attrs s2 [ "C" ]; Scheme.of_attrs s3 [ "A" ] ])
+
+let run_with_watchdog q =
+  let telemetry =
+    Telemetry.create ~watchdog:(Obs.Watchdog.create ()) ()
+  in
+  let c =
+    Executor.compile ~telemetry q (Plan.mjoin [ "S1"; "S2"; "S3" ])
+  in
+  ignore
+    (Executor.run ~sample_every:25 c
+       (List.to_seq (triangle_trace ~rounds:150 q)));
+  (c, Telemetry.alarms telemetry)
+
+let test_watchdog_silent_on_safe_run () =
+  let q = fig5_query () in
+  check_bool "query is safe" true (Core.Checker.is_safe q);
+  let _, alarms = run_with_watchdog q in
+  check_int "no alarms on a safe run" 0 (List.length alarms)
+
+let test_watchdog_flags_unsafe_run () =
+  let q = unsafe_triangle () in
+  check_bool "query is unsafe" false (Core.Checker.is_safe q);
+  let c, alarms = run_with_watchdog q in
+  check_bool "watchdog tripped" true (alarms <> []);
+  let a = List.hd alarms in
+  check_string "alarm names the operator" "J1" a.Obs.Watchdog.op;
+  check_bool "alarm names unreachable inputs" true
+    (a.Obs.Watchdog.unreachable <> []);
+  (* the diagnosis agrees with the compiler's static reachability map *)
+  check_bool "diagnosis = compile-time unreachable set" true
+    (sorted_strings a.Obs.Watchdog.unreachable
+    = sorted_strings (Executor.unreachable_inputs c "J1"));
+  check_bool "slope reflects the leak" true (a.Obs.Watchdog.slope > 0.0)
+
+(* Evict events: a window join reports its evictions through telemetry and
+   the counter survives trace replay. *)
+let test_window_evict_events () =
+  let sink, events = Obs.Sink.memory () in
+  let telemetry = Telemetry.create ~sink () in
+  let op =
+    Engine.Window_join.create ~name:"W1" ~telemetry
+      ~window:(Engine.Window_join.Count 4)
+      ~inputs:
+        [
+          { Engine.Window_join.name = "S1"; schema = s1 };
+          { Engine.Window_join.name = "S2"; schema = s2 };
+        ]
+      ~predicates:[ Predicate.atom "S1" "B" "S2" "B" ]
+      ()
+  in
+  for i = 1 to 20 do
+    ignore (op.Engine.Operator.push (Element.Data (tuple s1 [ i; i ])))
+  done;
+  let evicted =
+    List.fold_left
+      (fun acc -> function
+        | Obs.Event.Evict { op = "W1"; input = "S1"; victims; _ } ->
+            acc + victims
+        | _ -> acc)
+      0 (events ())
+  in
+  check_bool "evictions traced" true (evicted > 0);
+  check_int "counter matches events" evicted
+    (Obs.Registry.counter (Telemetry.registry telemetry) "W1.evicted_tuples");
+  check_int "state capped at the window" 4
+    (op.Engine.Operator.data_state_size ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "event",
+        [ Alcotest.test_case "roundtrip" `Quick test_event_roundtrip ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ("counters", [ Alcotest.test_case "basics" `Quick test_counters ]);
+      ( "watchdog",
+        [
+          Alcotest.test_case "degenerate slopes" `Quick
+            test_watchdog_slope_degenerate;
+          Alcotest.test_case "alarm + latch" `Quick
+            test_watchdog_alarm_and_latch;
+          Alcotest.test_case "quiet on plateau" `Quick
+            test_watchdog_quiet_on_plateau;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "memory ring" `Quick test_sink_memory_ring;
+          Alcotest.test_case "tee" `Quick test_sink_tee;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "degenerate slopes" `Quick
+            test_metrics_degenerate_slopes;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "null-sink identity" `Quick
+            test_null_telemetry_identity;
+          Alcotest.test_case "report = trace replay" `Quick
+            test_report_matches_trace_replay;
+          Alcotest.test_case "emitted post-sink" `Quick
+            test_emitted_counted_post_sink;
+          Alcotest.test_case "stats conservation (mjoin)" `Quick
+            test_stats_conservation;
+          Alcotest.test_case "stats conservation (pjoin)" `Quick
+            test_stats_conservation_pjoin;
+          Alcotest.test_case "purge lag eager vs lazy" `Quick
+            test_purge_lag_eager_vs_lazy;
+          Alcotest.test_case "watchdog silent when safe" `Quick
+            test_watchdog_silent_on_safe_run;
+          Alcotest.test_case "watchdog flags unsafe" `Quick
+            test_watchdog_flags_unsafe_run;
+          Alcotest.test_case "window evict events" `Quick
+            test_window_evict_events;
+        ] );
+    ]

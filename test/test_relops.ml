@@ -430,13 +430,29 @@ let test_state_breakdown_names_leaking_operator () =
   check_int "two operators" 2 (List.length breakdown);
   (* the lower (S1 x S2) operator is the leaking one — Figure 7 *)
   let lower_data =
-    match breakdown with (_, d, _) :: _ -> d | [] -> -1
+    match breakdown with
+    | (b : Engine.Executor.breakdown) :: _ -> b.data
+    | [] -> -1
   in
   let upper_data =
-    match List.rev breakdown with (_, d, _) :: _ -> d | [] -> -1
+    match List.rev breakdown with
+    | (b : Engine.Executor.breakdown) :: _ -> b.data
+    | [] -> -1
   in
   check_bool "lower leaks" true (lower_data >= 80);
-  check_bool "upper bounded" true (upper_data < 10)
+  check_bool "upper bounded" true (upper_data < 10);
+  (* the new columns are populated and consistent: indexes stay O(data) *)
+  List.iter
+    (fun (b : Engine.Executor.breakdown) ->
+      check_bool
+        (Fmt.str "%s: bytes positive when data held" b.op_name)
+        true
+        (b.data = 0 || b.bytes > 0);
+      check_bool
+        (Fmt.str "%s: index >= data (at least one index per state)" b.op_name)
+        true
+        (b.index >= b.data))
+    breakdown
 
 let () =
   Alcotest.run "relops"
