@@ -6,8 +6,92 @@
 open Cmdliner
 module Element = Streams.Element
 
+(* Sharded execution path: route the trace through a Parallel_executor,
+   then print the same summary surface the sequential path does — plus the
+   router's routing attributes and a per-shard state table — so the two
+   modes are directly comparable. The merged event trace is written with
+   each worker event tagged by its shard. *)
+let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
+    ~meta query trace =
+  let watchdog = Obs.Watchdog.create () in
+  let pexec =
+    Engine.Parallel_executor.create ~policy ~watchdog ~instrument:true ~shards
+      query
+      (Query.Plan.mjoin (Query.Cjq.stream_names query))
+  in
+  let router = Engine.Parallel_executor.router pexec in
+  Fmt.pr "shards: %d (%s partitioning)@." shards
+    (if Engine.Shard_router.exact router then "exact" else "key-aligned");
+  List.iter
+    (fun s ->
+      match Engine.Shard_router.routing_attr router s with
+      | Some a -> Fmt.pr "  %s routed on %s@." s a
+      | None -> ())
+    (Query.Cjq.stream_names query);
+  let result =
+    Engine.Parallel_executor.run ~sample_every ~label pexec (List.to_seq trace)
+  in
+  (match trace_file with
+  | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun (shard, e) ->
+          output_string oc (Obs.Event.to_line ?shard e);
+          output_char oc '\n')
+        (Engine.Parallel_executor.events pexec);
+      close_out oc
+  | None -> ());
+  let n_results =
+    List.length
+      (List.filter Element.is_data result.Engine.Parallel_executor.outputs)
+  in
+  Fmt.pr "policy: %a@." Engine.Purge_policy.pp policy;
+  Fmt.pr "consumed %d elements, emitted %d results@."
+    result.Engine.Parallel_executor.consumed n_results;
+  List.iter
+    (fun (b : Engine.Executor.breakdown) ->
+      Fmt.pr "%s: data=%d puncts=%d index=%d bytes=%d (summed over shards)@."
+        b.Engine.Executor.op_name b.Engine.Executor.data
+        b.Engine.Executor.puncts b.Engine.Executor.index
+        b.Engine.Executor.bytes)
+    (Engine.Parallel_executor.state_breakdown pexec);
+  Array.iteri
+    (fun i bl ->
+      Fmt.pr "shard %d:%a@." i
+        (fun ppf bl ->
+          List.iter
+            (fun (b : Engine.Executor.breakdown) ->
+              Fmt.pf ppf " %s data=%d" b.Engine.Executor.op_name
+                b.Engine.Executor.data)
+            bl)
+        bl)
+    (Engine.Parallel_executor.shard_breakdowns pexec);
+  Fmt.pr "@.state series:@.%a@." Engine.Metrics.pp_series
+    result.Engine.Parallel_executor.metrics;
+  Fmt.pr "growth slope (second half): %.4f tuples/element@."
+    (Engine.Metrics.growth_slope result.Engine.Parallel_executor.metrics);
+  Fmt.pr "output hash: %s@."
+    (Engine.Executor.output_hash result.Engine.Parallel_executor.outputs);
+  let alarms = Engine.Parallel_executor.alarms pexec in
+  List.iter
+    (fun a -> Fmt.pr "WATCHDOG ALARM: %a@." Obs.Watchdog.pp_alarm a)
+    alarms;
+  (match trace_file with
+  | Some path -> Fmt.pr "trace written to %s@." path
+  | None -> ());
+  (match report_file with
+  | Some path ->
+      let rep = Engine.Parallel_executor.report ~meta pexec result in
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string (Obs.Report.to_json rep));
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "report written to %s@." path
+  | None -> ());
+  if alarms <> [] then 3 else 0
+
 let run_query file rounds tuples_per_round punct_lag policy force
-    sample_every replay save_trace report_file trace_file =
+    sample_every replay save_trace report_file trace_file shards =
   match Query.Parser.parse_file file with
   | exception Query.Parser.Parse_error { line; message } ->
       Fmt.epr "%s:%d: %s@." file line message;
@@ -52,6 +136,19 @@ let run_query file rounds tuples_per_round punct_lag policy force
             (fun v -> Fmt.epr "  %a@." Streams.Trace.pp_violation v)
             violations
         end;
+        if shards > 1 then
+          run_sharded ~shards ~policy ~sample_every ~label:file ~trace_file
+            ~report_file
+            ~meta:
+              [
+                ("query", Obs.Json.String file);
+                ( "policy",
+                  Obs.Json.String (Fmt.str "%a" Engine.Purge_policy.pp policy)
+                );
+                ("safe", Obs.Json.Bool safe);
+              ]
+            query trace
+        else begin
         let sink =
           match trace_file with
           | Some path -> Obs.Sink.jsonl_file path
@@ -86,6 +183,8 @@ let run_query file rounds tuples_per_round punct_lag policy force
           (Engine.Metrics.growth_slope result.Engine.Executor.metrics);
         Fmt.pr "index growth slope (second half): %.4f entries/element@."
           (Engine.Metrics.index_growth_slope result.Engine.Executor.metrics);
+        Fmt.pr "output hash: %s@."
+          (Engine.Executor.output_hash result.Engine.Executor.outputs);
         let alarms = Engine.Telemetry.alarms telemetry in
         List.iter
           (fun a -> Fmt.pr "WATCHDOG ALARM: %a@." Obs.Watchdog.pp_alarm a)
@@ -114,6 +213,7 @@ let run_query file rounds tuples_per_round punct_lag policy force
             Fmt.pr "report written to %s@." path
         | None -> ());
         if alarms <> [] then 3 else 0
+        end
       end
 
 let file =
@@ -216,11 +316,21 @@ let trace_file =
            purges, samples, alarms) to this file; replaying it reproduces \
            the report's counters (see pstream-obs verify).")
 
+let shards =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "Hash-partition the join across N worker domains (see \
+           docs/SHARDING.md). With 1 (the default) the classic sequential \
+           executor runs; output hashes must agree between the two modes.")
+
 let cmd =
   let doc = "run a continuous join query over a synthetic punctuated workload" in
   Cmd.v (Cmd.info "pstream-run" ~doc)
     Term.(
       const run_query $ file $ rounds $ tuples_per_round $ punct_lag $ policy
-      $ force $ sample_every $ replay $ save_trace $ report_file $ trace_file)
+      $ force $ sample_every $ replay $ save_trace $ report_file $ trace_file
+      $ shards)
 
 let () = exit (Cmd.eval' cmd)

@@ -54,6 +54,9 @@ let create ?(name = "dedup") ~input ~key () =
     data_state_size = (fun () -> Hashtbl.length seen);
     punct_state_size = (fun () -> 0);
     index_state_size = (fun () -> 0);
-    state_bytes = (fun () -> Hashtbl.length seen * 6 * (Sys.word_size / 8));
+    state_bytes =
+      (fun () ->
+        Mem_estimate.keyed_table_bytes ~key_width:(List.length key_idxs)
+          ~payload_width:0 ~entries:(Hashtbl.length seen));
     stats = (fun () -> !stats);
   }

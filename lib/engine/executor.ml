@@ -342,6 +342,25 @@ let run ?(sample_every = 100) ?sink ?(label = "run") c elements =
     emitted = !emitted;
   }
 
+(* An order-insensitive digest of a run's data-tuple outputs: render each
+   tuple, sort the renderings, hash the concatenation. Two runs emitted
+   the same result multiset iff the hexes agree — permutation-proof, so a
+   sharded run (whose merge order may interleave flush-time results
+   differently) can be compared byte-for-byte against a sequential one.
+   Output punctuations are excluded: a broadcast punctuation is
+   re-propagated by every shard holding it, so punctuation outputs are a
+   delivery artifact, not part of the query answer. *)
+let output_hash outputs =
+  let renderings =
+    List.filter_map
+      (function
+        | Element.Data t -> Some (Tuple.to_string t)
+        | Element.Punct _ -> None)
+      outputs
+    |> List.sort String.compare
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" renderings))
+
 (* --- report ----------------------------------------------------------- *)
 
 let series_json metrics =

@@ -108,6 +108,16 @@ type breakdown = {
     quickest way to see *which* operator of a plan is the one leaking. *)
 val state_breakdown : compiled -> breakdown list
 
+(** [output_hash outputs] — hex digest of the {e multiset} of data tuples
+    in [outputs] (sorted renderings, so emission order is irrelevant;
+    punctuations are excluded). A sharded and a sequential run of the same
+    workload must produce equal hashes — CI compares them. *)
+val output_hash : Streams.Element.t list -> string
+
+(** [series_json metrics] — the metrics series as the JSON array a report
+    embeds; shared with {!Parallel_executor}'s aggregated reports. *)
+val series_json : Metrics.t -> Obs.Json.t
+
 (** [report ?meta c result] — the machine-readable run report: per-operator
     stats/state with unreachable-input diagnoses, the telemetry registry,
     the metrics series and watchdog alarms. [meta] entries are prepended to

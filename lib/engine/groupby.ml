@@ -124,6 +124,10 @@ let create ?(name = "groupby") ~input ~group_by ~aggregate () =
     data_state_size = (fun () -> Hashtbl.length groups);
     punct_state_size = (fun () -> 0);
     index_state_size = (fun () -> 0);
-    state_bytes = (fun () -> Hashtbl.length groups * 8 * (Sys.word_size / 8));
+    state_bytes =
+      (fun () ->
+        (* key values plus the one accumulator cell per group *)
+        Mem_estimate.keyed_table_bytes ~key_width:(List.length key_idxs)
+          ~payload_width:1 ~entries:(Hashtbl.length groups));
     stats = (fun () -> !stats);
   }

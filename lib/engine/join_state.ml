@@ -161,21 +161,19 @@ let bucket_count (t : t) =
     (fun acc (idx : index) -> acc + KeyTbl.length idx.buckets)
     0 t.indexes
 
-let word = Sys.word_size / 8
-
 let mem_stats (t : t) =
   let live_tuples = Hashtbl.length t.live in
-  let arity = Schema.arity t.schema in
   (* Per live tuple: the (tick, tuple) pair, the tuple block and one boxed
      value per attribute, plus a hash-table slot. Per index entry: a list
      cell. Per bucket: the ref, the key list and its boxed values, plus a
-     table slot. A deliberate estimate — the point is the trend, not the
-     exact byte. *)
-  let tuple_bytes = word * (8 + (3 * arity)) in
-  let entry_bytes = 3 * word in
+     table slot. A deliberate estimate ({!Mem_estimate}) — the point is the
+     trend, not the exact byte. *)
+  let tuple_bytes = Mem_estimate.tuple_bytes t.schema in
+  let entry_bytes = Mem_estimate.list_cell_bytes in
   let buckets = bucket_count t in
   let bucket_bytes (idx : index) =
-    word * (8 + (3 * List.length idx.attrs)) * KeyTbl.length idx.buckets
+    Mem_estimate.table_entry_bytes ~width:(List.length idx.attrs)
+    * KeyTbl.length idx.buckets
   in
   let approx_bytes =
     (live_tuples * tuple_bytes)

@@ -1,0 +1,13 @@
+let word = Sys.word_size / 8
+
+let words_per_value = 3
+let entry_overhead_words = 8
+
+let table_entry_bytes ~width = word * (entry_overhead_words + (words_per_value * width))
+
+let list_cell_bytes = words_per_value * word
+
+let tuple_bytes schema = table_entry_bytes ~width:(Relational.Schema.arity schema)
+
+let keyed_table_bytes ~key_width ~payload_width ~entries =
+  entries * table_entry_bytes ~width:(key_width + payload_width)

@@ -1,0 +1,41 @@
+(** The one state-byte estimator every operator shares.
+
+    PR 1 introduced memory-true accounting for {!Join_state.mem_stats};
+    {!Dedup} and {!Groupby} used to apply their own hard-coded per-entry
+    word multipliers (6 and 8), so a byte-slope alarm from the watchdog
+    meant different things depending on which operator raised it. This
+    module centralizes the estimate so "approximate resident bytes" is the
+    same currency everywhere: a hash-table entry holding [width] boxed
+    values costs a table slot plus per-value boxes
+    ([entry_overhead_words + words_per_value * width] words).
+
+    These are deliberate estimates — the point is that slopes and
+    cross-operator comparisons are meaningful, not the exact byte. *)
+
+(** Bytes per machine word ([Sys.word_size / 8]). *)
+val word : int
+
+(** Words charged per stored boxed value (box header + field + a share of
+    the surrounding list/array cell). *)
+val words_per_value : int
+
+(** Words charged per hash-table entry regardless of its width (bucket
+    slot, entry record, hashing overhead). *)
+val entry_overhead_words : int
+
+(** [table_entry_bytes ~width] — cost of one table entry carrying [width]
+    boxed values (key and payload combined). *)
+val table_entry_bytes : width:int -> int
+
+(** Cost of one list cell (e.g. a secondary-index id entry). *)
+val list_cell_bytes : int
+
+(** [tuple_bytes schema] — cost of one stored tuple of [schema]: the tuple
+    width is the schema arity, the overhead is the table entry holding
+    it. This is exactly the per-tuple figure {!Join_state.mem_stats}
+    charges. *)
+val tuple_bytes : Relational.Schema.t -> int
+
+(** [keyed_table_bytes ~key_width ~payload_width ~entries] — a whole
+    table: [entries] entries of [key_width + payload_width] values each. *)
+val keyed_table_bytes : key_width:int -> payload_width:int -> entries:int -> int

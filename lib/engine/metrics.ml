@@ -37,6 +37,10 @@ let flush t ~tick ~data_state ~punct_state ?(index_state = 0)
 
 let samples t = List.rev t.samples
 
+(* Samples are flat integer records, so structural equality is the right
+   notion: two runs recorded the same series iff this holds. *)
+let equal a b = samples a = samples b
+
 let peak_data_state t =
   List.fold_left (fun acc s -> max acc s.data_state) 0 t.samples
 

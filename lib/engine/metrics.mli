@@ -70,6 +70,11 @@ val flush :
 
 val samples : t -> sample list
 
+(** [equal a b] — same recorded samples, tick for tick. Under the eager
+    purge policy a sharded run's barrier-sampled series must equal the
+    sequential series; this is the check. *)
+val equal : t -> t -> bool
+
 val peak_data_state : t -> int
 val peak_punct_state : t -> int
 val peak_index_state : t -> int

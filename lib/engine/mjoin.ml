@@ -246,8 +246,16 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
     match policy with
     | Purge_policy.Never -> []
     | Purge_policy.Eager | Purge_policy.Lazy _ | Purge_policy.Adaptive _ ->
-        if !pending_puncts > 0 then purge_and_propagate ~trigger:"flush" ()
-        else []
+        (* Always run the final round, even with no punctuation pending:
+           purge rounds fire on punctuation *arrival*, so a tuple that
+           arrives after the punctuation already covering it has had no
+           round run over it — it is provably unmatchable yet retained.
+           The final state must be the purgeability fixpoint of the whole
+           input, not of its punctuation-arrival prefix (and a sharded
+           run, whose shards each see only a punctuation subsequence,
+           relies on exactly that fixpoint to agree with the sequential
+           answer). *)
+        purge_and_propagate ~trigger:"flush" ()
   in
   {
     Operator.name;

@@ -1,0 +1,411 @@
+module Element = Streams.Element
+
+(* Messages the driver ships to a worker domain. Elements travel in
+   batches so the queue's atomics are touched once per ~batch, not once
+   per element; each element carries its global sequence number for
+   clock-stamping and deterministic output merging. *)
+type message =
+  | Batch of (int * Element.t) array
+  | Barrier of int
+  | Stop of int  (** final tick: the worker flushes its tree under it *)
+
+type shard = {
+  index : int;
+  compiled : Executor.compiled;
+  queue : message Spsc.t;
+  tel : Telemetry.t;
+  events_of : unit -> Obs.Event.t list;
+  mutable acked : int;  (** last barrier id this worker reached; under lock *)
+  (* The plain mutable fields below are written by the worker domain and
+     read by the driver only inside a barrier (worker parked on the
+     monitor) or after [Domain.join] — both establish happens-before. *)
+  mutable emitted : int;
+  mutable outputs : (int * int * Element.t) list;
+      (** (global seq, emission rank, element), newest first *)
+  mutable out_rank : int;
+}
+
+type t = {
+  router : Shard_router.t;
+  shards : shard array;
+  (* Barrier monitor: workers announce arrival on [arrived] and park on
+     [released] until [release] passes their barrier id. Blocking (not
+     spinning) so a quiesced worker yields its core to the driver — on a
+     core-constrained host a spin barrier serializes into scheduler
+     timeslices. *)
+  lock : Mutex.t;
+  arrived : Condition.t;
+  released : Condition.t;
+  mutable release : int;  (** last barrier id the driver released *)
+  watchdog : Obs.Watchdog.t option;
+  instrument : bool;
+  mutable driver_events : Obs.Event.t list;  (* newest first *)
+  mutable merged : (int option * Obs.Event.t) list;
+  mutable ran : bool;
+}
+
+let create ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge ?watchdog
+    ?(instrument = false) ~shards:n query plan =
+  if n <= 0 then
+    invalid_arg "Parallel_executor.create: shards must be positive";
+  let router = Shard_router.create ~shards:n query in
+  let shards =
+    Array.init n (fun index ->
+        let tel, events_of =
+          if instrument then
+            let sink, contents = Obs.Sink.memory () in
+            (Telemetry.create ~sink (), contents)
+          else (Telemetry.null, fun () -> [])
+        in
+        let compiled =
+          Executor.compile ?policy ?binary_impl ?punct_lifespan
+            ?punct_partner_purge ~telemetry:tel query plan
+        in
+        {
+          index;
+          compiled;
+          queue = Spsc.create ~capacity:64;
+          tel;
+          events_of;
+          acked = 0;
+          emitted = 0;
+          outputs = [];
+          out_rank = 0;
+        })
+  in
+  {
+    router;
+    shards;
+    lock = Mutex.create ();
+    arrived = Condition.create ();
+    released = Condition.create ();
+    release = 0;
+    watchdog;
+    instrument;
+    driver_events = [];
+    merged = [];
+    ran = false;
+  }
+
+let router t = t.router
+let n_shards t = Array.length t.shards
+
+(* Minor collections are stop-the-world across every domain in OCaml 5, so
+   their frequency — allocation rate over minor-arena size — is a
+   per-collection synchronisation tax that sharding cannot divide (the
+   purge path allocates O(state) snapshots per punctuation, so the tax
+   grows with state). A larger minor arena makes the syncs rare. Each
+   domain owns its arena and spawned domains do NOT inherit a [Gc.set]
+   made elsewhere, so this must run inside every domain, workers
+   included. The budget is split across the fleet so total arena memory
+   stays flat as shards grow. Only ever raises the setting, never
+   shrinks a user's. *)
+let widen_minor_arena ~shards =
+  let budget_words = 32 * 1024 * 1024 in
+  let min_minor_words =
+    max (1024 * 1024) (min (8 * 1024 * 1024) (budget_words / shards))
+  in
+  let gc = Gc.get () in
+  if gc.Gc.minor_heap_size < min_minor_words then
+    Gc.set { gc with Gc.minor_heap_size = min_minor_words }
+
+let worker t shard =
+  widen_minor_arena ~shards:(Array.length t.shards);
+  let record seq outs =
+    List.iter
+      (fun o ->
+        if Element.is_data o then shard.emitted <- shard.emitted + 1;
+        shard.outputs <- (seq, shard.out_rank, o) :: shard.outputs;
+        shard.out_rank <- shard.out_rank + 1)
+      outs
+  in
+  let rec loop () =
+    match Spsc.pop_wait shard.queue with
+    | Batch arr ->
+        Array.iter
+          (fun (seq, el) ->
+            Telemetry.set_clock shard.tel seq;
+            record seq (Executor.feed_element shard.compiled el))
+          arr;
+        loop ()
+    | Barrier id ->
+        (* Two-phase: announce arrival, then park until the driver has
+           finished reading our state and releases the round. *)
+        Mutex.lock t.lock;
+        shard.acked <- id;
+        Condition.broadcast t.arrived;
+        while t.release < id do
+          Condition.wait t.released t.lock
+        done;
+        Mutex.unlock t.lock;
+        loop ()
+    | Stop final_tick ->
+        (* Flush events are stamped at the final tick, like a sequential
+           run's; flush *outputs* sort after every element's outputs. *)
+        Telemetry.set_clock shard.tel final_tick;
+        record (final_tick + 1) (Executor.flush_tree shard.compiled)
+  in
+  loop ()
+
+type result = {
+  outputs : Element.t list;
+  metrics : Metrics.t;
+  consumed : int;
+  emitted : int;
+}
+
+let sum_over t f = Array.fold_left (fun acc s -> acc + f s.compiled) 0 t.shards
+let total_data_state t = sum_over t Executor.total_data_state
+let total_punct_state t = sum_over t Executor.total_punct_state
+let total_index_state t = sum_over t Executor.total_index_state
+let total_state_bytes t = sum_over t Executor.total_state_bytes
+
+let shard_breakdowns t =
+  Array.map (fun s -> Executor.state_breakdown s.compiled) t.shards
+
+let state_breakdown t =
+  let per = shard_breakdowns t in
+  List.mapi
+    (fun i (b0 : Executor.breakdown) ->
+      Array.fold_left
+        (fun (acc : Executor.breakdown) bl ->
+          let b : Executor.breakdown = List.nth bl i in
+          {
+            acc with
+            Executor.data = acc.Executor.data + b.Executor.data;
+            puncts = acc.Executor.puncts + b.Executor.puncts;
+            index = acc.Executor.index + b.Executor.index;
+            bytes = acc.Executor.bytes + b.Executor.bytes;
+          })
+        { b0 with Executor.data = 0; puncts = 0; index = 0; bytes = 0 }
+        per)
+    per.(0)
+
+let alarms t =
+  match t.watchdog with Some w -> Obs.Watchdog.alarms w | None -> []
+
+let events t = t.merged
+
+let run ?(sample_every = 100) ?(label = "run") t elements =
+  if t.ran then
+    invalid_arg "Parallel_executor.run: a sharded executor runs once";
+  t.ran <- true;
+  widen_minor_arena ~shards:(Array.length t.shards);
+  let n = Array.length t.shards in
+  let metrics = Metrics.create ~sample_every () in
+  let emit_driver e =
+    if t.instrument then t.driver_events <- e :: t.driver_events
+  in
+  emit_driver (Obs.Event.Run_start { tick = 0; label });
+  let domains =
+    Array.map (fun s -> Domain.spawn (fun () -> worker t s)) t.shards
+  in
+  let batch_cap = 256 in
+  let bufs = Array.make n [] in
+  let buf_len = Array.make n 0 in
+  let flush_buf k =
+    if buf_len.(k) > 0 then begin
+      Spsc.push t.shards.(k).queue (Batch (Array.of_list (List.rev bufs.(k))));
+      bufs.(k) <- [];
+      buf_len.(k) <- 0
+    end
+  in
+  let send k entry =
+    bufs.(k) <- entry :: bufs.(k);
+    buf_len.(k) <- buf_len.(k) + 1;
+    if buf_len.(k) >= batch_cap then flush_buf k
+  in
+  let barrier_id = ref 0 in
+  let quiesce () =
+    incr barrier_id;
+    let id = !barrier_id in
+    for k = 0 to n - 1 do
+      flush_buf k;
+      Spsc.push t.shards.(k).queue (Barrier id)
+    done;
+    Mutex.lock t.lock;
+    while Array.exists (fun (s : shard) -> s.acked < id) t.shards do
+      Condition.wait t.arrived t.lock
+    done;
+    Mutex.unlock t.lock
+  in
+  let release () =
+    Mutex.lock t.lock;
+    t.release <- !barrier_id;
+    Condition.broadcast t.released;
+    Mutex.unlock t.lock
+  in
+  let emitted_total () =
+    Array.fold_left (fun acc (s : shard) -> acc + s.emitted) 0 t.shards
+  in
+  (* Mirror of Executor.run's [sample]: one global Sample event, then one
+     watchdog observation per operator with its state summed across
+     shards under the sequential operator names — so an unsafe plan trips
+     the same alarms at the same ticks. Callable only while quiescent. *)
+  let sample_and_watch ~tick =
+    if t.instrument then
+      emit_driver
+        (Obs.Event.Sample
+           {
+             tick;
+             data_state = total_data_state t;
+             punct_state = total_punct_state t;
+             index_state = total_index_state t;
+             state_bytes = total_state_bytes t;
+             emitted = emitted_total ();
+           });
+    match t.watchdog with
+    | None -> ()
+    | Some w ->
+        List.iter
+          (fun (b : Executor.breakdown) ->
+            match
+              Obs.Watchdog.observe w ~op:b.op_name ~tick ~size:b.data
+                ~unreachable:
+                  (Executor.unreachable_inputs t.shards.(0).compiled b.op_name)
+            with
+            | None -> ()
+            | Some (a : Obs.Watchdog.alarm) ->
+                emit_driver
+                  (Obs.Event.Alarm
+                     {
+                       tick = a.tick;
+                       op = a.op;
+                       slope = a.slope;
+                       size = a.size;
+                       unreachable = a.unreachable;
+                     }))
+          (state_breakdown t)
+  in
+  let observe_metrics
+      (record :
+        Metrics.t ->
+        tick:int ->
+        data_state:int ->
+        punct_state:int ->
+        ?index_state:int ->
+        ?state_bytes:int ->
+        emitted:int ->
+        unit ->
+        unit) ~tick =
+    record metrics ~tick ~data_state:(total_data_state t)
+      ~punct_state:(total_punct_state t)
+      ~index_state:(total_index_state t)
+      ~state_bytes:(total_state_bytes t) ~emitted:(emitted_total ()) ()
+  in
+  let consumed = ref 0 in
+  Seq.iter
+    (fun el ->
+      incr consumed;
+      let seq = !consumed in
+      (match Shard_router.route_element t.router el with
+      | Shard_router.Local k -> send k (seq, el)
+      | Shard_router.Broadcast ->
+          for k = 0 to n - 1 do
+            send k (seq, el)
+          done);
+      if !consumed mod sample_every = 0 then begin
+        quiesce ();
+        observe_metrics Metrics.observe ~tick:!consumed;
+        sample_and_watch ~tick:!consumed;
+        release ()
+      end)
+    elements;
+  for k = 0 to n - 1 do
+    flush_buf k;
+    Spsc.push t.shards.(k).queue (Stop !consumed)
+  done;
+  Array.iter Domain.join domains;
+  observe_metrics Metrics.flush ~tick:!consumed;
+  sample_and_watch ~tick:!consumed;
+  emit_driver (Obs.Event.Run_end { tick = !consumed; emitted = emitted_total () });
+  let outputs =
+    Array.to_list t.shards
+    |> List.concat_map (fun s ->
+           List.rev_map (fun (seq, rank, el) -> (seq, s.index, rank, el))
+             s.outputs)
+    |> List.sort (fun (s1, h1, r1, _) (s2, h2, r2, _) ->
+           compare (s1, h1, r1) (s2, h2, r2))
+    |> List.map (fun (_, _, _, el) -> el)
+  in
+  if t.instrument then begin
+    (* Merged trace order: tick, then shard, then per-shard emission
+       index; driver events sort after every worker event of their tick
+       (a Sample describes the tick's *completed* state). *)
+    let tagged =
+      Array.to_list t.shards
+      |> List.concat_map (fun s ->
+             List.mapi
+               (fun i e -> (Obs.Event.tick_of e, s.index, i, Some s.index, e))
+               (s.events_of ()))
+    in
+    let driver =
+      List.rev t.driver_events
+      |> List.mapi (fun i e -> (Obs.Event.tick_of e, max_int, i, None, e))
+    in
+    t.merged <-
+      List.sort
+        (fun (t1, s1, i1, _, _) (t2, s2, i2, _, _) ->
+          compare (t1, s1, i1) (t2, s2, i2))
+        (tagged @ driver)
+      |> List.map (fun (_, _, _, tag, e) -> (tag, e))
+  end;
+  Array.iter (fun s -> Telemetry.close s.tel) t.shards;
+  { outputs; metrics; consumed = !consumed; emitted = emitted_total () }
+
+let report ?(meta = []) t (r : result) =
+  let c0 = t.shards.(0).compiled in
+  let per_shard_ops =
+    Array.map (fun s -> Executor.operators ~c:s.compiled) t.shards
+  in
+  let sum_alists alists =
+    match alists with
+    | [] -> []
+    | first :: rest ->
+        List.fold_left
+          (fun acc alist -> List.map2 (fun (k, v) (_, v') -> (k, v + v')) acc alist)
+          first rest
+  in
+  let operators =
+    List.mapi
+      (fun i (op0 : Operator.t) ->
+        let nth_op ops : Operator.t = List.nth ops i in
+        let stats =
+          Array.to_list per_shard_ops
+          |> List.map (fun ops ->
+                 Operator.stats_to_alist ((nth_op ops).Operator.stats ()))
+          |> sum_alists
+        in
+        let sum_state f =
+          Array.fold_left (fun acc ops -> acc + f (nth_op ops)) 0 per_shard_ops
+        in
+        {
+          Obs.Report.name = op0.Operator.name;
+          inputs = op0.Operator.input_names;
+          unreachable_inputs =
+            Executor.unreachable_inputs c0 op0.Operator.name;
+          stats;
+          state =
+            [
+              ("data", sum_state (fun op -> op.Operator.data_state_size ()));
+              ("puncts", sum_state (fun op -> op.Operator.punct_state_size ()));
+              ("index", sum_state (fun op -> op.Operator.index_state_size ()));
+              ("bytes", sum_state (fun op -> op.Operator.state_bytes ()));
+            ];
+        })
+      (Executor.operators ~c:c0)
+  in
+  {
+    Obs.Report.meta =
+      (("shards", Obs.Json.Int (n_shards t)) :: meta)
+      @ [
+          ("consumed", Obs.Json.Int r.consumed);
+          ("emitted", Obs.Json.Int r.emitted);
+        ];
+    operators;
+    registry =
+      Obs.Registry.merged
+        (Array.to_list t.shards |> List.map (fun s -> Telemetry.registry s.tel));
+    series = Executor.series_json r.metrics;
+    alarms = alarms t;
+  }

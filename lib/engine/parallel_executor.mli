@@ -1,0 +1,118 @@
+(** Sharded query execution across OCaml 5 domains.
+
+    [create ~shards] compiles [shards] independent copies of the plan —
+    each with its own join states, punctuation stores and (optionally) its
+    own telemetry handle — and [run] drives them from one input sequence:
+    the driver routes every element through a {!Shard_router} (data to its
+    hash owner, punctuations to their owner or broadcast), ships it over a
+    bounded {!Spsc} queue as part of a batch, and merges the shards'
+    outputs, metrics samples and telemetry events back into one
+    deterministic result.
+
+    {2 Correctness spine}
+
+    Chained purge (§3.2.1 of the paper) is per join key: a tuple's
+    matchability and purgeability depend only on elements sharing its key
+    values, and the router sends all of those to one shard. So each shard
+    is a complete, Theorem-1-bounded engine for its key slice, and:
+
+    - the {e output data-tuple multiset} equals the sequential run's
+      (compare with {!Executor.output_hash});
+    - the {e final per-operator data/index state} equals the sequential
+      run's, summed across shards — boundedness is preserved shard-wise;
+    - under the eager purge policy the barrier-sampled {e state series}
+      equals the sequential series tick for tick ({!Metrics.equal});
+      lazy/adaptive policies defer purges on per-shard counters, so
+      mid-run sizes may differ while the final flushed state still
+      agrees.
+
+    {2 Determinism}
+
+    Every element carries its global sequence number: workers stamp it on
+    the telemetry clock, outputs are merged by (sequence, shard, emission
+    index), and events by (tick, shard, emission index) — so two runs of
+    the same input at the same shard count are byte-identical, and the
+    driver's barrier protocol samples all shards at the {e same} global
+    tick, making watchdog behaviour reproduce the sequential run's.
+
+    The driver feeds a single optional watchdog with each operator's
+    state summed across shards under the sequential operator names, so an
+    unsafe query trips the same alarms at the same ticks as a sequential
+    run on the sampling grid. *)
+
+type t
+
+val create :
+  ?policy:Purge_policy.t ->
+  ?binary_impl:Executor.binary_impl ->
+  ?punct_lifespan:Core.Punct_purge.lifespan ->
+  ?punct_partner_purge:bool ->
+  ?watchdog:Obs.Watchdog.t ->
+  ?instrument:bool ->
+  shards:int ->
+  Query.Cjq.t ->
+  Query.Plan.t ->
+  t
+(** [instrument] (default [false]) gives every shard an enabled telemetry
+    handle over an in-memory sink, making {!events} and the aggregated
+    {!report}'s registry meaningful; leave it off for benchmarking — the
+    shards then run with {!Telemetry.null}, exactly as an uninstrumented
+    sequential engine does. *)
+
+val router : t -> Shard_router.t
+val n_shards : t -> int
+
+type result = {
+  outputs : Streams.Element.t list;
+      (** merged root outputs in deterministic (sequence, shard) order *)
+  metrics : Metrics.t;  (** driver-sampled global state series *)
+  consumed : int;
+  emitted : int;  (** data tuples across all shards *)
+}
+
+(** [run ?sample_every ?label t elements] — one shot per [t]: drives the
+    worker domains to completion and joins them. Ticks count every input
+    element (as {!Executor.run} does), and sampling happens at global
+    barriers on the [sample_every] grid: the driver quiesces all shards,
+    reads their state, feeds metrics and the watchdog, then releases
+    them. *)
+val run :
+  ?sample_every:int ->
+  ?label:string ->
+  t ->
+  Streams.Element.t Seq.t ->
+  result
+
+(** Merged, deterministically ordered telemetry events of the last [run]:
+    [(Some shard, event)] for worker events, [(None, event)] for the
+    driver's [Run_start]/[Sample]/[Alarm]/[Run_end]. Empty unless
+    [instrument] was set. Serialize with [Event.to_line ?shard] to get the
+    one-trace-with-a-shard-field JSONL the CLI's [--trace] writes. *)
+val events : t -> (int option * Obs.Event.t) list
+
+(** Watchdog alarms raised by the driver (empty without a watchdog). *)
+val alarms : t -> Obs.Watchdog.alarm list
+
+(** Summed state accessors — meaningful when the shards are quiescent
+    (after [run], or inside a barrier). *)
+val total_data_state : t -> int
+
+val total_punct_state : t -> int
+val total_index_state : t -> int
+val total_state_bytes : t -> int
+
+(** [state_breakdown t] — per-operator state summed across shards, in the
+    sequential operator order. *)
+val state_breakdown : t -> Executor.breakdown list
+
+(** [shard_breakdowns t] — one breakdown list per shard, for the
+    [--shards] CLI's per-shard table. *)
+val shard_breakdowns : t -> Executor.breakdown list array
+
+(** [report ?meta t result] — aggregated run report: operator stats and
+    state summed across shards, registries merged ({!Obs.Registry.merged}),
+    the driver's series and alarms, plus a ["shards"] meta entry. Replaying
+    the merged {!events} trace reproduces its counters, exactly as for a
+    sequential report. *)
+val report :
+  ?meta:(string * Obs.Json.t) list -> t -> result -> Obs.Report.t

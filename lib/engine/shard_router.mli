@@ -1,0 +1,60 @@
+(** Punctuation-aligned hash partitioning of a query's input streams.
+
+    The router decides, per stream element, which shard(s) of a
+    {!Parallel_executor} must see it:
+
+    - a {b data tuple} goes to exactly one shard — the hash of its value
+      on the stream's {e routing attribute} modulo the shard count;
+    - a {b value punctuation} that pins exactly the routing attribute of
+      its stream to a constant goes to the shard owning that constant:
+      every tuple the punctuation can ever match lives there, so
+      delivering it anywhere else is dead weight;
+    - everything else — wildcard-heavy patterns, multi-attribute
+      punctuations, order punctuations / heartbeats ([Less_than]) — is
+      {b broadcast}: such a punctuation can cover tuples on any shard,
+      and a punctuation is a pure fact, so over-delivery is always
+      sound (a shard with no matching state simply purges nothing).
+
+    Routing attributes come from the {e join-attribute equivalence
+    classes}: the equivalence closure of the query's equi-join atoms
+    over [(stream, attribute)] pairs. Attributes in one class must carry
+    equal values in any join result, so hashing each stream on its
+    member of a common class sends every potential match set to one
+    shard. The partitioning is {!exact} — correct for arbitrary inputs —
+    when a single class spans {e all} streams (e.g. a star join on a
+    shared key). For cyclic queries like the Figure 5 triangle no class
+    spans all three streams; the router then picks the widest class and
+    deterministic per-stream fallbacks, which still co-locates matches
+    whenever the workload is key-aligned (every join attribute of a
+    tuple carries the same round key — precisely what
+    [Workload.Synth.round_trace] generates). See docs/SHARDING.md. *)
+
+type t
+
+type route =
+  | Local of int  (** deliver to this shard only *)
+  | Broadcast  (** deliver to every shard *)
+
+(** [create ~shards query] — routing tables for [query] over [shards]
+    shards. @raise Invalid_argument when [shards <= 0]. *)
+val create : shards:int -> Query.Cjq.t -> t
+
+val shards : t -> int
+
+(** [exact t] — one join-attribute equivalence class spans every stream
+    of the query, so hash partitioning is correct for {e arbitrary}
+    inputs, not just key-aligned ones. *)
+val exact : t -> bool
+
+(** [routing_attr t stream] — the attribute [stream]'s tuples are hashed
+    on; [None] for streams the query does not read. *)
+val routing_attr : t -> string -> string option
+
+(** The join-attribute equivalence classes, each sorted, classes sorted
+    by first member — primarily for docs, tests and [--shards] verbose
+    output. *)
+val classes : t -> (string * string) list list
+
+val route_data : t -> Relational.Tuple.t -> route
+val route_punct : t -> Streams.Punctuation.t -> route
+val route_element : t -> Streams.Element.t -> route

@@ -1,0 +1,65 @@
+type 'a t = {
+  slots : 'a option array;
+  capacity : int;
+  mutable head : int;  (* next index to read; advanced by the consumer *)
+  mutable tail : int;  (* next index to write; advanced by the producer *)
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spsc.create: capacity must be positive";
+  {
+    slots = Array.make capacity None;
+    capacity;
+    head = 0;
+    tail = 0;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let push t x =
+  Mutex.lock t.lock;
+  while t.tail - t.head >= t.capacity do
+    Condition.wait t.not_full t.lock
+  done;
+  t.slots.(t.tail mod t.capacity) <- Some x;
+  t.tail <- t.tail + 1;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+let take t =
+  let i = t.head mod t.capacity in
+  let x =
+    match t.slots.(i) with
+    | Some x -> x
+    | None -> assert false (* tail > head ⇒ the slot is filled *)
+  in
+  (* Clear the slot so the queue does not retain the element. *)
+  t.slots.(i) <- None;
+  t.head <- t.head + 1;
+  Condition.signal t.not_full;
+  x
+
+let pop t =
+  Mutex.lock t.lock;
+  let r = if t.tail = t.head then None else Some (take t) in
+  Mutex.unlock t.lock;
+  r
+
+let pop_wait t =
+  Mutex.lock t.lock;
+  while t.tail = t.head do
+    Condition.wait t.not_empty t.lock
+  done;
+  let x = take t in
+  Mutex.unlock t.lock;
+  x
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.tail - t.head in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,36 @@
+(** Bounded single-producer / single-consumer queue between domains.
+
+    The channel between the {!Parallel_executor} driver (sole producer)
+    and one shard worker domain (sole consumer): a fixed-capacity ring
+    guarded by a mutex, with two condition variables for the full/empty
+    edges. Blocking — not spinning — matters more than lock-freedom
+    here: messages are element {e batches}, so the lock is taken once
+    per few hundred elements, while a spin-waiting domain on a
+    core-constrained host would burn entire scheduler timeslices the
+    opposite side needs to make progress (the classic single-core
+    livelock of busy-wait queues). OCaml 5's [Mutex]/[Condition] are
+    domain-safe and give the release/acquire edges that publish each
+    slot to the other side.
+
+    Not linearizable under multiple producers or consumers — the
+    single-producer/single-consumer contract is on the caller. *)
+
+type 'a t
+
+(** [create ~capacity] — an empty queue holding at most [capacity]
+    elements. @raise Invalid_argument when [capacity <= 0]. *)
+val create : capacity:int -> 'a t
+
+(** [push t x] — enqueue, blocking while the queue is full. Producer
+    side only. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop t] — dequeue, [None] when empty. Consumer side only. *)
+val pop : 'a t -> 'a option
+
+(** [pop_wait t] — dequeue, blocking while the queue is empty. Consumer
+    side only. *)
+val pop_wait : 'a t -> 'a
+
+(** Elements currently queued. *)
+val length : 'a t -> int

@@ -54,8 +54,12 @@ let tick_of = function
   | Alarm { tick; _ } ->
       tick
 
-let to_json e =
-  let f fields = Json.Obj fields in
+let to_json ?shard e =
+  let f fields =
+    match shard with
+    | None -> Json.Obj fields
+    | Some s -> Json.Obj (fields @ [ ("shard", Json.Int s) ])
+  in
   match e with
   | Run_start { tick; label } ->
       f [ ("ev", String "run_start"); ("tick", Int tick); ("label", String label) ]
@@ -215,7 +219,9 @@ let of_json j =
       Ok (Alarm { tick; op; slope; size; unreachable })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
-let to_line e = Json.to_string (to_json e)
+let shard_of_json j = Option.bind (Json.member "shard" j) Json.to_int
+
+let to_line ?shard e = Json.to_string (to_json ?shard e)
 
 let of_line s =
   match Json.parse s with

@@ -42,6 +42,27 @@ let merged_histogram t suffix =
   | Some h when Histogram.count h > 0 -> Some h
   | _ -> None
 
+(* Aggregation across shards of a parallel run: counters add, gauges keep
+   their maximum (a gauge is a level, not a flow), histograms merge
+   bucket-wise. *)
+let merged ts =
+  let m = create () in
+  List.iter
+    (fun t ->
+      List.iter (fun (k, v) -> incr ~by:v m k) (Counters.to_alist t.counters);
+      List.iter
+        (fun (k, v) ->
+          set_gauge m k (max v (Counters.get_gauge m.counters k)))
+        (Counters.gauges_to_alist t.counters);
+      List.iter
+        (fun (k, h) ->
+          match Hashtbl.find_opt m.hists k with
+          | Some existing -> Hashtbl.replace m.hists k (Histogram.merge existing h)
+          | None -> Hashtbl.replace m.hists k (Histogram.merge (Histogram.create ()) h))
+        (histograms t))
+    ts;
+  m
+
 let to_json t =
   let ints alist = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) alist) in
   Json.Obj

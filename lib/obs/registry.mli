@@ -27,5 +27,12 @@ val histograms : t -> (string * Histogram.t) list
     ["purge_lag"]) across operators. *)
 val merged_histogram : t -> string -> Histogram.t option
 
+(** [merged ts] — fold several registries (e.g. one per shard of a
+    parallel run) into a fresh one: counters add, gauges keep their
+    maximum (a gauge is a level, not a flow), histograms merge
+    bucket-wise. The result matches what {!Report.replay} computes from
+    the shards' interleaved event traces. *)
+val merged : t list -> t
+
 (** Flat object: {"counters": {..}, "gauges": {..}, "histograms": {..}}. *)
 val to_json : t -> Json.t

@@ -54,15 +54,14 @@ let sequence t =
       round []
   | Weighted _ ->
       let cursors = make_cursors () in
-      let state = ref t.seed in
-      let next_int bound =
-        let x = !state in
-        let x = x lxor (x lsl 13) in
-        let x = x lxor (x lsr 7) in
-        let x = x lxor (x lsl 17) in
-        state := x land max_int;
-        !state mod bound
-      in
+      (* The weighted pick used to run a private xorshift over [t.seed]
+         directly: seed 0 (or a masked state collapsing to 0) is xorshift's
+         absorbing fixpoint, so every draw returned 0 and only the first
+         live source ever advanced — and [!state mod bound] was biased.
+         Splitmix64 ([Rng]) has no absorbing state and keeps the draw
+         uniform. *)
+      let rng = Rng.create ~seed:t.seed in
+      let next_int bound = Rng.int rng bound in
       let rec next () =
         let live =
           List.filter_map

@@ -1,0 +1,31 @@
+(** A small deterministic PRNG (splitmix64) so every workload, test and
+    benchmark is exactly reproducible across runs and platforms —
+    [Stdlib.Random] is avoided on purpose.
+
+    The state walks [seed + k * golden] through two xor-multiply mixes, so
+    unlike a raw xorshift there is no absorbing zero state: [seed:0] is as
+    good a seed as any. Historically this module lived in [Workload];
+    it moved here so stream-level machinery (e.g. {!Input_manager}'s
+    weighted interleaving) can share the one generator — [Workload.Rng]
+    re-exports it unchanged. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int t bound] — uniform in [0, bound). @raise Invalid_argument when
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] — uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [pick t xs] — uniform element. @raise Invalid_argument on empty list. *)
+val pick : t -> 'a list -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+
+(** [sample t k xs] — [k] distinct elements (all of [xs] when shorter). *)
+val sample : t -> int -> 'a list -> 'a list

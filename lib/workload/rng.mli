@@ -1,8 +1,8 @@
-(** A small deterministic PRNG (splitmix64) so every workload, test and
-    benchmark is exactly reproducible across runs and platforms —
-    [Stdlib.Random] is avoided on purpose. *)
+(** Re-export of {!Streams.Rng} under its historical name — the
+    deterministic splitmix64 PRNG every workload, test and benchmark uses.
+    See {!Streams.Rng} for the full documentation. *)
 
-type t
+type t = Streams.Rng.t
 
 val create : seed:int -> t
 

@@ -14,11 +14,17 @@ let create ~n ~theta =
       acc := !acc +. (w /. total);
       cumulative.(i) <- !acc)
     weights;
+  (* Float accumulation can leave the last entry a few ulps below 1.0; a
+     draw of [u] above it would then find no bucket and walk off the end.
+     The distribution sums to 1 by construction, so pin it. *)
+  cumulative.(n - 1) <- 1.0;
   { cumulative }
+
+let n t = Array.length t.cumulative
 
 let draw t rng =
   let u = Rng.float rng in
-  (* binary search for the first cumulative weight >= u *)
+  (* binary search for the first cumulative weight >= u; ranks are 1-based *)
   let n = Array.length t.cumulative in
   let rec search lo hi =
     if lo >= hi then lo + 1
@@ -26,4 +32,7 @@ let draw t rng =
       let mid = (lo + hi) / 2 in
       if t.cumulative.(mid) >= u then search lo mid else search (mid + 1) hi
   in
-  search 0 (n - 1)
+  (* The last cumulative entry is exactly 1.0 and [u < 1.0], so the search
+     cannot overshoot — the clamp is a belt-and-braces guard keeping every
+     caller in [1, n] even if the invariant is ever disturbed. *)
+  min n (max 1 (search 0 (n - 1)))

@@ -4,8 +4,14 @@
 type t
 
 (** [create ~n ~theta] — [theta = 0] is uniform; [theta ≈ 1] is classic
-    Zipf. @raise Invalid_argument when [n <= 0] or [theta < 0]. *)
+    Zipf. The last cumulative weight is pinned to exactly [1.0] so float
+    accumulation error cannot push a draw out of range.
+    @raise Invalid_argument when [n <= 0] or [theta < 0]. *)
 val create : n:int -> theta:float -> t
 
-(** [draw t rng] — a rank in [1, n], rank 1 most popular. *)
+(** [n t] — the rank-domain size this sampler was built with. *)
+val n : t -> int
+
+(** [draw t rng] — a rank in [1, n], rank 1 most popular; clamped into
+    range as a defensive guard. *)
 val draw : t -> Rng.t -> int

@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "== dune build @all =="
 dune build @all
 
+echo "== dune build @check (every module, including unreferenced ones) =="
+dune build @check
+
 echo "== dune runtest (includes the stress suite) =="
 dune runtest
 
@@ -49,5 +52,34 @@ fi
 dune exec bin/pstream_obs.exe -- verify \
   "$OBS_TMP/unsafe_report.json" "$OBS_TMP/unsafe_trace.jsonl" \
   --expect-alarm S2 --expect-alarm S3
+
+echo "== sharded smoke: --shards 1 vs --shards 4 =="
+# Both shard counts must produce a self-consistent report/trace pair and
+# the exact same output data-tuple multiset as each other.
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
+  --shards 1 \
+  --report "$OBS_TMP/sh1_report.json" --trace "$OBS_TMP/sh1_trace.jsonl" \
+  > "$OBS_TMP/sh1_out.txt"
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
+  --shards 4 \
+  --report "$OBS_TMP/sh4_report.json" --trace "$OBS_TMP/sh4_trace.jsonl" \
+  > "$OBS_TMP/sh4_out.txt"
+dune exec bin/pstream_obs.exe -- verify \
+  "$OBS_TMP/sh1_report.json" "$OBS_TMP/sh1_trace.jsonl" --expect-quiet
+dune exec bin/pstream_obs.exe -- verify \
+  "$OBS_TMP/sh4_report.json" "$OBS_TMP/sh4_trace.jsonl" --expect-quiet
+hash1="$(grep '^output hash:' "$OBS_TMP/sh1_out.txt")"
+hash4="$(grep '^output hash:' "$OBS_TMP/sh4_out.txt")"
+if [ -z "$hash1" ] || [ "$hash1" != "$hash4" ]; then
+  echo "sharded output hash mismatch: shards=1 '$hash1' vs shards=4 '$hash4'" >&2
+  exit 1
+fi
+
+echo "== shard-scaling benchmark (B2 -> BENCH_shard_scaling.json) =="
+# B2 itself fails loudly on hash divergence or a watchdog alarm.
+dune exec bench/main.exe -- B2
+if ! git diff --quiet -- BENCH_shard_scaling.json 2>/dev/null; then
+  echo "NOTE: BENCH_shard_scaling.json changed; review and commit the new numbers." >&2
+fi
 
 echo "CI OK"

@@ -454,6 +454,35 @@ let test_state_breakdown_names_leaking_operator () =
         (b.index >= b.data))
     breakdown
 
+(* ------------------------------------------------------------------ *)
+(* memory accounting: every operator charges bytes through Mem_estimate,
+   so byte slopes mean the same thing no matter which operator alarms *)
+
+let test_dedup_state_bytes_shared_estimate () =
+  let op = Dedup.create ~input:s1 ~key:[ "A" ] () in
+  check_int "empty costs nothing" 0 (op.Engine.Operator.state_bytes ());
+  for i = 1 to 5 do
+    ignore (op.Engine.Operator.push (data s1 [ i; 0 ]))
+  done;
+  check_int "five keys, shared formula"
+    (Engine.Mem_estimate.keyed_table_bytes ~key_width:1 ~payload_width:0
+       ~entries:5)
+    (op.Engine.Operator.state_bytes ())
+
+let test_groupby_state_bytes_shared_estimate () =
+  let op =
+    Engine.Groupby.create ~input:s1 ~group_by:[ "A" ]
+      ~aggregate:(Engine.Groupby.Sum "B") ()
+  in
+  for i = 1 to 4 do
+    (* two tuples per group: entries count groups, not members *)
+    ignore (op.Engine.Operator.push (data s1 [ i mod 2; i ]))
+  done;
+  check_int "two groups, key + one accumulator cell"
+    (Engine.Mem_estimate.keyed_table_bytes ~key_width:1 ~payload_width:1
+       ~entries:2)
+    (op.Engine.Operator.state_bytes ())
+
 let () =
   Alcotest.run "relops"
     [
@@ -509,5 +538,12 @@ let () =
         [
           Alcotest.test_case "state breakdown" `Quick
             test_state_breakdown_names_leaking_operator;
+        ] );
+      ( "memory accounting",
+        [
+          Alcotest.test_case "dedup uses shared estimator" `Quick
+            test_dedup_state_bytes_shared_estimate;
+          Alcotest.test_case "groupby uses shared estimator" `Quick
+            test_groupby_state_bytes_shared_estimate;
         ] );
     ]

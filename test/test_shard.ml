@@ -1,0 +1,286 @@
+(* Tests for punctuation-aligned sharded execution: the shard router, the
+   bounded SPSC queue, and the correctness spine — a sharded run computes
+   the sequential answer (same output multiset, same final state, same
+   watchdog verdict) at every shard count. *)
+
+open Relational
+module Element = Streams.Element
+module Punctuation = Streams.Punctuation
+module Scheme = Streams.Scheme
+module Stream_def = Streams.Stream_def
+module Cjq = Query.Cjq
+module Plan = Query.Plan
+module Executor = Engine.Executor
+module Parallel_executor = Engine.Parallel_executor
+module Shard_router = Engine.Shard_router
+module Spsc = Engine.Spsc
+module Metrics = Engine.Metrics
+module Purge_policy = Engine.Purge_policy
+module Synth = Workload.Synth
+open Fixtures
+
+(* A binary query whose single join class {S1.B, S2.B} spans both
+   streams: the router can partition it exactly. *)
+let chain2_query () =
+  let defs =
+    [
+      Stream_def.make s1 [ Scheme.of_attrs s1 [ "B" ] ];
+      Stream_def.make s2 [ Scheme.of_attrs s2 [ "B" ] ];
+    ]
+  in
+  Cjq.make defs [ Predicate.atom "S1" "B" "S2" "B" ]
+
+(* The unsafe triangle of test_engine: S3 has no scheme at all, so its
+   state is purge-unreachable and grows forever. *)
+let unsafe_query () =
+  triangle_query
+    (Scheme.Set.of_list [ Scheme.of_attrs s1 [ "B" ]; Scheme.of_attrs s2 [ "C" ] ])
+
+let vpunct schema bindings =
+  Punctuation.of_bindings schema
+    (List.map (fun (a, v) -> (a, Value.Int v)) bindings)
+
+(* ------------------------------------------------------------------ *)
+(* Router *)
+
+let test_router_exactness () =
+  check_bool "spanning class is exact" true
+    (Shard_router.exact (Shard_router.create ~shards:4 (chain2_query ())));
+  check_bool "cyclic triangle is not" false
+    (Shard_router.exact (Shard_router.create ~shards:4 (fig5_query ())))
+
+let test_router_prefers_punctuated_attrs () =
+  (* Figure 5 pins B on S1, C on S2, A on S3 — the router must route each
+     stream on its own punctuated attribute so value punctuations stay
+     local instead of broadcasting a purge round to every shard. *)
+  let r = Shard_router.create ~shards:4 (fig5_query ()) in
+  List.iter
+    (fun (s, a) ->
+      check_string (s ^ " routing attr") a
+        (Option.get (Shard_router.routing_attr r s)))
+    [ ("S1", "B"); ("S2", "C"); ("S3", "A") ]
+
+let test_router_data_and_punct_colocated () =
+  let r = Shard_router.create ~shards:5 (fig5_query ()) in
+  for b = 0 to 30 do
+    let data_route = Shard_router.route_data r (tuple s1 [ 7; b ]) in
+    let punct_route = Shard_router.route_punct r (vpunct s1 [ ("B", b) ]) in
+    match (data_route, punct_route) with
+    | Shard_router.Local i, Shard_router.Local j ->
+        check_int "tuple and its purging punctuation share a shard" i j
+    | _ -> Alcotest.fail "expected Local routes for a pure value pair"
+  done
+
+let test_router_broadcasts_non_value_puncts () =
+  let r = Shard_router.create ~shards:4 (fig5_query ()) in
+  let is_broadcast p =
+    match Shard_router.route_punct r p with
+    | Shard_router.Broadcast -> true
+    | Shard_router.Local _ -> false
+  in
+  check_bool "watermark punctuation broadcasts" true
+    (is_broadcast (Punctuation.watermark s1 "B" (Value.Int 10)));
+  check_bool "multi-attribute punctuation broadcasts" true
+    (is_broadcast (vpunct s3 [ ("C", 1); ("A", 2) ]));
+  check_bool "punctuation off the routing attribute broadcasts" true
+    (is_broadcast (vpunct s1 [ ("A", 3) ]))
+
+let test_router_rejects_nonpositive_shards () =
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Shard_router.create: shards must be positive")
+    (fun () -> ignore (Shard_router.create ~shards:0 (fig5_query ())))
+
+(* ------------------------------------------------------------------ *)
+(* SPSC queue *)
+
+let test_spsc_cross_domain_fifo () =
+  let q = Spsc.create ~capacity:8 in
+  let n = 10_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec drain acc expect =
+          match Spsc.pop_wait q with
+          | -1 -> acc
+          | x ->
+              if x <> expect then
+                Alcotest.failf "out of order: got %d, expected %d" x expect;
+              drain (acc + x) (expect + 1)
+        in
+        drain 0 0)
+  in
+  for i = 0 to n - 1 do
+    Spsc.push q i
+  done;
+  Spsc.push q (-1);
+  check_int "fifo across domains, nothing lost" (n * (n - 1) / 2)
+    (Domain.join consumer)
+
+let test_spsc_nonblocking_pop () =
+  let q = Spsc.create ~capacity:2 in
+  check_bool "empty pop" true (Spsc.pop q = None);
+  Spsc.push q 7;
+  check_bool "pop sees the element" true (Spsc.pop q = Some 7);
+  check_int "drained" 0 (Spsc.length q)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded = sequential: the correctness spine *)
+
+let plan3 = Plan.mjoin [ "S1"; "S2"; "S3" ]
+let plan2 = Plan.mjoin [ "S1"; "S2" ]
+
+let seq_run ?policy ?(plan = plan3) ~sample_every q trace =
+  let c = Executor.compile ?policy q plan in
+  let r = Executor.run ~sample_every c (List.to_seq trace) in
+  (c, r)
+
+let par_run ?policy ?(plan = plan3) ~shards ~sample_every q trace =
+  let pe = Parallel_executor.create ?policy ~shards q plan in
+  let r = Parallel_executor.run ~sample_every pe (List.to_seq trace) in
+  (pe, r)
+
+let test_sharded_equals_sequential_round_trace () =
+  let q = fig5_query () in
+  let trace =
+    Synth.round_trace q
+      { Synth.default_trace_config with rounds = 60; punct_lag = 5 }
+  in
+  let c, sr = seq_run ~policy:Purge_policy.Eager ~sample_every:50 q trace in
+  let seq_hash = Executor.output_hash sr.Executor.outputs in
+  List.iter
+    (fun shards ->
+      let pe, pr =
+        par_run ~policy:Purge_policy.Eager ~shards ~sample_every:50 q trace
+      in
+      check_string
+        (Printf.sprintf "output multiset at %d shards" shards)
+        seq_hash
+        (Executor.output_hash pr.Parallel_executor.outputs);
+      check_int
+        (Printf.sprintf "final data state at %d shards" shards)
+        (Executor.total_data_state c)
+        (Parallel_executor.total_data_state pe);
+      check_int
+        (Printf.sprintf "final index state at %d shards" shards)
+        (Executor.total_index_state c)
+        (Parallel_executor.total_index_state pe);
+      check_bool
+        (Printf.sprintf "eager state series at %d shards" shards)
+        true
+        (Metrics.equal sr.Executor.metrics pr.Parallel_executor.metrics))
+    [ 1; 2; 4; 7 ]
+
+let prop_sharded_equals_sequential_random_traces () =
+  (* On an *exactly* partitionable query (the join class spans every
+     stream) the equivalence holds for arbitrary interleavings and
+     punctuation mixes, under both purge policies. The cyclic triangle is
+     only key-aligned-correct, so random traces use the chain. *)
+  let q = chain2_query () in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun policy ->
+          let trace =
+            Synth.random_trace q ~elements_per_stream:40 ~value_range:6
+              ~punct_prob:0.5 ~seed
+          in
+          let c, sr = seq_run ~policy ~plan:plan2 ~sample_every:60 q trace in
+          let seq_hash = Executor.output_hash sr.Executor.outputs in
+          List.iter
+            (fun shards ->
+              let pe, pr =
+                par_run ~policy ~plan:plan2 ~shards ~sample_every:60 q trace
+              in
+              check_string
+                (Printf.sprintf "seed %d, %d shards: output multiset" seed
+                   shards)
+                seq_hash
+                (Executor.output_hash pr.Parallel_executor.outputs);
+              check_int
+                (Printf.sprintf "seed %d, %d shards: final data state" seed
+                   shards)
+                (Executor.total_data_state c)
+                (Parallel_executor.total_data_state pe))
+            [ 2; 4; 7 ])
+        [ Purge_policy.Eager; Purge_policy.Lazy 7 ])
+    [ 1; 2; 3 ]
+
+let test_unsafe_query_trips_watchdog_identically () =
+  let q = unsafe_query () in
+  check_bool "query is unsafe" false (Core.Checker.is_safe q);
+  let trace =
+    Synth.round_trace q { Synth.default_trace_config with rounds = 150 }
+  in
+  let seq_alarms =
+    let watchdog = Obs.Watchdog.create () in
+    let c =
+      Executor.compile ~policy:Purge_policy.Eager
+        ~telemetry:(Engine.Telemetry.create ~watchdog ())
+        q plan3
+    in
+    ignore (Executor.run ~sample_every:30 c (List.to_seq trace));
+    Obs.Watchdog.alarms watchdog
+  in
+  check_bool "sequential run alarms" true (seq_alarms <> []);
+  List.iter
+    (fun shards ->
+      let watchdog = Obs.Watchdog.create () in
+      let pe =
+        Parallel_executor.create ~policy:Purge_policy.Eager ~watchdog ~shards
+          q plan3
+      in
+      ignore (Parallel_executor.run ~sample_every:30 pe (List.to_seq trace));
+      let par_alarms = Parallel_executor.alarms pe in
+      check_bool
+        (Printf.sprintf "same alarms at %d shards" shards)
+        true
+        (List.map
+           (fun (a : Obs.Watchdog.alarm) -> (a.op, a.tick, a.unreachable))
+           seq_alarms
+        = List.map
+            (fun (a : Obs.Watchdog.alarm) -> (a.op, a.tick, a.unreachable))
+            par_alarms))
+    [ 2; 4 ]
+
+let test_sharded_run_is_single_shot () =
+  let q = fig5_query () in
+  let trace =
+    Synth.round_trace q { Synth.default_trace_config with rounds = 5 }
+  in
+  let pe = Parallel_executor.create ~shards:2 q plan3 in
+  ignore (Parallel_executor.run pe (List.to_seq trace));
+  Alcotest.check_raises "second run rejected"
+    (Invalid_argument "Parallel_executor.run: a sharded executor runs once")
+    (fun () -> ignore (Parallel_executor.run pe (List.to_seq trace)))
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "exactness" `Quick test_router_exactness;
+          Alcotest.test_case "punctuation-aligned attrs" `Quick
+            test_router_prefers_punctuated_attrs;
+          Alcotest.test_case "data/punct co-location" `Quick
+            test_router_data_and_punct_colocated;
+          Alcotest.test_case "broadcast fallbacks" `Quick
+            test_router_broadcasts_non_value_puncts;
+          Alcotest.test_case "rejects bad shard count" `Quick
+            test_router_rejects_nonpositive_shards;
+        ] );
+      ( "spsc",
+        [
+          Alcotest.test_case "cross-domain fifo" `Quick
+            test_spsc_cross_domain_fifo;
+          Alcotest.test_case "non-blocking pop" `Quick test_spsc_nonblocking_pop;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "round trace, all shard counts" `Quick
+            test_sharded_equals_sequential_round_trace;
+          Alcotest.test_case "random traces x policies x shards" `Slow
+            prop_sharded_equals_sequential_random_traces;
+          Alcotest.test_case "unsafe trips watchdog identically" `Quick
+            test_unsafe_query_trips_watchdog_identically;
+          Alcotest.test_case "single shot" `Quick test_sharded_run_is_single_shot;
+        ] );
+    ]

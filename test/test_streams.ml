@@ -225,6 +225,30 @@ let test_input_manager_weighted_deterministic () =
   check_bool "order preserved per stream" true
     (Trace.for_stream t1 "S2" = List.init 10 (fun i -> data s2 [ i; i ]))
 
+let test_input_manager_weighted_seed_zero () =
+  (* Regression: the weighted merge used to drive a private xorshift whose
+     state 0 is an absorbing fixpoint — with [~seed:0] every draw was 0,
+     so the first live source was drained completely before the second
+     advanced at all. The splitmix64 generator has no such state: both
+     streams must interleave. *)
+  let im =
+    Input_manager.create ~seed:0
+      ~policy:(Input_manager.Weighted [ ("S1", 1); ("S2", 1) ])
+      [
+        ("S1", Source.of_list (List.init 30 (fun i -> data s1 [ i; i ])));
+        ("S2", Source.of_list (List.init 10 (fun i -> data s2 [ i; i ])));
+      ]
+  in
+  let tr = Input_manager.to_trace im in
+  check_int "complete" 40 (List.length tr);
+  let first_s2 =
+    List.mapi (fun i e -> (i, e)) tr
+    |> List.find_map (fun (i, e) ->
+           if Element.stream_name e = "S2" then Some i else None)
+    |> Option.get
+  in
+  check_bool "S2 advances before S1 is exhausted" true (first_s2 < 30)
+
 let test_input_manager_rejects_duplicates () =
   Alcotest.check_raises "duplicate"
     (Invalid_argument "Input_manager.create: duplicate stream source")
@@ -393,6 +417,8 @@ let () =
           Alcotest.test_case "round robin" `Quick test_input_manager_round_robin;
           Alcotest.test_case "weighted deterministic" `Quick
             test_input_manager_weighted_deterministic;
+          Alcotest.test_case "weighted seed zero interleaves" `Quick
+            test_input_manager_weighted_seed_zero;
           Alcotest.test_case "duplicates rejected" `Quick
             test_input_manager_rejects_duplicates;
           Alcotest.test_case "ephemeral source safety" `Quick

@@ -69,6 +69,37 @@ let test_zipf_uniform_theta_zero () =
         Alcotest.failf "rank %d count %d too far from uniform" i c)
     counts
 
+let test_zipf_single_rank () =
+  let rng = Rng.create ~seed:31 in
+  let z = Zipf.create ~n:1 ~theta:1.0 in
+  check_int "domain size" 1 (Zipf.n z);
+  for _ = 1 to 200 do
+    check_int "only rank" 1 (Zipf.draw z rng)
+  done
+
+let test_zipf_draws_stay_in_range () =
+  (* Regression: float accumulation used to leave the last cumulative
+     weight a few ulps below 1.0, so a draw above it walked off the end.
+     Large n and both extremes of theta chase that tail bucket. *)
+  List.iter
+    (fun theta ->
+      let rng = Rng.create ~seed:41 in
+      let z = Zipf.create ~n:1000 ~theta in
+      for _ = 1 to 20_000 do
+        let r = Zipf.draw z rng in
+        if r < 1 || r > 1000 then
+          Alcotest.failf "theta %.1f: rank %d out of [1,1000]" theta r
+      done)
+    [ 0.0; 0.5; 1.0; 5.0 ]
+
+let test_zipf_rejects_bad_args () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Zipf.create ~n:0 ~theta:1.0));
+  Alcotest.check_raises "negative theta"
+    (Invalid_argument "Zipf.create: theta must be >= 0") (fun () ->
+      ignore (Zipf.create ~n:3 ~theta:(-0.1)))
+
 (* ------------------------------------------------------------------ *)
 (* Auction *)
 
@@ -214,6 +245,10 @@ let () =
           Alcotest.test_case "sample/shuffle" `Quick test_rng_sample_and_shuffle;
           Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
           Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform_theta_zero;
+          Alcotest.test_case "zipf single rank" `Quick test_zipf_single_rank;
+          Alcotest.test_case "zipf draws in range" `Quick
+            test_zipf_draws_stay_in_range;
+          Alcotest.test_case "zipf bad args" `Quick test_zipf_rejects_bad_args;
         ] );
       ( "auction",
         [
