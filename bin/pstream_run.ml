@@ -1,22 +1,26 @@
 (* pstream-run: execute a query over a synthetic round-based workload and
    report results, purge activity and the join-state time series — the
    quickest way to watch a safe query stay bounded (or an unsafe one leak
-   with --force). *)
+   with --force). The fault flags turn the same binary into a chaos
+   harness: a seeded injector perturbs the trace, the contract monitor
+   decides what to do about it, and the exit code says how it ended. *)
 
 open Cmdliner
 module Element = Streams.Element
+module Fault_injector = Streams.Fault_injector
 
 (* Sharded execution path: route the trace through a Parallel_executor,
    then print the same summary surface the sequential path does — plus the
    router's routing attributes and a per-shard state table — so the two
    modes are directly comparable. The merged event trace is written with
-   each worker event tagged by its shard. *)
+   each worker event tagged by its shard; injector events lead it,
+   untagged, like the driver's own. *)
 let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
-    ~meta query trace =
+    ~meta ~contract_config ~kill ~max_restarts ~fault_events query trace =
   let watchdog = Obs.Watchdog.create () in
   let pexec =
-    Engine.Parallel_executor.create ~policy ~watchdog ~instrument:true ~shards
-      query
+    Engine.Parallel_executor.create ~policy ~watchdog ~instrument:true
+      ?contract_config ?kill ~max_restarts ~shards query
       (Query.Plan.mjoin (Query.Cjq.stream_names query))
   in
   let router = Engine.Parallel_executor.router pexec in
@@ -34,6 +38,11 @@ let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
   (match trace_file with
   | Some path ->
       let oc = open_out path in
+      List.iter
+        (fun e ->
+          output_string oc (Obs.Event.to_line e);
+          output_char oc '\n')
+        fault_events;
       List.iter
         (fun (shard, e) ->
           output_string oc (Obs.Event.to_line ?shard e);
@@ -72,6 +81,9 @@ let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
     (Engine.Metrics.growth_slope result.Engine.Parallel_executor.metrics);
   Fmt.pr "output hash: %s@."
     (Engine.Executor.output_hash result.Engine.Parallel_executor.outputs);
+  let crashes = Engine.Parallel_executor.crash_count pexec in
+  if crashes > 0 then
+    Fmt.pr "shard restarts: %d (recovered by history replay)@." crashes;
   let alarms = Engine.Parallel_executor.alarms pexec in
   List.iter
     (fun a -> Fmt.pr "WATCHDOG ALARM: %a@." Obs.Watchdog.pp_alarm a)
@@ -90,8 +102,20 @@ let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
   | None -> ());
   if alarms <> [] then 3 else 0
 
-let run_query file rounds tuples_per_round punct_lag policy force
-    sample_every replay save_trace report_file trace_file shards =
+let pp_contract_summary ct =
+  Fmt.pr
+    "contract: late=%d dup_puncts=%d stalls=%d quarantined=%d(+%d overflow) \
+     shed=%d@."
+    (Engine.Contract.late_count ct)
+    (Engine.Contract.dup_count ct)
+    (Engine.Contract.stall_count ct)
+    (Engine.Contract.quarantined_count ct)
+    (Engine.Contract.quarantine_overflow ct)
+    (Engine.Contract.shed_count ct)
+
+let run_query file rounds tuples_per_round punct_lag policy force sample_every
+    replay save_trace report_file trace_file shards faults contract_config kill
+    max_restarts =
   match Query.Parser.parse_file file with
   | exception Query.Parser.Parse_error { line; message } ->
       Fmt.epr "%s:%d: %s@." file line message;
@@ -99,7 +123,7 @@ let run_query file rounds tuples_per_round punct_lag policy force
   | exception Query.Cjq.Invalid message ->
       Fmt.epr "%s: invalid query: %s@." file message;
       1
-  | query ->
+  | query -> (
       let safe = Core.Checker.is_safe query in
       Fmt.pr "query: %a@.safe: %b@." Query.Cjq.pp query safe;
       if (not safe) && not force then begin
@@ -108,7 +132,7 @@ let run_query file rounds tuples_per_round punct_lag policy force
            use --force to run it anyway@.";
         2
       end
-      else begin
+      else
         let trace =
           match replay with
           | Some path ->
@@ -122,6 +146,19 @@ let run_query file rounds tuples_per_round punct_lag policy force
                   trace_seed = 42;
                 }
         in
+        let trace, injections =
+          match faults with
+          | None -> (trace, [])
+          | Some cfg ->
+              let faulted, injections = Fault_injector.apply cfg trace in
+              Fmt.pr "chaos: seed %d injected %d faults@."
+                cfg.Fault_injector.seed (List.length injections);
+              List.iter
+                (fun i -> Fmt.pr "  %a@." Fault_injector.pp_injection i)
+                injections;
+              (faulted, injections)
+        in
+        let fault_events = Fault_injector.events injections in
         (match save_trace with
         | Some path ->
             Streams.Trace_io.save ~path trace;
@@ -136,85 +173,105 @@ let run_query file rounds tuples_per_round punct_lag policy force
             (fun v -> Fmt.epr "  %a@." Streams.Trace.pp_violation v)
             violations
         end;
-        if shards > 1 then
-          run_sharded ~shards ~policy ~sample_every ~label:file ~trace_file
-            ~report_file
-            ~meta:
-              [
-                ("query", Obs.Json.String file);
-                ( "policy",
-                  Obs.Json.String (Fmt.str "%a" Engine.Purge_policy.pp policy)
-                );
-                ("safe", Obs.Json.Bool safe);
-              ]
-            query trace
-        else begin
-        let sink =
-          match trace_file with
-          | Some path -> Obs.Sink.jsonl_file path
-          | None -> Obs.Sink.null
-        in
-        let telemetry =
-          Engine.Telemetry.create ~sink ~watchdog:(Obs.Watchdog.create ()) ()
-        in
-        let compiled =
-          Engine.Executor.compile ~policy ~telemetry query
-            (Query.Plan.mjoin (Query.Cjq.stream_names query))
-        in
-        let result =
-          Engine.Executor.run ~sample_every ~label:file compiled
-            (List.to_seq trace)
-        in
-        Engine.Telemetry.close telemetry;
-        let n_results =
-          List.length (List.filter Element.is_data result.Engine.Executor.outputs)
-        in
-        Fmt.pr "policy: %a@." Engine.Purge_policy.pp policy;
-        Fmt.pr "consumed %d elements, emitted %d results@."
-          result.Engine.Executor.consumed n_results;
-        List.iter
-          (fun (op : Engine.Operator.t) ->
-            Fmt.pr "%s: %a@." op.Engine.Operator.name Engine.Operator.pp_stats
-              (op.Engine.Operator.stats ()))
-          (Engine.Executor.operators ~c:compiled);
-        Fmt.pr "@.state series:@.%a@." Engine.Metrics.pp_series
-          result.Engine.Executor.metrics;
-        Fmt.pr "growth slope (second half): %.4f tuples/element@."
-          (Engine.Metrics.growth_slope result.Engine.Executor.metrics);
-        Fmt.pr "index growth slope (second half): %.4f entries/element@."
-          (Engine.Metrics.index_growth_slope result.Engine.Executor.metrics);
-        Fmt.pr "output hash: %s@."
-          (Engine.Executor.output_hash result.Engine.Executor.outputs);
-        let alarms = Engine.Telemetry.alarms telemetry in
-        List.iter
-          (fun a -> Fmt.pr "WATCHDOG ALARM: %a@." Obs.Watchdog.pp_alarm a)
-          alarms;
-        (match trace_file with
-        | Some path -> Fmt.pr "trace written to %s@." path
-        | None -> ());
-        (match report_file with
-        | Some path ->
-            let rep =
-              Engine.Executor.report
-                ~meta:
-                  [
-                    ("query", Obs.Json.String file);
-                    ( "policy",
-                      Obs.Json.String
-                        (Fmt.str "%a" Engine.Purge_policy.pp policy) );
-                    ("safe", Obs.Json.Bool safe);
-                  ]
-                compiled result
+        match
+          if shards > 1 then
+            run_sharded ~shards ~policy ~sample_every ~label:file ~trace_file
+              ~report_file
+              ~meta:
+                [
+                  ("query", Obs.Json.String file);
+                  ( "policy",
+                    Obs.Json.String (Fmt.str "%a" Engine.Purge_policy.pp policy)
+                  );
+                  ("safe", Obs.Json.Bool safe);
+                ]
+              ~contract_config ~kill ~max_restarts ~fault_events query trace
+          else begin
+            let sink =
+              match trace_file with
+              | Some path -> Obs.Sink.jsonl_file path
+              | None -> Obs.Sink.null
             in
-            let oc = open_out path in
-            output_string oc (Obs.Json.to_string (Obs.Report.to_json rep));
-            output_char oc '\n';
-            close_out oc;
-            Fmt.pr "report written to %s@." path
-        | None -> ());
-        if alarms <> [] then 3 else 0
-        end
-      end
+            let telemetry =
+              Engine.Telemetry.create ~sink ~watchdog:(Obs.Watchdog.create ())
+                ()
+            in
+            List.iter (Engine.Telemetry.emit telemetry) fault_events;
+            let contract = Option.map Engine.Contract.create contract_config in
+            let compiled =
+              Engine.Executor.compile ~policy ~telemetry ?contract query
+                (Query.Plan.mjoin (Query.Cjq.stream_names query))
+            in
+            let result =
+              Engine.Executor.run ~sample_every ~label:file compiled
+                (List.to_seq trace)
+            in
+            Engine.Telemetry.close telemetry;
+            let n_results =
+              List.length
+                (List.filter Element.is_data result.Engine.Executor.outputs)
+            in
+            Fmt.pr "policy: %a@." Engine.Purge_policy.pp policy;
+            Fmt.pr "consumed %d elements, emitted %d results@."
+              result.Engine.Executor.consumed n_results;
+            List.iter
+              (fun (op : Engine.Operator.t) ->
+                Fmt.pr "%s: %a@." op.Engine.Operator.name
+                  Engine.Operator.pp_stats
+                  (op.Engine.Operator.stats ()))
+              (Engine.Executor.operators ~c:compiled);
+            Fmt.pr "@.state series:@.%a@." Engine.Metrics.pp_series
+              result.Engine.Executor.metrics;
+            Fmt.pr "growth slope (second half): %.4f tuples/element@."
+              (Engine.Metrics.growth_slope result.Engine.Executor.metrics);
+            Fmt.pr "index growth slope (second half): %.4f entries/element@."
+              (Engine.Metrics.index_growth_slope
+                 result.Engine.Executor.metrics);
+            Fmt.pr "output hash: %s@."
+              (Engine.Executor.output_hash result.Engine.Executor.outputs);
+            Option.iter pp_contract_summary contract;
+            let alarms = Engine.Telemetry.alarms telemetry in
+            List.iter
+              (fun a -> Fmt.pr "WATCHDOG ALARM: %a@." Obs.Watchdog.pp_alarm a)
+              alarms;
+            (match trace_file with
+            | Some path -> Fmt.pr "trace written to %s@." path
+            | None -> ());
+            (match report_file with
+            | Some path ->
+                let rep =
+                  Engine.Executor.report
+                    ~meta:
+                      [
+                        ("query", Obs.Json.String file);
+                        ( "policy",
+                          Obs.Json.String
+                            (Fmt.str "%a" Engine.Purge_policy.pp policy) );
+                        ("safe", Obs.Json.Bool safe);
+                      ]
+                    compiled result
+                in
+                let oc = open_out path in
+                output_string oc (Obs.Json.to_string (Obs.Report.to_json rep));
+                output_char oc '\n';
+                close_out oc;
+                Fmt.pr "report written to %s@." path
+            | None -> ());
+            if alarms <> [] then 3 else 0
+          end
+        with
+        | code -> code
+        | exception Engine.Contract.Violation_failure v ->
+            Fmt.epr
+              "CONTRACT VIOLATION (fatal): %s at op %s input %s, tick %d@."
+              v.Engine.Contract.kind v.Engine.Contract.op
+              v.Engine.Contract.input v.Engine.Contract.tick;
+            4
+        | exception Engine.Parallel_executor.Shard_failed { shard; attempts; reason }
+          ->
+            Fmt.epr "SHARD FAILED: shard %d dead after %d restart(s): %s@."
+              shard attempts reason;
+            5)
 
 let file =
   Arg.(
@@ -294,7 +351,10 @@ let save_trace =
   Arg.(
     value
     & opt (some string) None
-    & info [ "save-trace" ] ~doc:"Write the input trace to this file.")
+    & info [ "save-trace" ]
+        ~doc:
+          "Write the input trace (after fault injection, if any) to this \
+           file.")
 
 let report_file =
   Arg.(
@@ -325,12 +385,224 @@ let shards =
            docs/SHARDING.md). With 1 (the default) the classic sequential \
            executor runs; output hashes must agree between the two modes.")
 
+(* --- fault-injection flags (docs/FAULTS.md) --------------------------- *)
+
+let chaos_seed =
+  Arg.(
+    value & opt int 42
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the deterministic fault injector: the same seed, fault \
+           probabilities and workload always produce the same faulted trace \
+           and injection log.")
+
+let prob_flag name ~doc = Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc)
+
+let drop_punct =
+  prob_flag "drop-punct"
+    ~doc:"Per-punctuation probability of silently dropping it."
+
+let dup_punct =
+  prob_flag "dup-punct"
+    ~doc:"Per-punctuation probability of delivering it twice."
+
+let delay_punct =
+  prob_flag "delay-punct"
+    ~doc:"Per-punctuation probability of sliding it later in the trace."
+
+let delay_ticks =
+  Arg.(
+    value & opt int 3
+    & info [ "delay-ticks" ] ~docv:"N"
+        ~doc:"Positions a delayed punctuation slides (with --delay-punct).")
+
+let late_data =
+  prob_flag "late-data"
+    ~doc:
+      "Per-constant-punctuation probability of injecting a contradicting \
+       late tuple shortly after it — the contract violation --on-violation \
+       reacts to."
+
+let stall_conv : (string * int * int) Arg.conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ stream; at; ticks ] -> (
+        match (int_of_string_opt at, int_of_string_opt ticks) with
+        | Some at, Some ticks when at >= 0 && ticks > 0 ->
+            Ok (stream, at, ticks)
+        | _ -> Error (`Msg "expected STREAM:AT:TICKS with AT >= 0, TICKS > 0"))
+    | _ -> Error (`Msg "expected STREAM:AT:TICKS")
+  in
+  Arg.conv (parse, fun ppf (s, a, t) -> Fmt.pf ppf "%s:%d:%d" s a t)
+
+let stall =
+  Arg.(
+    value
+    & opt (some stall_conv) None
+    & info [ "stall" ] ~docv:"STREAM:AT:TICKS"
+        ~doc:
+          "Hold back STREAM's elements arriving at position >= AT for TICKS \
+           positions, starving its punctuation progress (pair with --grace \
+           to watch the stall monitor fire).")
+
+let faults =
+  let mk seed drop dup delay delay_ticks late stall =
+    if drop = 0. && dup = 0. && delay = 0. && late = 0. && stall = None then
+      None
+    else
+      Some
+        {
+          Fault_injector.seed;
+          drop_punct = drop;
+          dup_punct = dup;
+          delay_punct = delay;
+          delay_ticks;
+          late_data = late;
+          stall;
+        }
+  in
+  Term.(
+    const mk $ chaos_seed $ drop_punct $ dup_punct $ delay_punct $ delay_ticks
+    $ late_data $ stall)
+
+(* --- punctuation-contract flags --------------------------------------- *)
+
+let action_conv : Engine.Contract.action Arg.conv =
+  let parse s =
+    match Engine.Contract.action_of_string s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf a =
+    Fmt.string ppf
+      (match a with
+      | Engine.Contract.Fail -> "fail"
+      | Engine.Contract.Drop_late -> "drop-late"
+      | Engine.Contract.Quarantine -> "quarantine"
+      | Engine.Contract.Degrade -> "degrade"
+      | Engine.Contract.Count -> "count")
+  in
+  Arg.conv (parse, print)
+
+let on_violation =
+  Arg.(
+    value
+    & opt (some action_conv) None
+    & info [ "on-violation" ] ~docv:"ACTION"
+        ~doc:
+          "Arm the punctuation-contract monitor and pick its response to \
+           violations: $(b,fail) (abort, exit 4), $(b,drop-late), \
+           $(b,quarantine), $(b,degrade) (keep running, raise alarms, shed \
+           state under --state-budget) or $(b,count) (detect only). Without \
+           this flag violations are still counted in the report but never \
+           acted on.")
+
+let grace =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "grace" ] ~docv:"TICKS"
+        ~doc:
+          "Punctuation-stall grace window: flag a source whose punctuations \
+           make no progress for TICKS input elements.")
+
+let state_budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "state-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Approximate join-state byte budget enforced under \
+           --on-violation degrade: past it, operators shed oldest state \
+           (counted as shed_tuples) until back under.")
+
+let quarantine_cap =
+  Arg.(
+    value
+    & opt int Engine.Contract.default_config.Engine.Contract.quarantine_cap
+    & info [ "quarantine-cap" ] ~docv:"N"
+        ~doc:"Max quarantined late tuples kept (with --on-violation quarantine).")
+
+let contract_config =
+  let mk action grace budget cap =
+    match (action, grace, budget) with
+    | None, None, None -> None
+    | _ ->
+        let d = Engine.Contract.default_config in
+        Some
+          {
+            Engine.Contract.action =
+              Option.value action ~default:d.Engine.Contract.action;
+            grace;
+            state_budget_bytes = budget;
+            quarantine_cap = cap;
+          }
+  in
+  Term.(const mk $ on_violation $ grace $ state_budget $ quarantine_cap)
+
+(* --- shard-supervision flags ------------------------------------------ *)
+
+let kill_conv : Fault_injector.kill Arg.conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ shard; seq ] -> (
+        match (int_of_string_opt shard, int_of_string_opt seq) with
+        | Some shard, Some at_seq when shard >= 0 && at_seq >= 0 ->
+            Ok { Fault_injector.shard; at_seq }
+        | _ -> Error (`Msg "expected SHARD:SEQ with both >= 0"))
+    | _ -> Error (`Msg "expected SHARD:SEQ")
+  in
+  Arg.conv
+    (parse, fun ppf (k : Fault_injector.kill) ->
+      Fmt.pf ppf "%d:%d" k.Fault_injector.shard k.Fault_injector.at_seq)
+
+let kill =
+  Arg.(
+    value
+    & opt (some kill_conv) None
+    & info [ "kill-shard" ] ~docv:"SHARD:SEQ"
+        ~doc:
+          "Deterministically kill worker domain SHARD when it reaches global \
+           element sequence SEQ (requires --shards > 1). The supervisor \
+           restarts it from history replay; output must match the fault-free \
+           run.")
+
+let max_restarts =
+  Arg.(
+    value & opt int 2
+    & info [ "max-restarts" ] ~docv:"N"
+        ~doc:
+          "Restart budget per shard; a shard crashing more than N times \
+           fails the run with exit 5.")
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success (bounded run, no fatal violation).";
+    Cmd.Exit.info 1 ~doc:"on query parse or validation errors.";
+    Cmd.Exit.info 2
+      ~doc:"when refusing to run an unsafe query (re-run with --force).";
+    Cmd.Exit.info 3
+      ~doc:
+        "when the run completed but the state-growth watchdog latched an \
+         alarm (leak, or a punctuation stall under --grace).";
+    Cmd.Exit.info 4
+      ~doc:
+        "when a punctuation-contract violation aborted the run \
+         (--on-violation fail).";
+    Cmd.Exit.info 5
+      ~doc:
+        "when a shard crashed and exhausted its --max-restarts budget \
+         (sharded mode).";
+  ]
+  @ Cmd.Exit.defaults
+
 let cmd =
   let doc = "run a continuous join query over a synthetic punctuated workload" in
-  Cmd.v (Cmd.info "pstream-run" ~doc)
+  Cmd.v
+    (Cmd.info "pstream-run" ~doc ~exits)
     Term.(
       const run_query $ file $ rounds $ tuples_per_round $ punct_lag $ policy
       $ force $ sample_every $ replay $ save_trace $ report_file $ trace_file
-      $ shards)
+      $ shards $ faults $ contract_config $ kill $ max_restarts)
 
 let () = exit (Cmd.eval' cmd)

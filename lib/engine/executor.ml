@@ -19,6 +19,7 @@ type compiled = {
   root : node;
   all_ops : Operator.t list;
   telemetry : Telemetry.t;
+  contract : Contract.t option;
   unreachable : (string * string list) list;
       (* per operator: inputs whose state fails the GPG purge-reachability
          check — the watchdog's static diagnosis *)
@@ -49,7 +50,7 @@ let attr_in_node node s attr =
 
 let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
     ?punct_lifespan ?(punct_partner_purge = false)
-    ?(telemetry = Telemetry.null) query plan =
+    ?(telemetry = Telemetry.null) ?contract query plan =
   Plan.validate plan query;
   let preds = Cjq.predicates query in
   let counter = ref 0 in
@@ -108,11 +109,12 @@ let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
                   schemes = node_schemes n;
                 }
               in
-              Sym_hash_join.create ~name:op_name ~policy ~telemetry
+              Sym_hash_join.create ~name:op_name ~policy ~telemetry ?contract
                 ~left:(side a) ~right:(side b) ~predicates:lifted ()
           | _ ->
               Mjoin.create ~name:op_name ~policy ?punct_lifespan
-                ~punct_partner_purge ~telemetry ~inputs ~predicates:lifted ()
+                ~punct_partner_purge ~telemetry ?contract ~inputs
+                ~predicates:lifted ()
         in
         let op = Telemetry.wrap_op telemetry op in
         ops := op :: !ops;
@@ -158,10 +160,33 @@ let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
           }
   in
   let root = build plan in
-  { root; all_ops = List.rev !ops; telemetry; unreachable = List.rev !unreachable }
+  let rec register_leaves ct = function
+    | Leaf l ->
+        List.iter
+          (fun sch -> Contract.register_source ct ~stream:l.stream sch)
+          l.schemes
+    | Inner i -> List.iter (register_leaves ct) i.children
+  in
+  Option.iter (fun ct -> register_leaves ct root) contract;
+  { root; all_ops = List.rev !ops; telemetry; contract;
+    unreachable = List.rev !unreachable }
 
 let operators ~c = c.all_ops
 let telemetry c = c.telemetry
+let contract c = c.contract
+
+(* Arm a (possibly different) contract's stall tracking with this tree's
+   leaf sources — the sharded driver tracks stalls on its own contract
+   while the per-shard contracts handle late data inside the workers. *)
+let register_sources ct c =
+  let rec go = function
+    | Leaf l ->
+        List.iter
+          (fun sch -> Contract.register_source ct ~stream:l.stream sch)
+          l.schemes
+    | Inner i -> List.iter go i.children
+  in
+  go c.root
 
 let unreachable_inputs c op_name =
   match List.assoc_opt op_name c.unreachable with Some l -> l | None -> []
@@ -310,6 +335,23 @@ let run ?(sample_every = 100) ?sink ?(label = "run") c elements =
             c.all_ops
     end
   in
+  (* Contract checks run on the sampling grid whether or not telemetry is
+     enabled: stall detection and budget enforcement are behaviour, not
+     instrumentation. With no contract these are no-ops and the run is
+     byte-identical to the pre-contract engine. *)
+  let contract_checks ~tick =
+    match c.contract with
+    | None -> ()
+    | Some ct ->
+        ignore
+          (Contract.check_stalls ct
+             ~emit:(fun e -> Telemetry.emit telemetry e)
+             ?watchdog:(Telemetry.watchdog telemetry) ~tick ());
+        ignore
+          (Contract.enforce_budget ct ~telemetry ~tick
+             ~bytes_now:(fun () -> total_state_bytes c)
+             ())
+  in
   if Telemetry.enabled telemetry then begin
     Telemetry.set_clock telemetry 0;
     Telemetry.emit telemetry (Obs.Event.Run_start { tick = 0; label })
@@ -318,13 +360,19 @@ let run ?(sample_every = 100) ?sink ?(label = "run") c elements =
     (fun element ->
       incr consumed;
       Telemetry.set_clock telemetry !consumed;
+      (match c.contract with
+      | Some ct -> Contract.note_element ct ~tick:!consumed element
+      | None -> ());
       accept (feed c.root element);
       Metrics.observe metrics ~tick:!consumed
         ~data_state:(total_data_state c)
         ~punct_state:(total_punct_state c)
         ~index_state:(total_index_state c)
         ~state_bytes:(total_state_bytes c) ~emitted:!emitted ();
-      if !consumed mod sample_every = 0 then sample ~tick:!consumed)
+      if !consumed mod sample_every = 0 then begin
+        contract_checks ~tick:!consumed;
+        sample ~tick:!consumed
+      end)
     elements;
   accept (final_flush c.root);
   Metrics.flush metrics ~tick:!consumed ~data_state:(total_data_state c)
@@ -397,13 +445,19 @@ let report ?(meta = []) c (r : result) =
         })
       c.all_ops
   in
+  let contract_meta =
+    match c.contract with
+    | None -> []
+    | Some ct -> [ ("contract", Obs.Json.Obj (Contract.meta_counters ct)) ]
+  in
   {
     Obs.Report.meta =
       meta
       @ [
           ("consumed", Obs.Json.Int r.consumed);
           ("emitted", Obs.Json.Int r.emitted);
-        ];
+        ]
+      @ contract_meta;
     operators;
     registry = Telemetry.registry c.telemetry;
     series = series_json r.metrics;

@@ -29,6 +29,7 @@ val compile :
   ?punct_lifespan:Core.Punct_purge.lifespan ->
   ?punct_partner_purge:bool ->
   ?telemetry:Telemetry.t ->
+  ?contract:Contract.t ->
   Query.Cjq.t ->
   Query.Plan.t ->
   compiled
@@ -38,6 +39,17 @@ val operators : c:compiled -> Operator.t list
 
 (** [telemetry c] — the handle the tree was compiled with. *)
 val telemetry : compiled -> Telemetry.t
+
+(** [contract c] — the punctuation-contract monitor the tree was compiled
+    with, if any. Shared by every join operator of the tree; {!run} drives
+    its stall checks and budget enforcement on the sampling grid. *)
+val contract : compiled -> Contract.t option
+
+(** [register_sources ct c] — arm [ct]'s stall tracking with [c]'s leaf
+    (stream, scheme) sources. [compile] already does this for its own
+    [?contract]; the sharded driver uses this to track stalls on a separate
+    driver-side contract while per-shard contracts ride inside workers. *)
+val register_sources : Contract.t -> compiled -> unit
 
 (** [unreachable_inputs c op] — inputs of [op] whose state fails the GPG
     purge-reachability check ({!Core.Gpg.reaches_all}); empty for safe

@@ -28,8 +28,8 @@ type slot = {
 }
 
 let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
-    ?(punct_partner_purge = false) ?(telemetry = Telemetry.null) ~inputs
-    ~predicates () =
+    ?(punct_partner_purge = false) ?(telemetry = Telemetry.null) ?contract
+    ~inputs ~predicates () =
   if List.length inputs < 2 then
     invalid_arg "Mjoin.create: need at least two inputs";
   let names = List.map (fun i -> i.name) inputs in
@@ -68,6 +68,32 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
      push, so lag is 0; lazy purging defers, so lag reflects the flush
      cadence (§5's cost axis). *)
   let pending_since = ref None in
+  (* Emergency evictor for degraded mode: shed roughly a quarter of each
+     input's state per round, oldest-iteration-order first. Shed tuples may
+     silence future matches — that is load shedding's documented trade. *)
+  (match contract with
+  | None -> ()
+  | Some c ->
+      Contract.register_shedder c ~op:name (fun () ->
+          let bytes () =
+            List.fold_left
+              (fun acc s ->
+                acc + (Join_state.mem_stats s.state).Join_state.approx_bytes)
+              0 slots
+          in
+          let before = bytes () in
+          let victims =
+            List.fold_left
+              (fun acc s ->
+                let want = (Join_state.size s.state + 3) / 4 in
+                let seen = ref 0 in
+                acc
+                + Join_state.purge_if s.state (fun _ ->
+                      incr seen;
+                      !seen <= want))
+              0 slots
+          in
+          (victims, max 0 (before - bytes ()))));
 
   (* --- result assembly ---------------------------------------------- *)
   let assemble assignment =
@@ -213,18 +239,41 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
     match element with
     | Element.Data tup ->
         stats := { !stats with tuples_in = !stats.tuples_in + 1 };
-        if Telemetry.enabled telemetry then begin
-          Telemetry.incr telemetry (name ^ ".probes");
-          Telemetry.incr telemetry (name ^ ".inserts")
-        end;
-        let results = probe_from input_name tup in
-        Join_state.insert (slot_of input_name).state tup;
-        stats :=
-          { !stats with tuples_out = !stats.tuples_out + List.length results };
-        List.map (fun t -> Element.Data t) results
+        (* Input well-formedness: does this tuple contradict a punctuation
+           its own input already delivered? Detection is unconditional (the
+           stat and counter always move); the response is the contract's. *)
+        let admit =
+          if Punct_store.forbids (slot_of input_name).puncts tup then begin
+            stats := { !stats with late_tuples = !stats.late_tuples + 1 };
+            Contract.handle_late contract ~telemetry ~op:name
+              ~input:input_name tup
+          end
+          else `Admit
+        in
+        (match admit with
+        | `Drop ->
+            (* Late tuples must not probe either: a dropped/quarantined
+               run's answer is the fault-free answer. *)
+            []
+        | `Admit ->
+            if Telemetry.enabled telemetry then begin
+              Telemetry.incr telemetry (name ^ ".probes");
+              Telemetry.incr telemetry (name ^ ".inserts")
+            end;
+            let results = probe_from input_name tup in
+            Join_state.insert (slot_of input_name).state tup;
+            stats :=
+              {
+                !stats with
+                tuples_out = !stats.tuples_out + List.length results;
+              };
+            List.map (fun t -> Element.Data t) results)
     | Element.Punct p ->
         stats := { !stats with puncts_in = !stats.puncts_in + 1 };
         let informative = Punct_store.insert (slot_of input_name).puncts ~now:!now p in
+        if not informative then
+          Contract.handle_punct_rejected contract ~telemetry ~op:name
+            ~input:input_name ~ordered:(Punctuation.is_ordered p);
         if informative then begin
           incr pending_puncts;
           if !pending_since = None then

@@ -32,6 +32,10 @@ type input = {
     [telemetry] (default {!Telemetry.null}) receives structured purge
     events and per-operator probe/insert/purge-lag measurements; the null
     handle makes every instrumentation site a no-op.
+    [contract], when given, decides the fate of late tuples (arrivals
+    contradicting this input's stored punctuations — detected and counted
+    regardless) and punctuation anomalies, and receives an emergency
+    state-shedder for degraded mode.
     @raise Invalid_argument on malformed inputs (fewer than two, duplicate
     names, atoms over unknown inputs). *)
 val create :
@@ -40,6 +44,7 @@ val create :
   ?punct_lifespan:Core.Punct_purge.lifespan ->
   ?punct_partner_purge:bool ->
   ?telemetry:Telemetry.t ->
+  ?contract:Contract.t ->
   inputs:input list ->
   predicates:Relational.Predicate.t ->
   unit ->

@@ -7,6 +7,9 @@ type stats = {
   puncts_purged : int;
   puncts_dropped : int;
   purge_rounds : int;
+  late_tuples : int;
+      (* arrivals contradicting a punctuation their own input already
+         delivered — counted whether or not a contract responds to them *)
 }
 
 let empty_stats =
@@ -19,13 +22,14 @@ let empty_stats =
     puncts_purged = 0;
     puncts_dropped = 0;
     purge_rounds = 0;
+    late_tuples = 0;
   }
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "in: %d tuples / %d puncts; out: %d tuples / %d puncts; purged: %d tuples / %d puncts in %d rounds; dropped %d puncts"
+    "in: %d tuples / %d puncts; out: %d tuples / %d puncts; purged: %d tuples / %d puncts in %d rounds; dropped %d puncts; late %d tuples"
     s.tuples_in s.puncts_in s.tuples_out s.puncts_out s.tuples_purged
-    s.puncts_purged s.purge_rounds s.puncts_dropped
+    s.puncts_purged s.purge_rounds s.puncts_dropped s.late_tuples
 
 let stats_to_alist s =
   [
@@ -37,6 +41,7 @@ let stats_to_alist s =
     ("puncts_purged", s.puncts_purged);
     ("puncts_dropped", s.puncts_dropped);
     ("purge_rounds", s.purge_rounds);
+    ("late_tuples", s.late_tuples);
   ]
 
 type t = {

@@ -18,6 +18,11 @@ type stats = {
           conservation law
           [puncts_in = punct_state + puncts_purged + puncts_dropped]. *)
   purge_rounds : int;
+  late_tuples : int;
+      (** data tuples that arrived contradicting a punctuation their own
+          input had already delivered ({!Punct_store.forbids}) — an input
+          contract violation, counted whether or not a {!Contract}
+          responds to it *)
 }
 
 val empty_stats : stats

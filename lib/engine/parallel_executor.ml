@@ -1,4 +1,5 @@
 module Element = Streams.Element
+module Fault_injector = Streams.Fault_injector
 
 (* Messages the driver ships to a worker domain. Elements travel in
    batches so the queue's atomics are touched once per ~batch, not once
@@ -9,12 +10,21 @@ type message =
   | Barrier of int
   | Stop of int  (** final tick: the worker flushes its tree under it *)
 
+exception Shard_failed of { shard : int; attempts : int; reason : string }
+
+let queue_capacity = 64
+
 type shard = {
   index : int;
-  compiled : Executor.compiled;
-  queue : message Spsc.t;
-  tel : Telemetry.t;
-  events_of : unit -> Obs.Event.t list;
+  (* One *incarnation* of a shard = (compiled, queue, tel, contract,
+     domain). A crash retires the incarnation wholesale: the replacement
+     gets fresh state everywhere and rebuilds itself by replaying
+     [history]. All incarnation fields are therefore mutable. *)
+  mutable compiled : Executor.compiled;
+  mutable queue : message Spsc.t;
+  mutable tel : Telemetry.t;
+  mutable events_of : unit -> Obs.Event.t list;
+  mutable contract : Contract.t option;
   mutable acked : int;  (** last barrier id this worker reached; under lock *)
   (* The plain mutable fields below are written by the worker domain and
      read by the driver only inside a barrier (worker parked on the
@@ -23,6 +33,15 @@ type shard = {
   mutable outputs : (int * int * Element.t) list;
       (** (global seq, emission rank, element), newest first *)
   mutable out_rank : int;
+  (* Supervision. [history] is the replay log: every Batch ever sent to
+     this shard, newest first (barriers and Stop are control flow, not
+     state, and are not replayed). A shard's state is a pure function of
+     its batch sequence, so replaying [history] into a fresh incarnation
+     reproduces the dead one's state, outputs and events exactly. *)
+  mutable history : message list;
+  mutable domain : unit Domain.t option;
+  mutable dead : exn option;  (** the incarnation's post-mortem; under lock *)
+  mutable restarts : int;
 }
 
 type t = {
@@ -32,47 +51,85 @@ type t = {
      [released] until [release] passes their barrier id. Blocking (not
      spinning) so a quiesced worker yields its core to the driver — on a
      core-constrained host a spin barrier serializes into scheduler
-     timeslices. *)
+     timeslices. A dying worker also broadcasts [arrived] (with [dead]
+     set), so the driver can never wait forever on a crashed shard. *)
   lock : Mutex.t;
   arrived : Condition.t;
   released : Condition.t;
   mutable release : int;  (** last barrier id the driver released *)
   watchdog : Obs.Watchdog.t option;
   instrument : bool;
+  (* Deterministic worker-kill fault: one-shot via the armed flag, so the
+     restarted incarnation replays the same sequence number unharmed. *)
+  kill : (Fault_injector.kill * bool Atomic.t) option;
+  max_restarts : int;
+  contract_config : Contract.config option;
+  driver_contract : Contract.t option;
+      (* stall tracking lives with the driver, which sees the whole input;
+         per-shard contracts (inside [shards]) handle late data and hold
+         the shedders, each under 1/n of the state budget *)
+  mk_tel : unit -> Telemetry.t * (unit -> Obs.Event.t list);
+  mk_contract : unit -> Contract.t option;
+  compile_shard : Telemetry.t -> Contract.t option -> Executor.compiled;
   mutable driver_events : Obs.Event.t list;  (* newest first *)
   mutable merged : (int option * Obs.Event.t) list;
   mutable ran : bool;
 }
 
 let create ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge ?watchdog
-    ?(instrument = false) ~shards:n query plan =
+    ?(instrument = false) ?contract_config ?kill ?(max_restarts = 2) ~shards:n
+    query plan =
   if n <= 0 then
     invalid_arg "Parallel_executor.create: shards must be positive";
+  if max_restarts < 0 then
+    invalid_arg "Parallel_executor.create: max_restarts must be >= 0";
   let router = Shard_router.create ~shards:n query in
+  let mk_tel () =
+    if instrument then
+      let sink, contents = Obs.Sink.memory () in
+      (Telemetry.create ~sink (), contents)
+    else (Telemetry.null, fun () -> [])
+  in
+  let mk_contract () =
+    Option.map
+      (fun (cfg : Contract.config) ->
+        Contract.create
+          {
+            cfg with
+            Contract.state_budget_bytes =
+              Option.map (fun b -> max 1 (b / n)) cfg.Contract.state_budget_bytes;
+          })
+      contract_config
+  in
+  let compile_shard tel contract =
+    Executor.compile ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge
+      ~telemetry:tel ?contract query plan
+  in
   let shards =
     Array.init n (fun index ->
-        let tel, events_of =
-          if instrument then
-            let sink, contents = Obs.Sink.memory () in
-            (Telemetry.create ~sink (), contents)
-          else (Telemetry.null, fun () -> [])
-        in
-        let compiled =
-          Executor.compile ?policy ?binary_impl ?punct_lifespan
-            ?punct_partner_purge ~telemetry:tel query plan
-        in
+        let tel, events_of = mk_tel () in
+        let contract = mk_contract () in
         {
           index;
-          compiled;
-          queue = Spsc.create ~capacity:64;
+          compiled = compile_shard tel contract;
+          queue = Spsc.create ~capacity:queue_capacity;
           tel;
           events_of;
+          contract;
           acked = 0;
           emitted = 0;
           outputs = [];
           out_rank = 0;
+          history = [];
+          domain = None;
+          dead = None;
+          restarts = 0;
         })
   in
+  let driver_contract = Option.map Contract.create contract_config in
+  Option.iter
+    (fun ct -> Executor.register_sources ct shards.(0).compiled)
+    driver_contract;
   {
     router;
     shards;
@@ -82,6 +139,13 @@ let create ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge ?watchdog
     release = 0;
     watchdog;
     instrument;
+    kill = Option.map (fun k -> (k, Atomic.make true)) kill;
+    max_restarts;
+    contract_config;
+    driver_contract;
+    mk_tel;
+    mk_contract;
+    compile_shard;
     driver_events = [];
     merged = [];
     ran = false;
@@ -89,6 +153,9 @@ let create ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge ?watchdog
 
 let router t = t.router
 let n_shards t = Array.length t.shards
+
+let crash_count t =
+  Array.fold_left (fun acc s -> acc + s.restarts) 0 t.shards
 
 (* Minor collections are stop-the-world across every domain in OCaml 5, so
    their frequency — allocation rate over minor-arena size — is a
@@ -121,14 +188,22 @@ let worker t shard =
   in
   let rec loop () =
     match Spsc.pop_wait shard.queue with
-    | Batch arr ->
+    | `Closed -> ()
+    | `Item (Batch arr) ->
         Array.iter
           (fun (seq, el) ->
+            (match t.kill with
+            | Some (k, armed)
+              when shard.index = k.Fault_injector.shard
+                   && seq >= k.Fault_injector.at_seq
+                   && Atomic.compare_and_set armed true false ->
+                raise (Fault_injector.Injected_kill k)
+            | _ -> ());
             Telemetry.set_clock shard.tel seq;
             record seq (Executor.feed_element shard.compiled el))
           arr;
         loop ()
-    | Barrier id ->
+    | `Item (Barrier id) ->
         (* Two-phase: announce arrival, then park until the driver has
            finished reading our state and releases the round. *)
         Mutex.lock t.lock;
@@ -139,13 +214,23 @@ let worker t shard =
         done;
         Mutex.unlock t.lock;
         loop ()
-    | Stop final_tick ->
+    | `Item (Stop final_tick) ->
         (* Flush events are stamped at the final tick, like a sequential
            run's; flush *outputs* sort after every element's outputs. *)
         Telemetry.set_clock shard.tel final_tick;
         record (final_tick + 1) (Executor.flush_tree shard.compiled)
   in
-  loop ()
+  try loop ()
+  with e ->
+    (* Post-mortem protocol: poison the queue first (wakes a driver parked
+       on a full push), then publish the cause under the lock and wake a
+       driver parked on the barrier. The driver never waits forever on a
+       dead peer. *)
+    Spsc.close shard.queue;
+    Mutex.lock t.lock;
+    shard.dead <- Some e;
+    Condition.broadcast t.arrived;
+    Mutex.unlock t.lock
 
 type result = {
   outputs : Element.t list;
@@ -197,15 +282,124 @@ let run ?(sample_every = 100) ?(label = "run") t elements =
     if t.instrument then t.driver_events <- e :: t.driver_events
   in
   emit_driver (Obs.Event.Run_start { tick = 0; label });
-  let domains =
-    Array.map (fun s -> Domain.spawn (fun () -> worker t s)) t.shards
+  Array.iter
+    (fun s -> s.domain <- Some (Domain.spawn (fun () -> worker t s)))
+    t.shards;
+  let consumed = ref 0 in
+  (* --- supervision --------------------------------------------------- *)
+  let abort_all () =
+    (* Terminal teardown: poison every queue, lift every barrier, reap
+       every domain — so an exception can propagate out of [run] without
+       leaving worker domains parked forever. *)
+    Array.iter (fun (s : shard) -> Spsc.close s.queue) t.shards;
+    Mutex.lock t.lock;
+    t.release <- max_int;
+    Condition.broadcast t.released;
+    Mutex.unlock t.lock;
+    Array.iter
+      (fun (s : shard) ->
+        match s.domain with
+        | Some d ->
+            (try Domain.join d with _ -> ());
+            s.domain <- None
+        | None -> ())
+      t.shards
   in
+  (* Restart a crashed shard: reap the dead incarnation, back off, build a
+     fresh one, replay its batch history. Contract failures are poison —
+     deterministic replay would only re-raise them, so they fail the run
+     instead of burning retries. *)
+  let rec handle_crash k =
+    let s = t.shards.(k) in
+    Mutex.lock t.lock;
+    while s.dead = None do
+      Condition.wait t.arrived t.lock
+    done;
+    let cause = match s.dead with Some e -> e | None -> assert false in
+    Mutex.unlock t.lock;
+    (match s.domain with
+    | Some d ->
+        (try Domain.join d with _ -> ());
+        s.domain <- None
+    | None -> ());
+    (match cause with
+    | Contract.Violation_failure _ ->
+        abort_all ();
+        raise cause
+    | _ -> ());
+    let reason = Printexc.to_string cause in
+    if s.restarts >= t.max_restarts then begin
+      let attempts = s.restarts in
+      emit_driver
+        (Obs.Event.Shard_crash
+           { tick = !consumed; shard = k; reason; attempt = attempts + 1 });
+      abort_all ();
+      raise (Shard_failed { shard = k; attempts; reason })
+    end;
+    s.restarts <- s.restarts + 1;
+    let attempt = s.restarts in
+    emit_driver
+      (Obs.Event.Shard_crash { tick = !consumed; shard = k; reason; attempt });
+    (* bounded exponential backoff before the respawn *)
+    Unix.sleepf (0.005 *. float_of_int (1 lsl min (attempt - 1) 6));
+    let tel, events_of = t.mk_tel () in
+    let contract = t.mk_contract () in
+    s.tel <- tel;
+    s.events_of <- events_of;
+    s.contract <- contract;
+    s.compiled <- t.compile_shard tel contract;
+    s.queue <- Spsc.create ~capacity:queue_capacity;
+    (* The dead incarnation's outputs, counters and events are discarded
+       wholesale: determinism means the replay reproduces every one of
+       them, and keeping both would double-count. *)
+    s.outputs <- [];
+    s.out_rank <- 0;
+    s.emitted <- 0;
+    s.dead <- None;
+    Mutex.lock t.lock;
+    s.acked <- t.release;
+    Mutex.unlock t.lock;
+    s.domain <- Some (Domain.spawn (fun () -> worker t s));
+    let replayed = List.length s.history in
+    let rec replay = function
+      | [] ->
+          emit_driver
+            (Obs.Event.Shard_restart
+               { tick = !consumed; shard = k; attempt; replayed });
+          `Ok
+      | msg :: rest -> (
+          match Spsc.push s.queue msg with
+          | `Ok -> replay rest
+          | `Closed -> `Died)
+    in
+    match replay (List.rev s.history) with
+    | `Ok -> ()
+    | `Died -> handle_crash k
+  in
+  let rec send_ctl k msg =
+    match Spsc.push t.shards.(k).queue msg with
+    | `Ok -> ()
+    | `Closed ->
+        handle_crash k;
+        send_ctl k msg
+  in
+  let send_batch k arr =
+    let s = t.shards.(k) in
+    let msg = Batch arr in
+    (* Record before pushing: if the push finds the worker dead, the
+       restart's replay must include this batch. *)
+    s.history <- msg :: s.history;
+    match Spsc.push s.queue msg with
+    | `Ok -> ()
+    | `Closed -> handle_crash k
+  in
+  (* --- batching ------------------------------------------------------- *)
   let batch_cap = 256 in
   let bufs = Array.make n [] in
   let buf_len = Array.make n 0 in
   let flush_buf k =
     if buf_len.(k) > 0 then begin
-      Spsc.push t.shards.(k).queue (Batch (Array.of_list (List.rev bufs.(k))));
+      send_batch k (Array.of_list (List.rev bufs.(k)));
       bufs.(k) <- [];
       buf_len.(k) <- 0
     end
@@ -221,13 +415,38 @@ let run ?(sample_every = 100) ?(label = "run") t elements =
     let id = !barrier_id in
     for k = 0 to n - 1 do
       flush_buf k;
-      Spsc.push t.shards.(k).queue (Barrier id)
+      send_ctl k (Barrier id)
     done;
-    Mutex.lock t.lock;
-    while Array.exists (fun (s : shard) -> s.acked < id) t.shards do
-      Condition.wait t.arrived t.lock
-    done;
-    Mutex.unlock t.lock
+    (* Wait until every shard is parked at the barrier — restarting any
+       that die on the way. A worker that acked cannot crash while parked
+       (it runs no code until released), so an ack is stable. *)
+    let rec await () =
+      Mutex.lock t.lock;
+      while
+        Array.exists
+          (fun (s : shard) -> s.dead = None && s.acked < id)
+          t.shards
+        && Array.for_all (fun (s : shard) -> s.dead = None) t.shards
+      do
+        Condition.wait t.arrived t.lock
+      done;
+      let dead =
+        Array.to_list t.shards
+        |> List.filter_map (fun (s : shard) ->
+               if s.dead <> None then Some s.index else None)
+      in
+      Mutex.unlock t.lock;
+      match dead with
+      | [] -> ()
+      | ks ->
+          List.iter
+            (fun k ->
+              handle_crash k;
+              send_ctl k (Barrier id))
+            ks;
+          await ()
+    in
+    await ()
   in
   let release () =
     Mutex.lock t.lock;
@@ -277,6 +496,28 @@ let run ?(sample_every = 100) ?(label = "run") t elements =
                      }))
           (state_breakdown t)
   in
+  (* Contract checks on the barrier grid, mirroring Executor.run's: the
+     driver (which sees the whole input) checks punctuation-progress
+     stalls; each shard's contract enforces its slice of the state budget.
+     Workers are parked, so reading and shedding their state is safe. *)
+  let contract_checks ~tick =
+    (match t.driver_contract with
+    | Some ct ->
+        ignore
+          (Contract.check_stalls ct ~emit:emit_driver ?watchdog:t.watchdog
+             ~tick ())
+    | None -> ());
+    Array.iter
+      (fun (s : shard) ->
+        match s.contract with
+        | Some ct ->
+            ignore
+              (Contract.enforce_budget ct ~telemetry:s.tel ~tick
+                 ~bytes_now:(fun () -> Executor.total_state_bytes s.compiled)
+                 ())
+        | None -> ())
+      t.shards
+  in
   let observe_metrics
       (record :
         Metrics.t ->
@@ -293,30 +534,60 @@ let run ?(sample_every = 100) ?(label = "run") t elements =
       ~index_state:(total_index_state t)
       ~state_bytes:(total_state_bytes t) ~emitted:(emitted_total ()) ()
   in
-  let consumed = ref 0 in
-  Seq.iter
-    (fun el ->
-      incr consumed;
-      let seq = !consumed in
-      (match Shard_router.route_element t.router el with
-      | Shard_router.Local k -> send k (seq, el)
-      | Shard_router.Broadcast ->
-          for k = 0 to n - 1 do
-            send k (seq, el)
-          done);
-      if !consumed mod sample_every = 0 then begin
-        quiesce ();
-        observe_metrics Metrics.observe ~tick:!consumed;
-        sample_and_watch ~tick:!consumed;
-        release ()
-      end)
-    elements;
-  for k = 0 to n - 1 do
-    flush_buf k;
-    Spsc.push t.shards.(k).queue (Stop !consumed)
-  done;
-  Array.iter Domain.join domains;
+  let body () =
+    Seq.iter
+      (fun el ->
+        incr consumed;
+        let seq = !consumed in
+        (match t.driver_contract with
+        | Some ct -> Contract.note_element ct ~tick:seq el
+        | None -> ());
+        (match Shard_router.route_element t.router el with
+        | Shard_router.Local k -> send k (seq, el)
+        | Shard_router.Broadcast ->
+            for k = 0 to n - 1 do
+              send k (seq, el)
+            done);
+        if !consumed mod sample_every = 0 then begin
+          quiesce ();
+          observe_metrics Metrics.observe ~tick:!consumed;
+          contract_checks ~tick:!consumed;
+          sample_and_watch ~tick:!consumed;
+          release ()
+        end)
+      elements;
+    for k = 0 to n - 1 do
+      flush_buf k;
+      send_ctl k (Stop !consumed)
+    done;
+    (* Reap the fleet, restarting any shard that died on (or before) its
+       flush — the restart replays history, then gets Stop again. *)
+    let rec reap k =
+      let s = t.shards.(k) in
+      match s.domain with
+      | None -> ()
+      | Some d ->
+          Domain.join d;
+          s.domain <- None;
+          if s.dead <> None then begin
+            handle_crash k;
+            send_ctl k (Stop !consumed);
+            reap k
+          end
+    in
+    for k = 0 to n - 1 do
+      reap k
+    done
+  in
+  (try body ()
+   with e ->
+     (* Shard_failed / contract poison already aborted; anything else
+        (e.g. a driver-contract stall under Fail) still needs the fleet
+        torn down before the exception escapes. *)
+     abort_all ();
+     raise e);
   observe_metrics Metrics.flush ~tick:!consumed;
+  contract_checks ~tick:!consumed;
   sample_and_watch ~tick:!consumed;
   emit_driver (Obs.Event.Run_end { tick = !consumed; emitted = emitted_total () });
   let outputs =
@@ -395,13 +666,44 @@ let report ?(meta = []) t (r : result) =
         })
       (Executor.operators ~c:c0)
   in
+  let contract_meta =
+    match t.contract_config with
+    | None -> []
+    | Some _ ->
+        let sum f =
+          Array.fold_left
+            (fun acc s ->
+              acc + match s.contract with Some c -> f c | None -> 0)
+            0 t.shards
+        in
+        let stalls =
+          match t.driver_contract with
+          | Some c -> Contract.stall_count c
+          | None -> 0
+        in
+        [
+          ( "contract",
+            Obs.Json.Obj
+              [
+                ("late_tuples", Obs.Json.Int (sum Contract.late_count));
+                ("dup_puncts", Obs.Json.Int (sum Contract.dup_count));
+                ("punct_stalls", Obs.Json.Int stalls);
+                ("quarantined", Obs.Json.Int (sum Contract.quarantined_count));
+                ( "quarantine_overflow",
+                  Obs.Json.Int (sum Contract.quarantine_overflow) );
+                ("shed_tuples", Obs.Json.Int (sum Contract.shed_count));
+              ] );
+        ]
+  in
   {
     Obs.Report.meta =
       (("shards", Obs.Json.Int (n_shards t)) :: meta)
       @ [
           ("consumed", Obs.Json.Int r.consumed);
           ("emitted", Obs.Json.Int r.emitted);
-        ];
+          ("shard_crashes", Obs.Json.Int (crash_count t));
+        ]
+      @ contract_meta;
     operators;
     registry =
       Obs.Registry.merged

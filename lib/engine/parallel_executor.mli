@@ -38,9 +38,29 @@
     The driver feeds a single optional watchdog with each operator's
     state summed across shards under the sequential operator names, so an
     unsafe query trips the same alarms at the same ticks as a sequential
-    run on the sampling grid. *)
+    run on the sampling grid.
+
+    {2 Supervision}
+
+    Worker domains are supervised: an exception escaping a worker (a bug,
+    or an injected {!Streams.Fault_injector.Injected_kill}) poisons its
+    {!Spsc} queue and publishes a post-mortem instead of hanging the
+    barrier. The driver then joins the dead domain and — because a shard's
+    state is a pure function of its input batch sequence — restarts it
+    from a fresh compile and replays its recorded history, reproducing
+    the dead incarnation's state, outputs and telemetry exactly (which is
+    why the dead incarnation's are discarded wholesale, not merged).
+    Restarts are bounded per shard ([max_restarts], exponential backoff);
+    exhausting them raises {!Shard_failed}. A
+    {!Contract.Violation_failure} escaping a worker is poison, not a
+    crash: replay would deterministically re-raise it, so it aborts the
+    fleet and propagates. *)
 
 type t
+
+exception Shard_failed of { shard : int; attempts : int; reason : string }
+(** A shard kept crashing past its restart budget; the fleet has been
+    torn down. The CLI maps this to exit code 5. *)
 
 val create :
   ?policy:Purge_policy.t ->
@@ -49,6 +69,9 @@ val create :
   ?punct_partner_purge:bool ->
   ?watchdog:Obs.Watchdog.t ->
   ?instrument:bool ->
+  ?contract_config:Contract.config ->
+  ?kill:Streams.Fault_injector.kill ->
+  ?max_restarts:int ->
   shards:int ->
   Query.Cjq.t ->
   Query.Plan.t ->
@@ -57,7 +80,23 @@ val create :
     handle over an in-memory sink, making {!events} and the aggregated
     {!report}'s registry meaningful; leave it off for benchmarking — the
     shards then run with {!Telemetry.null}, exactly as an uninstrumented
-    sequential engine does. *)
+    sequential engine does.
+
+    [contract_config] arms punctuation-contract monitoring: each shard's
+    operators get their own {!Contract.t} (state budgets are split evenly,
+    budget/shards each), while punctuation-{e stall} tracking runs on a
+    driver-side contract, since only the driver sees the whole input.
+    Budget enforcement and stall checks run at the sampling barriers,
+    mirroring {!Executor.run}'s grid.
+
+    [kill] arms a deterministic one-shot worker kill (shard [s] raises on
+    reaching global sequence [at_seq]) for fault-injection tests; the
+    restarted incarnation replays the same sequence unharmed.
+
+    [max_restarts] (default 2) bounds restarts {e per shard}. *)
+
+val crash_count : t -> int
+(** Total worker restarts performed so far (summed over shards). *)
 
 val router : t -> Shard_router.t
 val n_shards : t -> int
@@ -74,8 +113,12 @@ type result = {
     worker domains to completion and joins them. Ticks count every input
     element (as {!Executor.run} does), and sampling happens at global
     barriers on the [sample_every] grid: the driver quiesces all shards,
-    reads their state, feeds metrics and the watchdog, then releases
-    them. *)
+    reads their state, feeds metrics, the watchdog and the contract
+    checks, then releases them.
+
+    @raise Shard_failed when a shard exhausts its restart budget.
+    @raise Contract.Violation_failure under a [Fail] contract. Either way
+    the fleet is torn down before the exception escapes. *)
 val run :
   ?sample_every:int ->
   ?label:string ->
@@ -111,8 +154,9 @@ val shard_breakdowns : t -> Executor.breakdown list array
 
 (** [report ?meta t result] — aggregated run report: operator stats and
     state summed across shards, registries merged ({!Obs.Registry.merged}),
-    the driver's series and alarms, plus a ["shards"] meta entry. Replaying
-    the merged {!events} trace reproduces its counters, exactly as for a
-    sequential report. *)
+    the driver's series and alarms, plus ["shards"] and ["shard_crashes"]
+    meta entries (and a ["contract"] summary when a contract is armed).
+    Replaying the merged {!events} trace reproduces its counters, exactly
+    as for a sequential report. *)
 val report :
   ?meta:(string * Obs.Json.t) list -> t -> result -> Obs.Report.t

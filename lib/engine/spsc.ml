@@ -3,6 +3,7 @@ type 'a t = {
   capacity : int;
   mutable head : int;  (* next index to read; advanced by the consumer *)
   mutable tail : int;  (* next index to write; advanced by the producer *)
+  mutable closed : bool;
   lock : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
@@ -15,20 +16,75 @@ let create ~capacity =
     capacity;
     head = 0;
     tail = 0;
+    closed = false;
     lock = Mutex.create ();
     not_empty = Condition.create ();
     not_full = Condition.create ();
   }
 
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    (* Both sides may be parked: a producer on not_full, a consumer on
+       not_empty. Wake everyone so no one waits on a dead peer. *)
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full
+  end;
+  Mutex.unlock t.lock
+
+let is_closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c
+
 let push t x =
   Mutex.lock t.lock;
-  while t.tail - t.head >= t.capacity do
+  while (not t.closed) && t.tail - t.head >= t.capacity do
     Condition.wait t.not_full t.lock
   done;
-  t.slots.(t.tail mod t.capacity) <- Some x;
-  t.tail <- t.tail + 1;
-  Condition.signal t.not_empty;
-  Mutex.unlock t.lock
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    `Closed
+  end
+  else begin
+    t.slots.(t.tail mod t.capacity) <- Some x;
+    t.tail <- t.tail + 1;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.lock;
+    `Ok
+  end
+
+(* Timed variant for supervision edges the conditions cannot cover (e.g. a
+   peer wedged rather than dead). [Condition] has no timed wait, so this
+   polls: acceptable because the timeout path is a rare last resort, not
+   the steady state. *)
+let push_timeout t ~timeout_s x =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec attempt () =
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      `Closed
+    end
+    else if t.tail - t.head < t.capacity then begin
+      t.slots.(t.tail mod t.capacity) <- Some x;
+      t.tail <- t.tail + 1;
+      Condition.signal t.not_empty;
+      Mutex.unlock t.lock;
+      `Ok
+    end
+    else begin
+      Mutex.unlock t.lock;
+      if Unix.gettimeofday () >= deadline then `Timeout
+      else begin
+        Unix.sleepf 0.0002;
+        attempt ()
+      end
+    end
+  in
+  attempt ()
 
 let take t =
   let i = t.head mod t.capacity in
@@ -45,18 +101,24 @@ let take t =
 
 let pop t =
   Mutex.lock t.lock;
-  let r = if t.tail = t.head then None else Some (take t) in
+  let r =
+    if t.tail <> t.head then `Item (take t)
+    else if t.closed then `Closed
+    else `Empty
+  in
   Mutex.unlock t.lock;
   r
 
 let pop_wait t =
   Mutex.lock t.lock;
-  while t.tail = t.head do
+  while t.tail = t.head && not t.closed do
     Condition.wait t.not_empty t.lock
   done;
-  let x = take t in
+  (* Drain-then-close: elements enqueued before the close are still
+     delivered; only an empty closed queue reports [`Closed]. *)
+  let r = if t.tail <> t.head then `Item (take t) else `Closed in
   Mutex.unlock t.lock;
-  x
+  r
 
 let length t =
   Mutex.lock t.lock;

@@ -1,4 +1,5 @@
-(** Bounded single-producer / single-consumer queue between domains.
+(** Bounded single-producer / single-consumer queue between domains,
+    with close semantics.
 
     The channel between the {!Parallel_executor} driver (sole producer)
     and one shard worker domain (sole consumer): a fixed-capacity ring
@@ -12,25 +13,55 @@
     domain-safe and give the release/acquire edges that publish each
     slot to the other side.
 
+    Supervision needs one property lock-free rings make hard: a
+    {e poison} protocol. Either side may {!close} the queue; from then
+    on the other side can never block forever on a dead peer —
+
+    - a producer parked on a full queue wakes and gets [`Closed];
+    - a consumer drains whatever was enqueued before the close, then
+      gets [`Closed] instead of waiting.
+
+    Closing is idempotent and irreversible.
+
     Not linearizable under multiple producers or consumers — the
     single-producer/single-consumer contract is on the caller. *)
 
 type 'a t
 
-(** [create ~capacity] — an empty queue holding at most [capacity]
+(** [create ~capacity] — an empty open queue holding at most [capacity]
     elements. @raise Invalid_argument when [capacity <= 0]. *)
 val create : capacity:int -> 'a t
 
-(** [push t x] — enqueue, blocking while the queue is full. Producer
-    side only. *)
-val push : 'a t -> 'a -> unit
+(** Close the queue and wake both sides. Elements already enqueued
+    remain poppable; further pushes are refused. A crashing worker
+    closes its own queue so the driver's next push fails fast instead
+    of deadlocking on a consumer that will never drain. *)
+val close : 'a t -> unit
 
-(** [pop t] — dequeue, [None] when empty. Consumer side only. *)
-val pop : 'a t -> 'a option
+val is_closed : 'a t -> bool
 
-(** [pop_wait t] — dequeue, blocking while the queue is empty. Consumer
+(** [push t x] — enqueue, blocking while the queue is full {e and
+    open}. [`Closed] means the element was {e not} enqueued. Producer
     side only. *)
-val pop_wait : 'a t -> 'a
+val push : 'a t -> 'a -> [ `Ok | `Closed ]
+
+(** Like {!push} but gives up after [timeout_s] seconds if the consumer
+    neither drains nor closes — the wedged-peer escape hatch for
+    supervision. [`Timeout] means the element was not enqueued. Polls
+    (OCaml's [Condition] has no timed wait); fine for a rare last
+    resort, wrong for a steady-state path. *)
+val push_timeout :
+  'a t -> timeout_s:float -> 'a -> [ `Ok | `Closed | `Timeout ]
+
+(** [pop t] — non-blocking dequeue. [`Closed] only when the queue is
+    both empty and closed; a closed queue with residue still yields
+    [`Item]. Consumer side only. *)
+val pop : 'a t -> [ `Item of 'a | `Empty | `Closed ]
+
+(** [pop_wait t] — dequeue, blocking while the queue is empty {e and
+    open}; drains residue after a close before reporting [`Closed].
+    Consumer side only. *)
+val pop_wait : 'a t -> [ `Item of 'a | `Closed ]
 
 (** Elements currently queued. *)
 val length : 'a t -> int

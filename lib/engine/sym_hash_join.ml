@@ -15,7 +15,7 @@ type slot = {
 }
 
 let create ?(name = "join") ?(policy = Purge_policy.Eager)
-    ?(telemetry = Telemetry.null) ~left ~right ~predicates () =
+    ?(telemetry = Telemetry.null) ?contract ~left ~right ~predicates () =
   if String.equal left.name right.name then
     invalid_arg "Sym_hash_join.create: identical input names";
   List.iter
@@ -42,6 +42,26 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
   (* Oldest informative punctuation not yet consumed by a purge round; the
      purge-lag baseline (0 under Eager, flush-cadence under Lazy). *)
   let pending_since = ref None in
+  (* Emergency evictor for degraded mode: shed roughly a quarter of each
+     side per round. *)
+  (match contract with
+  | None -> ()
+  | Some c ->
+      Contract.register_shedder c ~op:name (fun () ->
+          let bytes () =
+            (Join_state.mem_stats l.state).Join_state.approx_bytes
+            + (Join_state.mem_stats r.state).Join_state.approx_bytes
+          in
+          let before = bytes () in
+          let shed_side slot =
+            let want = (Join_state.size slot.state + 3) / 4 in
+            let seen = ref 0 in
+            Join_state.purge_if slot.state (fun _ ->
+                incr seen;
+                !seen <= want)
+          in
+          let victims = shed_side l + shed_side r in
+          (victims, max 0 (before - bytes ()))));
   let record_purge ~input ~trigger ~victims =
     if victims > 0 && Telemetry.enabled telemetry then begin
       let tick = Telemetry.now telemetry in
@@ -176,6 +196,21 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
     match element with
     | Element.Data tup ->
         stats := { !stats with tuples_in = !stats.tuples_in + 1 };
+        (* Input well-formedness: a tuple contradicting a punctuation its
+           OWN side already delivered (distinct from the dead-on-arrival
+           check below, which consults the partner's punctuations and is a
+           legitimate-stream optimization, not a violation). *)
+        let admit =
+          if Punct_store.forbids mine.puncts tup then begin
+            stats := { !stats with late_tuples = !stats.late_tuples + 1 };
+            Contract.handle_late contract ~telemetry ~op:name
+              ~input:mine.side.name tup
+          end
+          else `Admit
+        in
+        (match admit with
+        | `Drop -> []
+        | `Admit ->
         if Telemetry.enabled telemetry then begin
           Telemetry.incr telemetry (name ^ ".probes");
           Telemetry.incr telemetry (name ^ ".inserts")
@@ -191,10 +226,13 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
         else Join_state.insert mine.state tup;
         stats :=
           { !stats with tuples_out = !stats.tuples_out + List.length results };
-        List.map (fun t -> Element.Data t) results
+        List.map (fun t -> Element.Data t) results)
     | Element.Punct p ->
         stats := { !stats with puncts_in = !stats.puncts_in + 1 };
         let informative = Punct_store.insert mine.puncts ~now:!now p in
+        if not informative then
+          Contract.handle_punct_rejected contract ~telemetry ~op:name
+            ~input:mine.side.name ~ordered:(Punctuation.is_ordered p);
         if informative then begin
           incr pending;
           if !pending_since = None then

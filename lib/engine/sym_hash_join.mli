@@ -17,12 +17,15 @@ type side = {
 (** [create ~left ~right ~predicates ()] — [predicates] atoms must all link
     [left] and [right]. [telemetry] (default {!Telemetry.null}) receives
     structured purge events (including [dead_on_arrival] drops) and
-    probe/insert/purge-lag measurements.
+    probe/insert/purge-lag measurements. [contract], when given, decides
+    the fate of late tuples and punctuation anomalies (detection and
+    counting happen regardless) and receives an emergency state-shedder.
     @raise Invalid_argument otherwise. *)
 val create :
   ?name:string ->
   ?policy:Purge_policy.t ->
   ?telemetry:Telemetry.t ->
+  ?contract:Contract.t ->
   left:side ->
   right:side ->
   predicates:Relational.Predicate.t ->

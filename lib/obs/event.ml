@@ -29,16 +29,31 @@ type t =
       size : int;
       unreachable : string list;
     }
+  | Fault of { tick : int; kind : string; stream : string; detail : string }
+  | Violation of {
+      tick : int;
+      op : string;
+      input : string;
+      kind : string;
+      action : string;
+    }
+  | Load_shed of { tick : int; op : string; victims : int; bytes : int }
+  | Shard_crash of { tick : int; shard : int; reason : string; attempt : int }
+  | Shard_restart of { tick : int; shard : int; attempt : int; replayed : int }
 
 let op_of = function
-  | Run_start _ | Run_end _ | Sample _ -> None
+  | Run_start _ | Run_end _ | Sample _ | Fault _ | Shard_crash _
+  | Shard_restart _ ->
+      None
   | Tuple_in { op; _ }
   | Tuple_out { op; _ }
   | Punct_in { op; _ }
   | Punct_out { op; _ }
   | Purge { op; _ }
   | Evict { op; _ }
-  | Alarm { op; _ } ->
+  | Alarm { op; _ }
+  | Violation { op; _ }
+  | Load_shed { op; _ } ->
       Some op
 
 let tick_of = function
@@ -51,7 +66,12 @@ let tick_of = function
   | Purge { tick; _ }
   | Evict { tick; _ }
   | Sample { tick; _ }
-  | Alarm { tick; _ } ->
+  | Alarm { tick; _ }
+  | Fault { tick; _ }
+  | Violation { tick; _ }
+  | Load_shed { tick; _ }
+  | Shard_crash { tick; _ }
+  | Shard_restart { tick; _ } ->
       tick
 
 let to_json ?shard e =
@@ -139,6 +159,52 @@ let to_json ?shard e =
           ("size", Int size);
           ("unreachable", List (List.map (fun s -> Json.String s) unreachable));
         ]
+  | Fault { tick; kind; stream; detail } ->
+      f
+        [
+          ("ev", String "fault");
+          ("tick", Int tick);
+          ("kind", String kind);
+          ("stream", String stream);
+          ("detail", String detail);
+        ]
+  | Violation { tick; op; input; kind; action } ->
+      f
+        [
+          ("ev", String "violation");
+          ("tick", Int tick);
+          ("op", String op);
+          ("input", String input);
+          ("kind", String kind);
+          ("action", String action);
+        ]
+  | Load_shed { tick; op; victims; bytes } ->
+      f
+        [
+          ("ev", String "load_shed");
+          ("tick", Int tick);
+          ("op", String op);
+          ("victims", Int victims);
+          ("bytes", Int bytes);
+        ]
+  | Shard_crash { tick; shard; reason; attempt } ->
+      f
+        [
+          ("ev", String "shard_crash");
+          ("tick", Int tick);
+          ("crashed_shard", Int shard);
+          ("reason", String reason);
+          ("attempt", Int attempt);
+        ]
+  | Shard_restart { tick; shard; attempt; replayed } ->
+      f
+        [
+          ("ev", String "shard_restart");
+          ("tick", Int tick);
+          ("crashed_shard", Int shard);
+          ("attempt", Int attempt);
+          ("replayed", Int replayed);
+        ]
 
 let of_json j =
   let ( let* ) r f = Result.bind r f in
@@ -217,6 +283,37 @@ let of_json j =
         | None -> Error "missing field \"unreachable\""
       in
       Ok (Alarm { tick; op; slope; size; unreachable })
+  | "fault" ->
+      let* tick = int "tick" in
+      let* kind = str "kind" in
+      let* stream = str "stream" in
+      let* detail = str "detail" in
+      Ok (Fault { tick; kind; stream; detail })
+  | "violation" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* input = str "input" in
+      let* kind = str "kind" in
+      let* action = str "action" in
+      Ok (Violation { tick; op; input; kind; action })
+  | "load_shed" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* victims = int "victims" in
+      let* bytes = int "bytes" in
+      Ok (Load_shed { tick; op; victims; bytes })
+  | "shard_crash" ->
+      let* tick = int "tick" in
+      let* shard = int "crashed_shard" in
+      let* reason = str "reason" in
+      let* attempt = int "attempt" in
+      Ok (Shard_crash { tick; shard; reason; attempt })
+  | "shard_restart" ->
+      let* tick = int "tick" in
+      let* shard = int "crashed_shard" in
+      let* attempt = int "attempt" in
+      let* replayed = int "replayed" in
+      Ok (Shard_restart { tick; shard; attempt; replayed })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
 let shard_of_json j = Option.bind (Json.member "shard" j) Json.to_int

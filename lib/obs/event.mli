@@ -42,9 +42,27 @@ type t =
       size : int;
       unreachable : string list;
     }
+  | Fault of { tick : int; kind : string; stream : string; detail : string }
+      (** an injected fault ({!Streams.Fault_injector}): [kind] names the
+          fault (drop_punct, dup_punct, delay_punct, late_data, stall,
+          kill_shard), [stream] the victim stream, [detail] the specifics *)
+  | Violation of {
+      tick : int;
+      op : string;
+      input : string;
+      kind : string;  (** late_data | dup_punct | punct_regression | punct_stall *)
+      action : string;  (** count | drop | quarantine | fail | admit | alarm *)
+    }  (** a punctuation-contract violation detected by {!Engine.Contract} *)
+  | Load_shed of { tick : int; op : string; victims : int; bytes : int }
+      (** emergency eviction under a state-byte budget (degrade mode) *)
+  | Shard_crash of { tick : int; shard : int; reason : string; attempt : int }
+      (** a worker domain died; [attempt] counts restarts so far *)
+  | Shard_restart of { tick : int; shard : int; attempt : int; replayed : int }
+      (** the supervisor respawned the shard and replayed [replayed]
+          batches of its input history *)
 
-(** [op_of e] — the operator an event belongs to, if any (samples and run
-    markers are global). *)
+(** [op_of e] — the operator an event belongs to, if any (samples, run
+    markers, faults and shard lifecycle events are global). *)
 val op_of : t -> string option
 
 val tick_of : t -> int

@@ -117,7 +117,18 @@ let replay events =
           bump op "purged_tuples" victims;
           bump op "purge_rounds" 1
       | Event.Evict { op; victims; _ } -> bump op "evicted_tuples" victims
-      | Event.Run_start _ | Event.Run_end _ | Event.Sample _ | Event.Alarm _ ->
+      | Event.Violation { op; kind = "late_data"; action; _ } ->
+          bump op "late_tuples" 1;
+          if String.equal action "quarantine" then bump op "quarantined_tuples" 1
+      | Event.Violation { op; kind = "dup_punct" | "punct_regression"; _ } ->
+          bump op "dup_puncts" 1
+      | Event.Violation _ ->
+          (* stall violations carry the pseudo-operator "contract"; they
+             feed the watchdog, not a per-operator counter *)
+          ()
+      | Event.Load_shed { op; victims; _ } -> bump op "shed_tuples" victims
+      | Event.Run_start _ | Event.Run_end _ | Event.Sample _ | Event.Alarm _
+      | Event.Fault _ | Event.Shard_crash _ | Event.Shard_restart _ ->
           ())
     events;
   List.rev_map
@@ -190,6 +201,8 @@ let verify ~report ~events =
               [
                 "tuples_in"; "tuples_out"; "puncts_in"; "puncts_out";
                 "purged_tuples"; "purge_rounds"; "evicted_tuples";
+                "late_tuples"; "quarantined_tuples"; "dup_puncts";
+                "shed_tuples";
               ]
           in
           (match Json.to_int v with

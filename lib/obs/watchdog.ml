@@ -117,4 +117,18 @@ let observe t ~op ~tick ~size ~unreachable =
       end
       else None
 
+(* Externally-raised alarm (e.g. a punctuation-progress stall detected by
+   the contract monitor): latched per [op] like slope alarms, so one broken
+   scheme raises once, not once per sample. Slope 0 marks the alarm as
+   event-driven rather than trend-driven. *)
+let flag t ~op ~tick ~size ~unreachable =
+  let s = series_of t op in
+  if s.latched then None
+  else begin
+    s.latched <- true;
+    let a = { op; tick; slope = 0.0; size; unreachable } in
+    t.raised <- a :: t.raised;
+    Some a
+  end
+
 let alarms t = List.rev t.raised

@@ -48,6 +48,14 @@ val observe :
   t -> op:string -> tick:int -> size:int -> unreachable:string list ->
   alarm option
 
+(** [flag t ~op ~tick ~size ~unreachable] — raise an event-driven alarm
+    directly (no slope analysis): the contract monitor uses this for
+    punctuation-progress stalls, with the broken scheme in [unreachable].
+    Latched per [op] like slope alarms; [slope] is 0 on the alarm. *)
+val flag :
+  t -> op:string -> tick:int -> size:int -> unreachable:string list ->
+  alarm option
+
 (** Alarms raised so far, in the order raised. *)
 val alarms : t -> alarm list
 

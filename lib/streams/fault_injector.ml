@@ -1,0 +1,158 @@
+open Relational
+
+type config = {
+  seed : int;
+  drop_punct : float;
+  dup_punct : float;
+  delay_punct : float;
+  delay_ticks : int;
+  late_data : float;
+  stall : (string * int * int) option;
+}
+
+let default =
+  {
+    seed = 0;
+    drop_punct = 0.0;
+    dup_punct = 0.0;
+    delay_punct = 0.0;
+    delay_ticks = 5;
+    late_data = 0.0;
+    stall = None;
+  }
+
+type injection = { at : int; kind : string; stream : string; detail : string }
+
+let pp_injection ppf i =
+  Fmt.pf ppf "@%d %s on %s: %s" i.at i.kind i.stream i.detail
+
+let validate config =
+  let prob what p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Fmt.str "Fault_injector: %s must be in [0,1], got %g" what p)
+  in
+  prob "drop_punct" config.drop_punct;
+  prob "dup_punct" config.dup_punct;
+  prob "delay_punct" config.delay_punct;
+  prob "late_data" config.late_data;
+  if config.delay_ticks < 1 then
+    invalid_arg "Fault_injector: delay_ticks must be >= 1"
+
+(* A tuple that matches the constant punctuation [p] — the contradiction of
+   its promise: pinned attributes take the pinned constants, wildcards a
+   type-appropriate default. *)
+let contradicting_tuple p =
+  let schema = Punctuation.schema p in
+  let default_of (a : Schema.attribute) =
+    match a.Schema.ty with
+    | Value.TInt -> Value.Int 0
+    | Value.TStr -> Value.Str ""
+    | Value.TFloat -> Value.Float 0.0
+    | Value.TBool -> Value.Bool false
+  in
+  let values =
+    List.mapi
+      (fun i a ->
+        match Punctuation.pattern_at p i with
+        | Punctuation.Const v -> v
+        | Punctuation.Wildcard | Punctuation.Less_than _ -> default_of a)
+      (Schema.attributes schema)
+  in
+  Tuple.make schema values
+
+(* Hold back [stream]'s elements arriving at positions >= [at] until [k]
+   further positions have passed, then release them in arrival order. *)
+let apply_stall ~stream ~at ~k trace =
+  let out = ref [] and held = ref [] in
+  List.iteri
+    (fun i e ->
+      if i = at + k && !held <> [] then begin
+        out := !held @ !out;
+        held := []
+      end;
+      if
+        i >= at
+        && i < at + k
+        && String.equal (Element.stream_name e) stream
+      then held := e :: !held
+      else out := e :: !out)
+    trace;
+  out := !held @ !out;
+  List.rev !out
+
+let apply config trace =
+  validate config;
+  let rng = Rng.create ~seed:config.seed in
+  let arr = Array.of_list trace in
+  let n = Array.length arr in
+  let injections = ref [] in
+  let note at kind stream detail =
+    injections := { at; kind; stream; detail } :: !injections
+  in
+  (* Elements scheduled to surface just after a later position; insertion
+     order is preserved within a slot so a delayed punctuation still
+     precedes its duplicate and its contradicting tuple. *)
+  let pending : (int, Element.t list) Hashtbl.t = Hashtbl.create 16 in
+  let schedule i e =
+    let i = min i (n - 1) in
+    let sofar = Option.value ~default:[] (Hashtbl.find_opt pending i) in
+    Hashtbl.replace pending i (sofar @ [ e ])
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun i e ->
+      (match e with
+      | Element.Data _ -> out := e :: !out
+      | Element.Punct p ->
+          let stream = Element.stream_name e in
+          if Rng.float rng < config.drop_punct then
+            note i "drop_punct" stream (Punctuation.to_string p)
+          else begin
+            let delayed = Rng.float rng < config.delay_punct in
+            let lands = if delayed then i + config.delay_ticks else i in
+            if delayed then begin
+              schedule lands e;
+              note i "delay_punct" stream
+                (Fmt.str "%s slid %d positions" (Punctuation.to_string p)
+                   config.delay_ticks)
+            end
+            else out := e :: !out;
+            if Rng.float rng < config.dup_punct then begin
+              schedule (lands + 1) e;
+              note i "dup_punct" stream (Punctuation.to_string p)
+            end;
+            if
+              (not (Punctuation.is_ordered p))
+              && Rng.float rng < config.late_data
+            then begin
+              let tup = contradicting_tuple p in
+              schedule (lands + 2) (Element.Data tup);
+              note i "late_data" stream (Tuple.to_string tup)
+            end
+          end);
+      match Hashtbl.find_opt pending i with
+      | Some es ->
+          List.iter (fun e -> out := e :: !out) es;
+          Hashtbl.remove pending i
+      | None -> ())
+    arr;
+  let faulted = List.rev !out in
+  let faulted =
+    match config.stall with
+    | None -> faulted
+    | Some (stream, at, k) ->
+        note at "stall" stream (Fmt.str "held for %d positions" k);
+        apply_stall ~stream ~at ~k faulted
+  in
+  (faulted, List.rev !injections |> List.sort (fun a b -> compare a.at b.at))
+
+let events injections =
+  List.map
+    (fun i ->
+      Obs.Event.Fault
+        { tick = i.at; kind = i.kind; stream = i.stream; detail = i.detail })
+    injections
+
+type kill = { shard : int; at_seq : int }
+
+exception Injected_kill of kill

@@ -1,0 +1,75 @@
+(** Deterministic fault injection over punctuated traces.
+
+    The paper's safety guarantee is conditional: punctuations must actually
+    arrive, must never be contradicted by later data, and the engine must
+    survive long enough to purge. The injector manufactures violations of
+    exactly those assumptions — reproducibly, from a seed — so the contract
+    monitor ({!Engine.Contract}) and the shard supervisor can be tested
+    under fault rather than trusted on faith.
+
+    All randomness comes from the shared splitmix64 {!Rng}: the same seed
+    and config over the same trace produce the same faulted trace and the
+    same injection log, which is what lets CI pin a chaos schedule and
+    assert its exact outcome.
+
+    Faults over a trace:
+    - {b drop_punct} — a punctuation silently vanishes (a lossy transport or
+      a stalled punctuation generator). Never changes the query answer, only
+      how much state the engine can reclaim.
+    - {b dup_punct} — a punctuation is delivered twice (at-least-once
+      transport). Uninformative on arrival; the contract counts it.
+    - {b delay_punct} — a punctuation slides [delay_ticks] positions later
+      (reordering). Purges fire late; the answer is unchanged.
+    - {b late_data} — a tuple {e matching} an already-delivered constant
+      punctuation is synthesized shortly after it: the direct contradiction
+      of the punctuation's promise, and the fault {!Engine.Contract} exists
+      to catch.
+    - {b stall} — a source's elements are held back for a window, starving
+      its punctuation progress (the stalled-source scenario the grace-window
+      monitor diagnoses).
+
+    The sharded-mode {b kill} fault (a worker domain dies at a global
+    sequence number) is declared here as {!kill} but executed by
+    [Engine.Parallel_executor], which owns the domains. *)
+
+type config = {
+  seed : int;
+  drop_punct : float;  (** per-punctuation drop probability *)
+  dup_punct : float;  (** per-punctuation duplication probability *)
+  delay_punct : float;  (** per-punctuation delay probability *)
+  delay_ticks : int;  (** positions a delayed punctuation slides (>= 1) *)
+  late_data : float;
+      (** per-constant-punctuation probability of emitting a contradicting
+          tuple shortly after it *)
+  stall : (string * int * int) option;
+      (** [(stream, at, ticks)]: hold back [stream]'s elements arriving at
+          trace position >= [at] until [ticks] further positions have
+          passed *)
+}
+
+(** All probabilities 0, no stall: [apply default] is the identity. *)
+val default : config
+
+(** One injected fault: [at] is the position in the {e original} trace the
+    fault anchors to; [kind] is one of [drop_punct], [dup_punct],
+    [delay_punct], [late_data], [stall]. *)
+type injection = { at : int; kind : string; stream : string; detail : string }
+
+val pp_injection : Format.formatter -> injection -> unit
+
+(** [apply config trace] — the faulted trace and the injection log, in
+    anchor order. Raises [Invalid_argument] on a probability outside
+    [0,1] or [delay_ticks < 1]. *)
+val apply : config -> Element.t list -> Element.t list * injection list
+
+(** [events injections] — the injection log as typed {!Obs.Event.Fault}
+    events (tick = anchor position), ready for a trace sink. *)
+val events : injection list -> Obs.Event.t list
+
+(** A sharded-mode domain kill: the worker owning [shard] raises at the
+    first element whose global sequence number is [>= at_seq]. One-shot —
+    a restarted shard replays the same element without the fault. *)
+type kill = { shard : int; at_seq : int }
+
+(** The exception the injected kill raises inside the worker domain. *)
+exception Injected_kill of kill

@@ -75,6 +75,80 @@ if [ -z "$hash1" ] || [ "$hash1" != "$hash4" ]; then
   exit 1
 fi
 
+echo "== chaos smoke: fixed-seed fault injection (docs/FAULTS.md) =="
+# 1) Quarantine: with late data injected, the contract diverts every
+#    contradiction; the output hash must equal the fault-free run's, the
+#    report must carry the quarantine counters, and the fault-annotated
+#    trace must still replay-verify against the report. Delay/dup faults
+#    (not drop) so purging is deferred, never lost: the watchdog stays
+#    quiet and the run must exit 0.
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
+  > "$OBS_TMP/clean_out.txt"
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
+  --chaos-seed 7 --dup-punct 0.1 --delay-punct 0.15 --late-data 0.2 \
+  --on-violation quarantine \
+  --report "$OBS_TMP/chaos_report.json" --trace "$OBS_TMP/chaos_trace.jsonl" \
+  > "$OBS_TMP/chaos_out.txt"
+clean_hash="$(grep '^output hash:' "$OBS_TMP/clean_out.txt")"
+chaos_hash="$(grep '^output hash:' "$OBS_TMP/chaos_out.txt")"
+if [ -z "$clean_hash" ] || [ "$clean_hash" != "$chaos_hash" ]; then
+  echo "quarantine did not restore the fault-free output: '$clean_hash' vs '$chaos_hash'" >&2
+  exit 1
+fi
+if ! grep -q '"quarantined":[1-9]' "$OBS_TMP/chaos_report.json"; then
+  echo "chaos report is missing a non-zero quarantined counter" >&2
+  exit 1
+fi
+dune exec bin/pstream_obs.exe -- verify \
+  "$OBS_TMP/chaos_report.json" "$OBS_TMP/chaos_trace.jsonl"
+
+# 2) Graceful degradation: same seed under a state budget must shed
+#    instead of leaking, keep the watchdog quiet, and exit 0.
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 200 \
+  --chaos-seed 11 --drop-punct 0.05 --late-data 0.1 \
+  --on-violation degrade --state-budget 8192 > /dev/null
+
+# 3) Zero tolerance: the same contradictions under fail must abort with
+#    exit 4.
+set +e
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
+  --chaos-seed 7 --late-data 0.2 --on-violation fail > /dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 4 ]; then
+  echo "expected exit 4 (contract violation) from --on-violation fail, got $status" >&2
+  exit 1
+fi
+
+# 4) Shard supervision: kill worker 1 mid-run; replay recovery must
+#    reproduce the fault-free sharded output hash, exit 0.
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
+  --shards 3 > "$OBS_TMP/nokill_out.txt"
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
+  --shards 3 --kill-shard 1:200 > "$OBS_TMP/kill_out.txt"
+nokill_hash="$(grep '^output hash:' "$OBS_TMP/nokill_out.txt")"
+kill_hash="$(grep '^output hash:' "$OBS_TMP/kill_out.txt")"
+if [ -z "$nokill_hash" ] || [ "$nokill_hash" != "$kill_hash" ]; then
+  echo "killed-shard recovery hash mismatch: '$nokill_hash' vs '$kill_hash'" >&2
+  exit 1
+fi
+grep -q '^shard restarts: 1' "$OBS_TMP/kill_out.txt" || {
+  echo "expected exactly one shard restart in the kill run" >&2
+  exit 1
+}
+
+# 5) Restart budget: the same kill with --max-restarts 0 must fail the
+#    run with exit 5.
+set +e
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
+  --shards 3 --kill-shard 1:200 --max-restarts 0 > /dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 5 ]; then
+  echo "expected exit 5 (shard failed) with --max-restarts 0, got $status" >&2
+  exit 1
+fi
+
 echo "== shard-scaling benchmark (B2 -> BENCH_shard_scaling.json) =="
 # B2 itself fails loudly on hash divergence or a watchdog alarm.
 dune exec bench/main.exe -- B2

@@ -93,6 +93,11 @@ let test_router_rejects_nonpositive_shards () =
 (* ------------------------------------------------------------------ *)
 (* SPSC queue *)
 
+let push_ok q x =
+  match Spsc.push q x with
+  | `Ok -> ()
+  | `Closed -> Alcotest.fail "push refused: queue unexpectedly closed"
+
 let test_spsc_cross_domain_fifo () =
   let q = Spsc.create ~capacity:8 in
   let n = 10_000 in
@@ -100,8 +105,8 @@ let test_spsc_cross_domain_fifo () =
     Domain.spawn (fun () ->
         let rec drain acc expect =
           match Spsc.pop_wait q with
-          | -1 -> acc
-          | x ->
+          | `Closed -> acc
+          | `Item x ->
               if x <> expect then
                 Alcotest.failf "out of order: got %d, expected %d" x expect;
               drain (acc + x) (expect + 1)
@@ -109,18 +114,74 @@ let test_spsc_cross_domain_fifo () =
         drain 0 0)
   in
   for i = 0 to n - 1 do
-    Spsc.push q i
+    push_ok q i
   done;
-  Spsc.push q (-1);
+  Spsc.close q;
   check_int "fifo across domains, nothing lost" (n * (n - 1) / 2)
     (Domain.join consumer)
 
 let test_spsc_nonblocking_pop () =
   let q = Spsc.create ~capacity:2 in
-  check_bool "empty pop" true (Spsc.pop q = None);
-  Spsc.push q 7;
-  check_bool "pop sees the element" true (Spsc.pop q = Some 7);
+  check_bool "empty pop" true (Spsc.pop q = `Empty);
+  push_ok q 7;
+  check_bool "pop sees the element" true (Spsc.pop q = `Item 7);
   check_int "drained" 0 (Spsc.length q)
+
+let test_spsc_close_drains_then_reports_closed () =
+  let q = Spsc.create ~capacity:4 in
+  push_ok q 1;
+  push_ok q 2;
+  Spsc.close q;
+  check_bool "closed" true (Spsc.is_closed q);
+  check_bool "push refused after close" true (Spsc.push q 3 = `Closed);
+  check_bool "residue survives the close" true (Spsc.pop_wait q = `Item 1);
+  check_bool "in order" true (Spsc.pop q = `Item 2);
+  check_bool "then closed" true (Spsc.pop q = `Closed);
+  check_bool "pop_wait does not block on a closed empty queue" true
+    (Spsc.pop_wait q = `Closed)
+
+(* The supervision regression: the consumer dies mid-stream (closing its
+   queue on the way out, as a crashing worker does) while the producer is
+   parked on a full queue. Pre-close semantics, the producer blocked
+   forever; now it must wake with [`Closed]. *)
+let test_spsc_producer_survives_consumer_death () =
+  let q = Spsc.create ~capacity:2 in
+  let consumer =
+    Domain.spawn (fun () ->
+        match Spsc.pop_wait q with
+        | `Item x ->
+            (* die without draining the rest *)
+            Spsc.close q;
+            x
+        | `Closed -> Alcotest.fail "consumer saw close before any item")
+  in
+  let pushed = ref 0 in
+  let refused = ref false in
+  (* Far more elements than capacity: without the close-wakeup this loop
+     deadlocks (the harness would time out). *)
+  (try
+     for i = 0 to 9_999 do
+       match Spsc.push q i with
+       | `Ok -> incr pushed
+       | `Closed ->
+           refused := true;
+           raise Exit
+     done
+   with Exit -> ());
+  check_int "consumer got the first element" 0 (Domain.join consumer);
+  check_bool "producer saw the close instead of blocking forever" true
+    !refused;
+  check_bool "some pushes landed before the death" true (!pushed >= 1)
+
+let test_spsc_push_timeout () =
+  let q = Spsc.create ~capacity:1 in
+  push_ok q 1;
+  (match Spsc.push_timeout q ~timeout_s:0.05 2 with
+  | `Timeout -> ()
+  | `Ok | `Closed -> Alcotest.fail "expected a timeout on a full queue");
+  Spsc.close q;
+  check_bool "closed beats timeout" true
+    (Spsc.push_timeout q ~timeout_s:0.05 3 = `Closed)
 
 (* ------------------------------------------------------------------ *)
 (* Sharded = sequential: the correctness spine *)
@@ -272,6 +333,11 @@ let () =
           Alcotest.test_case "cross-domain fifo" `Quick
             test_spsc_cross_domain_fifo;
           Alcotest.test_case "non-blocking pop" `Quick test_spsc_nonblocking_pop;
+          Alcotest.test_case "close drains then reports closed" `Quick
+            test_spsc_close_drains_then_reports_closed;
+          Alcotest.test_case "producer survives consumer death" `Quick
+            test_spsc_producer_survives_consumer_death;
+          Alcotest.test_case "push timeout" `Quick test_spsc_push_timeout;
         ] );
       ( "equivalence",
         [
