@@ -123,6 +123,7 @@ let create ?(name = "antijoin") ~left ~right ~predicates () =
     out_schema;
     input_names = [ left_name; right_name ];
     push;
+    push_batch = Operator.batch_of_push push;
     flush = (fun () -> []);
     data_state_size =
       (fun () -> Join_state.size pending + Join_state.size right_state);

@@ -50,6 +50,7 @@ let create ?(name = "dedup") ~input ~key () =
     out_schema = input;
     input_names = [ Schema.stream_name input ];
     push;
+    push_batch = Operator.batch_of_push push;
     flush = (fun () -> []);
     data_state_size = (fun () -> Hashtbl.length seen);
     punct_state_size = (fun () -> 0);

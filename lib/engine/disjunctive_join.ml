@@ -142,6 +142,7 @@ let create ?(name = "disjunctive_join") ?(policy = Purge_policy.Eager) ~left
     out_schema;
     input_names = [ left.name; right.name ];
     push;
+    push_batch = Operator.batch_of_push push;
     flush;
     data_state_size =
       (fun () -> Join_state.size l.state + Join_state.size r.state);

@@ -257,6 +257,69 @@ let rec feed node element =
             List.concat_map i.op.Operator.push (feed child element))
           i.children
 
+(* Push a run of raw-stream elements through the tree, batched. A run of
+   consecutive elements owned by leaf children — any mix of their streams —
+   becomes a single [push_batch] call on this node's operator: leaves are
+   identity passthroughs and the operator dispatches per element by stream
+   name internally, so nothing requires splitting by stream (splitting per
+   child would degrade flat plans, whose traces alternate streams, to
+   batch size 1). Elements owned by an Inner child are reduced by that
+   child first (recursively batched, grouped by consecutive ownership) and
+   the child's outputs form their own [push_batch] call. Data outputs are
+   identical to feeding one element at a time; punctuation outputs may be
+   grouped per run as {!Operator.t.push_batch} allows. *)
+let rec feed_batch node (elements : Element.t array) =
+  match node with
+  | Leaf l ->
+      List.filter
+        (fun e -> String.equal l.stream (Element.stream_name e))
+        (Array.to_list elements)
+  | Inner i ->
+      let acc = ref [] in
+      let add outs = List.iter (fun e -> acc := e :: !acc) outs in
+      let buf = ref [] in
+      (* pending leaf-owned run, reversed *)
+      let flush_buf () =
+        match !buf with
+        | [] -> ()
+        | xs ->
+            buf := [];
+            add (i.op.Operator.push_batch (Array.of_list (List.rev xs)))
+      in
+      let n = Array.length elements in
+      let j = ref 0 in
+      while !j < n do
+        let e = elements.(!j) in
+        let stream = Element.stream_name e in
+        if not (List.mem stream i.leafset) then incr j
+        else
+          match
+            List.find (fun ch -> List.mem stream (node_leafset ch)) i.children
+          with
+          | Leaf _ ->
+              buf := e :: !buf;
+              incr j
+          | Inner _ as child ->
+              flush_buf ();
+              let leafset = node_leafset child in
+              let run = ref [ e ] in
+              incr j;
+              let continue_run = ref true in
+              while !continue_run && !j < n do
+                let e' = elements.(!j) in
+                if List.mem (Element.stream_name e') leafset then begin
+                  run := e' :: !run;
+                  incr j
+                end
+                else continue_run := false
+              done;
+              (match feed_batch child (Array.of_list (List.rev !run)) with
+              | [] -> ()
+              | reduced -> add (i.op.Operator.push_batch (Array.of_list reduced)))
+      done;
+      flush_buf ();
+      List.rev !acc
+
 (* Drain deferred purge/propagation work bottom-up. *)
 let rec final_flush node =
   match node with
@@ -272,9 +335,11 @@ let rec final_flush node =
 
 let feed_element c element = feed c.root element
 
+let feed_batch c elements = feed_batch c.root elements
+
 let flush_tree c = final_flush c.root
 
-let run ?(sample_every = 100) ?sink ?(label = "run") c elements =
+let run ?(sample_every = 100) ?batch ?sink ?(label = "run") c elements =
   let telemetry = c.telemetry in
   let metrics = Metrics.create ~sample_every () in
   let outputs = ref [] in
@@ -356,24 +421,69 @@ let run ?(sample_every = 100) ?sink ?(label = "run") c elements =
     Telemetry.set_clock telemetry 0;
     Telemetry.emit telemetry (Obs.Event.Run_start { tick = 0; label })
   end;
-  Seq.iter
-    (fun element ->
-      incr consumed;
-      Telemetry.set_clock telemetry !consumed;
-      (match c.contract with
-      | Some ct -> Contract.note_element ct ~tick:!consumed element
-      | None -> ());
-      accept (feed c.root element);
-      Metrics.observe metrics ~tick:!consumed
-        ~data_state:(total_data_state c)
-        ~punct_state:(total_punct_state c)
-        ~index_state:(total_index_state c)
-        ~state_bytes:(total_state_bytes c) ~emitted:!emitted ();
-      if !consumed mod sample_every = 0 then begin
-        contract_checks ~tick:!consumed;
-        sample ~tick:!consumed
-      end)
-    elements;
+  (match batch with
+  | None ->
+      Seq.iter
+        (fun element ->
+          incr consumed;
+          Telemetry.set_clock telemetry !consumed;
+          (match c.contract with
+          | Some ct -> Contract.note_element ct ~tick:!consumed element
+          | None -> ());
+          accept (feed c.root element);
+          Metrics.observe metrics ~tick:!consumed
+            ~data_state:(total_data_state c)
+            ~punct_state:(total_punct_state c)
+            ~index_state:(total_index_state c)
+            ~state_bytes:(total_state_bytes c) ~emitted:!emitted ();
+          if !consumed mod sample_every = 0 then begin
+            contract_checks ~tick:!consumed;
+            sample ~tick:!consumed
+          end)
+        elements
+  | Some b ->
+      (* Batched driving: buffer up to [b] elements, but always cut at the
+         sampling grid so metrics/contract checks observe exactly the grid
+         ticks the element path samples (Metrics.observe only records on
+         the grid, so the series are equal). The element clock jumps to the
+         batch-end tick before the feed — within-batch events share it. *)
+      let b = max 1 b in
+      let buf = ref [] in
+      let nbuf = ref 0 in
+      let feed_buffered () =
+        if !nbuf > 0 then begin
+          let arr = Array.of_list (List.rev !buf) in
+          buf := [];
+          nbuf := 0;
+          let base = !consumed in
+          consumed := base + Array.length arr;
+          Telemetry.set_clock telemetry !consumed;
+          (match c.contract with
+          | Some ct ->
+              Array.iteri
+                (fun k e -> Contract.note_element ct ~tick:(base + k + 1) e)
+                arr
+          | None -> ());
+          accept (feed_batch c arr);
+          Metrics.observe metrics ~tick:!consumed
+            ~data_state:(total_data_state c)
+            ~punct_state:(total_punct_state c)
+            ~index_state:(total_index_state c)
+            ~state_bytes:(total_state_bytes c) ~emitted:!emitted ();
+          if !consumed mod sample_every = 0 then begin
+            contract_checks ~tick:!consumed;
+            sample ~tick:!consumed
+          end
+        end
+      in
+      Seq.iter
+        (fun element ->
+          buf := element :: !buf;
+          incr nbuf;
+          if !nbuf >= b || (!consumed + !nbuf) mod sample_every = 0 then
+            feed_buffered ())
+        elements;
+      feed_buffered ());
   accept (final_flush c.root);
   Metrics.flush metrics ~tick:!consumed ~data_state:(total_data_state c)
     ~punct_state:(total_punct_state c)

@@ -81,9 +81,17 @@ type result = {
     group-by operator). Under an enabled telemetry handle the run also
     emits [Run_start]/[Sample]/[Run_end] events (with [label] on the start
     marker), stamps the element clock, and feeds the watchdog one
-    state-size point per operator on the sampling grid. *)
+    state-size point per operator on the sampling grid.
+
+    [batch] (default: element-at-a-time) drives the tree through the
+    operators' {!Operator.t.push_batch} fast path in groups of up to
+    [batch] elements, always cutting at the sampling grid so the metrics
+    series is identical to the element path. Data outputs are identical;
+    propagated punctuations may be grouped per punctuation run; telemetry
+    events inside a batch share the batch-end tick. *)
 val run :
   ?sample_every:int ->
+  ?batch:int ->
   ?sink:Operator.t ->
   ?label:string ->
   compiled ->
@@ -142,5 +150,12 @@ val report : ?meta:(string * Obs.Json.t) list -> compiled -> result -> Obs.Repor
     deferred purge/propagation work bottom-up (call once, at end of
     input). *)
 val feed_element : compiled -> Streams.Element.t -> Streams.Element.t list
+
+(** [feed_batch c elements] — the batched counterpart of {!feed_element}:
+    one push of a run of consecutive input elements through the tree via
+    the operators' {!Operator.t.push_batch} fast path. Data outputs are
+    identical to feeding the elements one at a time; punctuation outputs
+    may be grouped per punctuation run. *)
+val feed_batch : compiled -> Streams.Element.t array -> Streams.Element.t list
 
 val flush_tree : compiled -> Streams.Element.t list

@@ -9,11 +9,29 @@ end
 
 module KeyTbl = Hashtbl.Make (Key)
 
+(* Bucket storage per index. The generic representation keys buckets by the
+   raw projected [Value.t list]; the specialized one unboxes the common
+   single-attribute Int key so the hot probe path hashes a native int
+   instead of a boxed heterogeneous list. Chosen once at index-build time
+   from the schema's attribute type.
+
+   Null join keys are never stored in either representation and probing
+   with a Null returns nothing: [Key.equal] (via [Value.compare]) would
+   otherwise match Null = Null while [Predicate.eval] (via [Value.equal])
+   rejects it, making the answer depend on which atom the probe order
+   happened to pick as the hash key. SQL semantics — a null key matches
+   nothing — is the one both paths can agree on (see {!Value.compare}). *)
+type buckets =
+  | Generic of int list ref KeyTbl.t
+  | Int1 of (int, int list ref) Hashtbl.t
+
 type index = {
   attrs : int list;
-  buckets : int list ref KeyTbl.t;
+  buckets : buckets;
   mutable entries : int;  (** total ids across all buckets (kept exact) *)
 }
+
+type handle = index
 
 type t = {
   schema : Schema.t;
@@ -35,12 +53,27 @@ let create schema =
 
 let schema t = t.schema
 
-let index_insert idx id tup =
-  let key = Tuple.project tup idx.attrs in
-  (match KeyTbl.find_opt idx.buckets key with
-  | Some ids -> ids := id :: !ids
-  | None -> KeyTbl.add idx.buckets key (ref [ id ]));
-  idx.entries <- idx.entries + 1
+let index_insert (idx : index) id tup =
+  match idx.buckets with
+  | Int1 tbl -> (
+      match Tuple.get tup (List.hd idx.attrs) with
+      | Value.Int k ->
+          (match Hashtbl.find_opt tbl k with
+          | Some ids -> ids := id :: !ids
+          | None -> Hashtbl.add tbl k (ref [ id ]));
+          idx.entries <- idx.entries + 1
+      | _ ->
+          (* Null (or an out-of-type value, impossible for validated
+             tuples): not indexable, the tuple can never be a probe hit. *)
+          ())
+  | Generic tbl ->
+      let key = Tuple.project tup idx.attrs in
+      if not (List.exists Value.is_null key) then begin
+        (match KeyTbl.find_opt tbl key with
+        | Some ids -> ids := id :: !ids
+        | None -> KeyTbl.add tbl key (ref [ id ]));
+        idx.entries <- idx.entries + 1
+      end
 
 let insert ?tick t tup =
   if not (Schema.equal (Tuple.schema tup) t.schema) then
@@ -61,27 +94,45 @@ let remove_from_indexes (t : t) victims =
     | indexes ->
         let dead = Hashtbl.create (2 * List.length victims) in
         List.iter (fun (id, _) -> Hashtbl.replace dead id ()) victims;
+        let compact idx remove ids =
+          let keep = List.filter (fun id -> not (Hashtbl.mem dead id)) !ids in
+          idx.entries <- idx.entries - (List.length !ids - List.length keep);
+          if keep = [] then remove () else ids := keep
+        in
         List.iter
-          (fun idx ->
-            let touched = KeyTbl.create 16 in
-            List.iter
-              (fun (_, tup) ->
-                let key = Tuple.project tup idx.attrs in
-                if not (KeyTbl.mem touched key) then KeyTbl.add touched key ())
-              victims;
-            KeyTbl.iter
-              (fun key () ->
-                match KeyTbl.find_opt idx.buckets key with
-                | None -> ()
-                | Some ids ->
-                    let keep =
-                      List.filter (fun id -> not (Hashtbl.mem dead id)) !ids
-                    in
-                    idx.entries <-
-                      idx.entries - (List.length !ids - List.length keep);
-                    if keep = [] then KeyTbl.remove idx.buckets key
-                    else ids := keep)
-              touched)
+          (fun (idx : index) ->
+            match idx.buckets with
+            | Int1 tbl ->
+                let attr = List.hd idx.attrs in
+                let touched = Hashtbl.create 16 in
+                List.iter
+                  (fun (_, tup) ->
+                    match Tuple.get tup attr with
+                    | Value.Int k -> Hashtbl.replace touched k ()
+                    | _ -> ())
+                  victims;
+                Hashtbl.iter
+                  (fun k () ->
+                    match Hashtbl.find_opt tbl k with
+                    | None -> ()
+                    | Some ids ->
+                        compact idx (fun () -> Hashtbl.remove tbl k) ids)
+                  touched
+            | Generic tbl ->
+                let touched = KeyTbl.create 16 in
+                List.iter
+                  (fun (_, tup) ->
+                    let key = Tuple.project tup idx.attrs in
+                    if not (List.exists Value.is_null key) then
+                      KeyTbl.replace touched key ())
+                  victims;
+                KeyTbl.iter
+                  (fun key () ->
+                    match KeyTbl.find_opt tbl key with
+                    | None -> ()
+                    | Some ids ->
+                        compact idx (fun () -> KeyTbl.remove tbl key) ids)
+                  touched)
           indexes
 
 let remove_victims t victims =
@@ -97,39 +148,100 @@ let evict_before t ~tick =
   in
   remove_victims t victims
 
+(* Deterministic age-ordered eviction for load shedding: victims are the
+   [count] oldest live tuples by (insertion tick, insertion id) — a total
+   order, so two incarnations of the same state shed the same tuples
+   regardless of hash-table iteration order. *)
+let evict_oldest t ~count =
+  if count <= 0 then 0
+  else begin
+    let all =
+      Hashtbl.fold (fun id (k, tup) acc -> (k, id, tup) :: acc) t.live []
+    in
+    let sorted =
+      List.sort
+        (fun (k1, i1, _) (k2, i2, _) -> compare (k1, i1) (k2, i2))
+        all
+    in
+    let victims =
+      List.filteri (fun i _ -> i < count) sorted
+      |> List.map (fun (_, id, tup) -> (id, tup))
+    in
+    remove_victims t victims
+  end
+
 let size t = Hashtbl.length t.live
 let insertions t = t.next_id
 
 let build_index t attrs =
-  let idx = { attrs; buckets = KeyTbl.create 64; entries = 0 } in
+  let buckets =
+    match attrs with
+    | [ a ] when (Schema.attr_at t.schema a).Schema.ty = Value.TInt ->
+        Int1 (Hashtbl.create 64)
+    | _ -> Generic (KeyTbl.create 64)
+  in
+  let idx = { attrs; buckets; entries = 0 } in
   Hashtbl.iter (fun id (_, tup) -> index_insert idx id tup) t.live;
   t.indexes <- idx :: t.indexes;
   idx
 
-let probe (t : t) ~attrs values =
-  let idx =
-    match List.find_opt (fun i -> i.attrs = attrs) t.indexes with
-    | Some i -> i
-    | None -> build_index t attrs
+let find_or_build_index (t : t) attrs =
+  match List.find_opt (fun i -> i.attrs = attrs) t.indexes with
+  | Some i -> i
+  | None -> build_index t attrs
+
+let index_on t ~attr = find_or_build_index t [ attr ]
+
+(* Purge maintains the indexes eagerly, so every id should be live; keep
+   the compaction as a defensive sweep and never leave an empty bucket
+   behind. *)
+let bucket_tuples (t : t) (idx : index) remove ids =
+  let alive =
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt t.live id with
+        | Some (_, tup) -> Some (id, tup)
+        | None -> None)
+      !ids
   in
-  match KeyTbl.find_opt idx.buckets values with
-  | None -> []
-  | Some ids ->
-      (* Purge maintains the indexes eagerly, so every id should be live;
-         keep the compaction as a defensive sweep and never leave an empty
-         bucket behind. *)
-      let alive =
-        List.filter_map
-          (fun id ->
-            match Hashtbl.find_opt t.live id with
-            | Some (_, tup) -> Some (id, tup)
-            | None -> None)
-          !ids
-      in
-      idx.entries <- idx.entries - (List.length !ids - List.length alive);
-      if alive = [] then KeyTbl.remove idx.buckets values
-      else ids := List.map fst alive;
-      List.map snd alive
+  idx.entries <- idx.entries - (List.length !ids - List.length alive);
+  if alive = [] then remove () else ids := List.map fst alive;
+  List.map snd alive
+
+let probe_index (t : t) (idx : index) values =
+  if List.exists Value.is_null values then []
+  else
+    match idx.buckets, values with
+    | Int1 tbl, [ Value.Int k ] -> (
+        match Hashtbl.find_opt tbl k with
+        | None -> []
+        | Some ids -> bucket_tuples t idx (fun () -> Hashtbl.remove tbl k) ids)
+    | Int1 _, _ ->
+        (* probing an Int-typed column with a non-Int value: by typing it
+           cannot be stored here, so there is nothing to match *)
+        []
+    | Generic tbl, key -> (
+        match KeyTbl.find_opt tbl key with
+        | None -> []
+        | Some ids ->
+            bucket_tuples t idx (fun () -> KeyTbl.remove tbl key) ids)
+
+let probe (t : t) ~attrs values = probe_index t (find_or_build_index t attrs) values
+
+(* Handle-based probe for compiled probe programs: the index was resolved
+   once at plan time, so the per-probe index search disappears and the
+   single-value common case skips the key-list allocation entirely. *)
+let probe_handle (t : t) (idx : index) v =
+  match idx.buckets with
+  | Int1 tbl -> (
+      match v with
+      | Value.Int k -> (
+          match Hashtbl.find_opt tbl k with
+          | None -> []
+          | Some ids ->
+              bucket_tuples t idx (fun () -> Hashtbl.remove tbl k) ids)
+      | _ -> [])
+  | Generic _ -> probe_index t idx [ v ]
 
 let iter f t = Hashtbl.iter (fun _ (_, tup) -> f tup) t.live
 let fold f init t = Hashtbl.fold (fun _ (_, tup) acc -> f acc tup) t.live init
@@ -156,10 +268,12 @@ let exists_matching t p =
 let index_entries (t : t) =
   List.fold_left (fun acc idx -> acc + idx.entries) 0 t.indexes
 
+let buckets_in = function
+  | Int1 tbl -> Hashtbl.length tbl
+  | Generic tbl -> KeyTbl.length tbl
+
 let bucket_count (t : t) =
-  List.fold_left
-    (fun acc (idx : index) -> acc + KeyTbl.length idx.buckets)
-    0 t.indexes
+  List.fold_left (fun acc (idx : index) -> acc + buckets_in idx.buckets) 0 t.indexes
 
 let mem_stats (t : t) =
   let live_tuples = Hashtbl.length t.live in
@@ -173,7 +287,7 @@ let mem_stats (t : t) =
   let buckets = bucket_count t in
   let bucket_bytes (idx : index) =
     Mem_estimate.table_entry_bytes ~width:(List.length idx.attrs)
-    * KeyTbl.length idx.buckets
+    * buckets_in idx.buckets
   in
   let approx_bytes =
     (live_tuples * tuple_bytes)

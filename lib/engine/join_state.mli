@@ -6,9 +6,29 @@
     removes its id from every index bucket, and a bucket that empties is
     deleted from its key table. Total operator memory — not just the live
     tuple count — is therefore O(live tuples), which is what Theorem 1's
-    bounded-state guarantee is about. {!mem_stats} exposes the accounting. *)
+    bounded-state guarantee is about. {!mem_stats} exposes the accounting.
+
+    Null join keys follow SQL semantics: a tuple whose key projection
+    contains [Value.Null] is never indexed, and probing with a Null value
+    returns nothing. The bucket tables are keyed by [Value.compare] (which
+    treats Null = Null as equal so values can key containers), while join
+    predicates use [Value.equal] (which rejects Null = Null) — skipping
+    nulls at the index boundary is what keeps the two paths consistent, so
+    the answer no longer depends on which atom the probe order uses as the
+    hash key.
+
+    The single-attribute Int key — the common shape for equi-joins over
+    synthetic and integer-keyed workloads — is specialized at index-build
+    time to a native [(int, _) Hashtbl.t], skipping the boxed
+    heterogeneous-list hashing of the generic representation. *)
 
 type t
+
+(** A resolved secondary index, for compiled probe programs: obtained once
+    via {!index_on} at plan time and probed with {!probe_handle}, skipping
+    the per-probe index lookup of {!probe}. Handles stay valid for the
+    lifetime of the state (indexes are never dropped, only maintained). *)
+type handle
 
 (** Memory accounting for one join state. [index_entries] counts tuple ids
     across all buckets of all indexes; [buckets] counts non-empty buckets;
@@ -44,8 +64,24 @@ val insertions : t -> int
 
 (** [probe t ~attrs values] — live tuples whose projection on attribute
     positions [attrs] equals [values]; indexed after the first probe on a
-    given key shape. *)
+    given key shape. A [values] containing [Null] matches nothing (SQL
+    null-key semantics, see the module docs). *)
 val probe : t -> attrs:int list -> Relational.Value.t list -> Relational.Tuple.t list
+
+(** [index_on t ~attr] — the (built-on-demand) single-attribute index on
+    position [attr], as a reusable probe handle. *)
+val index_on : t -> attr:int -> handle
+
+(** [probe_handle t h v] — live tuples whose [h]-attribute equals [v];
+    [Null] matches nothing. Equivalent to {!probe} on [h]'s attribute but
+    without the index search or key-list allocation. *)
+val probe_handle : t -> handle -> Relational.Value.t -> Relational.Tuple.t list
+
+(** [evict_oldest t ~count] removes the [count] oldest live tuples by
+    (insertion tick, insertion id) — a deterministic total order, so load
+    shedding is reproducible across runs and shard incarnations; returns
+    how many were removed (< [count] when the state is smaller). *)
+val evict_oldest : t -> count:int -> int
 
 val iter : (Relational.Tuple.t -> unit) -> t -> unit
 val fold : ('a -> Relational.Tuple.t -> 'a) -> 'a -> t -> 'a

@@ -25,6 +25,9 @@ type slot = {
   state : Join_state.t;
   puncts : Punct_store.t;
   plan : Core.Chained_purge.plan option;
+  join_idxs : int array;
+      (* attribute positions of this input appearing in any join predicate:
+         a Null in one of them makes the tuple dead on arrival *)
 }
 
 let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
@@ -47,15 +50,30 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
     let plans = purge_plans ~inputs ~predicates in
     List.map
       (fun input ->
+        let join_idxs =
+          List.filter_map
+            (fun atom ->
+              if Predicate.involves atom input.name then
+                Some
+                  (Schema.attr_index input.schema
+                     (Predicate.attr_on atom input.name))
+              else None)
+            predicates
+          |> List.sort_uniq compare |> Array.of_list
+        in
         {
           input;
           state = Join_state.create input.schema;
           puncts = Punct_store.create input.schema;
           plan = List.assoc input.name plans;
+          join_idxs;
         })
       inputs
+    |> Array.of_list
   in
-  let slot_of n = List.find (fun s -> s.input.name = n) slots in
+  let slot_tbl = Hashtbl.create 8 in
+  Array.iteri (fun i s -> Hashtbl.add slot_tbl s.input.name i) slots;
+  let slot_of n = slots.(Hashtbl.find slot_tbl n) in
   let out_schema =
     Schema.concat_all ~stream:name (List.map (fun i -> i.schema) inputs)
   in
@@ -65,57 +83,75 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
   let pending_puncts = ref 0 in
   (* Global tick of the oldest informative punctuation not yet followed by
      a purge round: the purge-lag baseline. Eager purging fires in the same
-     push, so lag is 0; lazy purging defers, so lag reflects the flush
-     cadence (§5's cost axis). *)
+     push (or on the same batch boundary), so lag is 0; lazy purging
+     defers, so lag reflects the flush cadence (§5's cost axis). *)
   let pending_since = ref None in
   (* Emergency evictor for degraded mode: shed roughly a quarter of each
-     input's state per round, oldest-iteration-order first. Shed tuples may
-     silence future matches — that is load shedding's documented trade. *)
+     input's state per round, oldest first by insertion tick — a
+     deterministic order, so a sharded run and its recovery replay shed the
+     same tuples. Shed tuples may silence future matches — that is load
+     shedding's documented trade. *)
   (match contract with
   | None -> ()
   | Some c ->
       Contract.register_shedder c ~op:name (fun () ->
           let bytes () =
-            List.fold_left
+            Array.fold_left
               (fun acc s ->
                 acc + (Join_state.mem_stats s.state).Join_state.approx_bytes)
               0 slots
           in
           let before = bytes () in
           let victims =
-            List.fold_left
+            Array.fold_left
               (fun acc s ->
                 let want = (Join_state.size s.state + 3) / 4 in
-                let seen = ref 0 in
-                acc
-                + Join_state.purge_if s.state (fun _ ->
-                      incr seen;
-                      !seen <= want))
+                acc + Join_state.evict_oldest s.state ~count:want)
               0 slots
           in
           (victims, max 0 (before - bytes ()))));
 
   (* --- result assembly ---------------------------------------------- *)
-  let assemble assignment =
-    (* [assignment] maps input name -> tuple; concat in declared order. *)
-    let values =
-      List.concat_map
-        (fun i -> Tuple.values (List.assoc i.name assignment))
-        inputs
-    in
-    Tuple.make out_schema values
+  (* Each output tuple is the declared-order concatenation of one tuple
+     per input. The layout (per-slot offsets) and the output arity are
+     validated here, once, so the per-result path can assemble values with
+     blits and skip Tuple.of_array validation. *)
+  let n_inputs = Array.length slots in
+  let offsets = Array.make n_inputs 0 in
+  let total_arity =
+    let acc = ref 0 in
+    Array.iteri
+      (fun i s ->
+        offsets.(i) <- !acc;
+        acc := !acc + Schema.arity s.input.schema)
+      slots;
+    !acc
   in
-  let probe_from origin_name tup =
-    Probe.run
-      ~steps:(List.assoc origin_name orders)
-      ~state_of:(fun n -> (slot_of n).state)
-      ~schema_of:(fun n -> (slot_of n).input.schema)
-      ~origin:origin_name tup
-    |> List.map assemble
+  if total_arity <> Schema.arity out_schema then
+    invalid_arg "Mjoin.create: out_schema arity mismatch";
+  let progs =
+    let names_arr = Array.map (fun s -> s.input.name) slots in
+    let schemas = Array.map (fun s -> s.input.schema) slots in
+    let states = Array.map (fun s -> s.state) slots in
+    Array.map
+      (fun s ->
+        Probe.compile ~names:names_arr ~schemas ~states
+          ~steps:(List.assoc s.input.name orders))
+      slots
+  in
+  let probe_from ix tup =
+    let results = ref [] in
+    Probe.run_compiled progs.(ix) tup ~emit:(fun asg ->
+        let out = Array.make total_arity Value.Null in
+        Array.iteri (fun s cand -> Tuple.blit cand out offsets.(s)) asg;
+        results := Tuple.unsafe_of_array out_schema out :: !results);
+    List.rev !results
   in
 
   (* --- purging -------------------------------------------------------- *)
-  let covered ~stream bindings = Punct_store.covers (slot_of stream).puncts bindings in
+  let covered ~stream bindings =
+    Punct_store.covers (slot_of stream).puncts bindings
+  in
   let record_purge ~input ~trigger ~victims =
     if victims > 0 && Telemetry.enabled telemetry then begin
       let tick = Telemetry.now telemetry in
@@ -125,14 +161,14 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
       Telemetry.emit telemetry
         (Obs.Event.Purge { tick; op = name; input; trigger; victims; lag });
       Telemetry.incr ~by:victims telemetry (name ^ ".purged_tuples");
-      Telemetry.incr telemetry (name ^ ".purge_rounds");
       Telemetry.observe telemetry (name ^ ".purge_batch") victims;
       Telemetry.observe ~n:victims telemetry (name ^ ".purge_lag") lag
     end
   in
   let purge_round ~trigger =
     stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
-    List.iter
+    let round_victims = ref 0 in
+    Array.iter
       (fun slot ->
         match slot.plan with
         | None -> ()
@@ -176,14 +212,28 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
                       b)
             in
             record_purge ~input:slot.input.name ~trigger ~victims:removed;
+            round_victims := !round_victims + removed;
             stats :=
               { !stats with tuples_purged = !stats.tuples_purged + removed })
-      slots
+      slots;
+    if Telemetry.enabled telemetry then begin
+      let tick = Telemetry.now telemetry in
+      let lag =
+        match !pending_since with Some t0 -> max 0 (tick - t0) | None -> 0
+      in
+      (* One round = one event and one counter bump, victims or not — the
+         registry counter, [stats.purge_rounds] and event replay must
+         agree (a victim-less round is still a round that ran). *)
+      Telemetry.emit telemetry
+        (Obs.Event.Purge_round
+           { tick; op = name; trigger; victims = !round_victims; lag });
+      Telemetry.incr telemetry (name ^ ".purge_rounds")
+    end
   in
 
   (* --- punctuation maintenance & propagation -------------------------- *)
   let maintain_punct_stores () =
-    List.iter
+    Array.iter
       (fun slot ->
         (match punct_lifespan with
         | Some lifespan ->
@@ -202,22 +252,21 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
       slots
   in
   let propagate () =
-    List.concat_map
-      (fun slot ->
-        Punct_store.collect_forwardable slot.puncts
-          ~drained:(fun p -> not (Join_state.exists_matching slot.state p))
-        |> List.map (fun p ->
-               let lifted =
-                 List.map
-                   (fun (idx, pat) ->
-                     let attr =
-                       (Schema.attr_at slot.input.schema idx).Schema.name
-                     in
-                     (Schema.qualify_attr ~origin:slot.input.name attr, pat))
-                   (Punctuation.constraints p)
-               in
-               Punctuation.of_constraints out_schema lifted))
-      slots
+    Array.to_list slots
+    |> List.concat_map (fun slot ->
+           Punct_store.collect_forwardable slot.puncts
+             ~drained:(fun p -> not (Join_state.exists_matching slot.state p))
+           |> List.map (fun p ->
+                  let lifted =
+                    List.map
+                      (fun (idx, pat) ->
+                        let attr =
+                          (Schema.attr_at slot.input.schema idx).Schema.name
+                        in
+                        (Schema.qualify_attr ~origin:slot.input.name attr, pat))
+                      (Punctuation.constraints p)
+                  in
+                  Punctuation.of_constraints out_schema lifted))
   in
   let purge_and_propagate ~trigger () =
     purge_round ~trigger;
@@ -230,67 +279,120 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
   in
 
   (* --- the operator --------------------------------------------------- *)
-  let push element =
-    incr now;
-    let input_name = Element.stream_name element in
-    if not (List.mem input_name names) then
-      invalid_arg
-        (Fmt.str "Mjoin %s: element for unknown input %s" name input_name);
-    match element with
-    | Element.Data tup ->
-        stats := { !stats with tuples_in = !stats.tuples_in + 1 };
-        (* Input well-formedness: does this tuple contradict a punctuation
-           its own input already delivered? Detection is unconditional (the
-           stat and counter always move); the response is the contract's. *)
-        let admit =
-          if Punct_store.forbids (slot_of input_name).puncts tup then begin
-            stats := { !stats with late_tuples = !stats.late_tuples + 1 };
-            Contract.handle_late contract ~telemetry ~op:name
-              ~input:input_name tup
-          end
-          else `Admit
+  let trigger_of_policy () = Fmt.str "%a" Purge_policy.pp policy in
+  let push_batch arr =
+    let acc = ref [] in
+    let add outs = List.iter (fun e -> acc := e :: !acc) outs in
+    (* Eager rounds are amortized per batch: a run of punctuations
+       accumulates in [pending_puncts] and a single round fires before the
+       next data element probes (so data results see the same purged state
+       as the element-at-a-time path — purged tuples are provably
+       unmatchable, so results are unaffected) and again at batch end, so
+       purge lag stays 0 on batch boundaries. Propagated punctuations for
+       the run are emitted together — multiset-equal to the per-element
+       path, as {!Operator.t.push_batch} allows. *)
+    let flush_coalesced () =
+      match policy with
+      | Purge_policy.Eager when !pending_puncts > 0 ->
+          add (purge_and_propagate ~trigger:(trigger_of_policy ()) ())
+      | _ -> ()
+    in
+    Array.iter
+      (fun element ->
+        incr now;
+        let input_name = Element.stream_name element in
+        let ix =
+          match Hashtbl.find_opt slot_tbl input_name with
+          | Some ix -> ix
+          | None ->
+              invalid_arg
+                (Fmt.str "Mjoin %s: element for unknown input %s" name
+                   input_name)
         in
-        (match admit with
-        | `Drop ->
-            (* Late tuples must not probe either: a dropped/quarantined
-               run's answer is the fault-free answer. *)
-            []
-        | `Admit ->
-            if Telemetry.enabled telemetry then begin
-              Telemetry.incr telemetry (name ^ ".probes");
-              Telemetry.incr telemetry (name ^ ".inserts")
+        let slot = slots.(ix) in
+        match element with
+        | Element.Data tup ->
+            flush_coalesced ();
+            stats := { !stats with tuples_in = !stats.tuples_in + 1 };
+            (* Input well-formedness: does this tuple contradict a
+               punctuation its own input already delivered? Detection is
+               unconditional (the stat and counter always move); the
+               response is the contract's. *)
+            let admit =
+              if Punct_store.forbids slot.puncts tup then begin
+                stats := { !stats with late_tuples = !stats.late_tuples + 1 };
+                Contract.handle_late contract ~telemetry ~op:name
+                  ~input:input_name tup
+              end
+              else `Admit
+            in
+            (match admit with
+            | `Drop ->
+                (* Late tuples must not probe either: a dropped/quarantined
+                   run's answer is the fault-free answer. *)
+                ()
+            | `Admit ->
+                if
+                  Array.exists
+                    (fun i -> Value.is_null (Tuple.get tup i))
+                    slot.join_idxs
+                then begin
+                  (* Null join key: SQL equality never accepts Null, so the
+                     tuple can satisfy no completion involving its stream —
+                     dead on arrival. It is neither probed nor stored
+                     (storing would hand compare-keyed index buckets a
+                     Null = Null match that Predicate.eval rejects; see
+                     {!Join_state}). *)
+                  stats :=
+                    { !stats with tuples_purged = !stats.tuples_purged + 1 };
+                  record_purge ~input:input_name ~trigger:"null_key"
+                    ~victims:1
+                end
+                else begin
+                  if Telemetry.enabled telemetry then begin
+                    Telemetry.incr telemetry (name ^ ".probes");
+                    Telemetry.incr telemetry (name ^ ".inserts")
+                  end;
+                  let results = probe_from ix tup in
+                  Join_state.insert slot.state tup;
+                  stats :=
+                    {
+                      !stats with
+                      tuples_out = !stats.tuples_out + List.length results;
+                    };
+                  List.iter (fun t -> acc := Element.Data t :: !acc) results
+                end)
+        | Element.Punct p ->
+            stats := { !stats with puncts_in = !stats.puncts_in + 1 };
+            let informative = Punct_store.insert slot.puncts ~now:!now p in
+            if not informative then
+              Contract.handle_punct_rejected contract ~telemetry ~op:name
+                ~input:input_name ~ordered:(Punctuation.is_ordered p);
+            if informative then begin
+              incr pending_puncts;
+              if !pending_since = None then
+                pending_since := Some (Telemetry.now telemetry)
             end;
-            let results = probe_from input_name tup in
-            Join_state.insert (slot_of input_name).state tup;
-            stats :=
-              {
-                !stats with
-                tuples_out = !stats.tuples_out + List.length results;
-              };
-            List.map (fun t -> Element.Data t) results)
-    | Element.Punct p ->
-        stats := { !stats with puncts_in = !stats.puncts_in + 1 };
-        let informative = Punct_store.insert (slot_of input_name).puncts ~now:!now p in
-        if not informative then
-          Contract.handle_punct_rejected contract ~telemetry ~op:name
-            ~input:input_name ~ordered:(Punctuation.is_ordered p);
-        if informative then begin
-          incr pending_puncts;
-          if !pending_since = None then
-            pending_since := Some (Telemetry.now telemetry)
-        end;
-        let state_size =
-          List.fold_left
-            (fun acc s -> acc + Join_state.size s.state)
-            0 slots
-        in
-        if
-          Purge_policy.due policy ~punctuations_pending:!pending_puncts
-            ~state_size
-        then
-          purge_and_propagate ~trigger:(Fmt.str "%a" Purge_policy.pp policy) ()
-        else []
+            (match policy with
+            | Purge_policy.Eager | Purge_policy.Never ->
+                (* Eager: deferred to the next data element / batch end.
+                   Never: no rounds, by definition. *)
+                ()
+            | Purge_policy.Lazy _ | Purge_policy.Adaptive _ ->
+                let state_size =
+                  Array.fold_left
+                    (fun a s -> a + Join_state.size s.state)
+                    0 slots
+                in
+                if
+                  Purge_policy.due policy
+                    ~punctuations_pending:!pending_puncts ~state_size
+                then add (purge_and_propagate ~trigger:(trigger_of_policy ()) ())))
+      arr;
+    flush_coalesced ();
+    List.rev !acc
   in
+  let push element = push_batch [| element |] in
   let flush () =
     match policy with
     | Purge_policy.Never -> []
@@ -311,21 +413,22 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
     out_schema;
     input_names = names;
     push;
+    push_batch;
     flush;
     data_state_size =
       (fun () ->
-        List.fold_left (fun acc s -> acc + Join_state.size s.state) 0 slots);
+        Array.fold_left (fun acc s -> acc + Join_state.size s.state) 0 slots);
     punct_state_size =
       (fun () ->
-        List.fold_left (fun acc s -> acc + Punct_store.size s.puncts) 0 slots);
+        Array.fold_left (fun acc s -> acc + Punct_store.size s.puncts) 0 slots);
     index_state_size =
       (fun () ->
-        List.fold_left
+        Array.fold_left
           (fun acc s -> acc + Join_state.index_entries s.state)
           0 slots);
     state_bytes =
       (fun () ->
-        List.fold_left
+        Array.fold_left
           (fun acc s ->
             acc + (Join_state.mem_stats s.state).Join_state.approx_bytes)
           0 slots);
@@ -336,12 +439,12 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
          purged. *)
       (fun () ->
         let dropped =
-          List.fold_left
+          Array.fold_left
             (fun acc s -> acc + Punct_store.rejected_count s.puncts)
             0 slots
         in
         let subsumed =
-          List.fold_left
+          Array.fold_left
             (fun acc s -> acc + Punct_store.subsumed_count s.puncts)
             0 slots
         in

@@ -49,6 +49,7 @@ type t = {
   out_schema : Relational.Schema.t;
   input_names : string list;
   push : Streams.Element.t -> Streams.Element.t list;
+  push_batch : Streams.Element.t array -> Streams.Element.t list;
   flush : unit -> Streams.Element.t list;
   data_state_size : unit -> int;
   punct_state_size : unit -> int;
@@ -56,3 +57,10 @@ type t = {
   state_bytes : unit -> int;
   stats : unit -> stats;
 }
+
+let batch_of_push push arr =
+  let acc = ref [] in
+  Array.iter
+    (fun e -> List.iter (fun o -> acc := o :: !acc) (push e))
+    arr;
+  List.rev !acc

@@ -38,6 +38,17 @@ type t = {
   input_names : string list;
   push : Streams.Element.t -> Streams.Element.t list;
       (** feed one input element, collect outputs in order *)
+  push_batch : Streams.Element.t array -> Streams.Element.t list;
+      (** feed a run of input elements (any mix of the operator's inputs,
+          in arrival order), collect outputs. Contract with {!push}: the
+          data-tuple output sequence is identical to pushing the elements
+          one at a time, and the final operator state agrees on batch
+          boundaries; operators amortizing punctuation work per batch
+          (see {!Mjoin}) may group propagated punctuations at the end of a
+          punctuation run instead of emitting them per punctuation, so
+          punctuation outputs are sequence-equal only as a multiset per
+          run. Non-batching operators use {!batch_of_push}, which is
+          exactly the element-at-a-time path. *)
   flush : unit -> Streams.Element.t list;
       (** run any deferred purge/propagation work (lazy policies) *)
   data_state_size : unit -> int;
@@ -51,3 +62,12 @@ type t = {
           index structures (trend indicator, not an exact measurement) *)
   stats : unit -> stats;
 }
+
+(** [batch_of_push push] — the default batch implementation: push each
+    element in order and concatenate the outputs. Byte-identical to the
+    element-at-a-time path, so operators without a native batch fast path
+    set [push_batch = batch_of_push push]. *)
+val batch_of_push :
+  (Streams.Element.t -> Streams.Element.t list) ->
+  Streams.Element.t array ->
+  Streams.Element.t list

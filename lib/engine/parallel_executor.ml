@@ -190,18 +190,44 @@ let worker t shard =
     match Spsc.pop_wait shard.queue with
     | `Closed -> ()
     | `Item (Batch arr) ->
-        Array.iter
-          (fun (seq, el) ->
+        (* Feed the whole batch through the operators' push_batch fast
+           path. Outputs are recorded under the batch's last seq — the
+           merge key stays deterministic (outputs of seq s still precede
+           outputs of any s' > s; within-batch attribution is coarser, and
+           cross-run comparisons are by output multiset/hash anyway). A
+           pending kill splits the batch: the prefix strictly before the
+           kill seq is fed batched, then the kill fires exactly where the
+           per-element path would have raised. *)
+        let kill_at =
+          match t.kill with
+          | Some (k, armed)
+            when shard.index = k.Fault_injector.shard && Atomic.get armed ->
+              let hit = ref None in
+              Array.iteri
+                (fun i (seq, _) ->
+                  if !hit = None && seq >= k.Fault_injector.at_seq then
+                    hit := Some (i, k))
+                arr;
+              !hit
+          | _ -> None
+        in
+        let feed_run lo hi =
+          (* [lo, hi): contiguous slice of the batch *)
+          if hi > lo then begin
+            let last_seq, _ = arr.(hi - 1) in
+            Telemetry.set_clock shard.tel last_seq;
+            let els = Array.init (hi - lo) (fun i -> snd arr.(lo + i)) in
+            record last_seq (Executor.feed_batch shard.compiled els)
+          end
+        in
+        (match kill_at with
+        | Some (i, k) ->
+            feed_run 0 i;
             (match t.kill with
-            | Some (k, armed)
-              when shard.index = k.Fault_injector.shard
-                   && seq >= k.Fault_injector.at_seq
-                   && Atomic.compare_and_set armed true false ->
+            | Some (_, armed) when Atomic.compare_and_set armed true false ->
                 raise (Fault_injector.Injected_kill k)
-            | _ -> ());
-            Telemetry.set_clock shard.tel seq;
-            record seq (Executor.feed_element shard.compiled el))
-          arr;
+            | _ -> ())
+        | None -> feed_run 0 (Array.length arr));
         loop ()
     | `Item (Barrier id) ->
         (* Two-phase: announce arrival, then park until the driver has

@@ -43,6 +43,7 @@ let compose stages =
         out_schema = last.out_schema;
         input_names = first.input_names;
         push;
+        push_batch = Operator.batch_of_push push;
         flush;
         data_state_size =
           (fun () ->

@@ -17,6 +17,31 @@ type step = {
 val orders :
   string list -> Relational.Predicate.t -> (string * step list) list
 
+(** A probe walk compiled to integer slot ids: input names, attribute
+    names and index lookups are resolved once at plan time, so the
+    per-push loop touches only arrays and pre-resolved
+    {!Join_state.handle}s. *)
+type prog
+
+(** [compile ~names ~schemas ~states ~steps] compiles one walk. [names],
+    [schemas] and [states] are parallel arrays over the operator's inputs
+    (slot order); [steps] is the walk from {!orders}. Resolving each keyed
+    step's handle builds the hash index up front instead of on first
+    probe. *)
+val compile :
+  names:string array ->
+  schemas:Relational.Schema.t array ->
+  states:Join_state.t array ->
+  steps:step list ->
+  prog
+
+(** [run_compiled prog tuple ~emit] walks [prog] with the origin slot bound
+    to [tuple] and calls [emit] once per complete assignment with the
+    slot-indexed tuple array. The array is reused across emissions — [emit]
+    must copy what it keeps. Emission order matches {!run}. *)
+val run_compiled :
+  prog -> Relational.Tuple.t -> emit:(Relational.Tuple.t array -> unit) -> unit
+
 (** [run ~steps ~state_of ~schema_of ~origin tuple] — every complete
     assignment (input name -> matched tuple, the origin bound to [tuple])
     produced by walking [steps] against the current states. *)

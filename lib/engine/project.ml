@@ -37,6 +37,7 @@ let create ?(name = "project") ~input ~keep () =
     out_schema;
     input_names = [ Schema.stream_name input ];
     push;
+    push_batch = Operator.batch_of_push push;
     flush = (fun () -> []);
     data_state_size = (fun () -> 0);
     punct_state_size = (fun () -> 0);

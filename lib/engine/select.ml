@@ -46,6 +46,7 @@ let create ?(name = "select") ~input ~conditions () =
     out_schema = input;
     input_names = [ Schema.stream_name input ];
     push;
+    push_batch = Operator.batch_of_push push;
     flush = (fun () -> []);
     data_state_size = (fun () -> 0);
     punct_state_size = (fun () -> 0);

@@ -43,6 +43,7 @@ let create ?(name = "sort") ~input ~by () =
     out_schema = input;
     input_names = [ Schema.stream_name input ];
     push;
+    push_batch = Operator.batch_of_push push;
     flush =
       (fun () ->
         (* end of stream: everything left can be emitted in order *)

@@ -12,6 +12,9 @@ type slot = {
   side : side;
   state : Join_state.t;
   puncts : Punct_store.t;
+  join_idxs : int array;
+      (* attribute positions of this side appearing in the join predicate:
+         a Null in one of them makes the tuple dead on arrival *)
 }
 
 let create ?(name = "join") ?(policy = Purge_policy.Eager)
@@ -31,10 +34,19 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
     predicates;
   if predicates = [] then
     invalid_arg "Sym_hash_join.create: no join predicate";
+  let join_idxs_of (side : side) =
+    List.map
+      (fun atom ->
+        Schema.attr_index side.schema (Predicate.attr_on atom side.name))
+      predicates
+    |> List.sort_uniq compare |> Array.of_list
+  in
   let l = { side = left; state = Join_state.create left.schema;
-            puncts = Punct_store.create left.schema }
+            puncts = Punct_store.create left.schema;
+            join_idxs = join_idxs_of left }
   and r = { side = right; state = Join_state.create right.schema;
-            puncts = Punct_store.create right.schema } in
+            puncts = Punct_store.create right.schema;
+            join_idxs = join_idxs_of right } in
   let out_schema = Schema.concat ~stream:name left.schema right.schema in
   let stats = ref Operator.empty_stats in
   let now = ref 0 in
@@ -55,10 +67,9 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
           let before = bytes () in
           let shed_side slot =
             let want = (Join_state.size slot.state + 3) / 4 in
-            let seen = ref 0 in
-            Join_state.purge_if slot.state (fun _ ->
-                incr seen;
-                !seen <= want)
+            (* oldest first by insertion tick — deterministic, so replay
+               and recovery shed the same tuples *)
+            Join_state.evict_oldest slot.state ~count:want
           in
           let victims = shed_side l + shed_side r in
           (victims, max 0 (before - bytes ()))));
@@ -71,9 +82,22 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
       Telemetry.emit telemetry
         (Obs.Event.Purge { tick; op = name; input; trigger; victims; lag });
       Telemetry.incr ~by:victims telemetry (name ^ ".purged_tuples");
-      Telemetry.incr telemetry (name ^ ".purge_rounds");
       Telemetry.observe telemetry (name ^ ".purge_batch") victims;
       Telemetry.observe ~n:victims telemetry (name ^ ".purge_lag") lag
+    end
+  in
+  (* One round = one event and one counter bump, victims or not — the
+     registry counter, [stats.purge_rounds] and event replay must agree
+     (a victim-less round is still a round that ran). *)
+  let emit_purge_round ~trigger ~victims =
+    if Telemetry.enabled telemetry then begin
+      let tick = Telemetry.now telemetry in
+      let lag =
+        match !pending_since with Some t0 -> max 0 (tick - t0) | None -> 0
+      in
+      Telemetry.emit telemetry
+        (Obs.Event.Purge_round { tick; op = name; trigger; victims; lag });
+      Telemetry.incr telemetry (name ^ ".purge_rounds")
     end
   in
   let this_and_other input_name =
@@ -166,6 +190,7 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
     in
     let removed = sweep l r + sweep r l in
     stats := { !stats with tuples_purged = !stats.tuples_purged + removed };
+    emit_purge_round ~trigger ~victims:removed;
     pending_since := None;
     removed
   in
@@ -190,7 +215,8 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
     stats := { !stats with puncts_out = !stats.puncts_out + List.length ps };
     List.map (fun p -> Element.Punct p) ps
   in
-  let push element =
+  let process acc element =
+    let add outs = List.iter (fun e -> acc := e :: !acc) outs in
     incr now;
     let mine, other = this_and_other (Element.stream_name element) in
     match element with
@@ -209,24 +235,47 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
           else `Admit
         in
         (match admit with
-        | `Drop -> []
+        | `Drop -> ()
         | `Admit ->
-        if Telemetry.enabled telemetry then begin
-          Telemetry.incr telemetry (name ^ ".probes");
-          Telemetry.incr telemetry (name ^ ".inserts")
-        end;
-        let results = probe mine other tup in
-        (* dead on arrival: its partners are already punctuated away, so
-           after these results it can never match again — do not store *)
-        if Punct_store.covers other.puncts (partner_bindings mine tup) then begin
-          stats := { !stats with tuples_purged = !stats.tuples_purged + 1 };
-          record_purge ~input:mine.side.name ~trigger:"dead_on_arrival"
-            ~victims:1
-        end
-        else Join_state.insert mine.state tup;
-        stats :=
-          { !stats with tuples_out = !stats.tuples_out + List.length results };
-        List.map (fun t -> Element.Data t) results)
+            if
+              Array.exists
+                (fun i -> Value.is_null (Tuple.get tup i))
+                mine.join_idxs
+            then begin
+              (* Null join key: SQL equality never accepts Null, so the
+                 tuple can join with nothing — dead on arrival. Neither
+                 probed nor stored (storing would hand compare-keyed index
+                 buckets a Null = Null match that Predicate.eval rejects;
+                 see {!Join_state}). *)
+              stats :=
+                { !stats with tuples_purged = !stats.tuples_purged + 1 };
+              record_purge ~input:mine.side.name ~trigger:"null_key"
+                ~victims:1
+            end
+            else begin
+              if Telemetry.enabled telemetry then begin
+                Telemetry.incr telemetry (name ^ ".probes");
+                Telemetry.incr telemetry (name ^ ".inserts")
+              end;
+              let results = probe mine other tup in
+              (* dead on arrival: its partners are already punctuated away,
+                 so after these results it can never match again — do not
+                 store *)
+              if Punct_store.covers other.puncts (partner_bindings mine tup)
+              then begin
+                stats :=
+                  { !stats with tuples_purged = !stats.tuples_purged + 1 };
+                record_purge ~input:mine.side.name ~trigger:"dead_on_arrival"
+                  ~victims:1
+              end
+              else Join_state.insert mine.state tup;
+              stats :=
+                {
+                  !stats with
+                  tuples_out = !stats.tuples_out + List.length results;
+                };
+              List.iter (fun t -> acc := Element.Data t :: !acc) results
+            end)
     | Element.Punct p ->
         stats := { !stats with puncts_in = !stats.puncts_in + 1 };
         let informative = Punct_store.insert mine.puncts ~now:!now p in
@@ -248,9 +297,10 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
                 ~victims:removed;
               stats :=
                 { !stats with tuples_purged = !stats.tuples_purged + removed };
+              emit_purge_round ~trigger:"eager" ~victims:removed;
               pending_since := None
             end;
-            propagate ()
+            add (propagate ())
         | Purge_policy.Lazy _ | Purge_policy.Adaptive _ ->
             let state_size =
               Join_state.size l.state + Join_state.size r.state
@@ -260,11 +310,16 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
               pending := 0;
               ignore
                 (full_purge ~trigger:(Fmt.str "%a" Purge_policy.pp policy) ());
-              propagate ()
+              add (propagate ())
             end
-            else []
-        | Purge_policy.Never -> [])
+        | Purge_policy.Never -> ())
   in
+  let push_batch arr =
+    let acc = ref [] in
+    Array.iter (process acc) arr;
+    List.rev !acc
+  in
+  let push element = push_batch [| element |] in
   let flush () =
     match policy with
     | Purge_policy.Never -> []
@@ -281,6 +336,7 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
     out_schema;
     input_names = [ left.name; right.name ];
     push;
+    push_batch;
     flush;
     data_state_size =
       (fun () -> Join_state.size l.state + Join_state.size r.state);

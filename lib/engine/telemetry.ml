@@ -87,10 +87,31 @@ let wrap_op t (op : Operator.t) =
       record_outs outs;
       outs
     in
+    let push_batch arr =
+      (* Same per-element in-events as the element path (replay must not be
+         able to tell the two apart); one timing observation per batch call
+         so push_ns reflects the amortized cost. *)
+      Array.iter
+        (fun e ->
+          let input = Element.stream_name e in
+          match e with
+          | Element.Data _ ->
+              incr t c_tuples_in;
+              emit t (Obs.Event.Tuple_in { tick = now t; op = op.name; input })
+          | Element.Punct _ ->
+              incr t c_puncts_in;
+              emit t (Obs.Event.Punct_in { tick = now t; op = op.name; input }))
+        arr;
+      let t0 = t.time () in
+      let outs = op.push_batch arr in
+      observe t h_push (t.time () - t0);
+      record_outs outs;
+      outs
+    in
     let flush () =
       let outs = op.flush () in
       record_outs outs;
       outs
     in
-    { op with push; flush }
+    { op with push; push_batch; flush }
   end

@@ -106,6 +106,7 @@ let create ?(name = "window_join") ?(telemetry = Telemetry.null) ~window
     out_schema;
     input_names = names;
     push;
+    push_batch = Operator.batch_of_push push;
     flush = (fun () -> []);
     data_state_size =
       (fun () ->

@@ -13,6 +13,13 @@ type t =
       victims : int;
       lag : int;
     }
+  | Purge_round of {
+      tick : int;
+      op : string;
+      trigger : string;
+      victims : int;  (* total across all inputs; 0 for a victim-less round *)
+      lag : int;
+    }
   | Evict of { tick : int; op : string; input : string; victims : int }
   | Sample of {
       tick : int;
@@ -50,6 +57,7 @@ let op_of = function
   | Punct_in { op; _ }
   | Punct_out { op; _ }
   | Purge { op; _ }
+  | Purge_round { op; _ }
   | Evict { op; _ }
   | Alarm { op; _ }
   | Violation { op; _ }
@@ -64,6 +72,7 @@ let tick_of = function
   | Punct_in { tick; _ }
   | Punct_out { tick; _ }
   | Purge { tick; _ }
+  | Purge_round { tick; _ }
   | Evict { tick; _ }
   | Sample { tick; _ }
   | Alarm { tick; _ }
@@ -124,6 +133,16 @@ let to_json ?shard e =
           ("tick", Int tick);
           ("op", String op);
           ("input", String input);
+          ("trigger", String trigger);
+          ("victims", Int victims);
+          ("lag", Int lag);
+        ]
+  | Purge_round { tick; op; trigger; victims; lag } ->
+      f
+        [
+          ("ev", String "purge_round");
+          ("tick", Int tick);
+          ("op", String op);
           ("trigger", String trigger);
           ("victims", Int victims);
           ("lag", Int lag);
@@ -253,6 +272,13 @@ let of_json j =
       let* victims = int "victims" in
       let* lag = int "lag" in
       Ok (Purge { tick; op; input; trigger; victims; lag })
+  | "purge_round" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* trigger = str "trigger" in
+      let* victims = int "victims" in
+      let* lag = int "lag" in
+      Ok (Purge_round { tick; op; trigger; victims; lag })
   | "evict" ->
       let* tick = int "tick" in
       let* op = str "op" in

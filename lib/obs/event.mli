@@ -26,6 +26,20 @@ type t =
       victims : int;
       lag : int;  (** ticks the victims lingered past purgeability *)
     }
+  | Purge_round of {
+      tick : int;
+      op : string;
+      trigger : string;
+      victims : int;
+          (** total victims across all of the operator's inputs — 0 when
+              the round ran but found nothing purgeable *)
+      lag : int;
+    }
+      (** one purge round ran, victims or not. Per-input victim detail is
+          in the accompanying {!Purge} events (emitted only when an input
+          lost tuples); this event is the round marker, so replayed
+          [purge_rounds] counters agree with {!Engine.Operator.stats} even
+          for victim-less rounds. *)
   | Evict of { tick : int; op : string; input : string; victims : int }
   | Sample of {
       tick : int;

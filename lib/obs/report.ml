@@ -113,8 +113,10 @@ let replay events =
       | Event.Tuple_out { op; count; _ } -> bump op "tuples_out" count
       | Event.Punct_in { op; _ } -> bump op "puncts_in" 1
       | Event.Punct_out { op; count; _ } -> bump op "puncts_out" count
-      | Event.Purge { op; victims; _ } ->
-          bump op "purged_tuples" victims;
+      | Event.Purge { op; victims; _ } -> bump op "purged_tuples" victims
+      | Event.Purge_round { op; _ } ->
+          (* the round marker, emitted victims or not — per-input victim
+             detail rides on the Purge events above *)
           bump op "purge_rounds" 1
       | Event.Evict { op; victims; _ } -> bump op "evicted_tuples" victims
       | Event.Violation { op; kind = "late_data"; action; _ } ->

@@ -20,6 +20,15 @@ let of_array schema values =
   { schema; values }
 
 let make schema values = of_array schema (Array.of_list values)
+
+(* The caller vouches for arity and per-attribute types (see .mli): result
+   assembly on the join hot path concatenates already-validated tuples under
+   a schema whose attribute list is the concatenation of theirs, so
+   re-running [of_array]'s checks per result would only re-prove what plan
+   compilation established once. *)
+let unsafe_of_array schema values = { schema; values }
+
+let blit t dst pos = Array.blit t.values 0 dst pos (Array.length t.values)
 let schema t = t.schema
 let arity t = Array.length t.values
 let get t i = t.values.(i)

@@ -10,6 +10,21 @@ val make : Schema.t -> Value.t list -> t
     afterwards. *)
 val of_array : Schema.t -> Value.t array -> t
 
+(** [unsafe_of_array schema values] skips the arity and type validation of
+    {!of_array}. Contract: [Array.length values = Schema.arity schema] and
+    every [values.(i)] satisfies [Value.matches_ty] for attribute [i], and
+    the array is never mutated afterwards. Reserved for hot paths that
+    assemble outputs from already-validated tuples under a schema whose
+    conformance was checked once at plan time (see {!Mjoin}); everything
+    else should use {!of_array}. A violated contract surfaces as wrong
+    query answers, not an exception — treat this as part of the operator
+    compiler, not a general constructor. *)
+val unsafe_of_array : Schema.t -> Value.t array -> t
+
+(** [blit t dst pos] copies [t]'s values into [dst] starting at [pos]
+    (output assembly for concatenated result tuples). *)
+val blit : t -> Value.t array -> int -> unit
+
 val schema : t -> Schema.t
 val arity : t -> int
 

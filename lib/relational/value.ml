@@ -14,6 +14,8 @@ let type_of = function
   | Bool _ -> Some TBool
   | Null -> None
 
+let is_null = function Null -> true | _ -> false
+
 let equal a b =
   match a, b with
   | Null, _ | _, Null -> false

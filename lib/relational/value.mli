@@ -23,8 +23,18 @@ val equal : t -> t -> bool
 
 (** [compare] is a total order usable as a container key; unlike {!equal} it
     treats [Null] as a smallest distinct element so that values can live in
-    maps and sets. *)
+    maps and sets.
+
+    Because [compare Null Null = 0] while [equal Null Null = false], any
+    container keyed by [compare] (or {!hash}) silently adopts Null = Null
+    semantics. Join code must never let a Null reach a hash-bucket key: the
+    engine's convention (SQL semantics) is that Null join keys are skipped
+    at indexing and probing time ({!Join_state}), so both the index path and
+    the {!Predicate.eval} path agree that a null key matches nothing. *)
 val compare : t -> t -> int
+
+(** [is_null v] — [v] is the absent/unknown marker. *)
+val is_null : t -> bool
 
 val hash : t -> int
 

@@ -156,4 +156,23 @@ if ! git diff --quiet -- BENCH_shard_scaling.json 2>/dev/null; then
   echo "NOTE: BENCH_shard_scaling.json changed; review and commit the new numbers." >&2
 fi
 
+echo "== hot-path benchmark (B3 -> BENCH_hot_path.json) =="
+# B3 gates correctness, not just speed: it fails if the batched path's
+# output multiset diverges from the element path on any scenario, if
+# shards 1/4 diverge from the sequential triangle answer, or if the
+# batched triangle throughput drops below 5x the 1,580 el/s pre-batching
+# baseline.
+dune exec bench/main.exe -- B3
+if [ ! -f BENCH_hot_path.json ]; then
+  echo "B3 did not produce BENCH_hot_path.json" >&2
+  exit 1
+fi
+if ! grep -q '"benchmark": "hot_path"' BENCH_hot_path.json; then
+  echo "BENCH_hot_path.json is malformed (missing benchmark marker)" >&2
+  exit 1
+fi
+if ! git diff --quiet -- BENCH_hot_path.json 2>/dev/null; then
+  echo "NOTE: BENCH_hot_path.json changed; review and commit the new numbers." >&2
+fi
+
 echo "CI OK"

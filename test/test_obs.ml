@@ -364,6 +364,7 @@ let test_emitted_counted_post_sink () =
       out_schema;
       input_names = [];
       push = (fun _ -> []);
+      push_batch = (fun _ -> []);
       flush = (fun () -> []);
       data_state_size = (fun () -> 0);
       punct_state_size = (fun () -> 0);
