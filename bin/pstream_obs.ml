@@ -142,8 +142,160 @@ let verify_cmd =
     Term.(
       const verify $ report_arg $ trace_arg $ expect_quiet $ expect_alarms)
 
+(* --- scrape: one-shot pull from a live exporter endpoint --------------- *)
+
+let address_arg =
+  let parse s =
+    match Obs.Exporter.address_of_string s with
+    | Ok a -> Ok a
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Obs.Exporter.pp_address)
+
+let connect_arg =
+  Arg.(
+    required
+    & opt (some address_arg) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Exporter endpoint: $(b,PORT), $(b,HOST:PORT) or \
+           $(b,unix:PATH) (as printed by pstream-run --listen).")
+
+let require_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "require" ] ~docv:"FAMILY"
+        ~doc:
+          "Fail unless the exposition declares metric family $(docv) \
+           (repeatable).")
+
+let catalog_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "catalog" ] ~docv:"FILE"
+        ~doc:
+          "Fail if any scraped family name is absent from $(docv) \
+           (e.g. docs/TELEMETRY.md) — keeps the metric catalog honest.")
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "quiet"; "q" ] ~doc:"Validate only; do not print the exposition.")
+
+let scrape address requires catalog quiet =
+  match Obs_client.scrape address with
+  | Error e ->
+      Fmt.epr "scrape: %s@." e;
+      1
+  | Ok scraped -> (
+      if not quiet then print_string scraped.Obs_client.text;
+      let families = Obs_client.families_of_text scraped.Obs_client.text in
+      let missing =
+        List.filter (fun f -> not (List.mem_assoc f families)) requires
+      in
+      List.iter
+        (fun f -> Fmt.epr "scrape: required family %s missing@." f)
+        missing;
+      let uncataloged =
+        match catalog with
+        | None -> []
+        | Some path ->
+            let catalog_text = Obs_client.read_file path in
+            Obs_client.catalog_missing ~catalog_text families
+      in
+      List.iter
+        (fun (name, kind) ->
+          Fmt.epr "scrape: family %s (%s) is not in the catalog@." name kind)
+        uncataloged;
+      match (missing, uncataloged) with [], [] -> 0 | _ -> 1)
+
+let scrape_cmd =
+  let doc = "fetch one OpenMetrics exposition from a running engine" in
+  Cmd.v (Cmd.info "scrape" ~doc)
+    Term.(const scrape $ connect_arg $ require_arg $ catalog_arg $ quiet_arg)
+
+(* --- tail: filtered human view of a JSONL trace ------------------------ *)
+
+let tail trace_path ops kinds since_tick =
+  match read_trace trace_path with
+  | Error e ->
+      Fmt.epr "%s@." e;
+      1
+  | Ok events ->
+      let keep e =
+        Obs.Event.tick_of e >= since_tick
+        && (ops = []
+           || match Obs.Event.op_of e with
+              | Some op -> List.mem op ops
+              | None -> false)
+        && (kinds = [] || List.mem (Obs_client.event_kind e) kinds)
+      in
+      let shown = List.filter keep events in
+      List.iter (fun e -> Fmt.pr "%a@." Obs_client.pp_event e) shown;
+      Fmt.pr "-- %d/%d events@." (List.length shown) (List.length events);
+      0
+
+let tail_trace_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"JSONL event trace (pstream-run --trace).")
+
+let tail_op_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "op" ] ~docv:"NAME"
+        ~doc:"Show only events of operator $(docv) (repeatable).")
+
+let tail_event_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "event" ] ~docv:"KIND"
+        ~doc:
+          "Show only events of kind $(docv) — tuple_in, punct_in, purge, \
+           purge_round, sample, alarm, violation, … (repeatable).")
+
+let tail_since_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "since-tick" ] ~docv:"N"
+        ~doc:"Show only events with tick >= $(docv).")
+
+let tail_cmd =
+  let doc = "pretty-print a trace, filtered by operator/kind/tick" in
+  Cmd.v (Cmd.info "tail" ~doc)
+    Term.(
+      const tail $ tail_trace_arg $ tail_op_arg $ tail_event_arg
+      $ tail_since_arg)
+
+(* --- top: live terminal view ------------------------------------------- *)
+
+let top address interval once =
+  Obs_client.run_top ~address ~interval ~once
+
+let interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "interval"; "i" ] ~docv:"SECS" ~doc:"Refresh interval.")
+
+let once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ] ~doc:"Render a single frame and exit (no screen reset).")
+
+let top_cmd =
+  let doc = "live per-operator view of a running engine" in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const top $ connect_arg $ interval_arg $ once_arg)
+
 let cmd =
   let doc = "inspect and verify pstream telemetry artifacts" in
-  Cmd.group (Cmd.info "pstream-obs" ~doc) [ verify_cmd ]
+  Cmd.group
+    (Cmd.info "pstream-obs" ~doc)
+    [ verify_cmd; scrape_cmd; tail_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -16,7 +16,8 @@ module Fault_injector = Streams.Fault_injector
    each worker event tagged by its shard; injector events lead it,
    untagged, like the driver's own. *)
 let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
-    ~meta ~contract_config ~kill ~max_restarts ~fault_events query trace =
+    ~meta ~contract_config ~kill ~max_restarts ~fault_events ~exporter query
+    trace =
   let watchdog = Obs.Watchdog.create () in
   let pexec =
     Engine.Parallel_executor.create ~policy ~watchdog ~instrument:true
@@ -33,7 +34,8 @@ let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
       | None -> ())
     (Query.Cjq.stream_names query);
   let result =
-    Engine.Parallel_executor.run ~sample_every ~label pexec (List.to_seq trace)
+    Engine.Parallel_executor.run ~sample_every ~label ?exporter pexec
+      (List.to_seq trace)
   in
   (match trace_file with
   | Some path ->
@@ -115,7 +117,7 @@ let pp_contract_summary ct =
 
 let run_query file rounds tuples_per_round punct_lag policy force sample_every
     replay save_trace report_file trace_file shards faults contract_config kill
-    max_restarts =
+    max_restarts listen =
   match Query.Parser.parse_file file with
   | exception Query.Parser.Parse_error { line; message } ->
       Fmt.epr "%s:%d: %s@." file line message;
@@ -173,6 +175,27 @@ let run_query file rounds tuples_per_round punct_lag policy force sample_every
             (fun v -> Fmt.epr "  %a@." Streams.Trace.pp_violation v)
             violations
         end;
+        (* The exporter outlives the run (clients may connect between
+           samples); tear it down whatever way the run ends. *)
+        let exporter =
+          match listen with
+          | None -> Ok None
+          | Some address -> (
+              match Obs.Exporter.start address with
+              | Ok ex ->
+                  Fmt.epr "metrics: serving OpenMetrics on %s@."
+                    (Obs.Exporter.endpoint ex);
+                  Ok (Some ex)
+              | Error e ->
+                  Fmt.epr "metrics: cannot listen: %s@." e;
+                  Error 1)
+        in
+        match exporter with
+        | Error code -> code
+        | Ok exporter ->
+        Fun.protect
+          ~finally:(fun () -> Option.iter Obs.Exporter.stop exporter)
+        @@ fun () ->
         match
           if shards > 1 then
             run_sharded ~shards ~policy ~sample_every ~label:file ~trace_file
@@ -185,7 +208,8 @@ let run_query file rounds tuples_per_round punct_lag policy force sample_every
                   );
                   ("safe", Obs.Json.Bool safe);
                 ]
-              ~contract_config ~kill ~max_restarts ~fault_events query trace
+              ~contract_config ~kill ~max_restarts ~fault_events ~exporter
+              query trace
           else begin
             let sink =
               match trace_file with
@@ -203,7 +227,7 @@ let run_query file rounds tuples_per_round punct_lag policy force sample_every
                 (Query.Plan.mjoin (Query.Cjq.stream_names query))
             in
             let result =
-              Engine.Executor.run ~sample_every ~label:file compiled
+              Engine.Executor.run ~sample_every ~label:file ?exporter compiled
                 (List.to_seq trace)
             in
             Engine.Telemetry.close telemetry;
@@ -575,6 +599,28 @@ let max_restarts =
           "Restart budget per shard; a shard crashing more than N times \
            fails the run with exit 5.")
 
+(* --- live observability ------------------------------------------------ *)
+
+let address_conv : Obs.Exporter.address Arg.conv =
+  let parse s =
+    match Obs.Exporter.address_of_string s with
+    | Ok a -> Ok a
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Obs.Exporter.pp_address)
+
+let listen =
+  Arg.(
+    value
+    & opt (some address_conv) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve live OpenMetrics snapshots while the run is in flight: \
+           $(b,PORT), $(b,HOST:PORT) (port 0 picks a free one) or \
+           $(b,unix:PATH). One exposition per sampling-grid point; scrape \
+           with pstream-obs scrape or watch with pstream-top. Without this \
+           flag the run is byte-identical to an unexported one.")
+
 let exits =
   [
     Cmd.Exit.info 0 ~doc:"on success (bounded run, no fatal violation).";
@@ -603,6 +649,6 @@ let cmd =
     Term.(
       const run_query $ file $ rounds $ tuples_per_round $ punct_lag $ policy
       $ force $ sample_every $ replay $ save_trace $ report_file $ trace_file
-      $ shards $ faults $ contract_config $ kill $ max_restarts)
+      $ shards $ faults $ contract_config $ kill $ max_restarts $ listen)
 
 let () = exit (Cmd.eval' cmd)

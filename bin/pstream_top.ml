@@ -1,0 +1,44 @@
+(* pstream-top: live terminal view of a running engine. Polls the
+   OpenMetrics endpoint a `pstream-run --listen` run exposes and repaints
+   per-operator throughput, state bytes, purge lag, result latency,
+   punctuation progress and GC rates in place. Thin front-end over
+   Obs_client.run_top — `pstream-obs top` is the same view. *)
+
+open Cmdliner
+
+let address_arg =
+  let parse s =
+    match Obs.Exporter.address_of_string s with
+    | Ok a -> Ok a
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Obs.Exporter.pp_address)
+
+let connect_arg =
+  Arg.(
+    required
+    & pos 0 (some address_arg) None
+    & info [] ~docv:"ADDR"
+        ~doc:
+          "Exporter endpoint: $(b,PORT), $(b,HOST:PORT) or $(b,unix:PATH) \
+           (as printed by pstream-run --listen).")
+
+let interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "interval"; "i" ] ~docv:"SECS" ~doc:"Refresh interval.")
+
+let once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ] ~doc:"Render a single frame and exit (no screen reset).")
+
+let top address interval once = Obs_client.run_top ~address ~interval ~once
+
+let cmd =
+  let doc = "live per-operator view of a running pstream engine" in
+  Cmd.v
+    (Cmd.info "pstream-top" ~doc)
+    Term.(const top $ connect_arg $ interval_arg $ once_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -339,12 +339,62 @@ let feed_batch c elements = feed_batch c.root elements
 
 let flush_tree c = final_flush c.root
 
-let run ?(sample_every = 100) ?batch ?sink ?(label = "run") c elements =
+let run ?(sample_every = 100) ?batch ?sink ?(label = "run") ?exporter c
+    elements =
   let telemetry = c.telemetry in
   let metrics = Metrics.create ~sample_every () in
   let outputs = ref [] in
   let emitted = ref 0 in
   let consumed = ref 0 in
+  (* Live observability on the sampling grid: per-operator state gauges,
+     GC-delta counters and (when an exporter is attached) a rendered
+     snapshot published to the endpoint. Registry-only — the event trace,
+     metrics series and outputs are untouched, so an exporter-less run and
+     an exported one differ in nothing but these run-nondeterministic
+     registry entries (asserted by a test). *)
+  let prev_snapshot = ref None in
+  let prev_gc = ref (Gc.quick_stat ()) in
+  let observe_plane ~tick =
+    List.iter
+      (fun b ->
+        let set suffix v =
+          Telemetry.set_gauge ~agg:Obs.Counters.Sum telemetry
+            (b.op_name ^ "." ^ suffix) v
+        in
+        set "data_state" b.data;
+        set "punct_state" b.puncts;
+        set "index_state" b.index;
+        set "state_bytes" b.bytes)
+      (state_breakdown c);
+    let s = Gc.quick_stat () in
+    let p = !prev_gc in
+    prev_gc := s;
+    let dw f = max 0 (int_of_float (f s -. f p)) in
+    let di f = max 0 (f s - f p) in
+    Telemetry.incr ~by:(dw (fun (g : Gc.stat) -> g.minor_words)) telemetry
+      "gc_minor_words";
+    Telemetry.incr ~by:(dw (fun (g : Gc.stat) -> g.promoted_words)) telemetry
+      "gc_promoted_words";
+    Telemetry.incr ~by:(dw (fun (g : Gc.stat) -> g.major_words)) telemetry
+      "gc_major_words";
+    Telemetry.incr ~by:(di (fun (g : Gc.stat) -> g.minor_collections))
+      telemetry "gc_minor_collections";
+    Telemetry.incr ~by:(di (fun (g : Gc.stat) -> g.major_collections))
+      telemetry "gc_major_collections";
+    Telemetry.incr ~by:(di (fun (g : Gc.stat) -> g.compactions)) telemetry
+      "gc_compactions";
+    Telemetry.set_gauge ~agg:Obs.Counters.Sum telemetry "gc_heap_words"
+      s.heap_words;
+    match exporter with
+    | None -> ()
+    | Some ex ->
+        let snap =
+          Obs.Snapshot.capture ?prev:!prev_snapshot ~tick
+            (Telemetry.registry telemetry)
+        in
+        prev_snapshot := Some snap;
+        Obs.Exporter.publish ex (Obs.Openmetrics.render snap)
+  in
   (* [emitted] counts the data tuples that actually reach the outputs —
      when a sink operator filters or aggregates, it is counted *after* the
      sink, not before (the pre-sink count over-reported under filtering
@@ -366,6 +416,7 @@ let run ?(sample_every = 100) ?batch ?sink ?(label = "run") c elements =
   in
   let sample ~tick =
     if Telemetry.enabled telemetry then begin
+      observe_plane ~tick;
       Telemetry.emit telemetry
         (Obs.Event.Sample
            {

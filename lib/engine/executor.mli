@@ -88,12 +88,22 @@ type result = {
     [batch] elements, always cutting at the sampling grid so the metrics
     series is identical to the element path. Data outputs are identical;
     propagated punctuations may be grouped per punctuation run; telemetry
-    events inside a batch share the batch-end tick. *)
+    events inside a batch share the batch-end tick.
+
+    Under an enabled telemetry handle the run additionally maintains, on
+    the sampling grid, per-operator state gauges ([<op>.data_state],
+    [.punct_state], [.index_state], [.state_bytes]) and whole-process GC
+    counters ([gc_minor_words] etc., deltas of [Gc.quick_stat] between
+    samples). [exporter], when given, receives one rendered
+    {!Obs.Openmetrics} snapshot per grid point via {!Obs.Exporter.publish}
+    (requires an enabled telemetry handle; outputs, hash, metrics series
+    and event trace are identical with and without it). *)
 val run :
   ?sample_every:int ->
   ?batch:int ->
   ?sink:Operator.t ->
   ?label:string ->
+  ?exporter:Obs.Exporter.t ->
   compiled ->
   Streams.Element.t Seq.t ->
   result

@@ -208,6 +208,23 @@ let bucket_tuples (t : t) (idx : index) remove ids =
   if alive = [] then remove () else ids := List.map fst alive;
   List.map snd alive
 
+(* Tick-carrying twin of [bucket_tuples], for the instrumented probe path
+   (result-latency spans need the arrival tick of every matched tuple).
+   Kept separate so the uninstrumented hot path pays nothing. *)
+let bucket_entries (t : t) (idx : index) remove ids =
+  let alive =
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt t.live id with
+        | Some (tick, tup) -> Some (id, tick, tup)
+        | None -> None)
+      !ids
+  in
+  idx.entries <- idx.entries - (List.length !ids - List.length alive);
+  if alive = [] then remove ()
+  else ids := List.map (fun (id, _, _) -> id) alive;
+  List.map (fun (_, tick, tup) -> (tick, tup)) alive
+
 let probe_index (t : t) (idx : index) values =
   if List.exists Value.is_null values then []
   else
@@ -243,8 +260,41 @@ let probe_handle (t : t) (idx : index) v =
       | _ -> [])
   | Generic _ -> probe_index t idx [ v ]
 
+let probe_entries_index (t : t) (idx : index) values =
+  if List.exists Value.is_null values then []
+  else
+    match idx.buckets, values with
+    | Int1 tbl, [ Value.Int k ] -> (
+        match Hashtbl.find_opt tbl k with
+        | None -> []
+        | Some ids -> bucket_entries t idx (fun () -> Hashtbl.remove tbl k) ids)
+    | Int1 _, _ -> []
+    | Generic tbl, key -> (
+        match KeyTbl.find_opt tbl key with
+        | None -> []
+        | Some ids ->
+            bucket_entries t idx (fun () -> KeyTbl.remove tbl key) ids)
+
+let probe_entries (t : t) ~attrs values =
+  probe_entries_index t (find_or_build_index t attrs) values
+
+let probe_entries_handle (t : t) (idx : index) v =
+  match idx.buckets with
+  | Int1 tbl -> (
+      match v with
+      | Value.Int k -> (
+          match Hashtbl.find_opt tbl k with
+          | None -> []
+          | Some ids ->
+              bucket_entries t idx (fun () -> Hashtbl.remove tbl k) ids)
+      | _ -> [])
+  | Generic _ -> probe_entries_index t idx [ v ]
+
 let iter f t = Hashtbl.iter (fun _ (_, tup) -> f tup) t.live
 let fold f init t = Hashtbl.fold (fun _ (_, tup) acc -> f acc tup) t.live init
+
+let fold_entries f init t =
+  Hashtbl.fold (fun _ (tick, tup) acc -> f acc tick tup) t.live init
 
 let to_relation t = Relation.make t.schema (fold (fun acc x -> x :: acc) [] t)
 

@@ -77,6 +77,17 @@ val index_on : t -> attr:int -> handle
     without the index search or key-list allocation. *)
 val probe_handle : t -> handle -> Relational.Value.t -> Relational.Tuple.t list
 
+(** Tick-carrying twins of {!probe} / {!probe_handle}, returning each match
+    as [(insertion tick, tuple)]. The instrumented probe path uses these to
+    compute a result's latency span (emission tick − oldest contributing
+    arrival tick); the plain variants stay allocation-lean for the
+    uninstrumented hot path. *)
+val probe_entries :
+  t -> attrs:int list -> Relational.Value.t list -> (int * Relational.Tuple.t) list
+
+val probe_entries_handle :
+  t -> handle -> Relational.Value.t -> (int * Relational.Tuple.t) list
+
 (** [evict_oldest t ~count] removes the [count] oldest live tuples by
     (insertion tick, insertion id) — a deterministic total order, so load
     shedding is reproducible across runs and shard incarnations; returns
@@ -85,6 +96,10 @@ val evict_oldest : t -> count:int -> int
 
 val iter : (Relational.Tuple.t -> unit) -> t -> unit
 val fold : ('a -> Relational.Tuple.t -> 'a) -> 'a -> t -> 'a
+
+(** [fold_entries f init t] — like {!fold} with each tuple's insertion
+    tick. *)
+val fold_entries : ('a -> int -> Relational.Tuple.t -> 'a) -> 'a -> t -> 'a
 
 (** [to_relation t] — snapshot as a finite relation (chained-purge oracle
     input). *)

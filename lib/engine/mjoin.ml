@@ -79,6 +79,11 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
   in
   let orders = Probe.orders names predicates in
   let stats = ref Operator.empty_stats in
+  (* Chosen once: the instrumented paths (tick-carrying inserts and probes,
+     result-latency spans, punctuation-progress gauges) exist only when a
+     live telemetry handle was passed, so the disabled operator is the same
+     code it was before instrumentation existed. *)
+  let instrumented = Telemetry.enabled telemetry in
   let now = ref 0 in
   let pending_puncts = ref 0 in
   (* Global tick of the oldest informative punctuation not yet followed by
@@ -147,6 +152,37 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
         results := Tuple.unsafe_of_array out_schema out :: !results);
     List.rev !results
   in
+  (* Instrumented twin: each result's latency span is the element-clock
+     distance from the arrival of its oldest contributing tuple to its
+     emission — the end-to-end "how stale is this answer" number the
+     purge-lag histogram cannot give (purge lag watches state, this watches
+     results). *)
+  let h_latency = name ^ ".result_latency" in
+  let probe_from_instrumented ix tup =
+    let tick = Telemetry.now telemetry in
+    let results = ref [] in
+    Probe.run_compiled_entries progs.(ix) tup ~tick ~emit:(fun asg ticks ->
+        let out = Array.make total_arity Value.Null in
+        Array.iteri (fun s cand -> Tuple.blit cand out offsets.(s)) asg;
+        let oldest = Array.fold_left min ticks.(0) ticks in
+        Telemetry.observe telemetry h_latency (max 0 (tick - oldest));
+        results := Tuple.unsafe_of_array out_schema out :: !results);
+    List.rev !results
+  in
+  let probe_from = if instrumented then probe_from_instrumented else probe_from in
+  (* Punctuation-progress frontier per input: the lowest / highest tick the
+     stored punctuations vouch for. Min-merged across shards (the lagging
+     shard defines global progress), max-merged for the leading edge. *)
+  let update_punct_progress slot =
+    match Punct_store.progress slot.puncts with
+    | None -> ()
+    | Some (lo, hi) ->
+        let base = name ^ "." ^ slot.input.name in
+        Telemetry.set_gauge ~agg:Obs.Counters.Min telemetry
+          (base ^ ".punct_progress_min") lo;
+        Telemetry.set_gauge ~agg:Obs.Counters.Max telemetry
+          (base ^ ".punct_progress_max") hi
+  in
 
   (* --- purging -------------------------------------------------------- *)
   let covered ~stream bindings =
@@ -167,6 +203,7 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
   in
   let purge_round ~trigger =
     stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
+    let t0 = if instrumented then Telemetry.time_ns telemetry else 0 in
     let round_victims = ref 0 in
     Array.iter
       (fun slot ->
@@ -227,7 +264,9 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
       Telemetry.emit telemetry
         (Obs.Event.Purge_round
            { tick; op = name; trigger; victims = !round_victims; lag });
-      Telemetry.incr telemetry (name ^ ".purge_rounds")
+      Telemetry.incr telemetry (name ^ ".purge_rounds");
+      Telemetry.observe telemetry (name ^ ".purge_round_ns")
+        (max 0 (Telemetry.time_ns telemetry - t0))
     end
   in
 
@@ -354,7 +393,14 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
                     Telemetry.incr telemetry (name ^ ".inserts")
                   end;
                   let results = probe_from ix tup in
-                  Join_state.insert slot.state tup;
+                  if instrumented then
+                    (* The global element clock only ever advances with the
+                       insertion id, so age-ordered eviction sees the same
+                       total order as the uninstrumented default (tick =
+                       id) — shedding stays run-identical. *)
+                    Join_state.insert ~tick:(Telemetry.now telemetry)
+                      slot.state tup
+                  else Join_state.insert slot.state tup;
                   stats :=
                     {
                       !stats with
@@ -371,7 +417,8 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
             if informative then begin
               incr pending_puncts;
               if !pending_since = None then
-                pending_since := Some (Telemetry.now telemetry)
+                pending_since := Some (Telemetry.now telemetry);
+              if instrumented then update_punct_progress slot
             end;
             (match policy with
             | Purge_policy.Eager | Purge_policy.Never ->

@@ -71,6 +71,10 @@ type t = {
   mk_tel : unit -> Telemetry.t * (unit -> Obs.Event.t list);
   mk_contract : unit -> Contract.t option;
   compile_shard : Telemetry.t -> Contract.t option -> Executor.compiled;
+  driver_reg : Obs.Registry.t;
+      (* driver-side metrics (its own GC deltas): shard registries die with
+         their incarnation, this one spans the run and joins them in every
+         merge *)
   mutable driver_events : Obs.Event.t list;  (* newest first *)
   mutable merged : (int option * Obs.Event.t) list;
   mutable ran : bool;
@@ -146,6 +150,7 @@ let create ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge ?watchdog
     mk_tel;
     mk_contract;
     compile_shard;
+    driver_reg = Obs.Registry.create ();
     driver_events = [];
     merged = [];
     ran = false;
@@ -297,7 +302,15 @@ let alarms t =
 
 let events t = t.merged
 
-let run ?(sample_every = 100) ?(label = "run") t elements =
+(* The run's registry view: every live shard's registry joined with the
+   driver's own. Counters add, gauges combine under their declared
+   aggregation, histograms merge — the same fold {!report} publishes. *)
+let merged_registry t =
+  Obs.Registry.merged
+    (t.driver_reg
+    :: (Array.to_list t.shards |> List.map (fun s -> Telemetry.registry s.tel)))
+
+let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
   if t.ran then
     invalid_arg "Parallel_executor.run: a sharded executor runs once";
   t.ran <- true;
@@ -544,6 +557,64 @@ let run ?(sample_every = 100) ?(label = "run") t elements =
         | None -> ())
       t.shards
   in
+  (* Live observability at the quiesced grid points (workers parked, so
+     reading shard state and registries is safe): per-shard per-operator
+     state gauges — Sum-merged, so the fleet total is what a scrape sees —
+     driver-side GC deltas into the run-spanning driver registry, and (with
+     an exporter) one rendered snapshot of the merged registry published to
+     the endpoint. Same registry entries as the sequential plane, so a
+     [--shards n] scrape exposes the same series names. *)
+  let prev_snapshot = ref None in
+  let prev_gc = ref (Gc.quick_stat ()) in
+  let observe_plane ~tick =
+    if t.instrument then begin
+      Array.iter
+        (fun (s : shard) ->
+          List.iter
+            (fun (b : Executor.breakdown) ->
+              let set suffix v =
+                Telemetry.set_gauge ~agg:Obs.Counters.Sum s.tel
+                  (b.Executor.op_name ^ "." ^ suffix) v
+              in
+              set "data_state" b.Executor.data;
+              set "punct_state" b.Executor.puncts;
+              set "index_state" b.Executor.index;
+              set "state_bytes" b.Executor.bytes)
+            (Executor.state_breakdown s.compiled))
+        t.shards;
+      (* Driver-domain GC only: in OCaml 5 [Gc.quick_stat] reads the
+         calling domain's allocation counters, and the workers are parked —
+         this tracks the orchestration side's churn, labelled identically
+         to the sequential counters so dashboards need one query. *)
+      let s = Gc.quick_stat () in
+      let p = !prev_gc in
+      prev_gc := s;
+      let dw f = max 0 (int_of_float (f s -. f p)) in
+      let di f = max 0 (f s - f p) in
+      Obs.Registry.incr ~by:(dw (fun (g : Gc.stat) -> g.minor_words))
+        t.driver_reg "gc_minor_words";
+      Obs.Registry.incr ~by:(dw (fun (g : Gc.stat) -> g.promoted_words))
+        t.driver_reg "gc_promoted_words";
+      Obs.Registry.incr ~by:(dw (fun (g : Gc.stat) -> g.major_words))
+        t.driver_reg "gc_major_words";
+      Obs.Registry.incr ~by:(di (fun (g : Gc.stat) -> g.minor_collections))
+        t.driver_reg "gc_minor_collections";
+      Obs.Registry.incr ~by:(di (fun (g : Gc.stat) -> g.major_collections))
+        t.driver_reg "gc_major_collections";
+      Obs.Registry.incr ~by:(di (fun (g : Gc.stat) -> g.compactions))
+        t.driver_reg "gc_compactions";
+      Obs.Registry.set_gauge ~agg:Obs.Counters.Sum t.driver_reg
+        "gc_heap_words" s.heap_words
+    end;
+    match exporter with
+    | None -> ()
+    | Some ex ->
+        let snap =
+          Obs.Snapshot.capture ?prev:!prev_snapshot ~tick (merged_registry t)
+        in
+        prev_snapshot := Some snap;
+        Obs.Exporter.publish ex (Obs.Openmetrics.render snap)
+  in
   let observe_metrics
       (record :
         Metrics.t ->
@@ -579,6 +650,7 @@ let run ?(sample_every = 100) ?(label = "run") t elements =
           observe_metrics Metrics.observe ~tick:!consumed;
           contract_checks ~tick:!consumed;
           sample_and_watch ~tick:!consumed;
+          observe_plane ~tick:!consumed;
           release ()
         end)
       elements;
@@ -615,6 +687,7 @@ let run ?(sample_every = 100) ?(label = "run") t elements =
   observe_metrics Metrics.flush ~tick:!consumed;
   contract_checks ~tick:!consumed;
   sample_and_watch ~tick:!consumed;
+  observe_plane ~tick:!consumed;
   emit_driver (Obs.Event.Run_end { tick = !consumed; emitted = emitted_total () });
   let outputs =
     Array.to_list t.shards
@@ -731,9 +804,7 @@ let report ?(meta = []) t (r : result) =
         ]
       @ contract_meta;
     operators;
-    registry =
-      Obs.Registry.merged
-        (Array.to_list t.shards |> List.map (fun s -> Telemetry.registry s.tel));
+    registry = merged_registry t;
     series = Executor.series_json r.metrics;
     alarms = alarms t;
   }

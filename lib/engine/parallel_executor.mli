@@ -116,12 +116,20 @@ type result = {
     reads their state, feeds metrics, the watchdog and the contract
     checks, then releases them.
 
+    Under [instrument] the quiesced grid points also maintain the live
+    observability plane: per-shard per-operator state gauges (Sum-merged
+    across shards) and driver-side GC-delta counters. [exporter], when
+    given, receives one rendered {!Obs.Openmetrics} snapshot of the merged
+    registry per grid point — the same series names a sequential run
+    exports.
+
     @raise Shard_failed when a shard exhausts its restart budget.
     @raise Contract.Violation_failure under a [Fail] contract. Either way
     the fleet is torn down before the exception escapes. *)
 val run :
   ?sample_every:int ->
   ?label:string ->
+  ?exporter:Obs.Exporter.t ->
   t ->
   Streams.Element.t Seq.t ->
   result

@@ -182,6 +182,53 @@ let run_compiled prog tuple ~emit =
   in
   go 0
 
+let run_compiled_entries prog tuple ~tick ~emit =
+  (* Instrumented twin of [run_compiled]: [ticks] runs parallel to [asg]
+     and carries each bound tuple's arrival tick (the origin's is [tick]),
+     so [emit] can compute the result's latency span. Same emission order;
+     both arrays are reused in place. *)
+  let asg = Array.make prog.n_slots tuple in
+  let ticks = Array.make prog.n_slots tick in
+  let m = Array.length prog.steps in
+  let rec go i =
+    if i = m then emit asg ticks
+    else begin
+      let st = prog.steps.(i) in
+      let candidates =
+        match st.key with
+        | Some k ->
+            Join_state.probe_entries_handle st.target_state k.handle
+              (Tuple.get asg.(k.bound_slot) k.bound_idx)
+        | None ->
+            Join_state.fold_entries
+              (fun acc tk x -> (tk, x) :: acc)
+              [] st.target_state
+      in
+      List.iter
+        (fun (cand_tick, cand) ->
+          let checks = st.checks in
+          let nc = Array.length checks in
+          let ok = ref true in
+          let j = ref 0 in
+          while !ok && !j < nc do
+            let c = checks.(!j) in
+            if
+              not
+                (Value.equal (Tuple.get cand c.cand_idx)
+                   (Tuple.get asg.(c.other_slot) c.other_idx))
+            then ok := false;
+            incr j
+          done;
+          if !ok then begin
+            asg.(st.target) <- cand;
+            ticks.(st.target) <- cand_tick;
+            go (i + 1)
+          end)
+        candidates
+    end
+  in
+  go 0
+
 let run ~steps ~state_of ~schema_of ~origin tuple =
   let extend partials step =
     List.concat_map

@@ -42,6 +42,17 @@ val compile :
 val run_compiled :
   prog -> Relational.Tuple.t -> emit:(Relational.Tuple.t array -> unit) -> unit
 
+(** [run_compiled_entries prog tuple ~tick ~emit] — instrumented twin of
+    {!run_compiled} for result-latency spans: a second array, parallel to
+    the assignment, carries each matched tuple's insertion tick (the origin
+    slot holds [tick]). Both arrays are reused across emissions. *)
+val run_compiled_entries :
+  prog ->
+  Relational.Tuple.t ->
+  tick:int ->
+  emit:(Relational.Tuple.t array -> int array -> unit) ->
+  unit
+
 (** [run ~steps ~state_of ~schema_of ~origin tuple] — every complete
     assignment (input name -> matched tuple, the origin bound to [tuple])
     produced by walking [steps] against the current states. *)

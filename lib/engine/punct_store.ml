@@ -162,6 +162,39 @@ let to_list t =
   iter (fun p -> acc := p :: !acc) t;
   !acc
 
+(* The integer tick a single punctuation vouches for: a constant pins that
+   exact tick as covered; a watermark [Less_than v] covers everything up to
+   [v - 1]. Non-integer constraints carry no position on the tick axis. *)
+let punct_tick p =
+  List.fold_left
+    (fun acc (_, pat) ->
+      let v =
+        match pat with
+        | Punctuation.Const (Value.Int v) -> Some v
+        | Punctuation.Less_than (Value.Int v) -> Some (v - 1)
+        | _ -> None
+      in
+      match (acc, v) with
+      | None, v -> v
+      | Some a, Some b -> Some (max a b)
+      | Some _, None -> acc)
+    None (Punctuation.constraints p)
+
+let progress t =
+  let acc = ref None in
+  iter
+    (fun p ->
+      match punct_tick p with
+      | None -> ()
+      | Some v ->
+          acc :=
+            Some
+              (match !acc with
+              | None -> (v, v)
+              | Some (lo, hi) -> (min lo v, max hi v)))
+    t;
+  !acc
+
 let remove_where t pred =
   let count =
     List.fold_left

@@ -54,6 +54,14 @@ val forbids : t -> Relational.Tuple.t -> bool
 val iter : (Streams.Punctuation.t -> unit) -> t -> unit
 val to_list : t -> Streams.Punctuation.t list
 
+(** [progress t] — the [(min, max)] covered tick over the stored
+    punctuations, where a constant [Int v] pattern covers tick [v] and a
+    watermark [Less_than (Int v)] covers up to [v - 1] (a punctuation with
+    several integer constraints counts its furthest one). [None] when no
+    stored punctuation constrains an integer attribute. Feeds the
+    per-input [punct_progress_min]/[punct_progress_max] gauges. *)
+val progress : t -> (int * int) option
+
 (** [expire t ~now lifespan] drops punctuations older than the lifespan;
     returns how many were dropped. *)
 val expire : t -> now:int -> Core.Punct_purge.lifespan -> int

@@ -49,6 +49,10 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
             join_idxs = join_idxs_of right } in
   let out_schema = Schema.concat ~stream:name left.schema right.schema in
   let stats = ref Operator.empty_stats in
+  (* Chosen once: tick-carrying inserts/probes, result-latency spans and
+     progress gauges exist only under a live telemetry handle, so the
+     disabled operator runs the pre-instrumentation code. *)
+  let instrumented = Telemetry.enabled telemetry in
   let now = ref 0 in
   let pending = ref 0 in
   (* Oldest informative punctuation not yet consumed by a purge round; the
@@ -137,6 +141,40 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
                List.for_all (fun a -> Predicate.eval a tup cand) rest)
         |> List.map (fun cand -> emit mine cand tup)
   in
+  (* Instrumented twin: each result's latency span is the element-clock
+     distance from its stored partner's arrival to its emission. *)
+  let h_latency = name ^ ".result_latency" in
+  let probe_instrumented mine other tup =
+    match predicates with
+    | [] -> assert false
+    | atom :: rest ->
+        let other_attr_idx =
+          Schema.attr_index other.side.schema
+            (Predicate.attr_on atom other.side.name)
+        in
+        let v = Tuple.get_named tup (Predicate.attr_on atom mine.side.name) in
+        let tick = Telemetry.now telemetry in
+        Join_state.probe_entries other.state ~attrs:[ other_attr_idx ] [ v ]
+        |> List.filter (fun (_, cand) ->
+               List.for_all (fun a -> Predicate.eval a tup cand) rest)
+        |> List.map (fun (cand_tick, cand) ->
+               Telemetry.observe telemetry h_latency
+                 (max 0 (tick - cand_tick));
+               emit mine cand tup)
+  in
+  let probe = if instrumented then probe_instrumented else probe in
+  (* Punctuation-progress frontier per input (see {!Punct_store.progress}):
+     min-merged across shards for the lagging edge, max for the leading. *)
+  let update_punct_progress slot =
+    match Punct_store.progress slot.puncts with
+    | None -> ()
+    | Some (lo, hi) ->
+        let base = name ^ "." ^ slot.side.name in
+        Telemetry.set_gauge ~agg:Obs.Counters.Min telemetry
+          (base ^ ".punct_progress_min") lo;
+        Telemetry.set_gauge ~agg:Obs.Counters.Max telemetry
+          (base ^ ".punct_progress_max") hi
+  in
   (* Direct purge: drop the opposite tuples whose partner bindings are now
      fully covered by [mine]'s received punctuations. When the fresh
      punctuation pins a join attribute we only need to look at the matching
@@ -180,6 +218,7 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
   in
   let full_purge ~trigger () =
     stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
+    let t0 = if instrumented then Telemetry.time_ns telemetry else 0 in
     let sweep mine other =
       let removed =
         Join_state.purge_if other.state (fun x ->
@@ -191,6 +230,9 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
     let removed = sweep l r + sweep r l in
     stats := { !stats with tuples_purged = !stats.tuples_purged + removed };
     emit_purge_round ~trigger ~victims:removed;
+    if instrumented then
+      Telemetry.observe telemetry (name ^ ".purge_round_ns")
+        (max 0 (Telemetry.time_ns telemetry - t0));
     pending_since := None;
     removed
   in
@@ -268,6 +310,11 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
                 record_purge ~input:mine.side.name ~trigger:"dead_on_arrival"
                   ~victims:1
               end
+              else if instrumented then
+                (* Global ticks advance with the insertion id, so
+                   age-ordered shedding keeps the uninstrumented order. *)
+                Join_state.insert ~tick:(Telemetry.now telemetry) mine.state
+                  tup
               else Join_state.insert mine.state tup;
               stats :=
                 {
@@ -285,19 +332,26 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
         if informative then begin
           incr pending;
           if !pending_since = None then
-            pending_since := Some (Telemetry.now telemetry)
+            pending_since := Some (Telemetry.now telemetry);
+          if instrumented then update_punct_progress mine
         end;
         (match policy with
         | Purge_policy.Eager ->
             pending := 0;
             if informative then begin
               stats := { !stats with purge_rounds = !stats.purge_rounds + 1 };
+              let t0 =
+                if instrumented then Telemetry.time_ns telemetry else 0
+              in
               let removed = purge_opposite mine other p in
               record_purge ~input:other.side.name ~trigger:"eager"
                 ~victims:removed;
               stats :=
                 { !stats with tuples_purged = !stats.tuples_purged + removed };
               emit_purge_round ~trigger:"eager" ~victims:removed;
+              if instrumented then
+                Telemetry.observe telemetry (name ^ ".purge_round_ns")
+                  (max 0 (Telemetry.time_ns telemetry - t0));
               pending_since := None
             end;
             add (propagate ())

@@ -45,6 +45,10 @@ let set_clock t tick = if t.enabled then t.clock := tick
 let emit t e = if t.enabled then t.sink.Obs.Sink.emit e
 let time_ns t = t.time ()
 let incr ?by t name = if t.enabled then Obs.Registry.incr ?by t.registry name
+
+let set_gauge ?agg t name v =
+  if t.enabled then Obs.Registry.set_gauge ?agg t.registry name v
+
 let observe ?n t name v = if t.enabled then Obs.Registry.observe ?n t.registry name v
 let close t = if t.enabled then t.sink.Obs.Sink.close ()
 

@@ -53,6 +53,11 @@ val incr : ?by:int -> t -> string -> unit
 
 val observe : ?n:int -> t -> string -> int -> unit
 
+(** [set_gauge ?agg t name v] — record gauge [name]'s current level with
+    its cross-shard aggregation (see {!Obs.Counters.agg}); no-op when
+    disabled. *)
+val set_gauge : ?agg:Obs.Counters.agg -> t -> string -> int -> unit
+
 (** [close t] — flush/close the sink. *)
 val close : t -> unit
 

@@ -1,9 +1,17 @@
+type agg = Sum | Max | Min
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, int ref) Hashtbl.t;
+  gauge_aggs : (string, agg) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 32; gauges = Hashtbl.create 8 }
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    gauge_aggs = Hashtbl.create 8;
+  }
 
 let cell tbl name =
   match Hashtbl.find_opt tbl name with
@@ -21,10 +29,20 @@ let incr ?(by = 1) t name =
 let get t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
-let set_gauge t name v = cell t.gauges name := v
+let set_gauge ?(agg = Max) t name v =
+  Hashtbl.replace t.gauge_aggs name agg;
+  cell t.gauges name := v
 
 let get_gauge t name =
   match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0
+
+let find_gauge t name =
+  Option.map (fun r -> !r) (Hashtbl.find_opt t.gauges name)
+
+let gauge_agg t name =
+  match Hashtbl.find_opt t.gauge_aggs name with Some a -> a | None -> Max
+
+let agg_to_string = function Sum -> "sum" | Max -> "max" | Min -> "min"
 
 let sorted_alist tbl =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []

@@ -6,6 +6,16 @@
     convention documented in docs/TELEMETRY.md so reports can be grouped
     per operator. *)
 
+(** How a gauge combines across registries ({!Registry.merged}, i.e.
+    across the shards of a parallel run). A level that is partitioned
+    (state bytes, stored tuples) sums; a level that is a global watermark
+    or progress frontier takes its extremum. Declared at {!set_gauge}
+    time, next to the value, so merging never guesses from the name. *)
+type agg =
+  | Sum  (** partitioned quantity: shard values add up *)
+  | Max  (** frontier: the furthest shard defines the merged level *)
+  | Min  (** lagging frontier: the slowest shard defines it *)
+
 type t
 
 val create : unit -> t
@@ -16,10 +26,22 @@ val incr : ?by:int -> t -> string -> unit
 
 val get : t -> string -> int
 
-(** [set_gauge t name v] — record the current level [v] for gauge [name]. *)
-val set_gauge : t -> string -> int -> unit
+(** [set_gauge ?agg t name v] — record the current level [v] for gauge
+    [name], declaring its merge aggregation (default [Max], the historical
+    behaviour). The last declared aggregation wins. *)
+val set_gauge : ?agg:agg -> t -> string -> int -> unit
 
 val get_gauge : t -> string -> int
+
+(** [find_gauge t name] — like {!get_gauge} but distinguishes an absent
+    gauge from one set to 0 (merging needs the difference: [Min] must not
+    treat "absent" as 0). *)
+val find_gauge : t -> string -> int option
+
+(** [gauge_agg t name] — the declared aggregation ([Max] if never set). *)
+val gauge_agg : t -> string -> agg
+
+val agg_to_string : agg -> string
 
 (** Name-sorted snapshots. *)
 val to_alist : t -> (string * int) list

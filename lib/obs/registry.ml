@@ -4,7 +4,9 @@ let create () = { counters = Counters.create (); hists = Hashtbl.create 16 }
 let counters t = t.counters
 let incr ?by t name = Counters.incr ?by t.counters name
 let counter t name = Counters.get t.counters name
-let set_gauge t name v = Counters.set_gauge t.counters name v
+let set_gauge ?agg t name v = Counters.set_gauge ?agg t.counters name v
+let gauge t name = Counters.get_gauge t.counters name
+let gauge_agg t name = Counters.gauge_agg t.counters name
 
 let histogram t name =
   match Hashtbl.find_opt t.hists name with
@@ -42,9 +44,10 @@ let merged_histogram t suffix =
   | Some h when Histogram.count h > 0 -> Some h
   | _ -> None
 
-(* Aggregation across shards of a parallel run: counters add, gauges keep
-   their maximum (a gauge is a level, not a flow), histograms merge
-   bucket-wise. *)
+(* Aggregation across shards of a parallel run: counters add, gauges
+   combine under their declared {!Counters.agg} (a partitioned level like
+   state bytes sums; a progress frontier keeps its extremum; the default
+   is max), histograms merge bucket-wise. *)
 let merged ts =
   let m = create () in
   List.iter
@@ -52,7 +55,17 @@ let merged ts =
       List.iter (fun (k, v) -> incr ~by:v m k) (Counters.to_alist t.counters);
       List.iter
         (fun (k, v) ->
-          set_gauge m k (max v (Counters.get_gauge m.counters k)))
+          let agg = Counters.gauge_agg t.counters k in
+          let v' =
+            match Counters.find_gauge m.counters k with
+            | None -> v
+            | Some cur -> (
+                match agg with
+                | Counters.Sum -> cur + v
+                | Counters.Max -> max cur v
+                | Counters.Min -> min cur v)
+          in
+          set_gauge ~agg m k v')
         (Counters.gauges_to_alist t.counters);
       List.iter
         (fun (k, h) ->

@@ -10,7 +10,13 @@ val counters : t -> Counters.t
 
 val incr : ?by:int -> t -> string -> unit
 val counter : t -> string -> int
-val set_gauge : t -> string -> int -> unit
+
+(** [set_gauge ?agg t name v] — record gauge [name]'s current level,
+    declaring how it combines in {!merged} (default {!Counters.Max}). *)
+val set_gauge : ?agg:Counters.agg -> t -> string -> int -> unit
+
+val gauge : t -> string -> int
+val gauge_agg : t -> string -> Counters.agg
 
 (** [histogram t name] — find-or-create. *)
 val histogram : t -> string -> Histogram.t
@@ -28,10 +34,12 @@ val histograms : t -> (string * Histogram.t) list
 val merged_histogram : t -> string -> Histogram.t option
 
 (** [merged ts] — fold several registries (e.g. one per shard of a
-    parallel run) into a fresh one: counters add, gauges keep their
-    maximum (a gauge is a level, not a flow), histograms merge
-    bucket-wise. The result matches what {!Report.replay} computes from
-    the shards' interleaved event traces. *)
+    parallel run) into a fresh one: counters add, gauges combine under
+    their declared {!Counters.agg} (sum for partitioned levels like
+    state bytes, max/min for progress frontiers; max when undeclared),
+    histograms merge bucket-wise. The result matches what
+    {!Report.replay} computes from the shards' interleaved event
+    traces. *)
 val merged : t list -> t
 
 (** Flat object: {"counters": {..}, "gauges": {..}, "histograms": {..}}. *)

@@ -63,23 +63,29 @@ let pp_human ppf t =
   List.iter
     (fun (k, v) -> Fmt.pf ppf "%-10s %s@," k (Json.to_string v))
     t.meta;
-  Fmt.pf ppf "@,%-8s %9s %9s %9s %9s %9s %7s %8s %12s %12s@," "operator" "tup_in"
-    "tup_out" "pct_in" "pct_out" "purged" "state" "puncts" "push_ns(p50)"
-    "purge_lag(p50/p99)";
+  Fmt.pf ppf "@,%-8s %9s %9s %9s %9s %9s %7s %8s %17s %18s %16s@," "operator"
+    "tup_in" "tup_out" "pct_in" "pct_out" "purged" "state" "puncts"
+    "push_ns(p50/p99)" "purge_lag(p50/p99)" "latency(p50/p99)";
   List.iter
     (fun o ->
       let h suffix =
         Registry.histogram t.registry (o.name ^ "." ^ suffix)
       in
       let lag = h "purge_lag" in
-      Fmt.pf ppf "%-8s %9d %9d %9d %9d %9d %7d %8d %12d %6d/%d@," o.name
+      let push = h "push_ns" in
+      let latency = h "result_latency" in
+      Fmt.pf ppf "%-8s %9d %9d %9d %9d %9d %7d %8d %10d/%d %10d/%d %10d/%d@,"
+        o.name
         (stat o.stats "tuples_in") (stat o.stats "tuples_out")
         (stat o.stats "puncts_in") (stat o.stats "puncts_out")
         (stat o.stats "tuples_purged") (stat o.state "data")
         (stat o.state "puncts")
-        (Histogram.percentile (h "push_ns") 0.5)
+        (Histogram.percentile push 0.5)
+        (Histogram.percentile push 0.99)
         (Histogram.percentile lag 0.5)
-        (Histogram.percentile lag 0.99))
+        (Histogram.percentile lag 0.99)
+        (Histogram.percentile latency 0.5)
+        (Histogram.percentile latency 0.99))
     t.operators;
   (match t.alarms with
   | [] -> Fmt.pf ppf "@,watchdog: quiet@,"

@@ -1,0 +1,64 @@
+type t = {
+  tick : int;
+  counters : (string * int) list;
+  counter_deltas : (string * int) list;
+  gauges : (string * (int * Counters.agg)) list;
+  hists : (string * Histogram.t) list;
+}
+
+let tick t = t.tick
+let counters t = t.counters
+let counter_deltas t = t.counter_deltas
+let gauges t = List.map (fun (k, (v, _)) -> (k, v)) t.gauges
+let gauges_with_agg t = t.gauges
+let hists t = t.hists
+
+let counter t name =
+  match List.assoc_opt name t.counters with Some v -> v | None -> 0
+
+let counter_delta t name =
+  match List.assoc_opt name t.counter_deltas with Some v -> v | None -> 0
+
+let gauge t name = List.assoc_opt name (gauges t)
+let hist t name = List.assoc_opt name t.hists
+
+(* A histogram copy: the registry's histograms are mutable and keep
+   filling after the capture; merging into a fresh one freezes the bucket
+   counts at this instant. *)
+let freeze h = Histogram.merge (Histogram.create ()) h
+
+let capture ?prev ~tick reg =
+  let counters = Counters.to_alist (Registry.counters reg) in
+  let counter_deltas =
+    match prev with
+    | None -> counters
+    | Some p ->
+        List.map
+          (fun (k, v) ->
+            let before =
+              match List.assoc_opt k p.counters with Some b -> b | None -> 0
+            in
+            (k, v - before))
+          counters
+  in
+  let cs = Registry.counters reg in
+  let gauges =
+    List.map
+      (fun (k, v) -> (k, (v, Counters.gauge_agg cs k)))
+      (Counters.gauges_to_alist cs)
+  in
+  let hists = List.map (fun (k, h) -> (k, freeze h)) (Registry.histograms reg) in
+  { tick; counters; counter_deltas; gauges; hists }
+
+let to_json t =
+  let ints alist = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) alist) in
+  Json.Obj
+    [
+      ("tick", Json.Int t.tick);
+      ("counters", ints t.counters);
+      ("counter_deltas", ints t.counter_deltas);
+      ("gauges", ints (gauges t));
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (k, h) -> (k, Histogram.to_json h)) t.hists) );
+    ]

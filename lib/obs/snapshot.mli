@@ -1,0 +1,38 @@
+(** A point-in-time capture of a {!Registry}: every counter, gauge and
+    histogram frozen at one tick of the executor's sampling grid, plus
+    per-counter deltas against the previous snapshot.
+
+    This is the unit the live metrics plane ships: the executor captures
+    one per sample, the {!Openmetrics} codec renders it, the {!Exporter}
+    serves the rendering. Histograms are copied (the registry's keep
+    filling), so a snapshot is immutable and safe to hand to another
+    domain. *)
+
+type t
+
+(** [capture ?prev ~tick reg] — freeze [reg] at [tick]. With [prev], each
+    counter's delta is its increase since [prev] (without it, deltas equal
+    the absolute values — the first sample's increase from zero). *)
+val capture : ?prev:t -> tick:int -> Registry.t -> t
+
+val tick : t -> int
+
+(** Name-sorted, like the registry's own snapshots. *)
+val counters : t -> (string * int) list
+
+val counter_deltas : t -> (string * int) list
+val gauges : t -> (string * int) list
+
+(** Gauges with their declared merge aggregation (the exporter labels
+    them so a multi-endpoint scraper can combine correctly). *)
+val gauges_with_agg : t -> (string * (int * Counters.agg)) list
+
+(** Frozen copies — observing into them affects nothing. *)
+val hists : t -> (string * Histogram.t) list
+
+val counter : t -> string -> int
+val counter_delta : t -> string -> int
+val gauge : t -> string -> int option
+val hist : t -> string -> Histogram.t option
+
+val to_json : t -> Json.t

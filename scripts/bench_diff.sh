@@ -1,0 +1,70 @@
+#!/bin/sh
+# Throughput regression gate over BENCH_hot_path.json.
+#
+#   scripts/bench_diff.sh [NEW_JSON] [BASELINE_JSON]
+#
+# Compares per-scenario batch_per_s between NEW_JSON (default: the
+# working-tree BENCH_hot_path.json, i.e. what B3 just wrote) and
+# BASELINE_JSON (default: the version tracked at HEAD). Fails when any
+# scenario's batched throughput drops below 70% of the baseline — a
+# >30% regression must be investigated, not committed by inertia.
+# Scenarios present on only one side are reported but do not fail.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+NEW="${1:-BENCH_hot_path.json}"
+BASELINE="${2:-}"
+
+if [ ! -f "$NEW" ]; then
+  echo "bench_diff: new benchmark file $NEW not found (run: dune exec bench/main.exe -- B3)" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+if [ -z "$BASELINE" ]; then
+  if ! git show HEAD:BENCH_hot_path.json > "$TMP/baseline.json" 2>/dev/null; then
+    echo "bench_diff: no tracked BENCH_hot_path.json at HEAD; nothing to compare against." >&2
+    exit 0
+  fi
+  BASELINE="$TMP/baseline.json"
+fi
+
+# "scenario" and "batch_per_s" live on the same line per run entry.
+extract() {
+  sed -n 's/.*"scenario": *"\([^"]*\)".*"batch_per_s": *\([0-9][0-9]*\).*/\1 \2/p' "$1"
+}
+
+extract "$NEW" > "$TMP/new.txt"
+extract "$BASELINE" > "$TMP/old.txt"
+
+if [ ! -s "$TMP/new.txt" ]; then
+  echo "bench_diff: could not extract any (scenario, batch_per_s) pairs from $NEW" >&2
+  exit 1
+fi
+
+status=0
+while read -r scenario old_rate; do
+  new_rate="$(awk -v s="$scenario" '$1 == s { print $2 }' "$TMP/new.txt")"
+  if [ -z "$new_rate" ]; then
+    echo "bench_diff: NOTE scenario '$scenario' present in baseline only" >&2
+    continue
+  fi
+  # fail when new < 0.7 * old, in integer arithmetic
+  if [ "$((new_rate * 10))" -lt "$((old_rate * 7))" ]; then
+    echo "bench_diff: FAIL $scenario: batch_per_s $old_rate -> $new_rate (more than 30% regression)" >&2
+    status=1
+  else
+    echo "bench_diff: ok   $scenario: batch_per_s $old_rate -> $new_rate"
+  fi
+done < "$TMP/old.txt"
+
+while read -r scenario _; do
+  if ! awk -v s="$scenario" '$1 == s { found = 1 } END { exit !found }' "$TMP/old.txt"; then
+    echo "bench_diff: NOTE scenario '$scenario' is new (no baseline)" >&2
+  fi
+done < "$TMP/new.txt"
+
+exit "$status"

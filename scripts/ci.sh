@@ -37,6 +37,83 @@ dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 120 \
 dune exec bin/pstream_obs.exe -- verify \
   "$OBS_TMP/safe_report.json" "$OBS_TMP/safe_trace.jsonl" --expect-quiet
 
+# The trace tail must pretty-print with filters and find purge rounds.
+dune exec bin/pstream_obs.exe -- tail "$OBS_TMP/safe_trace.jsonl" \
+  --op J1 --event purge_round > "$OBS_TMP/tail_out.txt"
+grep -q 'purge_round' "$OBS_TMP/tail_out.txt" || {
+  echo "pstream-obs tail found no purge_round events in the safe trace" >&2
+  exit 1
+}
+
+echo "== live observability smoke: scrape while running =="
+# Start a long run serving OpenMetrics, poll the endpoint until a mid-run
+# scrape succeeds with all load-bearing families present and every
+# exported family documented in the metric catalog, render one
+# pstream-top frame, then let the run finish cleanly (exit 0).
+REQUIRE_FAMILIES="--require pstream_state_bytes --require pstream_purge_lag \
+  --require pstream_result_latency --require pstream_punct_progress_min \
+  --require pstream_punct_progress_max --require pstream_gc_minor_words"
+
+live_scrape() {
+  # live_scrape SOCK OUT_PREFIX -- poll until one scrape validates
+  _sock="$1"; _out="$2"
+  _i=0
+  while [ "$_i" -lt 150 ]; do
+    if ./_build/default/bin/pstream_obs.exe scrape --connect "unix:$_sock" \
+         $REQUIRE_FAMILIES --catalog docs/TELEMETRY.md \
+         > "$_out" 2>/dev/null; then
+      return 0
+    fi
+    _i=$((_i + 1))
+    sleep 0.2
+  done
+  return 1
+}
+
+SEQ_SOCK="$OBS_TMP/metrics_seq.sock"
+./_build/default/bin/pstream_run.exe examples/triangle.query --rounds 20000 \
+  --sample 100 --listen "unix:$SEQ_SOCK" > "$OBS_TMP/live_seq_out.txt" 2>&1 &
+LIVE_PID=$!
+if ! live_scrape "$SEQ_SOCK" "$OBS_TMP/scrape_seq.txt"; then
+  echo "never got a valid mid-run scrape from the sequential exporter" >&2
+  kill "$LIVE_PID" 2>/dev/null || true
+  exit 1
+fi
+./_build/default/bin/pstream_top.exe "unix:$SEQ_SOCK" --once \
+  > "$OBS_TMP/top_frame.txt" 2>/dev/null || true
+wait "$LIVE_PID" || {
+  echo "the exporting sequential run did not exit 0" >&2
+  exit 1
+}
+grep -q '^operator' "$OBS_TMP/top_frame.txt" && grep -q '^J1' "$OBS_TMP/top_frame.txt" || {
+  echo "pstream-top did not render an operator row from the live endpoint" >&2
+  exit 1
+}
+
+# Same families under --shards 4: the merged exposition must announce
+# exactly the family set the sequential one does.
+SH_SOCK="$OBS_TMP/metrics_sh.sock"
+./_build/default/bin/pstream_run.exe examples/triangle.query --rounds 5000 \
+  --sample 100 --shards 4 --listen "unix:$SH_SOCK" \
+  > "$OBS_TMP/live_sh_out.txt" 2>&1 &
+LIVE_PID=$!
+if ! live_scrape "$SH_SOCK" "$OBS_TMP/scrape_sh.txt"; then
+  echo "never got a valid mid-run scrape from the sharded exporter" >&2
+  kill "$LIVE_PID" 2>/dev/null || true
+  exit 1
+fi
+wait "$LIVE_PID" || {
+  echo "the exporting sharded run did not exit 0" >&2
+  exit 1
+}
+grep '^# TYPE' "$OBS_TMP/scrape_seq.txt" | sort > "$OBS_TMP/fam_seq.txt"
+grep '^# TYPE' "$OBS_TMP/scrape_sh.txt" | sort > "$OBS_TMP/fam_sh.txt"
+if ! cmp -s "$OBS_TMP/fam_seq.txt" "$OBS_TMP/fam_sh.txt"; then
+  echo "sequential and sharded expositions announce different metric families:" >&2
+  diff "$OBS_TMP/fam_seq.txt" "$OBS_TMP/fam_sh.txt" >&2 || true
+  exit 1
+fi
+
 # Forced unsafe run: still consistent, and the watchdog must raise an
 # alarm naming a purge-unreachable input (pstream-run exits 3 on alarm).
 set +e
@@ -174,5 +251,10 @@ fi
 if ! git diff --quiet -- BENCH_hot_path.json 2>/dev/null; then
   echo "NOTE: BENCH_hot_path.json changed; review and commit the new numbers." >&2
 fi
+
+echo "== throughput regression gate (bench_diff vs HEAD) =="
+# Hard gate: any scenario losing more than 30% batched throughput
+# against the tracked baseline fails CI.
+scripts/bench_diff.sh
 
 echo "CI OK"

@@ -562,6 +562,334 @@ let test_window_evict_events () =
   check_int "state capped at the window" 4
     (op.Engine.Operator.data_state_size ())
 
+(* ------------------------------------------------------------------ *)
+(* Gauge aggregation across registries (Registry.merged) *)
+
+let test_gauge_agg_merge () =
+  let r1 = Obs.Registry.create () and r2 = Obs.Registry.create () in
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Sum r1 "J1.state_bytes" 10;
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Sum r2 "J1.state_bytes" 32;
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Min r1 "J1.S1.punct_progress_min" 5;
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Min r2 "J1.S1.punct_progress_min" 3;
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Max r1 "J1.S1.punct_progress_max" 9;
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Max r2 "J1.S1.punct_progress_max" 12;
+  (* declared by r1 only: a Min gauge absent from r2 must not be dragged
+     toward an implicit 0 by the merge *)
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Min r1 "lonely_min" 7;
+  let m = Obs.Registry.merged [ r1; r2 ] in
+  check_int "sum gauges add" 42 (Obs.Registry.gauge m "J1.state_bytes");
+  check_int "min gauges take the minimum" 3
+    (Obs.Registry.gauge m "J1.S1.punct_progress_min");
+  check_int "max gauges take the maximum" 12
+    (Obs.Registry.gauge m "J1.S1.punct_progress_max");
+  check_int "min gauge on one side survives" 7
+    (Obs.Registry.gauge m "lonely_min");
+  check_bool "agg declaration survives the merge" true
+    (Obs.Registry.gauge_agg m "J1.state_bytes" = Obs.Counters.Sum
+    && Obs.Registry.gauge_agg m "J1.S1.punct_progress_min" = Obs.Counters.Min)
+
+(* Regression for the satellite audit: a 4-shard run's merged registry
+   must report J1's state gauges as the *sum* over shards (a Max-merged
+   gauge would undercount a partitioned join's state by ~4x). Policy
+   Never keeps the final state non-trivial. *)
+let test_sharded_gauge_sum () =
+  let q = fig5_query () in
+  let trace = triangle_trace ~rounds:80 q in
+  let pexec =
+    Engine.Parallel_executor.create ~policy:Purge_policy.Never
+      ~instrument:true ~shards:4 q
+      (Plan.mjoin [ "S1"; "S2"; "S3" ])
+  in
+  let result =
+    Engine.Parallel_executor.run ~sample_every:25 pexec (List.to_seq trace)
+  in
+  let rep = Engine.Parallel_executor.report pexec result in
+  let reg = rep.Obs.Report.registry in
+  let breakdown =
+    List.find
+      (fun (b : Executor.breakdown) -> b.Executor.op_name = "J1")
+      (Engine.Parallel_executor.state_breakdown pexec)
+  in
+  check_bool "state survived to the end (Never policy)" true
+    (breakdown.Executor.bytes > 0);
+  check_int "merged state_bytes gauge = summed breakdown"
+    breakdown.Executor.bytes
+    (Obs.Registry.gauge reg "J1.state_bytes");
+  check_int "merged data_state gauge = summed breakdown"
+    breakdown.Executor.data
+    (Obs.Registry.gauge reg "J1.data_state")
+
+(* ------------------------------------------------------------------ *)
+(* Histogram properties *)
+
+let fill xs =
+  let h = Obs.Histogram.create () in
+  List.iter (fun x -> Obs.Histogram.observe h x) xs;
+  h
+
+let values_gen = QCheck2.Gen.(list_size (int_range 1 60) (int_range 0 2_000_000))
+
+let prop_hist_percentile_monotone =
+  QCheck2.Test.make ~name:"percentile is monotone in p" ~count:100 values_gen
+    (fun xs ->
+      let h = fill xs in
+      let ps = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ] in
+      let qs = List.map (Obs.Histogram.percentile h) ps in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      (* percentile resolves to the containing bucket's lower bound, so
+         p=1.0 lands within one log2 bucket below the true maximum *)
+      let p100 = Obs.Histogram.percentile h 1.0 in
+      let maxv = Obs.Histogram.max_value h in
+      nondecreasing qs
+      && p100 <= maxv
+      && (if p100 = 0 then maxv = 0 else maxv < 2 * p100))
+
+let hist_fingerprint h =
+  ( Obs.Histogram.buckets h,
+    Obs.Histogram.count h,
+    Obs.Histogram.sum h,
+    Obs.Histogram.min_value h,
+    Obs.Histogram.max_value h )
+
+let prop_hist_merge_commutes =
+  QCheck2.Test.make ~name:"merge is commutative" ~count:100
+    QCheck2.Gen.(pair values_gen values_gen)
+    (fun (xs, ys) ->
+      let a = fill xs and b = fill ys in
+      hist_fingerprint (Obs.Histogram.merge a b)
+      = hist_fingerprint (Obs.Histogram.merge b a))
+
+let prop_hist_observe_n =
+  QCheck2.Test.make ~name:"observe ~n = n repeated observes" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 30) (pair (int_range 0 2_000_000) (int_range 1 20)))
+    (fun pairs ->
+      let bulk = Obs.Histogram.create () in
+      let looped = Obs.Histogram.create () in
+      List.iter
+        (fun (v, n) ->
+          Obs.Histogram.observe ~n bulk v;
+          for _ = 1 to n do
+            Obs.Histogram.observe looped v
+          done)
+        pairs;
+      hist_fingerprint bulk = hist_fingerprint looped)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot *)
+
+let test_snapshot_deltas () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.incr ~by:5 r "J1.tuples_in";
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Sum r "J1.state_bytes" 100;
+  Obs.Registry.observe r "J1.purge_lag" 3;
+  let s1 = Obs.Snapshot.capture ~tick:10 r in
+  Obs.Registry.incr ~by:7 r "J1.tuples_in";
+  Obs.Registry.incr ~by:2 r "J1.tuples_out";
+  Obs.Registry.observe r "J1.purge_lag" 9;
+  let s2 = Obs.Snapshot.capture ~prev:s1 ~tick:20 r in
+  check_int "tick" 20 (Obs.Snapshot.tick s2);
+  check_int "counter is absolute" 12 (Obs.Snapshot.counter s2 "J1.tuples_in");
+  check_int "delta vs prev" 7 (Obs.Snapshot.counter_delta s2 "J1.tuples_in");
+  check_int "counter born between snapshots deltas from zero" 2
+    (Obs.Snapshot.counter_delta s2 "J1.tuples_out");
+  check_int "first snapshot deltas = absolutes" 5
+    (Obs.Snapshot.counter_delta s1 "J1.tuples_in");
+  check_bool "gauge carries its agg" true
+    (List.assoc "J1.state_bytes" (Obs.Snapshot.gauges_with_agg s2)
+    = (100, Obs.Counters.Sum));
+  (* snapshot histograms are frozen copies, not live references *)
+  let h1 = Option.get (Obs.Snapshot.hist s1 "J1.purge_lag") in
+  let h2 = Option.get (Obs.Snapshot.hist s2 "J1.purge_lag") in
+  check_int "earlier snapshot unaffected by later observes" 1
+    (Obs.Histogram.count h1);
+  check_int "later snapshot sees both" 2 (Obs.Histogram.count h2)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics codec *)
+
+let find_sample samples name labels =
+  List.find_opt
+    (fun (s : Obs.Openmetrics.sample) ->
+      s.Obs.Openmetrics.name = name
+      && List.for_all
+           (fun (k, v) -> Obs.Openmetrics.label s k = Some v)
+           labels)
+    samples
+  |> Option.map (fun (s : Obs.Openmetrics.sample) -> s.Obs.Openmetrics.value)
+
+let test_openmetrics_roundtrip () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.incr ~by:3 r "J1.tuples_in";
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Sum r "J1.state_bytes" 64;
+  Obs.Registry.set_gauge ~agg:Obs.Counters.Min r "J1.S1.punct_progress_min" 4;
+  Obs.Registry.observe ~n:2 r "J1.result_latency" 0;
+  Obs.Registry.observe r "J1.result_latency" 5;
+  let text = Obs.Openmetrics.render (Obs.Snapshot.capture ~tick:42 r) in
+  check_bool "terminated" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n");
+  match Obs.Openmetrics.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok samples ->
+      let get name labels =
+        match find_sample samples name labels with
+        | Some v -> v
+        | None ->
+            Alcotest.failf "sample %s{%s} missing" name
+              (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+      in
+      check_bool "counter with op label and _total suffix" true
+        (get "pstream_tuples_in_total" [ ("op", "J1") ] = 3.);
+      check_bool "gauge carries agg label" true
+        (get "pstream_state_bytes" [ ("op", "J1"); ("agg", "sum") ] = 64.);
+      check_bool "two-segment prefix becomes op+input labels" true
+        (get "pstream_punct_progress_min"
+           [ ("op", "J1"); ("input", "S1"); ("agg", "min") ]
+        = 4.);
+      check_bool "tick gauge" true (get "pstream_tick" [] = 42.);
+      (* histogram: cumulative buckets on the log2 grid; 0s land in le="0",
+         5 lands in [4,8) whose integer upper edge is 7 *)
+      check_bool "le=0 cumulative" true
+        (get "pstream_result_latency_bucket" [ ("op", "J1"); ("le", "0") ] = 2.);
+      check_bool "le=7 cumulative" true
+        (get "pstream_result_latency_bucket" [ ("op", "J1"); ("le", "7") ] = 3.);
+      check_bool "+Inf = count" true
+        (get "pstream_result_latency_bucket" [ ("op", "J1"); ("le", "+Inf") ]
+        = 3.
+        && get "pstream_result_latency_count" [ ("op", "J1") ] = 3.);
+      check_bool "sum" true
+        (get "pstream_result_latency_sum" [ ("op", "J1") ] = 5.);
+      check_bool "unterminated exposition rejected" true
+        (match Obs.Openmetrics.parse "x 1\n" with
+        | Error _ -> true
+        | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Exporter *)
+
+let temp_sock_path () =
+  let path = Filename.temp_file "pstream" ".sock" in
+  Sys.remove path;
+  path
+
+let test_exporter_roundtrip () =
+  let path = temp_sock_path () in
+  let addr = Obs.Exporter.Unix_path path in
+  match Obs.Exporter.start addr with
+  | Error e -> Alcotest.failf "start failed: %s" e
+  | Ok ex ->
+      check_bool "empty exposition before first publish" true
+        (match Obs.Exporter.fetch addr with
+        | Ok text -> Obs.Openmetrics.parse text = Ok []
+        | Error _ -> false);
+      let payload = "# TYPE x gauge\nx 1\n# EOF\n" in
+      Obs.Exporter.publish ex payload;
+      check_bool "fetch returns the published payload" true
+        (Obs.Exporter.fetch addr = Ok payload);
+      Obs.Exporter.publish ex "# TYPE x gauge\nx 2\n# EOF\n";
+      check_bool "publish replaces" true
+        (match Obs.Exporter.fetch addr with
+        | Ok text -> text <> payload
+        | Error _ -> false);
+      Obs.Exporter.stop ex;
+      Obs.Exporter.stop ex;
+      check_bool "socket file unlinked on stop" true (not (Sys.file_exists path));
+      check_bool "fetch fails after stop" true
+        (match Obs.Exporter.fetch addr with Error _ -> true | Ok _ -> false)
+
+let test_exporter_address_parsing () =
+  check_bool "bare port" true
+    (Obs.Exporter.address_of_string "9100"
+    = Ok (Obs.Exporter.Tcp ("127.0.0.1", 9100)));
+  check_bool "host:port" true
+    (Obs.Exporter.address_of_string "0.0.0.0:9100"
+    = Ok (Obs.Exporter.Tcp ("0.0.0.0", 9100)));
+  check_bool "unix path" true
+    (Obs.Exporter.address_of_string "unix:/tmp/m.sock"
+    = Ok (Obs.Exporter.Unix_path "/tmp/m.sock"));
+  check_bool "garbage rejected" true
+    (match Obs.Exporter.address_of_string "not-a-port" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The live plane must not perturb the run it observes *)
+
+let stable_counters reg =
+  Obs.Counters.to_alist (Obs.Registry.counters reg)
+  |> List.filter (fun (k, _) -> not (String.length k >= 3 && String.sub k 0 3 = "gc_"))
+
+let test_exporter_identity () =
+  let q = fig5_query () in
+  let plan = Plan.mjoin [ "S1"; "S2"; "S3" ] in
+  let trace = triangle_trace ~rounds:80 q in
+  let run exporter =
+    let sink, events = Obs.Sink.memory () in
+    let telemetry = Telemetry.create ~sink ~watchdog:(Obs.Watchdog.create ()) () in
+    let c = Executor.compile ~policy:Purge_policy.Eager ~telemetry q plan in
+    let r = Executor.run ~sample_every:25 ?exporter c (List.to_seq trace) in
+    (r, events (), Telemetry.registry telemetry)
+  in
+  let r1, ev1, reg1 = run None in
+  let path = temp_sock_path () in
+  let ex =
+    match Obs.Exporter.start (Obs.Exporter.Unix_path path) with
+    | Ok ex -> ex
+    | Error e -> Alcotest.failf "start failed: %s" e
+  in
+  let r2, ev2, reg2 = run (Some ex) in
+  let last_scrape = Obs.Exporter.fetch (Obs.Exporter.Unix_path path) in
+  Obs.Exporter.stop ex;
+  check_bool "outputs identical" true
+    (render_outputs r1.Executor.outputs = render_outputs r2.Executor.outputs);
+  check_string "output hash identical"
+    (Executor.output_hash r1.Executor.outputs)
+    (Executor.output_hash r2.Executor.outputs);
+  check_bool "metrics series identical" true
+    (Metrics.samples r1.Executor.metrics = Metrics.samples r2.Executor.metrics);
+  check_bool "event traces identical" true
+    (List.map Obs.Event.to_line ev1 = List.map Obs.Event.to_line ev2);
+  (* counters equal except the run-nondeterministic gc_* family; the
+     deterministic histograms agree bucket for bucket *)
+  check_bool "non-gc counters identical" true
+    (stable_counters reg1 = stable_counters reg2);
+  List.iter
+    (fun name ->
+      check_bool (name ^ " buckets identical") true
+        (Obs.Histogram.buckets (Obs.Registry.histogram reg1 name)
+        = Obs.Histogram.buckets (Obs.Registry.histogram reg2 name)))
+    [ "J1.purge_lag"; "J1.result_latency"; "J1.purge_batch" ];
+  check_bool "final exposition was served" true
+    (match last_scrape with
+    | Ok text -> (
+        match Obs.Openmetrics.parse text with
+        | Ok samples -> find_sample samples "pstream_tick" [] <> None
+        | Error _ -> false)
+    | Error _ -> false)
+
+(* Every emitted result carries one end-to-end latency observation. *)
+let test_result_latency_counts () =
+  let q = fig5_query () in
+  let sink, _ = Obs.Sink.memory () in
+  let telemetry = Telemetry.create ~sink () in
+  let c =
+    Executor.compile ~policy:Purge_policy.Eager ~telemetry q
+      (Plan.mjoin [ "S1"; "S2"; "S3" ])
+  in
+  let r = Executor.run ~sample_every:25 c (List.to_seq (triangle_trace q)) in
+  let reg = Telemetry.registry telemetry in
+  let h = Obs.Registry.histogram reg "J1.result_latency" in
+  check_bool "results were emitted" true (r.Executor.emitted > 0);
+  check_int "one latency span per emitted result"
+    (Obs.Registry.counter reg "J1.tuples_out")
+    (Obs.Histogram.count h);
+  check_bool "latency spans the contributing tuples" true
+    (Obs.Histogram.min_value h >= 0
+    && Obs.Histogram.max_value h <= r.Executor.consumed)
+
 let () =
   Alcotest.run "obs"
     [
@@ -617,5 +945,34 @@ let () =
             test_watchdog_flags_unsafe_run;
           Alcotest.test_case "window evict events" `Quick
             test_window_evict_events;
+        ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "merge honours declared aggregation" `Quick
+            test_gauge_agg_merge;
+          Alcotest.test_case "4-shard state gauges sum" `Quick
+            test_sharded_gauge_sum;
+        ] );
+      ( "histogram properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_hist_percentile_monotone;
+            prop_hist_merge_commutes;
+            prop_hist_observe_n;
+          ] );
+      ( "snapshot",
+        [ Alcotest.test_case "deltas and frozen hists" `Quick test_snapshot_deltas ] );
+      ( "openmetrics",
+        [ Alcotest.test_case "render/parse roundtrip" `Quick test_openmetrics_roundtrip ] );
+      ( "exporter",
+        [
+          Alcotest.test_case "address parsing" `Quick
+            test_exporter_address_parsing;
+          Alcotest.test_case "publish/fetch over unix socket" `Quick
+            test_exporter_roundtrip;
+          Alcotest.test_case "run identical with exporter on/off" `Quick
+            test_exporter_identity;
+          Alcotest.test_case "result-latency spans per emit" `Quick
+            test_result_latency_counts;
         ] );
     ]
