@@ -36,6 +36,15 @@ let run_check file method_name show_plans dot witness_stream witness_rounds
       let report = Core.Checker.check ~method_ query in
       if full then Fmt.pr "%s@." (Core.Explain.to_string (Core.Explain.analyze query))
       else Fmt.pr "%a@." Core.Checker.pp_report report;
+      (* For binary queries, also classify the outer/anti variants: which
+         of them keep both the state bound and a punctuation-provable
+         unmatched emission under the declared schemes. *)
+      if Query.Cjq.n_streams query = 2 then begin
+        Fmt.pr "@.outer/anti variants:@.";
+        List.iter
+          (fun r -> Fmt.pr "  %a@." Core.Checker.pp_outer_report r)
+          (Core.Checker.outer_variants query)
+      end;
       if dot then begin
         Fmt.pr "@.--- join graph (Graphviz) ---@.%s@."
           (Query.Join_graph.to_dot (Query.Cjq.join_graph query));
@@ -70,7 +79,12 @@ let run_check file method_name show_plans dot witness_stream witness_rounds
               cost.Core.Cost_model.total
         | None -> ()
       end;
-      if report.Core.Checker.safe then 0 else 2
+      let verdict =
+        if Query.Cjq.kind query = Query.Cjq.Inner then
+          report.Core.Checker.safe
+        else Core.Checker.is_safe_kind query
+      in
+      if verdict then 0 else 2
 
 let file =
   let doc = "Query description file (stream/scheme/join statements)." in

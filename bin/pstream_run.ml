@@ -126,12 +126,17 @@ let run_query file rounds tuples_per_round punct_lag policy force sample_every
       Fmt.epr "%s: invalid query: %s@." file message;
       1
   | query -> (
-      let safe = Core.Checker.is_safe query in
+      let kind = Query.Cjq.kind query in
+      let safe = Core.Checker.is_safe_kind query in
       Fmt.pr "query: %a@.safe: %b@." Query.Cjq.pp query safe;
+      if kind <> Query.Cjq.Inner then
+        Fmt.pr "outer verdict: %a@." Core.Checker.pp_outer_report
+          (Core.Checker.check_outer query kind);
       if (not safe) && not force then begin
         Fmt.epr
-          "refusing to run an unsafe query (its state cannot be bounded); \
-           use --force to run it anyway@.";
+          "refusing to run an unsafe query (its state cannot be bounded, or \
+           its unmatched-side emission is not punctuation-provable); use \
+           --force to run it anyway@.";
         2
       end
       else

@@ -63,6 +63,62 @@ let check ?(method_ = Tpg) ?schemes query =
   let safe = is_safe ~method_ ~schemes query in
   { safe; decided_by = method_; pg; gpg; tpg; streams }
 
+(* --- outer/anti variants ----------------------------------------------- *)
+
+type outer_report = {
+  kind : Cjq.join_kind;
+  preserved : string list;
+  emission_ok : bool;
+  bounded : bool;
+  safe : bool;
+}
+
+let preserved_streams query kind =
+  match (Cjq.stream_names query, kind) with
+  | _, Cjq.Inner -> []
+  | [ left; _ ], (Cjq.Left_outer | Cjq.Anti) -> [ left ]
+  | [ _; right ], Cjq.Right_outer -> [ right ]
+  | [ left; right ], Cjq.Full_outer -> [ left; right ]
+  | _ ->
+      invalid_arg "Checker.preserved_streams: outer kinds are binary queries"
+
+let check_outer ?schemes query kind =
+  if kind = Cjq.Inner then
+    invalid_arg "Checker.check_outer: use check for inner joins";
+  if Cjq.n_streams query <> 2 then
+    invalid_arg "Checker.check_outer: outer kinds are binary queries";
+  let schemes = schemes_of ?schemes query in
+  let preserved = preserved_streams query kind in
+  (* Emission: a preserved side's unmatched tuples are released exactly
+     when partner punctuations cover their join values — the same GPG
+     reachability (Theorem 3) that proves the side's state purgeable
+     proves the release eventually fires. Boundedness is the plain
+     inner-join guarantee (every state purgeable). *)
+  let emission_ok =
+    List.for_all (fun s -> stream_purgeable ~schemes query s) preserved
+  in
+  let bounded = is_safe ~schemes query in
+  { kind; preserved; emission_ok; bounded; safe = emission_ok && bounded }
+
+let outer_variants ?schemes query =
+  List.map
+    (fun kind -> check_outer ?schemes query kind)
+    [ Cjq.Left_outer; Cjq.Right_outer; Cjq.Full_outer; Cjq.Anti ]
+
+let is_safe_kind ?schemes query =
+  match Cjq.kind query with
+  | Cjq.Inner -> is_safe ?schemes query
+  | kind -> (check_outer ?schemes query kind).safe
+
+let pp_outer_report ppf r =
+  Fmt.pf ppf "%-6s preserved={%a} emission=%s bounded=%s -> %s"
+    (Cjq.kind_to_string r.kind)
+    Fmt.(list ~sep:(any ",") string)
+    r.preserved
+    (if r.emission_ok then "provable" else "unprovable")
+    (if r.bounded then "yes" else "no")
+    (if r.safe then "SAFE" else "UNSAFE")
+
 let operator_purgeable ~blocks preds schemes =
   Gpg.is_strongly_connected (Gpg.of_blocks blocks preds schemes)
 
@@ -89,7 +145,7 @@ let pp_method ppf = function
   | Gpg_closure -> Fmt.string ppf "GPG closure (Theorem 4)"
   | Tpg -> Fmt.string ppf "TPG transformation (Theorem 5)"
 
-let pp_report ppf r =
+let pp_report ppf (r : report) =
   let pp_stream ppf s =
     if s.purgeable then
       Fmt.pf ppf "@[<v2>%s: purgeable@,%a@]" s.stream

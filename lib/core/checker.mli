@@ -49,6 +49,40 @@ val is_safe :
 val stream_purgeable :
   ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> string -> bool
 
+(** Verdict for an outer/anti variant of a binary query. The unmatched-side
+    emission of {!Engine.Outer_join} is the dual of purge soundness: a
+    preserved side's pending tuples are released exactly when partner
+    punctuations cover their join values, so the release provably fires iff
+    that side's state is purgeable (Theorem 3 on the preserved stream). *)
+type outer_report = {
+  kind : Query.Cjq.join_kind;
+  preserved : string list;  (** sides whose unmatched tuples are emitted *)
+  emission_ok : bool;
+      (** every preserved side's release is punctuation-provable *)
+  bounded : bool;  (** the inner-join state guarantee (Definition 5) *)
+  safe : bool;  (** [emission_ok && bounded] *)
+}
+
+(** [check_outer ?schemes query kind] — verdict for one non-[Inner] variant.
+    @raise Invalid_argument on [Inner] or a non-binary query. *)
+val check_outer :
+  ?schemes:Streams.Scheme.Set.t ->
+  Query.Cjq.t ->
+  Query.Cjq.join_kind ->
+  outer_report
+
+(** [outer_variants ?schemes query] — verdicts for all four non-[Inner]
+    variants of a binary query (LEFT, RIGHT, FULL, ANTI in that order). *)
+val outer_variants :
+  ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> outer_report list
+
+(** [is_safe_kind ?schemes query] decides safety for the query's own join
+    kind: {!is_safe} for [Inner], [(check_outer query kind).safe]
+    otherwise. *)
+val is_safe_kind : ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> bool
+
+val pp_outer_report : Format.formatter -> outer_report -> unit
+
 (** [operator_purgeable ~blocks preds schemes] — Corollary 2 at block level:
     the operator whose inputs are [blocks] is purgeable iff its generalized
     punctuation graph is strongly connected. *)

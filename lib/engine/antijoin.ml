@@ -1,140 +1,18 @@
 open Relational
-module Element = Streams.Element
-module Punctuation = Streams.Punctuation
 
-let create ?(name = "antijoin") ~left ~right ~predicates () =
-  let left_name = Schema.stream_name left in
-  let right_name = Schema.stream_name right in
-  if predicates = [] then invalid_arg "Antijoin.create: no join predicate";
-  List.iter
-    (fun atom ->
-      if
-        not
-          (Predicate.involves atom left_name
-          && Predicate.involves atom right_name)
-      then
-        invalid_arg
-          (Fmt.str "Antijoin.create: predicate %a not between %s and %s"
-             Predicate.pp_atom atom left_name right_name))
-    predicates;
-  let out_schema = Schema.make ~stream:name (Schema.attributes left) in
-  let pending = Join_state.create left in
-  let right_state = Join_state.create right in
-  let right_puncts = Punct_store.create right in
-  let left_puncts = Punct_store.create left in
-  let stats = ref Operator.empty_stats in
-  let now = ref 0 in
-  let matches l r = Predicate.eval_all predicates l r in
-  (* bindings a left tuple imposes on future right tuples *)
-  let right_bindings l =
-    List.map
-      (fun atom ->
-        ( Schema.attr_index right (Predicate.attr_on atom right_name),
-          Tuple.get_named l (Predicate.attr_on atom left_name) ))
-      predicates
+(* A thin veneer over the generalized operator family: the anti semi-join
+   is {!Outer_join} with [Anti] semantics. The punctuation/flush
+   correctness fixes — held forwarding, end-of-stream release, index-based
+   probing, exact purge accounting — live there, shared with the outer
+   variants. *)
+let create ?(name = "antijoin") ?telemetry ?contract ~left ~right ~predicates
+    () =
+  let side schema =
+    {
+      Outer_join.name = Schema.stream_name schema;
+      schema;
+      schemes = [];
+    }
   in
-  let has_right_match l =
-    Join_state.fold (fun acc r -> acc || matches l r) false right_state
-  in
-  let emit l = Element.Data (Tuple.make out_schema (Tuple.values l)) in
-  let release_proven () =
-    let released = ref [] in
-    let removed =
-      Join_state.purge_if pending (fun l ->
-          if Punct_store.covers right_puncts (right_bindings l) then begin
-            released := l :: !released;
-            true
-          end
-          else false)
-    in
-    ignore removed;
-    let out = List.rev_map emit !released in
-    stats := { !stats with tuples_out = !stats.tuples_out + List.length out };
-    out
-  in
-  let push element =
-    incr now;
-    let input = Element.stream_name element in
-    match element with
-    | Element.Data tup when String.equal input left_name ->
-        stats := { !stats with tuples_in = !stats.tuples_in + 1 };
-        if has_right_match tup then begin
-          (* disqualified forever *)
-          stats := { !stats with tuples_purged = !stats.tuples_purged + 1 };
-          []
-        end
-        else if Punct_store.covers right_puncts (right_bindings tup) then begin
-          (* already proven matchless: an immediate anti-join result *)
-          stats := { !stats with tuples_out = !stats.tuples_out + 1 };
-          [ emit tup ]
-        end
-        else begin
-          Join_state.insert pending tup;
-          []
-        end
-    | Element.Data tup (* right *) ->
-        stats := { !stats with tuples_in = !stats.tuples_in + 1 };
-        let disqualified =
-          Join_state.purge_if pending (fun l -> matches l tup)
-        in
-        stats :=
-          { !stats with tuples_purged = !stats.tuples_purged + disqualified };
-        (* remember it only if some future left arrival could still need
-           disqualifying — dead on arrival otherwise (the auction pattern:
-           the left punctuation precedes the right data) *)
-        let left_bindings =
-          List.map
-            (fun atom ->
-              ( Schema.attr_index left (Predicate.attr_on atom left_name),
-                Tuple.get_named tup (Predicate.attr_on atom right_name) ))
-            predicates
-        in
-        if Punct_store.covers left_puncts left_bindings then
-          stats := { !stats with tuples_purged = !stats.tuples_purged + 1 }
-        else Join_state.insert right_state tup;
-        []
-    | Element.Punct p when String.equal input right_name ->
-        stats := { !stats with puncts_in = !stats.puncts_in + 1 };
-        ignore (Punct_store.insert right_puncts ~now:!now p);
-        release_proven ()
-    | Element.Punct p (* left *) ->
-        stats := { !stats with puncts_in = !stats.puncts_in + 1 };
-        ignore (Punct_store.insert left_puncts ~now:!now p);
-        (* right tuples only existed to disqualify future left arrivals;
-           once those arrivals are ruled out, drop them *)
-        let left_bindings_of r =
-          List.map
-            (fun atom ->
-              ( Schema.attr_index left (Predicate.attr_on atom left_name),
-                Tuple.get_named r (Predicate.attr_on atom right_name) ))
-            predicates
-        in
-        let dropped =
-          Join_state.purge_if right_state (fun r ->
-              Punctuation.covers p (left_bindings_of r))
-        in
-        stats := { !stats with tuples_purged = !stats.tuples_purged + dropped };
-        (* the output is a sub-stream of the left input: forward *)
-        stats := { !stats with puncts_out = !stats.puncts_out + 1 };
-        [ Element.Punct (Punctuation.make out_schema (Punctuation.patterns p)) ]
-  in
-  {
-    Operator.name;
-    out_schema;
-    input_names = [ left_name; right_name ];
-    push;
-    push_batch = Operator.batch_of_push push;
-    flush = (fun () -> []);
-    data_state_size =
-      (fun () -> Join_state.size pending + Join_state.size right_state);
-    punct_state_size =
-      (fun () -> Punct_store.size right_puncts + Punct_store.size left_puncts);
-    index_state_size =
-      (fun () ->
-        Join_state.index_entries pending + Join_state.index_entries right_state);
-    state_bytes =
-      (fun () ->
-        (Join_state.mem_stats pending).Join_state.approx_bytes
-        + (Join_state.mem_stats right_state).Join_state.approx_bytes);
-    stats = (fun () -> !stats);
-  }
+  Outer_join.create ~name ?telemetry ?contract ~semantics:Outer_join.Anti
+    ~left:(side left) ~right:(side right) ~predicates ()

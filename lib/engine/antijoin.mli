@@ -15,16 +15,26 @@
       match (→ emitted) or a right match arrives (→ discarded);
     - right tuples are remembered only to disqualify future left arrivals,
       and are purged once a left punctuation rules those arrivals out;
-    - left punctuations are forwarded (the output is a subset of the left
-      stream), right punctuations are consumed.
+    - left punctuations are forwarded — but only once every buffered left
+      tuple they cover is resolved, since a later release would be late
+      data contradicting the forwarded promise; right punctuations are
+      consumed;
+    - [flush] releases every still-buffered left tuple: end of stream
+      proves no right partner will arrive.
 
-    The output schema is the left schema, renamed to the operator. *)
+    The output schema is the left schema, renamed to the operator.
+
+    This is {!Outer_join.create} with [Anti] semantics; see there for the
+    accounting rules (never-stored tuples are not purge victims; releases
+    are tracked by {!Obs.Event.Unmatched} events, not [tuples_purged]). *)
 
 (** [create ~left ~right ~predicates ()] — [predicates] atoms must all link
     the two inputs (conjunctive join condition).
     @raise Invalid_argument otherwise. *)
 val create :
   ?name:string ->
+  ?telemetry:Telemetry.t ->
+  ?contract:Contract.t ->
   left:Relational.Schema.t ->
   right:Relational.Schema.t ->
   predicates:Relational.Predicate.t ->

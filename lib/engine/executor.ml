@@ -100,6 +100,35 @@ let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
             nodes
         in
         let op =
+          match nodes, Cjq.kind query with
+          | ( [ a; b ],
+              ((Cjq.Left_outer | Cjq.Right_outer | Cjq.Full_outer | Cjq.Anti)
+               as kind) ) ->
+              (* Outer kinds are binary (Cjq.make enforces it), and which
+                 input is "left" is semantic: the first declared stream.
+                 Plan.join sorts its children, so recover the declared
+                 order here. *)
+              let left_name = List.hd (Cjq.stream_names query) in
+              let a, b =
+                if node_name a = left_name then (a, b) else (b, a)
+              in
+              let side n =
+                {
+                  Outer_join.name = node_name n;
+                  schema = node_schema n;
+                  schemes = node_schemes n;
+                }
+              in
+              let semantics =
+                match kind with
+                | Cjq.Left_outer -> Outer_join.Left
+                | Cjq.Right_outer -> Outer_join.Right
+                | Cjq.Full_outer -> Outer_join.Full
+                | _ -> Outer_join.Anti
+              in
+              Outer_join.create ~name:op_name ~telemetry ?contract ~semantics
+                ~left:(side a) ~right:(side b) ~predicates:lifted ()
+          | _, _ -> (
           match nodes, binary_impl with
           | [ a; b ], Use_pjoin ->
               let side n =
@@ -114,7 +143,7 @@ let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
           | _ ->
               Mjoin.create ~name:op_name ~policy ?punct_lifespan
                 ~punct_partner_purge ~telemetry ?contract ~inputs
-                ~predicates:lifted ()
+                ~predicates:lifted ())
         in
         let op = Telemetry.wrap_op telemetry op in
         ops := op :: !ops;

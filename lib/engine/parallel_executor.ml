@@ -88,6 +88,10 @@ let create ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge ?watchdog
   if max_restarts < 0 then
     invalid_arg "Parallel_executor.create: max_restarts must be >= 0";
   let router = Shard_router.create ~shards:n query in
+  if not (Shard_router.sound_for router query) then
+    invalid_arg
+      "Parallel_executor.create: outer/anti join kinds require exact \
+       partitioning";
   let mk_tel () =
     if instrument then
       let sink, contents = Obs.Sink.memory () in

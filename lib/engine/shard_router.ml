@@ -142,6 +142,16 @@ let shards t = t.shards
 let exact t = t.exact
 let classes t = t.classes
 
+(* Inner joins tolerate key-aligned (approximate) partitioning: a
+   mis-partitioned input loses matches but never invents results. The
+   outer/anti kinds do not — "unmatched" is a negative claim, and a tuple
+   separated from its partner would be released as a spurious unmatched
+   result. They demand exact partitioning (which their binary equi-join
+   shape always provides: every atom links the two streams, so one
+   equivalence class spans both). *)
+let sound_for t query =
+  match Cjq.kind query with Cjq.Inner -> true | _ -> t.exact
+
 let routing_attr t stream =
   Option.map
     (fun info -> info.attr)

@@ -46,6 +46,16 @@ val shards : t -> int
     inputs, not just key-aligned ones. *)
 val exact : t -> bool
 
+(** [sound_for t query] — is this partitioning sound for [query]'s join
+    kind? Inner joins tolerate key-aligned (approximate) partitioning:
+    mis-partitioned inputs lose matches but never invent results. The
+    outer/anti kinds do not — an unmatched verdict is a {e negative}
+    claim, and a tuple separated from its partner would be released as a
+    spurious unmatched result — so they require {!exact} partitioning
+    (always true for their binary equi-join shape). Checked by
+    {!Parallel_executor.create}. *)
+val sound_for : t -> Query.Cjq.t -> bool
+
 (** [routing_attr t stream] — the attribute [stream]'s tuples are hashed
     on; [None] for streams the query does not read. *)
 val routing_attr : t -> string -> string option

@@ -72,7 +72,7 @@ let create ?(name = "window_join") ?(telemetry = Telemetry.null) ~window
     in
     stats := { !stats with tuples_purged = !stats.tuples_purged + removed }
   in
-  let push element =
+  let process acc element =
     incr now;
     let input_name = Element.stream_name element in
     if not (List.mem input_name names) then
@@ -81,8 +81,7 @@ let create ?(name = "window_join") ?(telemetry = Telemetry.null) ~window
     match element with
     | Element.Punct _ ->
         (* windows ignore punctuations: eviction is purely positional *)
-        stats := { !stats with puncts_in = !stats.puncts_in + 1 };
-        []
+        stats := { !stats with puncts_in = !stats.puncts_in + 1 }
     | Element.Data tup ->
         stats := { !stats with tuples_in = !stats.tuples_in + 1 };
         (match window with Ticks _ -> evict_stale () | Count _ -> ());
@@ -99,15 +98,30 @@ let create ?(name = "window_join") ?(telemetry = Telemetry.null) ~window
             evict_stale ());
         stats :=
           { !stats with tuples_out = !stats.tuples_out + List.length results };
-        List.map (fun t -> Element.Data t) results
+        List.iter (fun t -> acc := Element.Data t :: !acc) results
+  in
+  let push_batch arr =
+    let acc = ref [] in
+    Array.iter (process acc) arr;
+    List.rev !acc
+  in
+  let push element = push_batch [| element |] in
+  (* Eviction only runs on data arrivals, but [now] advances on every
+     element: trailing punctuations (or an idle tail) can leave tuples in
+     the state that the window invariant already expired. A final eviction
+     round reconciles the end-of-run state and its Evict-event accounting
+     (windows produce no unmatched results, so flush emits no data). *)
+  let flush () =
+    (match window with Ticks _ -> evict_stale () | Count _ -> ());
+    []
   in
   {
     Operator.name;
     out_schema;
     input_names = names;
     push;
-    push_batch = Operator.batch_of_push push;
-    flush = (fun () -> []);
+    push_batch;
+    flush;
     data_state_size =
       (fun () ->
         List.fold_left (fun acc (_, s) -> acc + Join_state.size s) 0 states);

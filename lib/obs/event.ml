@@ -21,6 +21,13 @@ type t =
       lag : int;
     }
   | Evict of { tick : int; op : string; input : string; victims : int }
+  | Unmatched of {
+      tick : int;
+      op : string;
+      input : string;  (* the preserved side whose tuples were released *)
+      trigger : string;  (* "punct" | "immediate" | "null_key" | "flush" *)
+      count : int;
+    }
   | Sample of {
       tick : int;
       data_state : int;
@@ -59,6 +66,7 @@ let op_of = function
   | Purge { op; _ }
   | Purge_round { op; _ }
   | Evict { op; _ }
+  | Unmatched { op; _ }
   | Alarm { op; _ }
   | Violation { op; _ }
   | Load_shed { op; _ } ->
@@ -74,6 +82,7 @@ let tick_of = function
   | Purge { tick; _ }
   | Purge_round { tick; _ }
   | Evict { tick; _ }
+  | Unmatched { tick; _ }
   | Sample { tick; _ }
   | Alarm { tick; _ }
   | Fault { tick; _ }
@@ -155,6 +164,16 @@ let to_json ?shard e =
           ("op", String op);
           ("input", String input);
           ("victims", Int victims);
+        ]
+  | Unmatched { tick; op; input; trigger; count } ->
+      f
+        [
+          ("ev", String "unmatched");
+          ("tick", Int tick);
+          ("op", String op);
+          ("input", String input);
+          ("trigger", String trigger);
+          ("count", Int count);
         ]
   | Sample { tick; data_state; punct_state; index_state; state_bytes; emitted }
     ->
@@ -285,6 +304,13 @@ let of_json j =
       let* input = str "input" in
       let* victims = int "victims" in
       Ok (Evict { tick; op; input; victims })
+  | "unmatched" ->
+      let* tick = int "tick" in
+      let* op = str "op" in
+      let* input = str "input" in
+      let* trigger = str "trigger" in
+      let* count = int "count" in
+      Ok (Unmatched { tick; op; input; trigger; count })
   | "sample" ->
       let* tick = int "tick" in
       let* data_state = int "data_state" in

@@ -41,6 +41,20 @@ type t =
           [purge_rounds] counters agree with {!Engine.Operator.stats} even
           for victim-less rounds. *)
   | Evict of { tick : int; op : string; input : string; victims : int }
+  | Unmatched of {
+      tick : int;
+      op : string;
+      input : string;
+          (** the preserved side whose unmatched tuples were released *)
+      trigger : string;
+          (** what proved matchlessness: [punct] (a partner punctuation
+              covered the tuples), [immediate] (already covered on
+              arrival), [null_key] (a null join key can never match) or
+              [flush] (end of stream) *)
+      count : int;
+    }
+      (** an outer/anti join released [count] punctuation-proven unmatched
+          tuples of [input] — see {!Engine.Outer_join} *)
   | Sample of {
       tick : int;
       data_state : int;

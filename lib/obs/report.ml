@@ -125,6 +125,7 @@ let replay events =
              detail rides on the Purge events above *)
           bump op "purge_rounds" 1
       | Event.Evict { op; victims; _ } -> bump op "evicted_tuples" victims
+      | Event.Unmatched { op; count; _ } -> bump op "unmatched_tuples" count
       | Event.Violation { op; kind = "late_data"; action; _ } ->
           bump op "late_tuples" 1;
           if String.equal action "quarantine" then bump op "quarantined_tuples" 1
@@ -209,8 +210,8 @@ let verify ~report ~events =
               [
                 "tuples_in"; "tuples_out"; "puncts_in"; "puncts_out";
                 "purged_tuples"; "purge_rounds"; "evicted_tuples";
-                "late_tuples"; "quarantined_tuples"; "dup_puncts";
-                "shed_tuples";
+                "unmatched_tuples"; "late_tuples"; "quarantined_tuples";
+                "dup_puncts"; "shed_tuples";
               ]
           in
           (match Json.to_int v with

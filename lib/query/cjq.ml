@@ -2,17 +2,35 @@ open Relational
 module Stream_def = Streams.Stream_def
 module Scheme = Streams.Scheme
 
+type join_kind = Inner | Left_outer | Right_outer | Full_outer | Anti
+
+let kind_to_string = function
+  | Inner -> "inner"
+  | Left_outer -> "left"
+  | Right_outer -> "right"
+  | Full_outer -> "full"
+  | Anti -> "anti"
+
+let kind_of_string = function
+  | "inner" -> Some Inner
+  | "left" -> Some Left_outer
+  | "right" -> Some Right_outer
+  | "full" -> Some Full_outer
+  | "anti" -> Some Anti
+  | _ -> None
+
 type t = {
   defs : Stream_def.t list;
   preds : Predicate.t;
   join_graph : Join_graph.t;
+  kind : join_kind;
 }
 
 exception Invalid of string
 
 let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
 
-let make defs preds =
+let make ?(kind = Inner) defs preds =
   let names = List.map Stream_def.name defs in
   if List.length defs < 2 then
     invalid "a continuous join query needs at least two streams";
@@ -42,8 +60,15 @@ let make defs preds =
   let join_graph = Join_graph.make names preds in
   if not (Join_graph.is_connected join_graph) then
     invalid "join graph is not connected (cross product)";
-  { defs; preds; join_graph }
+  (* Outer/anti semantics give the two sides distinct roles (preserved vs
+     probed), so they are defined for binary queries only; the first
+     declared stream is the left side. *)
+  if kind <> Inner && List.length defs <> 2 then
+    invalid "%s join semantics requires exactly two streams"
+      (kind_to_string kind);
+  { defs; preds; join_graph; kind }
 
+let kind t = t.kind
 let stream_defs t = t.defs
 let stream_names t = List.map Stream_def.name t.defs
 let n_streams t = List.length t.defs
@@ -67,6 +92,9 @@ let restrict t names =
   make defs (List.filter keep t.preds)
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>CJQ over {%a}@,where %a@]"
+  Fmt.pf ppf "@[<v>CJQ%s over {%a}@,where %a@]"
+    (match t.kind with
+    | Inner -> ""
+    | k -> Printf.sprintf " [%s]" (kind_to_string k))
     Fmt.(list ~sep:comma string)
     (stream_names t) Predicate.pp t.preds

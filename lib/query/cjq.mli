@@ -3,15 +3,34 @@
 
 type t
 
+(** Join semantics of the query. [Inner] is the paper's CJQ; the outer and
+    anti variants preserve unmatched tuples of one or both sides, emitted
+    only once a partner punctuation proves matchlessness (see
+    {!Engine.Outer_join}). Non-[Inner] kinds are binary: the first declared
+    stream is the left side, the second the right. *)
+type join_kind = Inner | Left_outer | Right_outer | Full_outer | Anti
+
+val kind_to_string : join_kind -> string
+
+(** [kind_of_string s] parses ["inner" | "left" | "right" | "full" |
+    "anti"]. *)
+val kind_of_string : string -> join_kind option
+
 exception Invalid of string
 
-(** [make defs preds] validates and builds a query:
-    - at least two streams, all distinct;
+(** [make ?kind defs preds] validates and builds a query:
+    - at least two streams, all distinct (exactly two when [kind] is not
+      [Inner]);
     - every atom references declared streams and attributes;
     - joined attributes have equal types;
     - the join graph is connected (no cross products).
+    [kind] defaults to [Inner].
     @raise Invalid otherwise, with a human-readable reason. *)
-val make : Streams.Stream_def.t list -> Relational.Predicate.t -> t
+val make :
+  ?kind:join_kind -> Streams.Stream_def.t list -> Relational.Predicate.t -> t
+
+(** The query's join semantics. *)
+val kind : t -> join_kind
 
 val stream_defs : t -> Streams.Stream_def.t list
 val stream_names : t -> string list

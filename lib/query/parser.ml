@@ -58,6 +58,7 @@ let parse_statements ~allow_joins text =
   let schemas : (string * Schema.t) list ref = ref [] in
   let schemes : (string * Scheme.t) list ref = ref [] in
   let atoms = ref [] in
+  let kind = ref Cjq.Inner in
   let handle_line lineno raw =
     let stripped =
       match String.index_opt raw '#' with
@@ -97,6 +98,19 @@ let parse_statements ~allow_joins text =
           | "join" ->
               if allow_joins then atoms := parse_join lineno rest :: !atoms
               else fail lineno "join statements are not allowed here"
+          | "semantics" ->
+              (* Which join family the query runs under; the first declared
+                 stream is the left side. *)
+              if not allow_joins then
+                fail lineno "semantics statements are not allowed here"
+              else (
+                match Cjq.kind_of_string rest with
+                | Some k -> kind := k
+                | None ->
+                    fail lineno
+                      "semantics must be inner, left, right, full or anti, \
+                       got %S"
+                      rest)
           | other -> fail lineno "unknown keyword %S" other)
   in
   List.iteri
@@ -112,13 +126,15 @@ let parse_statements ~allow_joins text =
         Stream_def.make schema ss)
       !schemas
   in
-  (defs, List.rev !atoms)
+  (defs, List.rev !atoms, !kind)
 
 let parse text =
-  let defs, atoms = parse_statements ~allow_joins:true text in
-  Cjq.make defs atoms
+  let defs, atoms, kind = parse_statements ~allow_joins:true text in
+  Cjq.make ~kind defs atoms
 
-let parse_defs text = fst (parse_statements ~allow_joins:false text)
+let parse_defs text =
+  let defs, _, _ = parse_statements ~allow_joins:false text in
+  defs
 
 let read_file path =
   let ic = open_in path in
@@ -158,4 +174,9 @@ let to_text query =
   List.iter
     (fun a -> Buffer.add_string buf (Fmt.str "join %a\n" Predicate.pp_atom a))
     (Cjq.predicates query);
+  (match Cjq.kind query with
+  | Cjq.Inner -> ()
+  | k ->
+      Buffer.add_string buf
+        (Fmt.str "semantics %s\n" (Cjq.kind_to_string k)));
   Buffer.contents buf

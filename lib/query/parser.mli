@@ -8,11 +8,15 @@
     scheme item(_, +, _, _)
     scheme bid(_, +, _)
     join item.itemid = bid.itemid
+    semantics anti
     v}
 
     One statement per line; [#] starts a comment. Scheme marks are [+]
     (punctuatable) and [_], aligned positionally with the stream's
-    attributes. *)
+    attributes. An optional [semantics inner|left|right|full|anti]
+    statement selects the join family (default [inner]); outer/anti
+    queries must declare exactly two streams, the first being the left
+    side. *)
 
 exception Parse_error of { line : int; message : string }
 

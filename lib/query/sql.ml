@@ -71,6 +71,45 @@ let parse ~defs text =
     | "," :: rest -> parse_streams acc rest
     | token :: rest -> parse_streams (token :: acc) rest
   in
+  (* [FROM a <kind> JOIN b ON atoms] — explicit binary join clauses; the
+     comma form above stays the multiway-inner surface. *)
+  let parse_join_clause left tokens =
+    let kind, rest =
+      match tokens with
+      | t :: rest when is_keyword "join" t -> (Cjq.Inner, rest)
+      | t :: rest when is_keyword "inner" t ->
+          (Cjq.Inner, expect_keyword "join" rest)
+      | t :: rest when is_keyword "anti" t ->
+          (Cjq.Anti, expect_keyword "join" rest)
+      | t :: rest
+        when is_keyword "left" t || is_keyword "right" t
+             || is_keyword "full" t ->
+          let k =
+            if is_keyword "left" t then Cjq.Left_outer
+            else if is_keyword "right" t then Cjq.Right_outer
+            else Cjq.Full_outer
+          in
+          let rest =
+            match rest with
+            | t' :: more when is_keyword "outer" t' -> more
+            | _ -> rest
+          in
+          (k, expect_keyword "join" rest)
+      | _ -> fail "expected JOIN clause"
+    in
+    match rest with
+    | right :: rest ->
+        let rest = expect_keyword "on" rest in
+        ([ left; right ], rest, kind)
+    | [] -> fail "expected stream name after JOIN"
+  in
+  let starts_join_clause = function
+    | t :: _ ->
+        List.exists
+          (fun k -> is_keyword k t)
+          [ "join"; "inner"; "left"; "right"; "full"; "anti" ]
+    | [] -> false
+  in
   let rec parse_atoms acc = function
     | [] -> List.rev acc
     | lhs :: "=" :: rhs :: rest ->
@@ -90,7 +129,13 @@ let parse ~defs text =
   in
   let rest = expect_keyword "select" tokens in
   let projection, rest = parse_projection [] rest in
-  let stream_names, rest = parse_streams [] rest in
+  let stream_names, rest, kind =
+    match rest with
+    | first :: more when starts_join_clause more -> parse_join_clause first more
+    | _ ->
+        let names, rest = parse_streams [] rest in
+        (names, rest, Cjq.Inner)
+  in
   let atoms = parse_atoms [] rest in
   let stream_defs =
     List.map
@@ -99,7 +144,7 @@ let parse ~defs text =
         with Not_found -> fail "stream %S is not declared" name)
       stream_names
   in
-  let cjq = Cjq.make stream_defs atoms in
+  let cjq = Cjq.make ~kind stream_defs atoms in
   (* validate the projection against the joined schema naming convention *)
   (match projection with
   | None -> ()

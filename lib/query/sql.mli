@@ -5,13 +5,20 @@
     SELECT item.itemid, bid.increase
     FROM item, bid
     WHERE item.itemid = bid.itemid AND ...
+
+    SELECT * FROM item LEFT OUTER JOIN bid ON item.itemid = bid.itemid
+    SELECT * FROM item ANTI JOIN bid ON item.itemid = bid.itemid
     v}
 
     - [SELECT *] or a list of qualified attributes (the projection is
       returned for the caller to apply with {!Engine.Project});
     - [FROM] lists declared streams (their punctuation schemes come from
       the stream definitions);
-    - [WHERE] is a conjunction of equi-join atoms [s.a = t.b].
+    - [WHERE] is a conjunction of equi-join atoms [s.a = t.b];
+    - explicit binary join clauses [a \[INNER | LEFT | RIGHT | FULL
+      \[OUTER\] | ANTI\] JOIN b ON atoms] select the join family
+      ({!Cjq.join_kind}); the left operand is the preserved side of LEFT
+      and ANTI joins.
 
     Keywords are case-insensitive; identifiers are case-sensitive. *)
 

@@ -152,6 +152,32 @@ if [ -z "$hash1" ] || [ "$hash1" != "$hash4" ]; then
   exit 1
 fi
 
+echo "== outer/anti smoke: punctuation-proven unmatched emission =="
+# LEFT and ANTI examples must be admitted (outer verdict SAFE), produce a
+# self-consistent report/trace pair, and emit the exact same output
+# multiset sequentially and at --shards 4 — "unmatched" is a negative
+# claim, so a mis-partitioned shard would show up as a hash divergence.
+for kind in left anti; do
+  dune exec bin/pstream_run.exe -- "examples/${kind}_join.query" --rounds 120 \
+    --report "$OBS_TMP/${kind}_report.json" \
+    --trace "$OBS_TMP/${kind}_trace.jsonl" \
+    > "$OBS_TMP/${kind}_seq_out.txt"
+  grep -q 'outer verdict: .*SAFE' "$OBS_TMP/${kind}_seq_out.txt" || {
+    echo "$kind join example was not proven safe by the checker" >&2
+    exit 1
+  }
+  dune exec bin/pstream_obs.exe -- verify \
+    "$OBS_TMP/${kind}_report.json" "$OBS_TMP/${kind}_trace.jsonl" --expect-quiet
+  dune exec bin/pstream_run.exe -- "examples/${kind}_join.query" --rounds 120 \
+    --shards 4 > "$OBS_TMP/${kind}_sh4_out.txt"
+  seq_hash="$(grep '^output hash:' "$OBS_TMP/${kind}_seq_out.txt")"
+  sh4_hash="$(grep '^output hash:' "$OBS_TMP/${kind}_sh4_out.txt")"
+  if [ -z "$seq_hash" ] || [ "$seq_hash" != "$sh4_hash" ]; then
+    echo "$kind join output hash mismatch: sequential '$seq_hash' vs --shards 4 '$sh4_hash'" >&2
+    exit 1
+  fi
+done
+
 echo "== chaos smoke: fixed-seed fault injection (docs/FAULTS.md) =="
 # 1) Quarantine: with late data injected, the contract diverts every
 #    contradiction; the output hash must equal the fault-free run's, the
