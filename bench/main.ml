@@ -112,7 +112,9 @@ let fig8_query () =
 
 let run_plan ?(policy = Purge_policy.Eager) ?(sample_every = 200) query plan
     trace =
-  let c = Executor.compile ~policy query plan in
+  let c =
+    Executor.compile ~config:(Executor.Config.make ~policy ()) query plan
+  in
   (c, Executor.run ~sample_every c (List.to_seq trace))
 
 (* ------------------------------------------------------------------ *)
@@ -135,7 +137,9 @@ let f1 () =
       in
       let run trace =
         let c =
-          Executor.compile ~policy:Purge_policy.Eager query
+          Executor.compile
+            ~config:(Executor.Config.make ~policy:Purge_policy.Eager ())
+            query
             (Plan.mjoin [ "item"; "bid" ])
         in
         let gb =
@@ -597,8 +601,11 @@ let c8 () =
     "results";
   let run ~lifespan ~partner =
     let c =
-      Executor.compile ~policy:Purge_policy.Eager ?punct_lifespan:lifespan
-        ~punct_partner_purge:partner q
+      Executor.compile
+        ~config:
+          (Executor.Config.make ~policy:Purge_policy.Eager
+             ?punct_lifespan:lifespan ~punct_partner_purge:partner ())
+        q
         (Plan.mjoin [ "inbound"; "outbound" ])
     in
     let r = Executor.run ~sample_every:500 c (List.to_seq trace) in
@@ -896,7 +903,11 @@ let bounded_row ~id ~rounds ~policy ?(sample_every = 50) query plan trace =
      per-operator purge-lag histograms — the §5 cost axis the eager/lazy
      scenarios are meant to expose. *)
   let telemetry = Engine.Telemetry.create () in
-  let c = Executor.compile ~policy ~telemetry query plan in
+  let c =
+    Executor.compile
+      ~config:(Executor.Config.make ~policy ~telemetry ())
+      query plan
+  in
   let r = Executor.run ~sample_every c (List.to_seq trace) in
   let final field =
     match Metrics.final r.Executor.metrics with
@@ -1047,7 +1058,12 @@ let t1 () =
   row "auction workload: %d elements@." n;
   row "%-34s %-12s %-10s %-10s@." "configuration" "elements/s" "peak" "results";
   let bench label impl policy =
-    let c = Executor.compile ~binary_impl:impl ~policy q (Plan.mjoin [ "item"; "bid" ]) in
+    let c =
+      Executor.compile
+        ~config:(Executor.Config.make ~binary_impl:impl ~policy ())
+        q
+        (Plan.mjoin [ "item"; "bid" ])
+    in
     let t0 = Sys.time () in
     let r = Executor.run ~sample_every:2000 c (List.to_seq trace) in
     let dt = Sys.time () -. t0 in
@@ -1157,9 +1173,13 @@ let b2 () =
         let sample_every = max 1 (n / sample_div) in
         let sequential () =
           let c =
-            Executor.compile ~policy:Purge_policy.Eager
-              ~telemetry:
-                (Engine.Telemetry.create ~watchdog:(Obs.Watchdog.create ()) ())
+            Executor.compile
+              ~config:
+                (Executor.Config.make ~policy:Purge_policy.Eager
+                   ~telemetry:
+                     (Engine.Telemetry.create
+                        ~watchdog:(Obs.Watchdog.create ()) ())
+                   ())
               q plan
           in
           let t0 = wall () in
@@ -1179,8 +1199,9 @@ let b2 () =
         let sharded base k =
           let watchdog = Obs.Watchdog.create () in
           let pe =
-            Parallel_executor.create ~policy:Purge_policy.Eager ~watchdog
-              ~shards:k q plan
+            Parallel_executor.create
+              ~config:(Executor.Config.make ~policy:Purge_policy.Eager ())
+              ~watchdog ~shards:k q plan
           in
           let t0 = wall () in
           let r = Parallel_executor.run ~sample_every pe (List.to_seq trace) in
@@ -1341,7 +1362,11 @@ let b3 () =
     ]
   in
   let timed_run ?batch q plan trace =
-    let c = Executor.compile ~policy:Purge_policy.Eager q plan in
+    let c =
+      Executor.compile
+        ~config:(Executor.Config.make ~policy:Purge_policy.Eager ())
+        q plan
+    in
     Gc.full_major ();
     let g0 = Gc.quick_stat () in
     let t0 = wall () in
@@ -1393,7 +1418,9 @@ let b3 () =
   List.iter
     (fun k ->
       let pe =
-        Parallel_executor.create ~policy:Purge_policy.Eager ~shards:k tri_q
+        Parallel_executor.create
+          ~config:(Executor.Config.make ~policy:Purge_policy.Eager ())
+          ~shards:k tri_q
           tri_plan
       in
       let r = Parallel_executor.run ~sample_every:1000 pe (List.to_seq tri_trace) in
@@ -1431,6 +1458,226 @@ let b3 () =
      up — fewer boxed keys and intermediate lists per element)@."
 
 (* ------------------------------------------------------------------ *)
+(* B4 — multi-query shared execution                                    *)
+
+(* Overlapping query families run twice through the same Multi_executor
+   harness — once with sharing enabled, once with every query compiled
+   independently (--no-share's engine path). Sharing executes each common
+   sub-join once, so it must hold strictly less peak state and push more
+   aggregate elements per second; per-query output hashes must not move
+   at all. *)
+
+type mq_row = {
+  mq_scenario : string;
+  mq_queries : int;
+  mq_groups : int;
+  mq_elements : int;
+  mq_results : int;
+  mq_shared_s : float;
+  mq_shared_tput : float;
+  mq_indep_s : float;
+  mq_indep_tput : float;
+  mq_speedup : float;
+  mq_shared_peak_bytes : int;
+  mq_indep_peak_bytes : int;
+  mq_state_ratio : float;
+  mq_hashes_equal : bool;
+}
+
+let write_multi_query_json path rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"multi_query\",\n";
+  Buffer.add_string buf
+    "  \"generated_by\": \"dune exec bench/main.exe -- B4\",\n  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"scenario\": \"%s\", \"queries\": %d, \"shared_groups\": \
+            %d, \"elements\": %d, \"results\": %d, \"shared_seconds\": %.4f, \
+            \"shared_per_s\": %.0f, \"independent_seconds\": %.4f, \
+            \"independent_per_s\": %.0f, \"speedup\": %.2f, \
+            \"shared_peak_state_bytes\": %d, \
+            \"independent_peak_state_bytes\": %d, \"state_ratio\": %.3f, \
+            \"hashes_equal\": %b}%s\n"
+           (json_escape r.mq_scenario) r.mq_queries r.mq_groups r.mq_elements
+           r.mq_results r.mq_shared_s r.mq_shared_tput r.mq_indep_s
+           r.mq_indep_tput r.mq_speedup r.mq_shared_peak_bytes
+           r.mq_indep_peak_bytes r.mq_state_ratio r.mq_hashes_equal
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let b4 () =
+  section "B4" "multi-query shared execution -> BENCH_multi_query.json";
+  let module Query_registry = Query.Query_registry in
+  let module Multi_executor = Engine.Multi_executor in
+  let module Synth = Workload.Synth in
+  let gc = Gc.get () in
+  Gc.set
+    { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size (8 * 1024 * 1024) };
+  (* The star family: a hub pair R(K,A) |x| S(K,B) plus one private spoke
+     per query, everything equi-joined and punctuated on K. *)
+  let kdef name extra =
+    let sch = schema name ("K" :: extra) in
+    Streams.Stream_def.make sch [ Scheme.of_attrs sch [ "K" ] ]
+  in
+  let star_query spoke attr =
+    Cjq.make
+      [ kdef "R" [ "A" ]; kdef "S" [ "B" ]; kdef spoke [ attr ] ]
+      [ Predicate.atom "R" "K" "S" "K"; Predicate.atom "S" "K" spoke "K" ]
+  in
+  let registry_of qs =
+    Query_registry.create
+      (List.map (fun (qid, q) -> { Query_registry.qid; query = q }) qs)
+  in
+  let trace_config =
+    { Synth.rounds = 400; tuples_per_round = 4; punct_lag = 60; trace_seed = 7 }
+  in
+  let union_defs reg =
+    let seen = Hashtbl.create 8 in
+    List.concat_map
+      (fun (e : Query_registry.entry) ->
+        List.filter
+          (fun d ->
+            let n = Streams.Stream_def.name d in
+            if Hashtbl.mem seen n then false
+            else (
+              Hashtbl.add seen n ();
+              true))
+          (Cjq.stream_defs e.Query_registry.query))
+      (Query_registry.entries reg)
+  in
+  let round_workload reg = Synth.round_trace_defs (union_defs reg) trace_config in
+  (* The residually-shared scenarios want a *selective* shared sub-join:
+     when every R matches every co-keyed S (the round workload), the
+     residual trees re-materialize the shared output and give the savings
+     back — the classic materialization tradeoff of multi-query
+     optimization. Uniformly random keys keep the R |x| S output a
+     fraction of its inputs, so sharing the bulky input state wins. *)
+  let random_workload reg =
+    let union_query =
+      let defs = union_defs reg in
+      let atoms =
+        List.sort_uniq Predicate.atom_compare
+          (List.concat_map
+             (fun (e : Query_registry.entry) ->
+               Cjq.predicates e.Query_registry.query)
+             (Query_registry.entries reg))
+      in
+      Cjq.make defs atoms
+    in
+    (* Key density below one match per value: most R and S tuples never
+       find a partner, so the shared block's output is a fraction of the
+       input state it absorbs. *)
+    Synth.random_trace union_query ~elements_per_stream:2000 ~value_range:4000
+      ~punct_prob:0.15 ~seed:7
+  in
+  let scenarios =
+    [
+      ( "twin_triangle",
+        registry_of [ ("left", fig8_query ()); ("right", fig8_query ()) ],
+        round_workload );
+      ( "overlap_star",
+        registry_of
+          [ ("rst", star_query "T" "C"); ("rsu", star_query "U" "D") ],
+        random_workload );
+      ( "fan4_star",
+        registry_of
+          (List.map
+             (fun i ->
+               ( Printf.sprintf "fan%d" i,
+                 star_query (Printf.sprintf "X%d" i) "V" ))
+             [ 1; 2; 3; 4 ]),
+        round_workload );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (id, reg, workload) ->
+        let trace = workload reg in
+        let n = List.length trace in
+        let sample_every = max 1 (n / 50) in
+        let run share =
+          let m = Multi_executor.create ~share reg in
+          let t0 = wall () in
+          let r = Multi_executor.run ~sample_every m (List.to_seq trace) in
+          let dt = wall () -. t0 in
+          (m, r, dt)
+        in
+        let _, ri, ti = run false in
+        let ms, rs, ts = run true in
+        let hashes r =
+          List.map
+            (fun (qid, (qr : Multi_executor.query_result)) ->
+              (qid, qr.Multi_executor.hash))
+            r.Multi_executor.per_query
+        in
+        let shared_peak = Metrics.peak_state_bytes rs.Multi_executor.metrics in
+        let indep_peak = Metrics.peak_state_bytes ri.Multi_executor.metrics in
+        {
+          mq_scenario = id;
+          mq_queries = List.length (Query_registry.entries reg);
+          mq_groups = List.length (Multi_executor.plan ms).Core.Planner.groups;
+          mq_elements = n;
+          mq_results = rs.Multi_executor.emitted;
+          mq_shared_s = ts;
+          mq_shared_tput = float_of_int n /. Float.max 1e-9 ts;
+          mq_indep_s = ti;
+          mq_indep_tput = float_of_int n /. Float.max 1e-9 ti;
+          mq_speedup = ti /. Float.max 1e-9 ts;
+          mq_shared_peak_bytes = shared_peak;
+          mq_indep_peak_bytes = indep_peak;
+          mq_state_ratio =
+            float_of_int shared_peak /. Float.max 1. (float_of_int indep_peak);
+          mq_hashes_equal = hashes rs = hashes ri;
+        })
+      scenarios
+  in
+  row "%-16s %-8s %-7s %-9s %-12s %-12s %-9s %-12s %-12s %-7s@." "scenario"
+    "queries" "groups" "elements" "shared el/s" "indep el/s" "speedup"
+    "shared peak" "indep peak" "ratio";
+  List.iter
+    (fun r ->
+      row "%-16s %-8d %-7d %-9d %-12.0f %-12.0f %-9.2f %-12d %-12d %-7.3f@."
+        r.mq_scenario r.mq_queries r.mq_groups r.mq_elements r.mq_shared_tput
+        r.mq_indep_tput r.mq_speedup r.mq_shared_peak_bytes
+        r.mq_indep_peak_bytes r.mq_state_ratio)
+    rows;
+  List.iter
+    (fun r ->
+      if not r.mq_hashes_equal then
+        failwith
+          (Printf.sprintf "B4: per-query hashes diverged at %s" r.mq_scenario);
+      if r.mq_groups = 0 then
+        failwith
+          (Printf.sprintf "B4: planner shared nothing at %s" r.mq_scenario);
+      if r.mq_shared_peak_bytes >= r.mq_indep_peak_bytes then
+        failwith
+          (Printf.sprintf
+             "B4: shared peak state %d B is not below independent %d B at %s"
+             r.mq_shared_peak_bytes r.mq_indep_peak_bytes r.mq_scenario))
+    rows;
+  let faster = List.filter (fun r -> r.mq_speedup > 1.0) rows in
+  if List.length faster < 2 then
+    failwith
+      (Printf.sprintf
+         "B4: sharing sped up only %d of %d scenarios (expected >= 2)"
+         (List.length faster) (List.length rows));
+  let path = "BENCH_multi_query.json" in
+  write_multi_query_json path rows;
+  row "wrote %s@." path;
+  row
+    "(per-query hashes are byte-equal between shared and independent \
+     execution on every scenario; the shared runs hold strictly less peak \
+     state because each common sub-join keeps one copy of its hash tables \
+     and punctuation store, and the saved probe work shows up as aggregate \
+     throughput)@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1453,6 +1700,7 @@ let experiments =
     ("B1", b1);
     ("B2", b2);
     ("B3", b3);
+    ("B4", b4);
     ("T1", t1);
   ]
 

@@ -20,8 +20,10 @@ let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
     trace =
   let watchdog = Obs.Watchdog.create () in
   let pexec =
-    Engine.Parallel_executor.create ~policy ~watchdog ~instrument:true
-      ?contract_config ?kill ~max_restarts ~shards query
+    Engine.Parallel_executor.create
+      ~config:(Engine.Executor.Config.make ~policy ())
+      ~watchdog ~instrument:true ?contract_config ?kill ~max_restarts ~shards
+      query
       (Query.Plan.mjoin (Query.Cjq.stream_names query))
   in
   let router = Engine.Parallel_executor.router pexec in
@@ -104,6 +106,227 @@ let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
   | None -> ());
   if alarms <> [] then 3 else 0
 
+(* Multi-query mode: N --query files share one input and, where the
+   shareability check admits it, one physical sub-join. The workload,
+   chaos and contract flags of the single-query mode do not apply here —
+   the surface is the registry, the shared plan, per-query output hashes
+   and the owner-labelled state breakdown. *)
+let run_multi ~files ~no_share ~rounds ~tuples_per_round ~punct_lag ~policy
+    ~force ~sample_every ~shards ~trace_file ~report_file ~listen =
+  let parsed =
+    List.map
+      (fun f ->
+        match Query.Parser.parse_file f with
+        | exception Query.Parser.Parse_error { line; message } ->
+            Error (Fmt.str "%s:%d: %s" f line message)
+        | exception Query.Cjq.Invalid message ->
+            Error (Fmt.str "%s: invalid query: %s" f message)
+        | q -> Ok (f, q))
+      files
+  in
+  let errors =
+    List.filter_map (function Error e -> Some e | Ok _ -> None) parsed
+  in
+  if errors <> [] then begin
+    List.iter (fun e -> Fmt.epr "%s@." e) errors;
+    1
+  end
+  else
+    let parsed = List.filter_map Result.to_option parsed in
+    let base f = Filename.remove_extension (Filename.basename f) in
+    let basenames = List.map (fun (f, _) -> base f) parsed in
+    let entries =
+      List.mapi
+        (fun i (f, q) ->
+          let b = base f in
+          let qid =
+            if List.length (List.filter (String.equal b) basenames) > 1 then
+              Fmt.str "%s#%d" b (i + 1)
+            else b
+          in
+          { Query.Query_registry.qid; query = q })
+        parsed
+    in
+    match Query.Query_registry.create entries with
+    | exception Invalid_argument m ->
+        Fmt.epr "%s@." m;
+        1
+    | reg -> (
+        let unsafe_qids =
+          List.filter_map
+            (fun (e : Query.Query_registry.entry) ->
+              if Core.Checker.is_safe_kind e.Query.Query_registry.query then
+                None
+              else Some e.Query.Query_registry.qid)
+            entries
+        in
+        List.iter
+          (fun (e : Query.Query_registry.entry) ->
+            Fmt.pr "query %s: %a@.  safe: %b@." e.Query.Query_registry.qid
+              Query.Cjq.pp e.Query.Query_registry.query
+              (not (List.mem e.Query.Query_registry.qid unsafe_qids)))
+          entries;
+        if unsafe_qids <> [] && not force then begin
+          Fmt.epr
+            "refusing to run unsafe queries (%s); use --force to run anyway@."
+            (String.concat ", " unsafe_qids);
+          2
+        end
+        else
+          let share = not no_share in
+          let mplan = Core.Planner.plan_shared ~share reg in
+          (if mplan.Core.Planner.groups = [] then
+             Fmt.pr "shared sub-plans: none%s@."
+               (if share then "" else " (--no-share)")
+           else
+             List.iter
+               (fun (g : Core.Planner.shared_group) ->
+                 Fmt.pr "shared group %s: streams {%s} serving %s@."
+                   g.Core.Planner.gid
+                   (String.concat ", " g.Core.Planner.streams)
+                   (String.concat ", " (List.map fst g.Core.Planner.group_members)))
+               mplan.Core.Planner.groups);
+          List.iter
+            (fun (qid, a) ->
+              match a with
+              | Core.Planner.Shared { gid; rest = [] } ->
+                  Fmt.pr "  %s: fully covered by %s@." qid gid
+              | Core.Planner.Shared { gid; rest } ->
+                  Fmt.pr "  %s: %s + residual {%s}@." qid gid
+                    (String.concat ", " rest)
+              | Core.Planner.Independent _ -> Fmt.pr "  %s: independent@." qid)
+            mplan.Core.Planner.assignments;
+          let defs =
+            let seen = Hashtbl.create 8 in
+            List.concat_map
+              (fun (e : Query.Query_registry.entry) ->
+                List.filter
+                  (fun d ->
+                    let n = Streams.Stream_def.name d in
+                    if Hashtbl.mem seen n then false
+                    else (
+                      Hashtbl.add seen n ();
+                      true))
+                  (Query.Cjq.stream_defs e.Query.Query_registry.query))
+              entries
+          in
+          let trace =
+            Workload.Synth.round_trace_defs defs
+              {
+                Workload.Synth.rounds;
+                tuples_per_round;
+                punct_lag;
+                trace_seed = 42;
+              }
+          in
+          Fmt.pr "policy: %a@." Engine.Purge_policy.pp policy;
+          if shards > 1 then begin
+            let s =
+              Engine.Multi_executor.run_sharded
+                ~config:(Engine.Executor.Config.make ~policy ())
+                ~share ~shards reg (List.to_seq trace)
+            in
+            Fmt.pr "shards: %d@.consumed %d elements@."
+              s.Engine.Multi_executor.s_shards
+              s.Engine.Multi_executor.s_consumed;
+            List.iter
+              (fun (qid, (qr : Engine.Multi_executor.query_result)) ->
+                Fmt.pr "query %s: emitted %d results, output hash %s@." qid
+                  qr.Engine.Multi_executor.emitted
+                  qr.Engine.Multi_executor.hash)
+              s.Engine.Multi_executor.s_per_query;
+            0
+          end
+          else begin
+            let exporter =
+              match listen with
+              | None -> Ok None
+              | Some address -> (
+                  match Obs.Exporter.start address with
+                  | Ok ex ->
+                      Fmt.epr "metrics: serving OpenMetrics on %s@."
+                        (Obs.Exporter.endpoint ex);
+                      Ok (Some ex)
+                  | Error e ->
+                      Fmt.epr "metrics: cannot listen: %s@." e;
+                      Error 1)
+            in
+            match exporter with
+            | Error code -> code
+            | Ok exporter ->
+                Fun.protect
+                  ~finally:(fun () -> Option.iter Obs.Exporter.stop exporter)
+                @@ fun () ->
+                let sink =
+                  match trace_file with
+                  | Some path -> Obs.Sink.jsonl_file path
+                  | None -> Obs.Sink.null
+                in
+                let telemetry =
+                  Engine.Telemetry.create ~sink
+                    ~watchdog:(Obs.Watchdog.create ()) ()
+                in
+                let m =
+                  Engine.Multi_executor.create
+                    ~config:
+                      (Engine.Executor.Config.make ~policy ~telemetry ())
+                    ~share reg
+                in
+                let result =
+                  Engine.Multi_executor.run ~sample_every ~label:"multi-query"
+                    ?exporter m (List.to_seq trace)
+                in
+                Engine.Telemetry.close telemetry;
+                Fmt.pr "consumed %d elements@."
+                  result.Engine.Multi_executor.consumed;
+                List.iter
+                  (fun (qid, (qr : Engine.Multi_executor.query_result)) ->
+                    Fmt.pr "query %s: emitted %d results, output hash %s@."
+                      qid qr.Engine.Multi_executor.emitted
+                      qr.Engine.Multi_executor.hash)
+                  result.Engine.Multi_executor.per_query;
+                List.iter
+                  (fun (owner, ops) ->
+                    List.iter
+                      (fun (b : Engine.Executor.breakdown) ->
+                        Fmt.pr "%s %s: data=%d puncts=%d index=%d bytes=%d@."
+                          owner b.Engine.Executor.op_name
+                          b.Engine.Executor.data b.Engine.Executor.puncts
+                          b.Engine.Executor.index b.Engine.Executor.bytes)
+                      ops)
+                  (Engine.Multi_executor.state_breakdown m);
+                Fmt.pr "total state bytes: %d (shared state counted once)@."
+                  (Engine.Multi_executor.total_state_bytes m);
+                (match trace_file with
+                | Some path -> Fmt.pr "trace written to %s@." path
+                | None -> ());
+                (match report_file with
+                | Some path ->
+                    let rep =
+                      Engine.Multi_executor.report
+                        ~meta:
+                          [
+                            ( "policy",
+                              Obs.Json.String
+                                (Fmt.str "%a" Engine.Purge_policy.pp policy) );
+                            ("share", Obs.Json.Bool share);
+                          ]
+                        m result
+                    in
+                    let oc = open_out path in
+                    output_string oc
+                      (Obs.Json.to_string (Obs.Report.to_json rep));
+                    output_char oc '\n';
+                    close_out oc;
+                    Fmt.pr "report written to %s@." path
+                | None -> ());
+                let alarms = Engine.Telemetry.alarms telemetry in
+                List.iter
+                  (fun a -> Fmt.pr "WATCHDOG ALARM: %a@." Obs.Watchdog.pp_alarm a)
+                  alarms;
+                if alarms <> [] then 3 else 0
+          end)
+
 let pp_contract_summary ct =
   Fmt.pr
     "contract: late=%d dup_puncts=%d stalls=%d quarantined=%d(+%d overflow) \
@@ -115,7 +338,7 @@ let pp_contract_summary ct =
     (Engine.Contract.quarantine_overflow ct)
     (Engine.Contract.shed_count ct)
 
-let run_query file rounds tuples_per_round punct_lag policy force sample_every
+let run_single file rounds tuples_per_round punct_lag policy force sample_every
     replay save_trace report_file trace_file shards faults contract_config kill
     max_restarts listen =
   match Query.Parser.parse_file file with
@@ -228,7 +451,10 @@ let run_query file rounds tuples_per_round punct_lag policy force sample_every
             List.iter (Engine.Telemetry.emit telemetry) fault_events;
             let contract = Option.map Engine.Contract.create contract_config in
             let compiled =
-              Engine.Executor.compile ~policy ~telemetry ?contract query
+              Engine.Executor.compile
+                ~config:
+                  (Engine.Executor.Config.make ~policy ~telemetry ?contract ())
+                query
                 (Query.Plan.mjoin (Query.Cjq.stream_names query))
             in
             let result =
@@ -302,11 +528,53 @@ let run_query file rounds tuples_per_round punct_lag policy force sample_every
               shard attempts reason;
             5)
 
+let run_query file multi_files no_share rounds tuples_per_round punct_lag
+    policy force sample_every replay save_trace report_file trace_file shards
+    faults contract_config kill max_restarts listen =
+  match (multi_files, file) with
+  | _ :: _, Some _ ->
+      Fmt.epr "--query and the QUERY positional are mutually exclusive@.";
+      1
+  | _ :: _, None ->
+      run_multi ~files:multi_files ~no_share ~rounds ~tuples_per_round
+        ~punct_lag ~policy ~force ~sample_every ~shards ~trace_file
+        ~report_file ~listen
+  | [], None ->
+      Fmt.epr "a QUERY file (or at least one --query) is required@.";
+      1
+  | [], Some file ->
+      run_single file rounds tuples_per_round punct_lag policy force
+        sample_every replay save_trace report_file trace_file shards faults
+        contract_config kill max_restarts listen
+
 let file =
   Arg.(
-    required
+    value
     & pos 0 (some file) None
-    & info [] ~docv:"QUERY" ~doc:"Query description file.")
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "Query description file (single-query mode; use repeated \
+           $(b,--query) flags for multi-query mode).")
+
+let multi_queries =
+  Arg.(
+    value & opt_all file []
+    & info [ "query" ] ~docv:"FILE"
+        ~doc:
+          "Add a query to a multi-query run (repeatable). All queries share \
+           one synthetic input; equivalent sub-joins execute as one shared \
+           operator when the safety check admits the sharing (see \
+           TUTORIAL.md §18). Chaos, contract and replay flags apply only to \
+           single-query mode.")
+
+let no_share =
+  Arg.(
+    value & flag
+    & info [ "no-share" ]
+        ~doc:
+          "Multi-query mode: compile every query independently (the \
+           baseline sharing is measured against). Per-query output hashes \
+           must not change.")
 
 let rounds =
   Arg.(value & opt int 200 & info [ "rounds" ] ~doc:"Workload rounds.")
@@ -652,7 +920,8 @@ let cmd =
   Cmd.v
     (Cmd.info "pstream-run" ~doc ~exits)
     Term.(
-      const run_query $ file $ rounds $ tuples_per_round $ punct_lag $ policy
+      const run_query $ file $ multi_queries $ no_share $ rounds
+      $ tuples_per_round $ punct_lag $ policy
       $ force $ sample_every $ replay $ save_trace $ report_file $ trace_file
       $ shards $ faults $ contract_config $ kill $ max_restarts $ listen)
 

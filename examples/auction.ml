@@ -31,7 +31,8 @@ let () =
     (Streams.Trace.punct_count trace);
 
   let compiled =
-    Engine.Executor.compile ~policy:Engine.Purge_policy.Eager query
+    Engine.Executor.compile
+      ~config:(Engine.Executor.Config.make ~policy:Engine.Purge_policy.Eager ()) query
       (Query.Plan.mjoin [ "item"; "bid" ])
   in
   let groupby =

@@ -22,8 +22,11 @@ let () =
 
   let run ~lifespan =
     let compiled =
-      Engine.Executor.compile ~policy:Engine.Purge_policy.Eager
-        ?punct_lifespan:lifespan query
+      Engine.Executor.compile
+        ~config:
+          (Engine.Executor.Config.make ~policy:Engine.Purge_policy.Eager
+             ?punct_lifespan:lifespan ())
+        query
         (Query.Plan.mjoin [ "inbound"; "outbound" ])
     in
     let trace = Workload.Netmon.trace cfg in

@@ -63,7 +63,8 @@ let () =
     ]
   in
   let compiled =
-    Engine.Executor.compile ~policy:Engine.Purge_policy.Eager query
+    Engine.Executor.compile
+      ~config:(Engine.Executor.Config.make ~policy:Engine.Purge_policy.Eager ()) query
       (Query.Plan.mjoin [ "item"; "bid" ])
   in
   let result = Engine.Executor.run compiled (List.to_seq trace) in

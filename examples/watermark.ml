@@ -35,7 +35,8 @@ let () =
     (Streams.Trace.punct_count trace);
 
   let compiled =
-    Engine.Executor.compile ~policy:Engine.Purge_policy.Eager query
+    Engine.Executor.compile
+      ~config:(Engine.Executor.Config.make ~policy:Engine.Purge_policy.Eager ()) query
       (Query.Plan.mjoin [ "orders"; "shipments" ])
   in
   let result =

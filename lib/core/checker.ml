@@ -140,6 +140,107 @@ let exists_safe_plan_by_enumeration ?schemes query =
     (fun plan -> plan_safe ~schemes query plan)
     (Query.Plan_enum.all_plans (Cjq.stream_names query))
 
+(* --- multi-query shareability ----------------------------------------- *)
+
+type member_report = {
+  qid : string;
+  folded_plan : Plan.t;
+  folded_safe : bool;
+  mixed_schemes : Scheme.Set.t;
+}
+
+type share_report = {
+  streams : string list;
+  intersection : Scheme.Set.t;
+  sub_purgeable : bool;
+  member_reports : member_report list;
+  shareable_for : string list;
+}
+
+let scheme_intersection queries ~streams =
+  match queries with
+  | [] -> invalid_arg "Checker.scheme_intersection: no queries"
+  | first :: rest ->
+      let declared q s =
+        Streams.Stream_def.schemes (Cjq.def q s)
+      in
+      List.concat_map
+        (fun s ->
+          List.filter
+            (fun sch ->
+              List.for_all
+                (fun q -> List.exists (Scheme.equal sch) (declared q s))
+                rest)
+            (declared first s))
+        streams
+      |> Scheme.Set.of_list
+
+(* A query's plan folded onto the shared block: the block as one flat
+   MJoin, joined with the query's remaining streams in a second flat
+   operator. If the query is fully covered the block alone is the plan. *)
+let folded_plan query ~streams =
+  let rest =
+    List.filter (fun s -> not (List.mem s streams)) (Cjq.stream_names query)
+  in
+  match rest with
+  | [] -> Plan.mjoin streams
+  | _ -> Plan.join (Plan.mjoin streams :: List.map (fun s -> Plan.Leaf s) rest)
+
+let shareable ~members ~streams =
+  (match members with
+  | [] | [ _ ] -> invalid_arg "Checker.shareable: need at least two members"
+  | _ -> ());
+  List.iter
+    (fun (_, q) ->
+      if Cjq.kind q <> Cjq.Inner then
+        invalid_arg "Checker.shareable: only Inner queries can share")
+    members;
+  let streams = List.sort_uniq String.compare streams in
+  let intersection =
+    scheme_intersection (List.map snd members) ~streams
+  in
+  (* The shared operator runs once for everyone, so it may only purge on
+     punctuations every subscriber is guaranteed: Corollary 2 under the
+     scheme-set intersection. *)
+  let sub_purgeable =
+    let _, q0 = List.hd members in
+    let sub = Cjq.restrict q0 streams in
+    operator_purgeable
+      ~blocks:(List.map Block.singleton streams)
+      (Cjq.predicates sub) intersection
+  in
+  let member_reports =
+    List.map
+      (fun (qid, q) ->
+        (* Mixed scheme view of this member: the shared streams contribute
+           only intersection schemes (the shared state purges under those
+           alone), the member's private streams keep their own. *)
+        let mixed =
+          List.fold_left Scheme.Set.add
+            (Scheme.Set.of_list
+               (List.concat_map
+                  (fun s ->
+                    if List.mem s streams then []
+                    else Streams.Stream_def.schemes (Cjq.def q s))
+                  (Cjq.stream_names q)))
+            (Scheme.Set.schemes intersection)
+        in
+        let folded_plan = folded_plan q ~streams in
+        let folded_safe =
+          sub_purgeable && plan_safe ~schemes:mixed q folded_plan
+        in
+        { qid; folded_plan; folded_safe; mixed_schemes = mixed })
+      members
+  in
+  let shareable_for =
+    List.filter_map
+      (fun m -> if m.folded_safe then Some m.qid else None)
+      member_reports
+  in
+  (* Sharing pays only when at least two subscribers can ride the block. *)
+  let shareable_for = if List.length shareable_for >= 2 then shareable_for else [] in
+  { streams; intersection; sub_purgeable; member_reports; shareable_for }
+
 let pp_method ppf = function
   | Pg -> Fmt.string ppf "punctuation graph (Theorem 2)"
   | Gpg_closure -> Fmt.string ppf "GPG closure (Theorem 4)"

@@ -105,6 +105,56 @@ val unsafe_operators :
   Query.Plan.t ->
   Query.Plan.t list
 
+(** {2 Multi-query shareability}
+
+    A sub-join shared between several queries executes once, with one join
+    state and one punctuation store — so it may only purge state on
+    punctuations {e every} subscriber's input is guaranteed to carry. That
+    is exactly safety under the intersection of the member queries' scheme
+    sets; the residual per-query work is then checked under a mixed view
+    (intersection on the shared streams, the query's own schemes
+    elsewhere). This is the safety dimension the multi-query optimization
+    literature (Dossinger & Michel, PAPERS.md) leaves open. *)
+
+(** Verdict for one member query of a candidate shared block. *)
+type member_report = {
+  qid : string;
+  folded_plan : Query.Plan.t;
+      (** the member's plan folded onto the block: the block as one flat
+          operator joined with the member's remaining streams *)
+  folded_safe : bool;
+      (** the folded plan is safe under [mixed_schemes] (and the block
+          itself purgeable under the intersection) *)
+  mixed_schemes : Streams.Scheme.Set.t;
+}
+
+type share_report = {
+  streams : string list;  (** sorted streams of the candidate block *)
+  intersection : Streams.Scheme.Set.t;
+  sub_purgeable : bool;
+      (** the block, as one flat MJoin, is purgeable under the
+          intersection (Corollary 2) *)
+  member_reports : member_report list;
+  shareable_for : string list;
+      (** qids admitted to the shared block — empty unless at least two
+          members are admissible (sharing with one subscriber is just an
+          independent plan) *)
+}
+
+(** [scheme_intersection queries ~streams] — the schemes declared by every
+    query of [queries] on each stream of [streams] (compared with
+    {!Streams.Scheme.equal}).
+    @raise Invalid_argument on an empty query list. *)
+val scheme_intersection :
+  Query.Cjq.t list -> streams:string list -> Streams.Scheme.Set.t
+
+(** [shareable ~members ~streams] — decide shareability of the sub-join on
+    [streams] for the given [(qid, query)] members.
+    @raise Invalid_argument with fewer than two members or a non-[Inner]
+    member. *)
+val shareable :
+  members:(string * Query.Cjq.t) list -> streams:string list -> share_report
+
 (** [exists_safe_plan_by_enumeration ?schemes query] decides safety the
     naive way — enumerate every plan, test each (the exponential baseline
     Theorems 2/4 avoid). Kept as a test oracle and benchmark baseline. *)

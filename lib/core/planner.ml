@@ -164,3 +164,110 @@ let all_minimal_scheme_subsets ?schemes query =
       not (List.exists (fun other -> proper_subset other sub) safe_subsets))
     safe_subsets
   |> List.map Scheme.Set.of_list
+
+(* --- multi-query shared planning --------------------------------------- *)
+
+module Query_registry = Query.Query_registry
+
+type assignment =
+  | Shared of { gid : string; rest : string list }
+  | Independent of Plan.t
+
+type shared_group = {
+  gid : string;
+  streams : string list;
+  group_members : (string * string list) list;
+  report : Checker.share_report;
+}
+
+type multi_plan = {
+  groups : shared_group list;
+  assignments : (string * assignment) list;
+}
+
+(* Greedy folding of the per-query plans onto shared building blocks:
+   score candidates by saved operator inputs — (subscribers - 1) blocks of
+   |streams| inputs each — take the best first, one block per query.
+   Unsafe members fall off the block (not the run): any query left without
+   a block keeps its independent flat MJoin, which is safe exactly when
+   the query itself is (Theorem 4). *)
+let plan_shared ?(share = true) registry =
+  let entries = Query_registry.entries registry in
+  let independent q = Independent (Plan.mjoin (Cjq.stream_names q)) in
+  if not share then
+    {
+      groups = [];
+      assignments =
+        List.map
+          (fun e ->
+            (e.Query_registry.qid, independent e.Query_registry.query))
+          entries;
+    }
+  else begin
+    let assigned : (string, string * string list) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    (* qid -> (gid, shared streams) *)
+    let scored =
+      Query_registry.shared_candidates registry
+      |> List.filter (fun c -> c.Query_registry.fusable)
+      |> List.filter_map (fun c ->
+             let members =
+               List.map
+                 (fun (qid, _) -> (qid, Query_registry.find registry qid))
+                 c.Query_registry.members
+             in
+             let report =
+               Checker.shareable ~members ~streams:c.Query_registry.streams
+             in
+             match report.Checker.shareable_for with
+             | [] | [ _ ] -> None
+             | admitted ->
+                 let score =
+                   (List.length admitted - 1)
+                   * List.length c.Query_registry.streams
+                 in
+                 Some (score, c.Query_registry.streams, admitted, report))
+      |> List.stable_sort (fun (s1, _, _, _) (s2, _, _, _) -> compare s2 s1)
+    in
+    let groups = ref [] in
+    let next_gid = ref 0 in
+    List.iter
+      (fun (_, streams, admitted, report) ->
+        let free = List.filter (fun q -> not (Hashtbl.mem assigned q)) admitted in
+        if List.length free >= 2 then begin
+          incr next_gid;
+          let gid = Printf.sprintf "G%d" !next_gid in
+          let group_members =
+            List.map
+              (fun qid ->
+                let q = Query_registry.find registry qid in
+                let rest =
+                  List.filter
+                    (fun s -> not (List.mem s streams))
+                    (Cjq.stream_names q)
+                in
+                Hashtbl.replace assigned qid (gid, streams);
+                (qid, rest))
+              free
+          in
+          groups := { gid; streams; group_members; report } :: !groups
+        end)
+      scored;
+    let assignments =
+      List.map
+        (fun e ->
+          let qid = e.Query_registry.qid in
+          match Hashtbl.find_opt assigned qid with
+          | Some (gid, streams) ->
+              let rest =
+                List.filter
+                  (fun s -> not (List.mem s streams))
+                  (Cjq.stream_names e.Query_registry.query)
+              in
+              (qid, Shared { gid; rest })
+          | None -> (qid, independent e.Query_registry.query))
+        entries
+    in
+    { groups = List.rev !groups; assignments }
+  end

@@ -37,3 +37,38 @@ val minimal_scheme_subset :
     safe subset (exponential in the scheme count; intended for small ℜ). *)
 val all_minimal_scheme_subsets :
   ?schemes:Streams.Scheme.Set.t -> Query.Cjq.t -> Streams.Scheme.Set.t list
+
+(** {2 Multi-query shared planning}
+
+    Greedy folding of N registered queries' plans onto shared building
+    blocks (sub-joins found by {!Query.Query_registry.shared_candidates},
+    admitted by {!Checker.shareable} under the scheme-set intersection).
+    Candidates are scored by saved work — (subscribers − 1) × block width —
+    and committed best-first, at most one block per query; every query not
+    riding a block falls back to its independent flat MJoin, which is safe
+    exactly when the query is (Theorem 4). *)
+
+type assignment =
+  | Shared of { gid : string; rest : string list }
+      (** the query subscribes to group [gid] and joins its output with its
+          [rest] streams in a residual operator *)
+  | Independent of Query.Plan.t
+
+type shared_group = {
+  gid : string;
+  streams : string list;
+  group_members : (string * string list) list;
+      (** (qid, residual streams) per subscriber *)
+  report : Checker.share_report;  (** why this block is admissible *)
+}
+
+type multi_plan = {
+  groups : shared_group list;
+  assignments : (string * assignment) list;  (** one per registered query *)
+}
+
+(** [plan_shared ?share registry] — the multi-query plan. [share:false]
+    (default [true]) disables sharing entirely: every query gets its
+    independent plan (the baseline the bench and the [--no-share] CLI flag
+    compare against). *)
+val plan_shared : ?share:bool -> Query.Query_registry.t -> multi_plan

@@ -24,7 +24,8 @@ let of_register ?(policy = Purge_policy.Eager) register =
         {
           name;
           compiled =
-            Executor.compile ~policy
+            Executor.compile
+              ~config:{ Executor.Config.default with policy }
               (Core.Register.query_of register name)
               (Core.Register.plan_of register name);
         })

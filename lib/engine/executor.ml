@@ -15,11 +15,47 @@ type node =
       schemes : Scheme.t list;  (** derived schemes of this output *)
     }
 
+module Config = struct
+  type t = {
+    policy : Purge_policy.t;
+    binary_impl : binary_impl;
+    punct_lifespan : Core.Punct_purge.lifespan option;
+    punct_partner_purge : bool;
+    telemetry : Telemetry.t;
+    contract : Contract.t option;
+    op_prefix : string;
+  }
+
+  let default =
+    {
+      policy = Purge_policy.Eager;
+      binary_impl = Use_mjoin;
+      punct_lifespan = None;
+      punct_partner_purge = false;
+      telemetry = Telemetry.null;
+      contract = None;
+      op_prefix = "";
+    }
+
+  let make ?(policy = default.policy) ?(binary_impl = default.binary_impl)
+      ?punct_lifespan ?(punct_partner_purge = default.punct_partner_purge)
+      ?(telemetry = default.telemetry) ?contract
+      ?(op_prefix = default.op_prefix) () =
+    {
+      policy;
+      binary_impl;
+      punct_lifespan;
+      punct_partner_purge;
+      telemetry;
+      contract;
+      op_prefix;
+    }
+end
+
 type compiled = {
   root : node;
   all_ops : Operator.t list;
-  telemetry : Telemetry.t;
-  contract : Contract.t option;
+  cfg : Config.t;
   unreachable : (string * string list) list;
       (* per operator: inputs whose state fails the GPG purge-reachability
          check — the watchdog's static diagnosis *)
@@ -48,9 +84,18 @@ let attr_in_node node s attr =
   | Leaf _ -> attr
   | Inner _ -> Schema.qualify_attr ~origin:s attr
 
-let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
-    ?punct_lifespan ?(punct_partner_purge = false)
-    ?(telemetry = Telemetry.null) ?contract query plan =
+let compile ?(config = Config.default) query plan =
+  let {
+    Config.policy;
+    binary_impl;
+    punct_lifespan;
+    punct_partner_purge;
+    telemetry;
+    contract;
+    op_prefix;
+  } =
+    config
+  in
   Plan.validate plan query;
   let preds = Cjq.predicates query in
   let counter = ref 0 in
@@ -68,7 +113,7 @@ let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
     | Plan.Join children ->
         let nodes = List.map build children in
         incr counter;
-        let op_name = Printf.sprintf "J%d" !counter in
+        let op_name = Printf.sprintf "%sJ%d" op_prefix !counter in
         let owner s =
           List.find (fun n -> List.mem s (node_leafset n)) nodes
         in
@@ -197,12 +242,13 @@ let compile ?(policy = Purge_policy.Eager) ?(binary_impl = Use_mjoin)
     | Inner i -> List.iter (register_leaves ct) i.children
   in
   Option.iter (fun ct -> register_leaves ct root) contract;
-  { root; all_ops = List.rev !ops; telemetry; contract;
+  { root; all_ops = List.rev !ops; cfg = config;
     unreachable = List.rev !unreachable }
 
 let operators ~c = c.all_ops
-let telemetry c = c.telemetry
-let contract c = c.contract
+let config c = c.cfg
+let telemetry c = c.cfg.Config.telemetry
+let contract c = c.cfg.Config.contract
 
 (* Arm a (possibly different) contract's stall tracking with this tree's
    leaf sources — the sharded driver tracks stalls on its own contract
@@ -370,7 +416,7 @@ let flush_tree c = final_flush c.root
 
 let run ?(sample_every = 100) ?batch ?sink ?(label = "run") ?exporter c
     elements =
-  let telemetry = c.telemetry in
+  let telemetry = c.cfg.Config.telemetry in
   let metrics = Metrics.create ~sample_every () in
   let outputs = ref [] in
   let emitted = ref 0 in
@@ -485,7 +531,7 @@ let run ?(sample_every = 100) ?batch ?sink ?(label = "run") ?exporter c
      instrumentation. With no contract these are no-ops and the run is
      byte-identical to the pre-contract engine. *)
   let contract_checks ~tick =
-    match c.contract with
+    match c.cfg.Config.contract with
     | None -> ()
     | Some ct ->
         ignore
@@ -507,7 +553,7 @@ let run ?(sample_every = 100) ?batch ?sink ?(label = "run") ?exporter c
         (fun element ->
           incr consumed;
           Telemetry.set_clock telemetry !consumed;
-          (match c.contract with
+          (match c.cfg.Config.contract with
           | Some ct -> Contract.note_element ct ~tick:!consumed element
           | None -> ());
           accept (feed c.root element);
@@ -538,7 +584,7 @@ let run ?(sample_every = 100) ?batch ?sink ?(label = "run") ?exporter c
           let base = !consumed in
           consumed := base + Array.length arr;
           Telemetry.set_clock telemetry !consumed;
-          (match c.contract with
+          (match c.cfg.Config.contract with
           | Some ct ->
               Array.iteri
                 (fun k e -> Contract.note_element ct ~tick:(base + k + 1) e)
@@ -581,18 +627,30 @@ let run ?(sample_every = 100) ?batch ?sink ?(label = "run") ?exporter c
   }
 
 (* An order-insensitive digest of a run's data-tuple outputs: render each
-   tuple, sort the renderings, hash the concatenation. Two runs emitted
-   the same result multiset iff the hexes agree — permutation-proof, so a
-   sharded run (whose merge order may interleave flush-time results
-   differently) can be compared byte-for-byte against a sequential one.
-   Output punctuations are excluded: a broadcast punctuation is
-   re-propagated by every shard holding it, so punctuation outputs are a
-   delivery artifact, not part of the query answer. *)
+   tuple as its sorted [attr=value] pairs, sort the renderings, hash the
+   concatenation. Two runs emitted the same result multiset iff the hexes
+   agree — permutation-proof, so a sharded run (whose merge order may
+   interleave flush-time results differently) can be compared byte-for-byte
+   against a sequential one. Rendering by attribute name (not positional
+   value order) additionally makes the digest plan-shape-invariant: a
+   multi-query residual plan concatenates the same columns in a different
+   order than the independent flat plan, yet both digests agree. Output
+   punctuations are excluded: a broadcast punctuation is re-propagated by
+   every shard holding it, so punctuation outputs are a delivery artifact,
+   not part of the query answer. *)
 let output_hash outputs =
+  let render t =
+    let schema = Tuple.schema t in
+    Schema.attributes schema
+    |> List.mapi (fun i (a : Schema.attribute) ->
+           a.Schema.name ^ "=" ^ Relational.Value.to_string (Tuple.get t i))
+    |> List.sort String.compare
+    |> String.concat ","
+  in
   let renderings =
     List.filter_map
       (function
-        | Element.Data t -> Some (Tuple.to_string t)
+        | Element.Data t -> Some (render t)
         | Element.Punct _ -> None)
       outputs
     |> List.sort String.compare
@@ -636,7 +694,7 @@ let report ?(meta = []) c (r : result) =
       c.all_ops
   in
   let contract_meta =
-    match c.contract with
+    match c.cfg.Config.contract with
     | None -> []
     | Some ct -> [ ("contract", Obs.Json.Obj (Contract.meta_counters ct)) ]
   in
@@ -649,7 +707,7 @@ let report ?(meta = []) c (r : result) =
         ]
       @ contract_meta;
     operators;
-    registry = Telemetry.registry c.telemetry;
+    registry = Telemetry.registry c.cfg.Config.telemetry;
     series = series_json r.metrics;
-    alarms = Telemetry.alarms c.telemetry;
+    alarms = Telemetry.alarms c.cfg.Config.telemetry;
   }

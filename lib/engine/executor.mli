@@ -17,22 +17,54 @@ type binary_impl =
 
 type compiled
 
-(** [compile ?telemetry query plan] — [telemetry] (default
-    {!Telemetry.null}) is shared by every operator of the tree: operators
-    are created with it and wrapped by {!Telemetry.wrap_op}, so an enabled
-    handle sees the full event stream and per-operator registry. With the
-    default null handle compilation (and the run) is behaviour-identical to
-    the uninstrumented engine. *)
-val compile :
-  ?policy:Purge_policy.t ->
-  ?binary_impl:binary_impl ->
-  ?punct_lifespan:Core.Punct_purge.lifespan ->
-  ?punct_partner_purge:bool ->
-  ?telemetry:Telemetry.t ->
-  ?contract:Contract.t ->
-  Query.Cjq.t ->
-  Query.Plan.t ->
-  compiled
+(** Compilation configuration — the one record that used to be seven
+    optional arguments. [default] preserves every historical default, so
+    [compile query plan] without a config is the engine as it always was.
+    Build variations with [Config.make] or record update syntax
+    ([{ Config.default with policy }]). *)
+module Config : sig
+  type t = {
+    policy : Purge_policy.t;  (** purge cadence (default [Eager]) *)
+    binary_impl : binary_impl;  (** default [Use_mjoin] *)
+    punct_lifespan : Core.Punct_purge.lifespan option;
+        (** expire stored punctuations (§5.1); default [None] *)
+    punct_partner_purge : bool;
+        (** purge stored punctuations by partner punctuations; default
+            [false] *)
+    telemetry : Telemetry.t;
+        (** shared by every operator of the tree: operators are created
+            with it and wrapped by {!Telemetry.wrap_op}, so an enabled
+            handle sees the full event stream and per-operator registry.
+            With the default {!Telemetry.null} handle compilation (and the
+            run) is behaviour-identical to the uninstrumented engine. *)
+    contract : Contract.t option;
+        (** punctuation-contract monitor shared by every join operator *)
+    op_prefix : string;
+        (** prefix on generated operator names ([J1] → [<prefix>J1]);
+            multi-query execution uses ["<qid>/"] so telemetry breaks out
+            per query (default [""]) *)
+  }
+
+  val default : t
+
+  val make :
+    ?policy:Purge_policy.t ->
+    ?binary_impl:binary_impl ->
+    ?punct_lifespan:Core.Punct_purge.lifespan ->
+    ?punct_partner_purge:bool ->
+    ?telemetry:Telemetry.t ->
+    ?contract:Contract.t ->
+    ?op_prefix:string ->
+    unit ->
+    t
+end
+
+(** [compile ?config query plan] — build the operator tree for [plan] under
+    [config] (default {!Config.default}). *)
+val compile : ?config:Config.t -> Query.Cjq.t -> Query.Plan.t -> compiled
+
+(** [config c] — the configuration the tree was compiled with. *)
+val config : compiled -> Config.t
 
 (** [operators c] — bottom-up (each operator after its children). *)
 val operators : c:compiled -> Operator.t list

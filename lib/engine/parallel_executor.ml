@@ -80,7 +80,7 @@ type t = {
   mutable ran : bool;
 }
 
-let create ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge ?watchdog
+let create ?(config = Executor.Config.default) ?watchdog
     ?(instrument = false) ?contract_config ?kill ?(max_restarts = 2) ~shards:n
     query plan =
   if n <= 0 then
@@ -109,9 +109,12 @@ let create ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge ?watchdog
           })
       contract_config
   in
+  (* Per-shard telemetry/contract override whatever the caller's config
+     carried: each incarnation owns its handles. *)
   let compile_shard tel contract =
-    Executor.compile ?policy ?binary_impl ?punct_lifespan ?punct_partner_purge
-      ~telemetry:tel ?contract query plan
+    Executor.compile
+      ~config:{ config with Executor.Config.telemetry = tel; contract }
+      query plan
   in
   let shards =
     Array.init n (fun index ->

@@ -63,10 +63,7 @@ exception Shard_failed of { shard : int; attempts : int; reason : string }
     torn down. The CLI maps this to exit code 5. *)
 
 val create :
-  ?policy:Purge_policy.t ->
-  ?binary_impl:Executor.binary_impl ->
-  ?punct_lifespan:Core.Punct_purge.lifespan ->
-  ?punct_partner_purge:bool ->
+  ?config:Executor.Config.t ->
   ?watchdog:Obs.Watchdog.t ->
   ?instrument:bool ->
   ?contract_config:Contract.config ->
@@ -76,7 +73,12 @@ val create :
   Query.Cjq.t ->
   Query.Plan.t ->
   t
-(** [instrument] (default [false]) gives every shard an enabled telemetry
+(** [config] (default {!Executor.Config.default}) is the per-shard compile
+    configuration; its [telemetry] and [contract] fields are ignored — each
+    shard incarnation owns fresh handles, governed by [instrument] and
+    [contract_config] below.
+
+    [instrument] (default [false]) gives every shard an enabled telemetry
     handle over an in-memory sink, making {!events} and the aggregated
     {!report}'s registry meaningful; leave it off for benchmarking — the
     shards then run with {!Telemetry.null}, exactly as an uninstrumented

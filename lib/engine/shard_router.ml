@@ -21,7 +21,7 @@ type t = {
 (* Equivalence closure of the equi-join atoms over (stream, attr) pairs:
    union-find with path compression, then grouped and sorted so the
    result is deterministic. *)
-let equivalence_classes query =
+let classes_of_atoms preds =
   let parent : (string * string, string * string) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -47,7 +47,7 @@ let equivalence_classes query =
     (fun atom ->
       let s1, s2 = Predicate.streams_of atom in
       union (s1, Predicate.attr_on atom s1) (s2, Predicate.attr_on atom s2))
-    (Cjq.predicates query);
+    preds;
   let members = Hashtbl.fold (fun x _ acc -> x :: acc) parent [] in
   let groups : (string * string, (string * string) list) Hashtbl.t =
     Hashtbl.create 8
@@ -63,10 +63,14 @@ let equivalence_classes query =
 
 let streams_of_class cls = List.sort_uniq compare (List.map fst cls)
 
-let create ~shards query =
+(* The generalized constructor: a stream set (with declared schemes) plus
+   an atom set, not necessarily from one query — the multi-query driver
+   passes the union over every registered query. *)
+let create_defs ~shards defs preds =
   if shards <= 0 then invalid_arg "Shard_router.create: shards must be positive";
-  let classes = equivalence_classes query in
-  let stream_names = Cjq.stream_names query in
+  let classes = classes_of_atoms preds in
+  let stream_names = List.map Streams.Stream_def.name defs in
+  let def_of s = Streams.Stream_def.find defs s in
   (* (stream, attr) pairs pinned by a *single-attribute* scheme: a
      punctuation instantiated from such a scheme is a pure value
      punctuation on that attribute — the only kind [route_punct] can send
@@ -81,7 +85,7 @@ let create ~shards query =
             match Streams.Scheme.punctuatable_attrs sch with
             | [ a ] -> Some (s, a)
             | _ -> None)
-          (Streams.Stream_def.schemes (Cjq.def query s)))
+          (Streams.Stream_def.schemes (def_of s)))
       stream_names
   in
   let punct_score cls =
@@ -132,11 +136,50 @@ let create ~shards query =
       match chosen with
       | None -> () (* no join attribute: cannot happen for a valid CJQ *)
       | Some attr ->
-          let schema = Cjq.schema_of query s in
+          let schema = Streams.Stream_def.schema (def_of s) in
           Hashtbl.replace by_stream s
             { schema; attr; attr_idx = Schema.attr_index schema attr })
     stream_names;
   { shards; exact; classes; by_stream }
+
+let create ~shards query =
+  create_defs ~shards (Cjq.stream_defs query) (Cjq.predicates query)
+
+(* Union of the registered queries' streams and atoms. Stream defs are
+   deduped by name; a name declared with two different schemas is a
+   registry-level conflict the driver must reject before routing. *)
+let union_defs queries =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun q ->
+      List.filter_map
+        (fun def ->
+          let name = Streams.Stream_def.name def in
+          match Hashtbl.find_opt seen name with
+          | Some schema ->
+              if
+                not
+                  (Schema.equal schema (Streams.Stream_def.schema def))
+              then
+                invalid_arg
+                  (Printf.sprintf
+                     "Shard_router: stream %S declared with conflicting                       schemas"
+                     name);
+              None
+          | None ->
+              Hashtbl.add seen name (Streams.Stream_def.schema def);
+              Some def)
+        (Cjq.stream_defs q))
+    queries
+
+let create_multi ~shards queries =
+  if queries = [] then invalid_arg "Shard_router.create_multi: no queries";
+  let defs = union_defs queries in
+  let preds =
+    List.sort_uniq Predicate.atom_compare
+      (List.concat_map Cjq.predicates queries)
+  in
+  create_defs ~shards defs preds
 
 let shards t = t.shards
 let exact t = t.exact
@@ -151,6 +194,34 @@ let classes t = t.classes
    equivalence class spans both). *)
 let sound_for t query =
   match Cjq.kind query with Cjq.Inner -> true | _ -> t.exact
+
+(* Exactness restricted to a stream subset: some equivalence class holds
+   every subset stream's *chosen* routing attribute, so all potential
+   matches within the subset co-locate regardless of input alignment. *)
+let exact_for t streams =
+  streams <> []
+  && List.exists
+       (fun cls ->
+         List.for_all
+           (fun s ->
+             match Hashtbl.find_opt t.by_stream s with
+             | Some info -> List.mem (s, info.attr) cls
+             | None -> false)
+           streams)
+       t.classes
+
+(* Sharing raises the stakes: one mis-routed element would skew every
+   subscriber at once, and outer-kind subscribers turn lost co-location
+   into spurious unmatched emissions. Inner subscribers keep the
+   single-query tolerance; every other kind must be exact on its own
+   stream set. *)
+let sound_for_shared t ~subscribers =
+  List.for_all
+    (fun q ->
+      match Cjq.kind q with
+      | Cjq.Inner -> true
+      | _ -> exact_for t (Cjq.stream_names q))
+    subscribers
 
 let routing_attr t stream =
   Option.map

@@ -39,6 +39,15 @@ type route =
     shards. @raise Invalid_argument when [shards <= 0]. *)
 val create : shards:int -> Query.Cjq.t -> t
 
+(** [create_multi ~shards queries] — one routing table for a whole
+    registry: the equivalence closure runs over the {e union} of all
+    queries' equi-join atoms and the stream set is the union of their
+    stream definitions, so one delivery decision serves every subscriber
+    (shared operators included).
+    @raise Invalid_argument on an empty list, [shards <= 0], or a stream
+    name declared with conflicting schemas. *)
+val create_multi : shards:int -> Query.Cjq.t list -> t
+
 val shards : t -> int
 
 (** [exact t] — one join-attribute equivalence class spans every stream
@@ -55,6 +64,21 @@ val exact : t -> bool
     (always true for their binary equi-join shape). Checked by
     {!Parallel_executor.create}. *)
 val sound_for : t -> Query.Cjq.t -> bool
+
+(** [exact_for t streams] — {!exact} restricted to a stream subset: some
+    equivalence class contains every listed stream's chosen routing
+    attribute, so matches within the subset co-locate for arbitrary
+    inputs. This is what a shared sub-plan over [streams] needs from the
+    partitioning. [false] on an empty list or an unknown stream. *)
+val exact_for : t -> string list -> bool
+
+(** [sound_for_shared t ~subscribers] — {!sound_for} lifted to a
+    multi-query run: every subscriber query must tolerate the
+    partitioning. Inner subscribers keep the single-query tolerance for
+    key-aligned inputs; outer/anti subscribers require {!exact_for} on
+    their own stream sets, because a mis-routed partner would surface as a
+    spurious unmatched emission in {e every} query sharing the state. *)
+val sound_for_shared : t -> subscribers:Query.Cjq.t list -> bool
 
 (** [routing_attr t stream] — the attribute [stream]'s tuples are hashed
     on; [None] for streams the query does not read. *)

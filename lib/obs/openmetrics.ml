@@ -24,6 +24,19 @@ let sanitize s =
       (fun i c -> if (if i = 0 then valid_first c else valid_rest c) then c else '_')
       s
 
+(* Multi-query runs prefix operator names with their owner —
+   "q1/J2" for query q1's second join, "shared:G1/J1" for shared group
+   G1's — so the owner becomes a [query] label and per-query rates break
+   out while shared state is scraped once, under its group's name. *)
+let split_owner op =
+  match String.index_opt op '/' with
+  | None -> [ ("op", op) ]
+  | Some i ->
+      [
+        ("query", String.sub op 0 i);
+        ("op", String.sub op (i + 1) (String.length op - i - 1));
+      ]
+
 (* "J1.R.punct_progress_min" -> family "punct_progress_min",
    labels [op=J1; input=R]. Dotless names become label-free families. *)
 let split_name name =
@@ -34,13 +47,13 @@ let split_name name =
       let prefix = String.sub name 0 i in
       let labels =
         match String.index_opt prefix '.' with
-        | None -> [ ("op", prefix) ]
+        | None -> split_owner prefix
         | Some j ->
-            [
-              ("op", String.sub prefix 0 j);
-              ( "input",
-                String.sub prefix (j + 1) (String.length prefix - j - 1) );
-            ]
+            split_owner (String.sub prefix 0 j)
+            @ [
+                ( "input",
+                  String.sub prefix (j + 1) (String.length prefix - j - 1) );
+              ]
       in
       (metric, labels)
 

@@ -1,0 +1,152 @@
+open Relational
+
+type entry = { qid : string; query : Cjq.t }
+
+type t = { entries : entry list }
+
+let create entries =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if String.length e.qid = 0 then
+        invalid_arg "Query_registry.create: empty qid";
+      if Hashtbl.mem seen e.qid then
+        invalid_arg
+          (Printf.sprintf "Query_registry.create: duplicate qid %S" e.qid);
+      Hashtbl.add seen e.qid ())
+    entries;
+  { entries }
+
+let entries t = t.entries
+let qids t = List.map (fun e -> e.qid) t.entries
+
+let find t qid =
+  match List.find_opt (fun e -> e.qid = qid) t.entries with
+  | Some e -> e.query
+  | None -> invalid_arg (Printf.sprintf "Query_registry.find: no query %S" qid)
+
+type candidate = {
+  streams : string list;
+  members : (string * Cjq.t) list;
+  fusable : bool;
+}
+
+(* The renaming-invariant signature: stream names fix the positions, then
+   every attribute is its (stream index, schema position) coordinate and
+   every atom a normalized coordinate pair. Attribute types ride along so
+   coincidentally isomorphic atoms over differently-typed columns do not
+   collide. *)
+let canonical_key query names =
+  let names = List.sort_uniq String.compare names in
+  match Cjq.restrict query names with
+  | exception Cjq.Invalid _ -> None
+  | sub ->
+      let index_of s =
+        let rec go i = function
+          | [] -> invalid_arg "Query_registry.canonical_key"
+          | n :: _ when String.equal n s -> i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 names
+      in
+      let coord s attr =
+        let schema = Cjq.schema_of sub s in
+        let i = Schema.attr_index schema attr in
+        let ty = (Schema.attr_at schema i).Schema.ty in
+        Printf.sprintf "%d.%d:%s" (index_of s) i (Value.ty_to_string ty)
+      in
+      let atoms =
+        List.map
+          (fun a ->
+            let s1, s2 = Predicate.streams_of a in
+            let c1 = coord s1 (Predicate.attr_on a s1) in
+            let c2 = coord s2 (Predicate.attr_on a s2) in
+            if String.compare c1 c2 <= 0 then c1 ^ "=" ^ c2 else c2 ^ "=" ^ c1)
+          (Cjq.predicates sub)
+        |> List.sort String.compare
+      in
+      Some (String.concat "," names ^ "|" ^ String.concat "&" atoms)
+
+(* Connected stream subsets of size >= 2, discovered by growing connected
+   sets one adjacent stream at a time. Exponential like the planner's DP;
+   queries are small. *)
+let subjoins query =
+  let names = List.sort String.compare (Cjq.stream_names query) in
+  let preds = Cjq.predicates query in
+  let adjacent set s =
+    (not (List.mem s set))
+    && List.exists
+         (fun a ->
+           Predicate.involves a s
+           && List.exists (fun s' -> Predicate.involves a s') set)
+         preds
+  in
+  let tbl = Hashtbl.create 64 in
+  let rec grow set =
+    let key = String.concat "," set in
+    if not (Hashtbl.mem tbl key) then begin
+      if List.length set >= 2 then Hashtbl.replace tbl key set
+      else Hashtbl.replace tbl key [];
+      List.iter
+        (fun s ->
+          if adjacent set s then
+            grow (List.sort String.compare (s :: set)))
+        names
+    end
+  in
+  List.iter (fun s -> grow [ s ]) names;
+  Hashtbl.fold (fun _ set acc -> if set = [] then acc else set :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare (List.length b) (List.length a) with
+         | 0 -> compare a b
+         | c -> c)
+
+let literally_equal (sub1 : Cjq.t) (sub2 : Cjq.t) =
+  List.for_all2
+    (fun d1 d2 ->
+      Relational.Schema.equal
+        (Streams.Stream_def.schema d1)
+        (Streams.Stream_def.schema d2))
+    (Cjq.stream_defs sub1) (Cjq.stream_defs sub2)
+  && List.length (Cjq.predicates sub1) = List.length (Cjq.predicates sub2)
+  && List.for_all2 Predicate.atom_equal
+       (List.sort Predicate.atom_compare (Cjq.predicates sub1))
+       (List.sort Predicate.atom_compare (Cjq.predicates sub2))
+
+let shared_candidates t =
+  (* key -> (streams, members rev) in first-seen order *)
+  let order = ref [] in
+  let groups : (string, string list * (string * Cjq.t) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun e ->
+      if Cjq.kind e.query = Cjq.Inner then
+        List.iter
+          (fun names ->
+            match canonical_key e.query names with
+            | None -> ()
+            | Some key ->
+                let sub = Cjq.restrict e.query names in
+                (match Hashtbl.find_opt groups key with
+                | Some (_, members) -> members := (e.qid, sub) :: !members
+                | None ->
+                    order := key :: !order;
+                    Hashtbl.replace groups key (names, ref [ (e.qid, sub) ])))
+          (subjoins e.query))
+    t.entries;
+  List.rev !order
+  |> List.filter_map (fun key ->
+         let streams, members = Hashtbl.find groups key in
+         match List.rev !members with
+         | _ :: _ :: _ as members ->
+             let _, first = List.hd members in
+             let fusable =
+               List.for_all
+                 (fun (_, sub) -> literally_equal first sub)
+                 (List.tl members)
+             in
+             Some { streams; members; fusable }
+         | _ -> None)
+  |> List.stable_sort (fun a b ->
+         compare (List.length b.streams) (List.length a.streams))

@@ -1,0 +1,63 @@
+(** A registry of named continuous join queries and the canonicalizer that
+    finds sub-joins shared between them.
+
+    Multi-query execution starts here: the registry holds N parsed CJQs
+    under caller-chosen identifiers, enumerates each query's connected
+    sub-joins, and groups structurally equivalent ones across queries. Two
+    sub-joins are equivalent when they read the same stream set and their
+    predicate atoms coincide {e modulo attribute renaming}: every attribute
+    is replaced by its (stream, position) coordinates, so queries that
+    alias the same physical columns differently still canonicalize to the
+    same key (following the sub-plan sharing of "Optimizing Multiple
+    Multi-Way Stream Joins", Dossinger & Michel).
+
+    Whether an equivalent group may actually execute as one shared operator
+    is a separate, {e safety} question — {!Core.Checker.shareable} decides
+    it under the intersection of the member queries' scheme sets. *)
+
+type entry = { qid : string; query : Cjq.t }
+
+type t
+
+(** [create entries] — validates that qids are distinct and non-empty.
+    @raise Invalid_argument on a duplicate or empty qid. *)
+val create : entry list -> t
+
+val entries : t -> entry list
+val find : t -> string -> Cjq.t
+val qids : t -> string list
+
+(** A candidate shared sub-join: one canonical equivalence class with at
+    least two member queries. *)
+type candidate = {
+  streams : string list;  (** sorted stream names of the sub-join *)
+  members : (string * Cjq.t) list;
+      (** (qid, sub-query restricted to [streams]) per member, in registry
+          order; at least two *)
+  fusable : bool;
+      (** the members agree {e literally} — equal stream schemas and equal
+          predicate atoms, not just equal modulo renaming — so one physical
+          operator can serve them all without per-subscriber column
+          remapping. The executor only fuses fusable candidates; a
+          non-fusable equivalence is reported for diagnostics. *)
+}
+
+(** [canonical_key query names] — the renaming-invariant signature of the
+    sub-join of [query] on [names]: sorted stream names plus atoms and
+    attribute types in (stream index, attribute position) coordinates.
+    Returns [None] when the induced sub-join is disconnected or smaller
+    than two streams. *)
+val canonical_key : Cjq.t -> string list -> string option
+
+(** [subjoins query] — every connected stream subset of [query] of size ≥ 2
+    (the full stream set included), sorted by size descending then
+    lexicographically. Exponential in the number of streams, like the
+    planner's DP — queries are small. *)
+val subjoins : Cjq.t -> string list list
+
+(** [shared_candidates t] — all equivalence classes with ≥ 2 member
+    queries, largest stream sets first. Only [Inner]-kind queries
+    participate: outer and anti kinds give their operators query-global
+    emission semantics that cannot be shared. A query contributes each
+    stream subset at most once. *)
+val shared_candidates : t -> candidate list

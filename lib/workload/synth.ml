@@ -148,17 +148,17 @@ type trace_config = {
 let default_trace_config =
   { rounds = 50; tuples_per_round = 1; punct_lag = 0; trace_seed = 3 }
 
-let instantiable_schemes query =
-  List.concat_map
-    (fun def ->
-      List.map (fun sch -> (Stream_def.name def, sch)) (Stream_def.schemes def))
-    (Cjq.stream_defs query)
-
-let round_trace query config =
+let round_trace_defs defs config =
   if config.rounds < 1 || config.tuples_per_round < 1 || config.punct_lag < 0
   then invalid_arg "Synth.round_trace: bad configuration";
-  let defs = Cjq.stream_defs query in
-  let schemes = instantiable_schemes query in
+  let schemes =
+    List.concat_map
+      (fun def ->
+        List.map
+          (fun sch -> (Stream_def.name def, sch))
+          (Stream_def.schemes def))
+      defs
+  in
   let tuple_for schema key =
     Tuple.make schema
       (List.map (fun _ -> Value.Int key) (Schema.attributes schema))
@@ -199,6 +199,8 @@ let round_trace query config =
       rounds (r + 1) acc
   in
   rounds 0 []
+
+let round_trace query config = round_trace_defs (Cjq.stream_defs query) config
 
 let random_trace query ~elements_per_stream ~value_range ~punct_prob ~seed =
   let rng = Rng.create ~seed in

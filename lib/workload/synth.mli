@@ -55,6 +55,13 @@ val default_trace_config : trace_config
     [rounds * tuples_per_round]. *)
 val round_trace : Query.Cjq.t -> trace_config -> Streams.Trace.t
 
+(** [round_trace_defs defs config] — {!round_trace} over an explicit stream
+    set: the multi-query driver feeds several queries from one input, so the
+    workload is generated from the union of their stream definitions rather
+    than from any single query. *)
+val round_trace_defs :
+  Streams.Stream_def.t list -> trace_config -> Streams.Trace.t
+
 (** [random_trace query ~elements_per_stream ~value_range ~punct_prob ~seed]
     — arbitrary-selectivity input: uniformly random tuples; for each scheme
     and each value combination that occurs, a punctuation is placed right

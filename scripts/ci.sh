@@ -278,6 +278,71 @@ if ! git diff --quiet -- BENCH_hot_path.json 2>/dev/null; then
   echo "NOTE: BENCH_hot_path.json changed; review and commit the new numbers." >&2
 fi
 
+echo "== multi-query smoke: shared vs --no-share vs --shards 4 =="
+# Two overlapping star queries share their R |x| S sub-join. Sharing (and
+# sharding the shared DAG) must never change any query's answer: the
+# per-query output hashes have to be byte-identical across all three modes.
+MQ_ARGS="--query examples/star_rst.query --query examples/star_rsu.query --rounds 120"
+mq_hashes() {
+  grep '^query .* output hash ' "$1" | sed 's/ emitted [0-9]* results,//' | sort
+}
+dune exec bin/pstream_run.exe -- $MQ_ARGS > "$OBS_TMP/mq_shared.txt"
+grep -q '^shared group G1: streams {R, S} serving star_rst, star_rsu' \
+  "$OBS_TMP/mq_shared.txt" || {
+  echo "multi-query plan did not share the {R, S} sub-join" >&2
+  exit 1
+}
+dune exec bin/pstream_run.exe -- $MQ_ARGS --no-share > "$OBS_TMP/mq_noshare.txt"
+if grep -q '^shared group' "$OBS_TMP/mq_noshare.txt"; then
+  echo "--no-share still produced a shared group" >&2
+  exit 1
+fi
+dune exec bin/pstream_run.exe -- $MQ_ARGS --shards 4 > "$OBS_TMP/mq_shards.txt"
+mq_hashes "$OBS_TMP/mq_shared.txt" > "$OBS_TMP/mq_h_shared.txt"
+if [ "$(wc -l < "$OBS_TMP/mq_h_shared.txt")" -ne 2 ]; then
+  echo "expected per-query hash lines for both queries, got:" >&2
+  cat "$OBS_TMP/mq_h_shared.txt" >&2
+  exit 1
+fi
+for mode in mq_noshare mq_shards; do
+  mq_hashes "$OBS_TMP/$mode.txt" > "$OBS_TMP/mq_h_$mode.txt"
+  if ! cmp -s "$OBS_TMP/mq_h_shared.txt" "$OBS_TMP/mq_h_$mode.txt"; then
+    echo "multi-query hash mismatch (shared vs $mode):" >&2
+    diff "$OBS_TMP/mq_h_shared.txt" "$OBS_TMP/mq_h_$mode.txt" >&2 || true
+    exit 1
+  fi
+done
+
+echo "== multi-query benchmark (B4 -> BENCH_multi_query.json) =="
+# B4 asserts hash equality and a strict shared-state win internally; the
+# gate below re-checks the overlap scenario from the artifact so a stale
+# or hand-edited JSON also fails.
+dune exec bench/main.exe -- B4
+if [ ! -f BENCH_multi_query.json ]; then
+  echo "B4 did not produce BENCH_multi_query.json" >&2
+  exit 1
+fi
+if ! grep -q '"benchmark": "multi_query"' BENCH_multi_query.json; then
+  echo "BENCH_multi_query.json is malformed (missing benchmark marker)" >&2
+  exit 1
+fi
+overlap_line="$(grep '"scenario": "overlap_star"' BENCH_multi_query.json)" || {
+  echo "BENCH_multi_query.json lacks the overlap_star scenario" >&2
+  exit 1
+}
+mq_shared_b="$(printf '%s' "$overlap_line" \
+  | sed 's/.*"shared_peak_state_bytes": \([0-9]*\).*/\1/')"
+mq_indep_b="$(printf '%s' "$overlap_line" \
+  | sed 's/.*"independent_peak_state_bytes": \([0-9]*\).*/\1/')"
+if [ -z "$mq_shared_b" ] || [ -z "$mq_indep_b" ] \
+  || [ "$mq_shared_b" -ge "$mq_indep_b" ]; then
+  echo "shared peak state ($mq_shared_b B) is not below independent ($mq_indep_b B) on overlap_star" >&2
+  exit 1
+fi
+if ! git diff --quiet -- BENCH_multi_query.json 2>/dev/null; then
+  echo "NOTE: BENCH_multi_query.json changed; review and commit the new numbers." >&2
+fi
+
 echo "== throughput regression gate (bench_diff vs HEAD) =="
 # Hard gate: any scenario losing more than 30% batched throughput
 # against the tracked baseline fails CI.

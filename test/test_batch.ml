@@ -80,7 +80,7 @@ let null_trace =
 let test_null_key_matches_nothing () =
   let run preds =
     let q = null_query preds in
-    let c = Executor.compile ~policy:Purge_policy.Eager q plan_t in
+    let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q plan_t in
     Executor.run ~sample_every:10 c (List.to_seq null_trace)
   in
   let r1 = run [ atom_a; atom_b ] and r2 = run [ atom_b; atom_a ] in
@@ -94,7 +94,7 @@ let test_null_key_sharded_agrees () =
   List.iter
     (fun preds ->
       let q = null_query preds in
-      let c = Executor.compile ~policy:Purge_policy.Eager q plan_t in
+      let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q plan_t in
       let sr = Executor.run ~sample_every:10 c (List.to_seq null_trace) in
       let seq_hash = Executor.output_hash sr.Executor.outputs in
       List.iter
@@ -144,7 +144,7 @@ let policies =
 
 let check_batch_equals_element ~ctx q plan trace policy b =
   let run ?batch () =
-    let c = Executor.compile ~policy q plan in
+    let c = Executor.compile ~config:(Executor.Config.make ~policy ()) q plan in
     let r = Executor.run ~sample_every:50 ?batch c (List.to_seq trace) in
     (c, r)
   in
@@ -226,17 +226,17 @@ let test_batch_and_shards_agree () =
     Synth.round_trace q
       { Synth.default_trace_config with rounds = 50; punct_lag = 4 }
   in
-  let c = Executor.compile ~policy:Purge_policy.Eager q plan3 in
+  let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q plan3 in
   let sr = Executor.run ~sample_every:50 c (List.to_seq trace) in
   let seq_hash = Executor.output_hash sr.Executor.outputs in
-  let cb = Executor.compile ~policy:Purge_policy.Eager q plan3 in
+  let cb = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q plan3 in
   let br = Executor.run ~sample_every:50 ~batch:64 cb (List.to_seq trace) in
   check_string "sequential batch path" seq_hash
     (Executor.output_hash br.Executor.outputs);
   List.iter
     (fun shards ->
       let pe =
-        Parallel_executor.create ~policy:Purge_policy.Eager ~shards q plan3
+        Parallel_executor.create ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) ~shards q plan3
       in
       let pr = Parallel_executor.run ~sample_every:50 pe (List.to_seq trace) in
       check_string
@@ -319,7 +319,7 @@ let test_purge_round_accounting_consistent () =
   let q = fig5_query () in
   let sink, events = Obs.Sink.memory () in
   let telemetry = Telemetry.create ~sink () in
-  let c = Executor.compile ~policy:Purge_policy.Eager ~telemetry q plan3 in
+  let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ~telemetry ()) q plan3 in
   (* a victim-less prefix: punctuations for keys no data ever carries, on
      empty state — each is informative, so each fires a round that purges
      nothing *)

@@ -20,7 +20,7 @@ let count_data outputs = List.length (List.filter Element.is_data outputs)
 let run_auction ?(policy = Purge_policy.Eager) cfg =
   let query = Workload.Auction.query () in
   let trace = Workload.Auction.trace cfg in
-  let c = Executor.compile ~policy query (Plan.mjoin [ "item"; "bid" ]) in
+  let c = Executor.compile ~config:(Executor.Config.make ~policy ()) query (Plan.mjoin [ "item"; "bid" ]) in
   let gb =
     Engine.Groupby.create
       ~input:(Executor.output_schema c)
@@ -96,7 +96,7 @@ let test_fig5_mjoin_bounded_fig7_tree_grows () =
   let q = fig5_query () in
   let trace = fig5_trace 150 in
   let run plan =
-    let c = Executor.compile ~policy:Purge_policy.Eager q plan in
+    let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q plan in
     let r = Executor.run ~sample_every:30 c (List.to_seq trace) in
     (count_data r.Engine.Executor.outputs, Metrics.growth_slope r.Engine.Executor.metrics)
   in
@@ -116,7 +116,7 @@ let test_netmon_pipeline_matches () =
   let cfg = { Workload.Netmon.default_config with n_flows = 60; packets_per_flow = 5 } in
   let q = Workload.Netmon.query () in
   let trace = Workload.Netmon.trace cfg in
-  let c = Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "inbound"; "outbound" ]) in
+  let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q (Plan.mjoin [ "inbound"; "outbound" ]) in
   let r = Executor.run c (List.to_seq trace) in
   check_int "every packet pair matched" (Workload.Netmon.expected_matches cfg)
     (count_data r.Engine.Executor.outputs);
@@ -132,7 +132,7 @@ let test_netmon_missed_fins_leave_garbage () =
       { Workload.Netmon.default_config with n_flows = 60; drop_fin_prob = drop }
     in
     let trace = Workload.Netmon.trace cfg in
-    let c = Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "inbound"; "outbound" ]) in
+    let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q (Plan.mjoin [ "inbound"; "outbound" ]) in
     let r = Executor.run c (List.to_seq trace) in
     match Metrics.final r.Engine.Executor.metrics with
     | Some s -> s.Metrics.data_state

@@ -427,7 +427,7 @@ let test_mjoin_policies_agree_on_results () =
       { Workload.Synth.default_trace_config with rounds = 30 }
   in
   let run policy =
-    let c = Executor.compile ~policy q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
+    let c = Executor.compile ~config:(Executor.Config.make ~policy ()) q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
     count_data (Executor.run c (List.to_seq trace)).Executor.outputs
   in
   let eager = run Purge_policy.Eager in
@@ -445,7 +445,7 @@ let test_adaptive_policy_caps_state () =
       { Workload.Synth.default_trace_config with rounds = 200 }
   in
   let peak policy =
-    let c = Executor.compile ~policy q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
+    let c = Executor.compile ~config:(Executor.Config.make ~policy ()) q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
     Metrics.peak_data_state
       (Executor.run ~sample_every:10 c (List.to_seq trace)).Executor.metrics
   in
@@ -490,7 +490,7 @@ let prop_pjoin_equals_mjoin =
       in
       let plan = Plan.mjoin [ "S1"; "S2" ] in
       let run impl =
-        let c = Executor.compile ~binary_impl:impl q plan in
+        let c = Executor.compile ~config:(Executor.Config.make ~binary_impl:impl ()) q plan in
         count_data (Executor.run c (List.to_seq trace)).Executor.outputs
       in
       let expected = Workload.Synth.brute_force_results q trace in
@@ -506,7 +506,7 @@ let prop_policies_preserve_results =
           ~punct_prob:0.8 ~seed
       in
       let run policy =
-        let c = Executor.compile ~policy q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
+        let c = Executor.compile ~config:(Executor.Config.make ~policy ()) q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
         count_data (Executor.run c (List.to_seq trace)).Executor.outputs
       in
       let expected = Workload.Synth.brute_force_results q trace in
@@ -608,7 +608,7 @@ let test_executor_tree_state_bounded () =
       { Workload.Synth.default_trace_config with rounds = 120 }
   in
   let c =
-    Executor.compile ~policy:Purge_policy.Eager q
+    Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q
       (Plan.left_deep (Cjq.stream_names q))
   in
   let r = Executor.run ~sample_every:20 c (List.to_seq trace) in
@@ -638,7 +638,7 @@ let test_executor_unsafe_stream_grows () =
       { Workload.Synth.default_trace_config with rounds = 150 }
   in
   let c =
-    Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "S1"; "S2"; "S3" ])
+    Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q (Plan.mjoin [ "S1"; "S2"; "S3" ])
   in
   let r = Executor.run ~sample_every:30 c (List.to_seq trace) in
   check_bool "state grows" true (Metrics.growth_slope r.Engine.Executor.metrics > 0.05)
@@ -653,7 +653,7 @@ let test_witness_dynamic_unpurgeability () =
   let q = triangle_query schemes in
   let w = Option.get (Core.Witness.build q ~root:"S1") in
   let c =
-    Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "S1"; "S2"; "S3" ])
+    Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q (Plan.mjoin [ "S1"; "S2"; "S3" ])
   in
   let r = Executor.run c (List.to_seq (Core.Witness.trace w ~rounds:6)) in
   check_bool "revivals keep producing" true (count_data r.Engine.Executor.outputs >= 6);
@@ -667,7 +667,7 @@ let test_punct_lifespan_bounds_store () =
   in
   let run lifespan =
     let c =
-      Executor.compile ~policy:Purge_policy.Eager ?punct_lifespan:lifespan q
+      Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ?punct_lifespan:lifespan ()) q
         (Plan.mjoin [ "S1"; "S2"; "S3" ])
     in
     let r = Executor.run c (List.to_seq trace) in
@@ -684,7 +684,7 @@ let test_punct_partner_purge_bounds_store () =
   in
   let run partner =
     let c =
-      Executor.compile ~policy:Purge_policy.Eager ~punct_partner_purge:partner
+      Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ~punct_partner_purge:partner ())
         q (Plan.mjoin [ "S1"; "S2"; "S3" ])
     in
     let r = Executor.run c (List.to_seq trace) in
@@ -717,7 +717,7 @@ let prop_multiway_equals_brute_force =
           ~punct_prob:0.6 ~seed:(seed + 1)
       in
       let c =
-        Executor.compile ~policy:Purge_policy.Eager q
+        Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q
           (Plan.mjoin (Cjq.stream_names q))
       in
       let r = Executor.run c (List.to_seq trace) in

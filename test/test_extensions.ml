@@ -138,7 +138,7 @@ let test_watermark_purges_binary_join () =
   List.iter
     (fun impl ->
       let q = ordered_binary_query () in
-      let c = Executor.compile ~binary_impl:impl ~policy:Purge_policy.Eager q
+      let c = Executor.compile ~config:(Executor.Config.make ~binary_impl:impl ~policy:Purge_policy.Eager ()) q
           (Plan.mjoin [ "S1"; "S2" ])
       in
       let trace =
@@ -161,7 +161,7 @@ let test_watermark_results_complete () =
   check_int "trace well-formed" 0
     (List.length (Streams.Trace.check ~schemes:(Cjq.scheme_set q) trace));
   let c =
-    Executor.compile ~policy:Purge_policy.Eager q
+    Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q
       (Plan.mjoin [ "orders"; "shipments" ])
   in
   let r = Executor.run ~sample_every:50 c (List.to_seq trace) in
@@ -257,7 +257,7 @@ let test_heartbeat_drives_the_join () =
   let im =
     Streams.Input_manager.create [ ("HA", mk sA 0); ("HB", mk sB 1000) ]
   in
-  let c = Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "HA"; "HB" ]) in
+  let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q (Plan.mjoin [ "HA"; "HB" ]) in
   let r =
     Executor.run ~sample_every:100 c (Streams.Input_manager.sequence im)
   in
@@ -339,7 +339,7 @@ let test_window_vs_punctuation_on_auction () =
   let trace = Workload.Auction.trace cfg in
   let exact = Workload.Synth.brute_force_results q trace in
   (* punctuated join: exact *)
-  let c = Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "item"; "bid" ]) in
+  let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q (Plan.mjoin [ "item"; "bid" ]) in
   let rp = Executor.run c (List.to_seq trace) in
   check_int "punctuation join exact" exact
     (List.length (List.filter Element.is_data rp.Engine.Executor.outputs));

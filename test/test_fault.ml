@@ -79,7 +79,7 @@ let test_injector_drop_only_removes_puncts () =
 (* Contract responses (sequential engine) *)
 
 let seq_hash ?policy q trace =
-  let c = Executor.compile ?policy q plan3 in
+  let c = Executor.compile ~config:(Executor.Config.make ?policy ()) q plan3 in
   let r = Executor.run ~sample_every:50 c (List.to_seq trace) in
   Executor.output_hash r.Executor.outputs
 
@@ -96,7 +96,7 @@ let run_with_contract ?policy ?(action = Contract.Count) ?grace ?budget q trace
         state_budget_bytes = budget;
       }
   in
-  let c = Executor.compile ?policy ~telemetry ~contract:ct q plan3 in
+  let c = Executor.compile ~config:(Executor.Config.make ?policy ~telemetry ~contract:ct ()) q plan3 in
   let r = Executor.run ~sample_every:50 c (List.to_seq trace) in
   (ct, telemetry, c, r)
 
@@ -194,7 +194,7 @@ let test_degrade_budget_sheds_state () =
   let q = fig5_query () in
   let trace = round_trace ~rounds:120 q in
   let before =
-    let c = Executor.compile ~policy:Purge_policy.Never q plan3 in
+    let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Never ()) q plan3 in
     let _ = Executor.run ~sample_every:50 c (List.to_seq trace) in
     Executor.total_state_bytes c
   in
@@ -222,11 +222,11 @@ let test_count_action_is_transparent () =
 let test_killed_shard_recovers_to_fault_free_answer () =
   let q = fig5_query () in
   let trace = round_trace ~rounds:80 q in
-  let c = Executor.compile ~policy:Purge_policy.Eager q plan3 in
+  let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q plan3 in
   let sr = Executor.run ~sample_every:50 c (List.to_seq trace) in
   let clean_hash = Executor.output_hash sr.Executor.outputs in
   let pe =
-    Parallel_executor.create ~policy:Purge_policy.Eager ~shards:3
+    Parallel_executor.create ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) ~shards:3
       ~kill:{ Fault_injector.shard = 1; at_seq = 150 }
       q plan3
   in

@@ -272,9 +272,9 @@ let test_null_telemetry_identity () =
   let run telemetry =
     let c =
       match telemetry with
-      | None -> Executor.compile ~policy:(Purge_policy.Lazy 7) q plan
+      | None -> Executor.compile ~config:(Executor.Config.make ~policy:(Purge_policy.Lazy 7) ()) q plan
       | Some t ->
-          Executor.compile ~policy:(Purge_policy.Lazy 7) ~telemetry:t q plan
+          Executor.compile ~config:(Executor.Config.make ~policy:(Purge_policy.Lazy 7) ~telemetry:t ()) q plan
     in
     Executor.run ~sample_every:25 c (List.to_seq trace)
   in
@@ -301,7 +301,7 @@ let test_report_matches_trace_replay () =
   let sink, events = Obs.Sink.memory () in
   let telemetry = Telemetry.create ~sink () in
   let c =
-    Executor.compile ~policy:Purge_policy.Eager ~telemetry q
+    Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ~telemetry ()) q
       (Plan.mjoin [ "S1"; "S2"; "S3" ])
   in
   let r = Executor.run ~sample_every:25 c (List.to_seq (triangle_trace q)) in
@@ -404,7 +404,7 @@ let test_stats_conservation () =
             punct_lag;
           }
       in
-      let c = Executor.compile ~policy q plan in
+      let c = Executor.compile ~config:(Executor.Config.make ~policy ()) q plan in
       ignore (Executor.run c (List.to_seq trace));
       List.iter
         (fun (op : Engine.Operator.t) ->
@@ -451,7 +451,7 @@ let test_stats_conservation_pjoin () =
           { Workload.Synth.default_trace_config with rounds = 50 }
       in
       let c =
-        Executor.compile ~policy ~binary_impl:Executor.Use_pjoin q
+        Executor.compile ~config:(Executor.Config.make ~policy ~binary_impl:Executor.Use_pjoin ()) q
           (Plan.mjoin [ "S1"; "S2" ])
       in
       ignore (Executor.run c (List.to_seq trace));
@@ -473,7 +473,7 @@ let test_purge_lag_eager_vs_lazy () =
   let plan = Plan.mjoin [ "S1"; "S2"; "S3" ] in
   let lag_stats policy =
     let telemetry = Telemetry.create () in
-    let c = Executor.compile ~policy ~telemetry q plan in
+    let c = Executor.compile ~config:(Executor.Config.make ~policy ~telemetry ()) q plan in
     ignore (Executor.run c (List.to_seq (triangle_trace q)));
     match
       Obs.Registry.merged_histogram (Telemetry.registry telemetry) "purge_lag"
@@ -501,7 +501,7 @@ let run_with_watchdog q =
     Telemetry.create ~watchdog:(Obs.Watchdog.create ()) ()
   in
   let c =
-    Executor.compile ~telemetry q (Plan.mjoin [ "S1"; "S2"; "S3" ])
+    Executor.compile ~config:(Executor.Config.make ~telemetry ()) q (Plan.mjoin [ "S1"; "S2"; "S3" ])
   in
   ignore
     (Executor.run ~sample_every:25 c
@@ -596,7 +596,7 @@ let test_sharded_gauge_sum () =
   let q = fig5_query () in
   let trace = triangle_trace ~rounds:80 q in
   let pexec =
-    Engine.Parallel_executor.create ~policy:Purge_policy.Never
+    Engine.Parallel_executor.create ~config:(Engine.Executor.Config.make ~policy:Purge_policy.Never ())
       ~instrument:true ~shards:4 q
       (Plan.mjoin [ "S1"; "S2"; "S3" ])
   in
@@ -829,7 +829,7 @@ let test_exporter_identity () =
   let run exporter =
     let sink, events = Obs.Sink.memory () in
     let telemetry = Telemetry.create ~sink ~watchdog:(Obs.Watchdog.create ()) () in
-    let c = Executor.compile ~policy:Purge_policy.Eager ~telemetry q plan in
+    let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ~telemetry ()) q plan in
     let r = Executor.run ~sample_every:25 ?exporter c (List.to_seq trace) in
     (r, events (), Telemetry.registry telemetry)
   in
@@ -876,7 +876,7 @@ let test_result_latency_counts () =
   let sink, _ = Obs.Sink.memory () in
   let telemetry = Telemetry.create ~sink () in
   let c =
-    Executor.compile ~policy:Purge_policy.Eager ~telemetry q
+    Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ~telemetry ()) q
       (Plan.mjoin [ "S1"; "S2"; "S3" ])
   in
   let r = Executor.run ~sample_every:25 c (List.to_seq (triangle_trace q)) in

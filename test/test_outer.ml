@@ -537,7 +537,7 @@ let test_unmatched_events_replay_exactly () =
   let sink, events = Obs.Sink.memory () in
   let telemetry = Telemetry.create ~sink () in
   let c =
-    Executor.compile ~telemetry q (Plan.mjoin (Cjq.stream_names q))
+    Executor.compile ~config:(Executor.Config.make ~telemetry ()) q (Plan.mjoin (Cjq.stream_names q))
   in
   let trace =
     Synth.random_trace q ~elements_per_stream:40 ~value_range:50

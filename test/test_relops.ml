@@ -420,7 +420,7 @@ let test_state_breakdown_names_leaking_operator () =
       [ Query.Plan.join [ Query.Plan.Leaf "S1"; Query.Plan.Leaf "S2" ];
         Query.Plan.Leaf "S3" ]
   in
-  let c = Engine.Executor.compile ~policy:Engine.Purge_policy.Eager q tree in
+  let c = Engine.Executor.compile ~config:(Engine.Executor.Config.make ~policy:Engine.Purge_policy.Eager ()) q tree in
   let trace =
     Workload.Synth.round_trace q
       { Workload.Synth.default_trace_config with rounds = 80 }

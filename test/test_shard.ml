@@ -190,12 +190,12 @@ let plan3 = Plan.mjoin [ "S1"; "S2"; "S3" ]
 let plan2 = Plan.mjoin [ "S1"; "S2" ]
 
 let seq_run ?policy ?(plan = plan3) ~sample_every q trace =
-  let c = Executor.compile ?policy q plan in
+  let c = Executor.compile ~config:(Executor.Config.make ?policy ()) q plan in
   let r = Executor.run ~sample_every c (List.to_seq trace) in
   (c, r)
 
 let par_run ?policy ?(plan = plan3) ~shards ~sample_every q trace =
-  let pe = Parallel_executor.create ?policy ~shards q plan in
+  let pe = Parallel_executor.create ~config:(Executor.Config.make ?policy ()) ~shards q plan in
   let r = Parallel_executor.run ~sample_every pe (List.to_seq trace) in
   (pe, r)
 
@@ -274,8 +274,11 @@ let test_unsafe_query_trips_watchdog_identically () =
   let seq_alarms =
     let watchdog = Obs.Watchdog.create () in
     let c =
-      Executor.compile ~policy:Purge_policy.Eager
-        ~telemetry:(Engine.Telemetry.create ~watchdog ())
+      Executor.compile
+      ~config:
+        (Executor.Config.make ~policy:Purge_policy.Eager
+           ~telemetry:(Engine.Telemetry.create ~watchdog ())
+           ())
         q plan3
     in
     ignore (Executor.run ~sample_every:30 c (List.to_seq trace));
@@ -286,7 +289,7 @@ let test_unsafe_query_trips_watchdog_identically () =
     (fun shards ->
       let watchdog = Obs.Watchdog.create () in
       let pe =
-        Parallel_executor.create ~policy:Purge_policy.Eager ~watchdog ~shards
+        Parallel_executor.create ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) ~watchdog ~shards
           q plan3
       in
       ignore (Parallel_executor.run ~sample_every:30 pe (List.to_seq trace));

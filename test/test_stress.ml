@@ -18,8 +18,7 @@ let test_auction_50k_elements () =
   let trace = Workload.Auction.trace cfg in
   check_bool "large trace" true (List.length trace >= 50_000);
   let c =
-    Executor.compile ~binary_impl:Executor.Use_pjoin
-      ~policy:Purge_policy.Eager query
+    Executor.compile ~config:(Executor.Config.make ~binary_impl:Executor.Use_pjoin ~policy:Purge_policy.Eager ()) query
       (Plan.mjoin [ "item"; "bid" ])
   in
   let t0 = Sys.time () in
@@ -37,7 +36,7 @@ let test_three_way_5k_rounds () =
     Workload.Synth.round_trace q
       { Workload.Synth.default_trace_config with rounds = 5000 }
   in
-  let c = Executor.compile ~policy:Purge_policy.Eager q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
+  let c = Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q (Plan.mjoin [ "S1"; "S2"; "S3" ]) in
   let r = Executor.run ~sample_every:5000 c (List.to_seq trace) in
   check_int "all rounds matched" 5000
     (List.length (List.filter Element.is_data r.Executor.outputs));
@@ -48,7 +47,7 @@ let test_watermark_20k_orders () =
   let q = Workload.Orders.query () in
   let trace = Workload.Orders.trace cfg in
   let c =
-    Executor.compile ~policy:Purge_policy.Eager q
+    Executor.compile ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) q
       (Plan.mjoin [ "orders"; "shipments" ])
   in
   let r = Executor.run ~sample_every:10_000 c (List.to_seq trace) in
@@ -122,8 +121,11 @@ let test_monotone_keys_bounded_indexes () =
       (List.init rounds (fun i -> i + 1))
   in
   let c =
-    Executor.compile ~policy:Purge_policy.Eager
-      ~punct_lifespan:{ Core.Punct_purge.ttl = 64 }
+    Executor.compile
+    ~config:
+      (Executor.Config.make ~policy:Purge_policy.Eager
+         ~punct_lifespan:{ Core.Punct_purge.ttl = 64 }
+         ())
       q (Plan.mjoin [ "S1"; "S2" ])
   in
   let r = Executor.run ~sample_every:1 c (List.to_seq trace) in

@@ -225,7 +225,7 @@ let run_rounds q rounds =
       { Workload.Synth.default_trace_config with rounds }
   in
   let c =
-    Engine.Executor.compile ~policy:Engine.Purge_policy.Eager q
+    Engine.Executor.compile ~config:(Engine.Executor.Config.make ~policy:Engine.Purge_policy.Eager ()) q
       (Query.Plan.mjoin (Cjq.stream_names q))
   in
   ignore (Engine.Executor.run c (List.to_seq trace));
@@ -281,7 +281,7 @@ let prop_witness_dynamic =
           | Some w ->
               let rounds = 4 in
               let c =
-                Engine.Executor.compile ~policy:Engine.Purge_policy.Eager q
+                Engine.Executor.compile ~config:(Engine.Executor.Config.make ~policy:Engine.Purge_policy.Eager ()) q
                   (Query.Plan.mjoin (Cjq.stream_names q))
               in
               let r =
