@@ -272,6 +272,116 @@ let tail_cmd =
       const tail $ tail_trace_arg $ tail_op_arg $ tail_event_arg
       $ tail_since_arg)
 
+(* --- soakcheck: validate the B5 kill-storm soak artifact ---------------- *)
+
+(* CI used to probe bench JSON with grep/sed; this parses it properly and
+   re-derives every claim from the run rows instead of trusting the
+   summary booleans. *)
+let soakcheck path expect_kills =
+  match read_report path with
+  | Error e ->
+      Fmt.epr "%s@." e;
+      1
+  | Ok j -> (
+      let problems = ref [] in
+      let problem fmt = Fmt.kstr (fun s -> problems := !problems @ [ s ]) fmt in
+      let str name o = Option.bind (Obs.Json.member name o) Obs.Json.to_str in
+      let int_ name o = Option.bind (Obs.Json.member name o) Obs.Json.to_int in
+      let bool_ name o =
+        match Obs.Json.member name o with
+        | Some (Obs.Json.Bool b) -> Some b
+        | _ -> None
+      in
+      (match str "benchmark" j with
+      | Some "kill_storm_soak" -> ()
+      | Some other -> problem "benchmark is %S, expected kill_storm_soak" other
+      | None -> problem "missing \"benchmark\" field");
+      let runs =
+        match Option.bind (Obs.Json.member "runs" j) Obs.Json.to_list with
+        | Some rs -> rs
+        | None ->
+            problem "missing \"runs\" array";
+            []
+      in
+      let find id = List.find_opt (fun r -> str "id" r = Some id) runs in
+      let interval = Option.value (int_ "interval_elements" j) ~default:0 in
+      if interval <= 0 then problem "missing or non-positive interval_elements";
+      (match (find "fault_free", find "kill_storm") with
+      | None, _ -> problem "no fault_free run row"
+      | _, None -> problem "no kill_storm run row"
+      | Some clean, Some storm ->
+          (match (str "digest" clean, str "digest" storm) with
+          | Some a, Some b when String.equal a b -> ()
+          | Some a, Some b ->
+              problem "output digest diverged: fault_free %s vs kill_storm %s"
+                a b
+          | _ -> problem "run rows are missing digests");
+          (match (int_ "results" clean, int_ "results" storm) with
+          | Some a, Some b when a = b && a > 0 -> ()
+          | Some a, Some b -> problem "results differ: %d vs %d" a b
+          | _ -> problem "run rows are missing result counts");
+          let kills = Option.value (int_ "kills" storm) ~default:0 in
+          let restarts = Option.value (int_ "restarts" storm) ~default:0 in
+          let restored = Option.value (int_ "restored" storm) ~default:0 in
+          let max_replayed =
+            Option.value (int_ "max_replayed" storm) ~default:max_int
+          in
+          if kills < expect_kills then
+            problem "storm armed %d kills, expected at least %d" kills
+              expect_kills;
+          if restarts < kills then
+            problem "only %d restarts for %d kills — some never fired" restarts
+              kills;
+          if restored <> restarts then
+            problem "%d of %d restarts were not checkpoint restores"
+              (restarts - restored) restarts;
+          if interval > 0 && max_replayed > interval then
+            problem "max replay %d exceeds the checkpoint interval %d"
+              max_replayed interval;
+          match
+            (int_ "rss_peak_kb" storm, bool_ "rss_flat" j)
+          with
+          | Some peak, _ when peak <= 0 ->
+              problem "storm run recorded no RSS samples"
+          | _, Some false -> problem "rss_flat is false: driver RSS drifted"
+          | _, None -> problem "missing \"rss_flat\" field"
+          | _ -> ());
+      List.iter
+        (fun (name, v) ->
+          match (bool_ name j, v) with
+          | Some true, _ -> ()
+          | Some false, _ -> problem "%s is false" name
+          | None, _ -> problem "missing %S field" name)
+        [ ("hash_match", true); ("replay_bounded", true) ];
+      match !problems with
+      | [] ->
+          Fmt.pr "soakcheck OK: %s (storm digest equals fault-free, replay \
+                  bounded by %d elements)@."
+            path interval;
+          0
+      | ps ->
+          List.iter (fun p -> Fmt.epr "soakcheck FAIL: %s@." p) ps;
+          1)
+
+let soak_path_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SOAK_JSON"
+        ~doc:"The B5 soak artifact (bench/main.exe -- B5 writes \
+              BENCH_soak.json).")
+
+let expect_kills_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "expect-kills" ] ~docv:"N"
+        ~doc:"Fail unless the storm armed at least $(docv) kills.")
+
+let soakcheck_cmd =
+  let doc = "validate a kill-storm soak artifact (BENCH_soak.json)" in
+  Cmd.v (Cmd.info "soakcheck" ~doc)
+    Term.(const soakcheck $ soak_path_arg $ expect_kills_arg)
+
 (* --- top: live terminal view ------------------------------------------- *)
 
 let top address interval once =
@@ -296,6 +406,6 @@ let cmd =
   let doc = "inspect and verify pstream telemetry artifacts" in
   Cmd.group
     (Cmd.info "pstream-obs" ~doc)
-    [ verify_cmd; scrape_cmd; tail_cmd; top_cmd ]
+    [ verify_cmd; scrape_cmd; tail_cmd; top_cmd; soakcheck_cmd ]
 
 let () = exit (Cmd.eval' cmd)

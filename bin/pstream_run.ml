@@ -16,14 +16,14 @@ module Fault_injector = Streams.Fault_injector
    each worker event tagged by its shard; injector events lead it,
    untagged, like the driver's own. *)
 let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
-    ~meta ~contract_config ~kill ~max_restarts ~fault_events ~exporter query
-    trace =
+    ~meta ~contract_config ~kills ~max_restarts ~checkpoint ~resume
+    ~fault_events ~exporter query trace =
   let watchdog = Obs.Watchdog.create () in
   let pexec =
     Engine.Parallel_executor.create
       ~config:(Engine.Executor.Config.make ~policy ())
-      ~watchdog ~instrument:true ?contract_config ?kill ~max_restarts ~shards
-      query
+      ~watchdog ~instrument:true ?contract_config ~kills ~max_restarts
+      ?checkpoint ?resume ~shards query
       (Query.Plan.mjoin (Query.Cjq.stream_names query))
   in
   let router = Engine.Parallel_executor.router pexec in
@@ -86,8 +86,31 @@ let run_sharded ~shards ~policy ~sample_every ~label ~trace_file ~report_file
   Fmt.pr "output hash: %s@."
     (Engine.Executor.output_hash result.Engine.Parallel_executor.outputs);
   let crashes = Engine.Parallel_executor.crash_count pexec in
-  if crashes > 0 then
-    Fmt.pr "shard restarts: %d (recovered by history replay)@." crashes;
+  if crashes > 0 then begin
+    let log = Engine.Parallel_executor.restarts_log pexec in
+    let restored =
+      List.length
+        (List.filter
+           (fun (r : Engine.Parallel_executor.restart) -> r.restored)
+           log)
+    in
+    let max_replayed =
+      List.fold_left
+        (fun acc (r : Engine.Parallel_executor.restart) ->
+          max acc r.replayed)
+        0 log
+    in
+    Fmt.pr
+      "shard restarts: %d (recovered by history replay; %d from checkpoint, \
+       max %d elements replayed)@."
+      crashes restored max_replayed;
+    List.iter
+      (fun (r : Engine.Parallel_executor.restart) ->
+        Fmt.pr "  restart shard %d attempt %d: replayed %d element(s)%s@."
+          r.shard r.attempt r.replayed
+          (if r.restored then " after checkpoint restore" else ""))
+      log
+  end;
   let alarms = Engine.Parallel_executor.alarms pexec in
   List.iter
     (fun a -> Fmt.pr "WATCHDOG ALARM: %a@." Obs.Watchdog.pp_alarm a)
@@ -339,8 +362,8 @@ let pp_contract_summary ct =
     (Engine.Contract.shed_count ct)
 
 let run_single file rounds tuples_per_round punct_lag policy force sample_every
-    replay save_trace report_file trace_file shards faults contract_config kill
-    max_restarts listen =
+    replay save_trace report_file trace_file shards faults contract_config
+    kills max_restarts checkpoint_every checkpoint_dir resume_dir listen =
   match Query.Parser.parse_file file with
   | exception Query.Parser.Parse_error { line; message } ->
       Fmt.epr "%s:%d: %s@." file line message;
@@ -361,6 +384,20 @@ let run_single file rounds tuples_per_round punct_lag policy force sample_every
            its unmatched-side emission is not punctuation-provable); use \
            --force to run it anyway@.";
         2
+      end
+      else if
+        (checkpoint_every <> None || checkpoint_dir <> None
+       || resume_dir <> None)
+        && shards <= 1
+      then begin
+        Fmt.epr
+          "--checkpoint-every / --checkpoint-dir / --resume require --shards \
+           > 1 (checkpoints are cuts of the sharded executor)@.";
+        1
+      end
+      else if checkpoint_dir <> None && checkpoint_every = None then begin
+        Fmt.epr "--checkpoint-dir requires --checkpoint-every@.";
+        1
       end
       else
         let trace =
@@ -425,7 +462,63 @@ let run_single file rounds tuples_per_round punct_lag policy force sample_every
           ~finally:(fun () -> Option.iter Obs.Exporter.stop exporter)
         @@ fun () ->
         match
-          if shards > 1 then
+          if shards > 1 then begin
+            (* Everything the regenerated trace (and hence a checkpoint's
+               validity) depends on; checkpoint/resume flags themselves are
+               deliberately excluded so a resume run may differ in them. *)
+            let fingerprint =
+              Engine.Checkpoint.fingerprint
+                [
+                  ("query", Fmt.str "%a" Query.Cjq.pp query);
+                  ("policy", Fmt.str "%a" Engine.Purge_policy.pp policy);
+                  ("shards", string_of_int shards);
+                  ("sample_every", string_of_int sample_every);
+                  ("rounds", string_of_int rounds);
+                  ("fanin", string_of_int tuples_per_round);
+                  ("lag", string_of_int punct_lag);
+                  ("replay", Option.value replay ~default:"");
+                  ( "chaos",
+                    match faults with
+                    | None -> ""
+                    | Some c ->
+                        Fmt.str "%d:%g:%g:%g:%d:%g:%a" c.Fault_injector.seed
+                          c.Fault_injector.drop_punct c.Fault_injector.dup_punct
+                          c.Fault_injector.delay_punct
+                          c.Fault_injector.delay_ticks
+                          c.Fault_injector.late_data
+                          Fmt.(
+                            option (fun ppf (s, a, t) ->
+                                Fmt.pf ppf "%s:%d:%d" s a t))
+                          c.Fault_injector.stall );
+                ]
+            in
+            let checkpoint =
+              match checkpoint_every with
+              | None -> None
+              | Some every ->
+                  let dir =
+                    match checkpoint_dir with
+                    | Some _ as d -> d
+                    | None -> resume_dir
+                  in
+                  Some (Engine.Checkpoint.config ?dir ~fingerprint ~every ())
+            in
+            let resume =
+              match resume_dir with
+              | None -> None
+              | Some dir ->
+                  let schema =
+                    Engine.Executor.output_schema
+                      (Engine.Executor.compile query
+                         (Query.Plan.mjoin (Query.Cjq.stream_names query)))
+                  in
+                  let c = Engine.Checkpoint.load_latest ~dir ~fingerprint ~schema in
+                  Fmt.pr
+                    "resume: checkpoint at barrier %d, %d element(s) already \
+                     consumed@."
+                    c.Engine.Checkpoint.barrier c.Engine.Checkpoint.consumed;
+                  Some c
+            in
             run_sharded ~shards ~policy ~sample_every ~label:file ~trace_file
               ~report_file
               ~meta:
@@ -436,8 +529,9 @@ let run_single file rounds tuples_per_round punct_lag policy force sample_every
                   );
                   ("safe", Obs.Json.Bool safe);
                 ]
-              ~contract_config ~kill ~max_restarts ~fault_events ~exporter
-              query trace
+              ~contract_config ~kills ~max_restarts ~checkpoint ~resume
+              ~fault_events ~exporter query trace
+          end
           else begin
             let sink =
               match trace_file with
@@ -526,11 +620,15 @@ let run_single file rounds tuples_per_round punct_lag policy force sample_every
           ->
             Fmt.epr "SHARD FAILED: shard %d dead after %d restart(s): %s@."
               shard attempts reason;
-            5)
+            5
+        | exception Engine.Checkpoint.Invalid m ->
+            Fmt.epr "INVALID CHECKPOINT: %s@." m;
+            6)
 
 let run_query file multi_files no_share rounds tuples_per_round punct_lag
     policy force sample_every replay save_trace report_file trace_file shards
-    faults contract_config kill max_restarts listen =
+    faults contract_config kills max_restarts checkpoint_every checkpoint_dir
+    resume_dir listen =
   match (multi_files, file) with
   | _ :: _, Some _ ->
       Fmt.epr "--query and the QUERY positional are mutually exclusive@.";
@@ -545,7 +643,8 @@ let run_query file multi_files no_share rounds tuples_per_round punct_lag
   | [], Some file ->
       run_single file rounds tuples_per_round punct_lag policy force
         sample_every replay save_trace report_file trace_file shards faults
-        contract_config kill max_restarts listen
+        contract_config kills max_restarts checkpoint_every checkpoint_dir
+        resume_dir listen
 
 let file =
   Arg.(
@@ -853,16 +952,17 @@ let kill_conv : Fault_injector.kill Arg.conv =
     (parse, fun ppf (k : Fault_injector.kill) ->
       Fmt.pf ppf "%d:%d" k.Fault_injector.shard k.Fault_injector.at_seq)
 
-let kill =
+let kills =
   Arg.(
-    value
-    & opt (some kill_conv) None
+    value & opt_all kill_conv []
     & info [ "kill-shard" ] ~docv:"SHARD:SEQ"
         ~doc:
           "Deterministically kill worker domain SHARD when it reaches global \
-           element sequence SEQ (requires --shards > 1). The supervisor \
-           restarts it from history replay; output must match the fault-free \
-           run.")
+           element sequence SEQ (requires --shards > 1). Repeatable — a kill \
+           storm may hit several shards, or the same shard twice (budget \
+           permitting, see --max-restarts). The supervisor restarts each \
+           victim from checkpoint restore plus history replay; output must \
+           match the fault-free run.")
 
 let max_restarts =
   Arg.(
@@ -871,6 +971,44 @@ let max_restarts =
         ~doc:
           "Restart budget per shard; a shard crashing more than N times \
            fails the run with exit 5.")
+
+(* --- checkpoint / resume flags (docs/FAULTS.md) ------------------------ *)
+
+let checkpoint_every =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"K"
+        ~doc:
+          "Take a punctuation-aligned checkpoint at every K-th \
+           sampling-grid barrier (requires --shards > 1). Each shard's \
+           crash-replay history is truncated at the cut, bounding recovery \
+           to K grid intervals of input.")
+
+let checkpoint_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist each checkpoint durably under DIR (atomic rename + \
+           fsync, two most recent kept). Requires --checkpoint-every; a \
+           later run with the same configuration and --resume DIR continues \
+           from the newest checkpoint.")
+
+let resume_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"DIR"
+        ~doc:
+          "Resume from the newest checkpoint in DIR: operator state is \
+           restored at the cut and the already-consumed input prefix is \
+           skipped. The run configuration must match the one the checkpoint \
+           was taken under (fingerprint-checked); a corrupt, truncated, \
+           version-mismatched or misconfigured checkpoint exits with 6. \
+           With --checkpoint-every, checkpointing continues into DIR \
+           (or --checkpoint-dir if given).")
 
 (* --- live observability ------------------------------------------------ *)
 
@@ -912,6 +1050,11 @@ let exits =
       ~doc:
         "when a shard crashed and exhausted its --max-restarts budget \
          (sharded mode).";
+    Cmd.Exit.info 6
+      ~doc:
+        "when --resume found no usable checkpoint (missing, corrupt, \
+         truncated, wrong version, or taken under a different run \
+         configuration).";
   ]
   @ Cmd.Exit.defaults
 
@@ -923,6 +1066,7 @@ let cmd =
       const run_query $ file $ multi_queries $ no_share $ rounds
       $ tuples_per_round $ punct_lag $ policy
       $ force $ sample_every $ replay $ save_trace $ report_file $ trace_file
-      $ shards $ faults $ contract_config $ kill $ max_restarts $ listen)
+      $ shards $ faults $ contract_config $ kills $ max_restarts
+      $ checkpoint_every $ checkpoint_dir $ resume_dir $ listen)
 
 let () = exit (Cmd.eval' cmd)

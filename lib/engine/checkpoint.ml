@@ -1,0 +1,222 @@
+module Element = Streams.Element
+module Wire = Streams.Wire
+
+exception Invalid of string
+
+let invalidf fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+type config = { every : int; dir : string option; fingerprint : string }
+
+let config ?dir ?(fingerprint = "") ~every () =
+  if every <= 0 then invalid_arg "Checkpoint.config: non-positive interval";
+  { every; dir; fingerprint }
+
+type shard = {
+  ops : (string * string) list;  (** operator name -> snapshot blob *)
+  emitted : int;
+  out_rank : int;
+}
+
+type t = {
+  barrier : int;
+  consumed : int;
+  shards : shard array;
+  committed : (int * int * int * Element.t) list;
+      (** (input seq, shard, rank, element), ascending — outputs already
+          drained from the shards and owned by the cut *)
+}
+
+(* --- fingerprint -------------------------------------------------------- *)
+
+(* The run configuration a checkpoint is only valid for: resume does not
+   persist argv, it checks that the user re-ran with an equivalent one. *)
+let fingerprint kvs =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (k, v) ->
+      Wire.W.string b k;
+      Wire.W.string b v)
+    kvs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* --- codec -------------------------------------------------------------- *)
+
+let magic = "PSCKPT1\n"
+let version = 1
+
+let write_shard b (s : shard) =
+  Wire.W.list (Wire.W.pair Wire.W.string Wire.W.string) b s.ops;
+  Wire.W.int b s.emitted;
+  Wire.W.int b s.out_rank
+
+let read_shard r =
+  let ops = Wire.R.list (Wire.R.pair Wire.R.string Wire.R.string) r in
+  let emitted = Wire.R.int r in
+  let out_rank = Wire.R.int r in
+  { ops; emitted; out_rank }
+
+(* File layout: magic bytes, version byte, length-prefixed fingerprint,
+   length-prefixed payload, then the raw 16-byte MD5 of the payload. *)
+let encode ~fingerprint:fp (t : t) =
+  let payload =
+    let b = Buffer.create 4096 in
+    Wire.W.int b t.barrier;
+    Wire.W.int b t.consumed;
+    Wire.W.array write_shard b t.shards;
+    Wire.W.list
+      (fun b (seq, shard, rank, el) ->
+        Wire.W.int b seq;
+        Wire.W.int b shard;
+        Wire.W.int b rank;
+        Wire.write_element b el)
+      b t.committed;
+    Buffer.contents b
+  in
+  let b = Buffer.create (String.length payload + 64) in
+  Buffer.add_string b magic;
+  Wire.W.u8 b version;
+  Wire.W.string b fp;
+  Wire.W.string b payload;
+  Buffer.add_string b (Digest.string payload);
+  Buffer.contents b
+
+let decode ~fingerprint:fp ~schema s =
+  let mlen = String.length magic in
+  if String.length s < mlen + 1 then invalidf "truncated checkpoint header";
+  if not (String.equal (String.sub s 0 mlen) magic) then
+    invalidf "not a checkpoint file (bad magic)";
+  let v = Char.code s.[mlen] in
+  if v <> version then
+    invalidf "checkpoint version %d, this build reads version %d" v version;
+  let body = String.sub s (mlen + 1) (String.length s - mlen - 1) in
+  let file_fp, payload =
+    let r = Wire.R.of_string body in
+    try
+      let file_fp = Wire.R.string r in
+      let payload = Wire.R.string r in
+      if Wire.R.remaining r <> 16 then
+        invalidf "checkpoint trailer is not a 16-byte digest";
+      (file_fp, payload)
+    with Wire.Corrupt m -> invalidf "corrupt checkpoint: %s" m
+  in
+  let crc = String.sub s (String.length s - 16) 16 in
+  if not (String.equal crc (Digest.string payload)) then
+    invalidf "checkpoint CRC mismatch";
+  if not (String.equal file_fp fp) then
+    invalidf
+      "checkpoint was taken under a different run configuration (fingerprint \
+       %s, expected %s)"
+      file_fp fp;
+  let r = Wire.R.of_string payload in
+  try
+    let barrier = Wire.R.int r in
+    let consumed = Wire.R.int r in
+    let shards = Wire.R.array read_shard r in
+    let committed =
+      Wire.R.list
+        (fun r ->
+          let seq = Wire.R.int r in
+          let shard = Wire.R.int r in
+          let rank = Wire.R.int r in
+          let el = Wire.read_element ~schema r in
+          (seq, shard, rank, el))
+        r
+    in
+    Wire.R.expect_end r;
+    { barrier; consumed; shards; committed }
+  with Wire.Corrupt m -> invalidf "corrupt checkpoint payload: %s" m
+
+(* --- files -------------------------------------------------------------- *)
+
+let file_name barrier = Printf.sprintf "ckpt-%012d.bin" barrier
+
+let is_ckpt_file name =
+  String.length name = String.length (file_name 0)
+  && String.sub name 0 5 = "ckpt-"
+  && Filename.check_suffix name ".bin"
+
+let list_files dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.to_list entries |> List.filter is_ckpt_file
+      |> List.sort String.compare
+  | exception Sys_error m -> invalidf "cannot read checkpoint dir: %s" m
+
+let fsync_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+
+(* Durability: write to a dot-tmp sibling, fsync, atomically rename into
+   place — a crash mid-save leaves the previous checkpoint intact. Keeps the
+   two most recent files so the newest can be re-written while the previous
+   one still guards against a torn directory. *)
+let save ~dir ~fingerprint:fp (t : t) =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let bytes = encode ~fingerprint:fp t in
+  let final = Filename.concat dir (file_name t.barrier) in
+  let tmp = Filename.concat dir (Printf.sprintf ".ckpt-%012d.tmp" t.barrier) in
+  let oc = open_out_bin tmp in
+  output_string oc bytes;
+  close_out oc;
+  fsync_file tmp;
+  Sys.rename tmp final;
+  (try fsync_file dir with Unix.Unix_error _ -> ());
+  (match List.rev (list_files dir) with
+  | _ :: _ :: stale ->
+      List.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) stale
+  | _ -> ());
+  (final, String.length bytes)
+
+let load_latest ~dir ~fingerprint:fp ~schema =
+  if not (Sys.file_exists dir) then
+    invalidf "checkpoint dir %s does not exist" dir;
+  match List.rev (list_files dir) with
+  | [] -> invalidf "no checkpoint files in %s" dir
+  | latest :: _ ->
+      let path = Filename.concat dir latest in
+      let ic = open_in_bin path in
+      let bytes =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      decode ~fingerprint:fp ~schema bytes
+
+(* --- rolling output digest ---------------------------------------------- *)
+
+(* A commutative, constant-space digest of the output multiset: each data
+   tuple's canonical rendering ({!Executor.render_data}) is MD5'd and the
+   16 bytes folded into running sums and xors (plus a count). Two runs
+   emitted the same multiset iff the digests agree — the soak harness can
+   compare a kill-storm run against a fault-free one without retaining
+   either's outputs. *)
+module Rolling = struct
+  type h = {
+    mutable count : int;
+    mutable sum_lo : int64;
+    mutable sum_hi : int64;
+    mutable xor_lo : int64;
+    mutable xor_hi : int64;
+  }
+
+  let create () =
+    { count = 0; sum_lo = 0L; sum_hi = 0L; xor_lo = 0L; xor_hi = 0L }
+
+  let add_rendering h s =
+    let d = Digest.string s in
+    let lo = String.get_int64_le d 0 in
+    let hi = String.get_int64_le d 8 in
+    h.count <- h.count + 1;
+    h.sum_lo <- Int64.add h.sum_lo lo;
+    h.sum_hi <- Int64.add h.sum_hi hi;
+    h.xor_lo <- Int64.logxor h.xor_lo lo;
+    h.xor_hi <- Int64.logxor h.xor_hi hi
+
+  let count h = h.count
+
+  let digest h =
+    Digest.to_hex
+      (Digest.string
+         (Printf.sprintf "%d:%Ld:%Ld:%Ld:%Ld" h.count h.sum_lo h.sum_hi
+            h.xor_lo h.xor_hi))
+end

@@ -1,0 +1,87 @@
+(** Punctuation-aligned checkpointing: consistent cuts of a sharded run,
+    taken at the {!Parallel_executor} quiesce barrier (workers parked, every
+    queue drained, operator state provably the bounded live set), plus the
+    durable file format behind [--checkpoint-dir] / [--resume].
+
+    A checkpoint owns everything before the cut: per-shard operator
+    snapshot blobs ({!Operator.persistence}), per-shard emit counters, the
+    outputs drained so far, and the input position. After a successful
+    checkpoint the executor truncates each shard's replay history to the
+    suffix since the cut, so crash recovery replays at most one checkpoint
+    interval of input. *)
+
+exception Invalid of string
+(** A checkpoint that must not be restored: bad magic, version mismatch,
+    CRC failure, truncation, or a run-configuration fingerprint that does
+    not match. Raised by {!decode} / {!load_latest}; [pstream_run --resume]
+    maps it to exit code 6. *)
+
+type config = { every : int; dir : string option; fingerprint : string }
+(** Take a checkpoint every [every]-th sampling-grid barrier; when [dir]
+    is set, also persist each one durably there, stamped with
+    [fingerprint] (see {!fingerprint}). *)
+
+val config : ?dir:string -> ?fingerprint:string -> every:int -> unit -> config
+(** @raise Invalid_argument on a non-positive interval. *)
+
+type shard = {
+  ops : (string * string) list;  (** operator name -> snapshot blob *)
+  emitted : int;  (** data tuples emitted by the shard before the cut *)
+  out_rank : int;  (** per-shard output sequence position at the cut *)
+}
+
+type t = {
+  barrier : int;  (** quiesce-barrier id of the cut *)
+  consumed : int;  (** input elements consumed before the cut *)
+  shards : shard array;
+  committed : (int * int * int * Streams.Element.t) list;
+      (** (input seq, shard, rank, element) outputs drained from the shards
+          and owned by the cut, ascending *)
+}
+
+(** [fingerprint kvs] — digest of the run configuration (query text,
+    policy, shard count, grid spacing, workload parameters). Stored in each
+    checkpoint file and required to match on resume, since resume replays
+    the trace regenerated from the same arguments. *)
+val fingerprint : (string * string) list -> string
+
+(** [encode ~fingerprint t] — the durable byte representation: magic,
+    version, fingerprint, length-prefixed payload, raw 16-byte payload
+    digest. *)
+val encode : fingerprint:string -> t -> string
+
+(** [decode ~fingerprint ~schema s] — strict inverse of {!encode};
+    [schema] is the plan's output schema (committed elements are stored
+    schema-less).
+    @raise Invalid on any mismatch — never returns a partial checkpoint. *)
+val decode : fingerprint:string -> schema:Relational.Schema.t -> string -> t
+
+(** [save ~dir ~fingerprint t] — durably persist [t] under [dir] (created
+    if missing): write to a temp sibling, fsync, atomically rename to
+    [ckpt-<barrier>.bin], then drop all but the two most recent files.
+    Returns [(path, bytes)]. *)
+val save : dir:string -> fingerprint:string -> t -> string * int
+
+(** [load_latest ~dir ~fingerprint ~schema] — decode the most recent
+    checkpoint file in [dir].
+    @raise Invalid when the dir is missing/empty or the newest file fails
+    any {!decode} check (no silent fallback to older files: a bad newest
+    checkpoint is a loud error, not a quiet rewind). *)
+val load_latest :
+  dir:string -> fingerprint:string -> schema:Relational.Schema.t -> t
+
+(** Commutative constant-space digest of an output multiset, rendering
+    data tuples exactly as {!Executor.output_hash} does — the soak harness
+    compares a kill-storm run to a fault-free one without retaining either
+    run's outputs. *)
+module Rolling : sig
+  type h
+
+  val create : unit -> h
+
+  (** [add_rendering h s] folds one {!Executor.render_data} rendering in. *)
+  val add_rendering : h -> string -> unit
+
+  val count : h -> int
+  val digest : h -> string
+end

@@ -45,6 +45,32 @@ let create ?(name = "dedup") ~input ~key () =
           };
         [ Element.Punct p ]
   in
+  let save () =
+    let module W = Streams.Wire.W in
+    let b = Buffer.create 256 in
+    W.u8 b 1;
+    Operator.write_stats b !stats;
+    let keys = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+    (* sorted so the same seen-set always serializes to the same bytes *)
+    let keys = List.sort (List.compare Value.compare) keys in
+    W.list (W.list Streams.Wire.write_value) b keys;
+    Buffer.contents b
+  in
+  let load blob =
+    let module R = Streams.Wire.R in
+    let r = R.of_string blob in
+    let v = R.u8 r in
+    if v <> 1 then
+      raise
+        (Streams.Wire.Corrupt
+           (Printf.sprintf "Dedup snapshot version %d, expected 1" v));
+    let st = Operator.read_stats r in
+    let keys = R.list (R.list Streams.Wire.read_value) r in
+    R.expect_end r;
+    stats := st;
+    Hashtbl.reset seen;
+    List.iter (fun k -> Hashtbl.replace seen k ()) keys
+  in
   {
     Operator.name;
     out_schema = input;
@@ -60,4 +86,5 @@ let create ?(name = "dedup") ~input ~key () =
         Mem_estimate.keyed_table_bytes ~key_width:(List.length key_idxs)
           ~payload_width:0 ~entries:(Hashtbl.length seen));
     stats = (fun () -> !stats);
+    persistence = Operator.Snapshot { save; load };
   }

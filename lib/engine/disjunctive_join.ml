@@ -156,4 +156,5 @@ let create ?(name = "disjunctive_join") ?(policy = Purge_policy.Eager) ~left
         (Join_state.mem_stats l.state).Join_state.approx_bytes
         + (Join_state.mem_stats r.state).Join_state.approx_bytes);
     stats = (fun () -> !stats);
+    persistence = Operator.Volatile "disjunctive join state is not serialized";
   }

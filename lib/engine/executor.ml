@@ -638,22 +638,20 @@ let run ?(sample_every = 100) ?batch ?sink ?(label = "run") ?exporter c
    punctuations are excluded: a broadcast punctuation is re-propagated by
    every shard holding it, so punctuation outputs are a delivery artifact,
    not part of the query answer. *)
+let render_data = function
+  | Element.Punct _ -> None
+  | Element.Data t ->
+      let schema = Tuple.schema t in
+      Some
+        (Schema.attributes schema
+        |> List.mapi (fun i (a : Schema.attribute) ->
+               a.Schema.name ^ "=" ^ Relational.Value.to_string (Tuple.get t i))
+        |> List.sort String.compare
+        |> String.concat ",")
+
 let output_hash outputs =
-  let render t =
-    let schema = Tuple.schema t in
-    Schema.attributes schema
-    |> List.mapi (fun i (a : Schema.attribute) ->
-           a.Schema.name ^ "=" ^ Relational.Value.to_string (Tuple.get t i))
-    |> List.sort String.compare
-    |> String.concat ","
-  in
   let renderings =
-    List.filter_map
-      (function
-        | Element.Data t -> Some (render t)
-        | Element.Punct _ -> None)
-      outputs
-    |> List.sort String.compare
+    List.filter_map render_data outputs |> List.sort String.compare
   in
   Digest.to_hex (Digest.string (String.concat "\n" renderings))
 

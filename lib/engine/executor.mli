@@ -176,6 +176,12 @@ val state_breakdown : compiled -> breakdown list
     workload must produce equal hashes — CI compares them. *)
 val output_hash : Streams.Element.t list -> string
 
+(** [render_data e] — the canonical rendering of one data tuple as used by
+    {!output_hash} ([None] for punctuations). {!Checkpoint.Rolling} digests
+    the same renderings incrementally so a soak run can compare output
+    multisets without retaining them. *)
+val render_data : Streams.Element.t -> string option
+
 (** [series_json metrics] — the metrics series as the JSON array a report
     embeds; shared with {!Parallel_executor}'s aggregated reports. *)
 val series_json : Metrics.t -> Obs.Json.t

@@ -115,6 +115,59 @@ let create ?(name = "groupby") ~input ~group_by ~aggregate () =
           { !stats with puncts_out = !stats.puncts_out + List.length forward };
         List.map (fun t -> Element.Data t) results @ forward
   in
+  let save () =
+    let module W = Streams.Wire.W in
+    let b = Buffer.create 256 in
+    W.u8 b 1;
+    Operator.write_stats b !stats;
+    let entries = Hashtbl.fold (fun k acc l -> (k, acc) :: l) groups [] in
+    (* sorted so the same group table always serializes to the same bytes *)
+    let entries =
+      List.sort (fun (a, _) (b, _) -> List.compare Value.compare a b) entries
+    in
+    W.list
+      (fun b (key, acc) ->
+        W.list Streams.Wire.write_value b key;
+        match acc with
+        | CInt i ->
+            W.u8 b 0;
+            W.int b i
+        | CFloat f ->
+            W.u8 b 1;
+            W.float b f)
+      b entries;
+    Buffer.contents b
+  in
+  let load blob =
+    let module R = Streams.Wire.R in
+    let r = R.of_string blob in
+    let v = R.u8 r in
+    if v <> 1 then
+      raise
+        (Streams.Wire.Corrupt
+           (Printf.sprintf "Groupby snapshot version %d, expected 1" v));
+    let st = Operator.read_stats r in
+    let entries =
+      R.list
+        (fun r ->
+          let key = R.list Streams.Wire.read_value r in
+          let acc =
+            match R.u8 r with
+            | 0 -> CInt (R.int r)
+            | 1 -> CFloat (R.float r)
+            | t ->
+                raise
+                  (Streams.Wire.Corrupt
+                     (Printf.sprintf "Groupby snapshot: bad acc tag %d" t))
+          in
+          (key, acc))
+        r
+    in
+    R.expect_end r;
+    stats := st;
+    Hashtbl.reset groups;
+    List.iter (fun (k, acc) -> Hashtbl.replace groups k acc) entries
+  in
   {
     Operator.name;
     out_schema;
@@ -131,4 +184,5 @@ let create ?(name = "groupby") ~input ~group_by ~aggregate () =
         Mem_estimate.keyed_table_bytes ~key_width:(List.length key_idxs)
           ~payload_width:1 ~entries:(Hashtbl.length groups));
     stats = (fun () -> !stats);
+    persistence = Operator.Snapshot { save; load };
   }

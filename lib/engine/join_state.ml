@@ -313,6 +313,84 @@ let exists_matching t p =
     false
   with Found -> true
 
+(* --- serialization ------------------------------------------------------ *)
+
+module Wire = Streams.Wire
+
+let snapshot_version = 1
+
+(* Live entries ascending by id, then the attr lists of every index. The
+   tuples themselves carry no schema — the reader restores into a state
+   compiled from the same plan. *)
+let write_snapshot b (t : t) =
+  Wire.W.u8 b snapshot_version;
+  Wire.W.int b t.next_id;
+  let entries =
+    Hashtbl.fold (fun id (tick, tup) acc -> (id, tick, tup) :: acc) t.live []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  Wire.W.list
+    (fun b (id, tick, tup) ->
+      Wire.W.int b id;
+      Wire.W.int b tick;
+      Wire.write_tuple b tup)
+    b entries;
+  Wire.W.list (Wire.W.list Wire.W.int) b
+    (List.map (fun (idx : index) -> idx.attrs) t.indexes)
+
+let clear_index (idx : index) =
+  (match idx.buckets with
+  | Int1 tbl -> Hashtbl.reset tbl
+  | Generic tbl -> KeyTbl.reset tbl);
+  idx.entries <- 0
+
+(* In-place restore: compiled probe programs hold resolved {!handle}s into
+   this state's index records, so the records are kept and refilled, never
+   replaced. Entries are reinserted in ascending id order — the order the
+   original inserts arrived in — so each bucket's id list (prepend on
+   insert ⇒ newest first) is reproduced exactly and probe output order is
+   deterministic across a restore. Indexes the snapshot had beyond the
+   compiled ones (built on demand by earlier probes) are recreated empty
+   and filled by the same pass. *)
+let read_snapshot (t : t) r =
+  let v = Wire.R.u8 r in
+  if v <> snapshot_version then
+    raise
+      (Wire.Corrupt
+         (Printf.sprintf "Join_state snapshot version %d, expected %d" v
+            snapshot_version));
+  let next_id = Wire.R.int r in
+  let entries =
+    Wire.R.list
+      (fun r ->
+        let id = Wire.R.int r in
+        let tick = Wire.R.int r in
+        let tup = Wire.read_tuple ~schema:t.schema r in
+        (id, tick, tup))
+      r
+  in
+  let index_attrs = Wire.R.list (Wire.R.list Wire.R.int) r in
+  Hashtbl.reset t.live;
+  t.next_id <- next_id;
+  List.iter (fun idx -> clear_index idx) t.indexes;
+  List.iter
+    (fun attrs ->
+      if not (List.exists (fun (i : index) -> i.attrs = attrs) t.indexes)
+      then
+        let buckets =
+          match attrs with
+          | [ a ] when (Schema.attr_at t.schema a).Schema.ty = Value.TInt ->
+              Int1 (Hashtbl.create 64)
+          | _ -> Generic (KeyTbl.create 64)
+        in
+        t.indexes <- { attrs; buckets; entries = 0 } :: t.indexes)
+    index_attrs;
+  List.iter
+    (fun (id, tick, tup) ->
+      Hashtbl.replace t.live id (tick, tup);
+      List.iter (fun idx -> index_insert idx id tup) t.indexes)
+    entries
+
 (* --- memory accounting ------------------------------------------------- *)
 
 let index_entries (t : t) =

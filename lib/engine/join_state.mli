@@ -121,3 +121,16 @@ val index_entries : t -> int
 val bucket_count : t -> int
 
 val mem_stats : t -> mem_stats
+
+(** Versioned binary serialization ({!Streams.Wire}) for checkpointing.
+    [write_snapshot] captures the live entries (with insertion ids and
+    ticks) and the shape of every index; [read_snapshot] restores {e in
+    place} — compiled probe programs hold resolved {!handle}s into this
+    state's index records, so the records are kept and refilled, and
+    buckets are rebuilt in the original insertion order (probe output
+    order is reproduced exactly).
+    @raise Streams.Wire.Corrupt on a truncated, malformed or
+    version-mismatched snapshot. *)
+val write_snapshot : Streams.Wire.W.t -> t -> unit
+
+val read_snapshot : t -> Streams.Wire.R.t -> unit

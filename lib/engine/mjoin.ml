@@ -455,6 +455,44 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
            answer). *)
         purge_and_propagate ~trigger:"flush" ()
   in
+  let save () =
+    let module W = Streams.Wire.W in
+    let b = Buffer.create 4096 in
+    W.u8 b 1;
+    Operator.write_stats b !stats;
+    W.int b !now;
+    W.int b !pending_puncts;
+    W.option W.int b !pending_since;
+    Array.iter
+      (fun slot ->
+        Join_state.write_snapshot b slot.state;
+        Punct_store.write_snapshot b slot.puncts)
+      slots;
+    Buffer.contents b
+  in
+  let load blob =
+    let module R = Streams.Wire.R in
+    let r = R.of_string blob in
+    let v = R.u8 r in
+    if v <> 1 then
+      raise
+        (Streams.Wire.Corrupt
+           (Printf.sprintf "Mjoin snapshot version %d, expected 1" v));
+    let st = Operator.read_stats r in
+    let n = R.int r in
+    let pp = R.int r in
+    let ps = R.option R.int r in
+    Array.iter
+      (fun slot ->
+        Join_state.read_snapshot slot.state r;
+        Punct_store.read_snapshot slot.puncts r)
+      slots;
+    R.expect_end r;
+    stats := st;
+    now := n;
+    pending_puncts := pp;
+    pending_since := ps
+  in
   {
     Operator.name;
     out_schema;
@@ -500,4 +538,5 @@ let create ?(name = "mjoin") ?(policy = Purge_policy.Eager) ?punct_lifespan
           puncts_dropped = dropped;
           puncts_purged = !stats.puncts_purged + subsumed;
         });
+    persistence = Operator.Snapshot { save; load };
   }

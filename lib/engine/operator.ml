@@ -44,6 +44,46 @@ let stats_to_alist s =
     ("late_tuples", s.late_tuples);
   ]
 
+let write_stats b s =
+  let i = Streams.Wire.W.int b in
+  i s.tuples_in;
+  i s.puncts_in;
+  i s.tuples_out;
+  i s.puncts_out;
+  i s.tuples_purged;
+  i s.puncts_purged;
+  i s.puncts_dropped;
+  i s.purge_rounds;
+  i s.late_tuples
+
+let read_stats r =
+  let i () = Streams.Wire.R.int r in
+  let tuples_in = i () in
+  let puncts_in = i () in
+  let tuples_out = i () in
+  let puncts_out = i () in
+  let tuples_purged = i () in
+  let puncts_purged = i () in
+  let puncts_dropped = i () in
+  let purge_rounds = i () in
+  let late_tuples = i () in
+  {
+    tuples_in;
+    puncts_in;
+    tuples_out;
+    puncts_out;
+    tuples_purged;
+    puncts_purged;
+    puncts_dropped;
+    purge_rounds;
+    late_tuples;
+  }
+
+type persistence =
+  | Stateless
+  | Volatile of string
+  | Snapshot of { save : unit -> string; load : string -> unit }
+
 type t = {
   name : string;
   out_schema : Relational.Schema.t;
@@ -56,6 +96,7 @@ type t = {
   index_state_size : unit -> int;
   state_bytes : unit -> int;
   stats : unit -> stats;
+  persistence : persistence;
 }
 
 let batch_of_push push arr =

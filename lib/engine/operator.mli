@@ -32,6 +32,30 @@ val pp_stats : Format.formatter -> stats -> unit
     declaration order (report/JSON rendering). *)
 val stats_to_alist : stats -> (string * int) list
 
+(** Binary (de)serialization of a stats record, in declaration order —
+    building block for operator snapshot blobs. *)
+val write_stats : Streams.Wire.W.t -> stats -> unit
+
+val read_stats : Streams.Wire.R.t -> stats
+
+(** How an operator participates in checkpointing ({!Checkpoint}):
+
+    - [Stateless] — no state beyond its closure; nothing to save, a fresh
+      compile restores it.
+    - [Volatile reason] — carries state but cannot (yet) serialize it;
+      a checkpoint over a plan containing one fails loudly rather than
+      silently persisting a hole.
+    - [Snapshot] — [save ()] serializes the full operator state (join
+      states, punctuation stores, pending buffers, stats, clocks) to a
+      versioned {!Streams.Wire} blob; [load blob] restores it {e in
+      place} into an identically constructed operator.
+      [load] @raise Streams.Wire.Corrupt on a truncated, malformed or
+      version-mismatched blob. *)
+type persistence =
+  | Stateless
+  | Volatile of string
+  | Snapshot of { save : unit -> string; load : string -> unit }
+
 type t = {
   name : string;
   out_schema : Relational.Schema.t;
@@ -61,6 +85,9 @@ type t = {
       (** approximate resident bytes of the operator's data state including
           index structures (trend indicator, not an exact measurement) *)
   stats : unit -> stats;
+  persistence : persistence;
+      (** checkpoint participation; {!Telemetry.wrap_op} passes it
+          through unchanged *)
 }
 
 (** [batch_of_push push] — the default batch implementation: push each

@@ -12,6 +12,17 @@ type message =
 
 exception Shard_failed of { shard : int; attempts : int; reason : string }
 
+(* One supervised restart, for post-run inspection (the soak harness runs
+   uninstrumented and still asserts bounded replay). [replayed] counts
+   elements, not batches: with checkpointing armed it is bounded by the
+   checkpoint interval. *)
+type restart = {
+  shard : int;
+  attempt : int;
+  replayed : int;
+  restored : bool;  (** state came from a checkpoint, not a full replay *)
+}
+
 let queue_capacity = 64
 
 type shard = {
@@ -33,12 +44,24 @@ type shard = {
   mutable outputs : (int * int * Element.t) list;
       (** (global seq, emission rank, element), newest first *)
   mutable out_rank : int;
-  (* Supervision. [history] is the replay log: every Batch ever sent to
-     this shard, newest first (barriers and Stop are control flow, not
-     state, and are not replayed). A shard's state is a pure function of
-     its batch sequence, so replaying [history] into a fresh incarnation
-     reproduces the dead one's state, outputs and events exactly. *)
-  mutable history : message list;
+  (* Supervision. [history] is the replay log: every Batch sent to this
+     shard since the last checkpoint cut (or run start), in send order
+     (barriers and Stop are control flow, not state, and are not
+     replayed). A shard's state is a pure function of its batch sequence,
+     so replaying [history] into a fresh incarnation — on top of the last
+     checkpoint's restored state when one exists — reproduces the dead
+     one's state, outputs and events exactly. A successful checkpoint
+     truncates the queue, bounding both replay time and the log's
+     memory. *)
+  history : message Queue.t;
+  mutable history_elems : int;  (** elements across the queued batches *)
+  mutable history_bytes : int;  (** approximate resident bytes of the log *)
+  (* Per-shard trace/metrics carried over a checkpoint restore: the fresh
+     incarnation regenerates only the post-cut suffix, so the pre-cut
+     events and registry live here (captured at the cut) and are merged
+     back in at read time. *)
+  mutable base_events : Obs.Event.t list;
+  mutable base_reg : Obs.Registry.t option;
   mutable domain : unit Domain.t option;
   mutable dead : exn option;  (** the incarnation's post-mortem; under lock *)
   mutable restarts : int;
@@ -59,10 +82,15 @@ type t = {
   mutable release : int;  (** last barrier id the driver released *)
   watchdog : Obs.Watchdog.t option;
   instrument : bool;
-  (* Deterministic worker-kill fault: one-shot via the armed flag, so the
-     restarted incarnation replays the same sequence number unharmed. *)
-  kill : (Fault_injector.kill * bool Atomic.t) option;
+  (* Deterministic worker-kill faults: each is one-shot via its armed
+     flag, so the restarted incarnation replays the same sequence number
+     unharmed — but a later schedule entry can hit the same shard again
+     (kill storms). *)
+  kills : (Fault_injector.kill * bool Atomic.t) list;
   max_restarts : int;
+  checkpoint : Checkpoint.config option;
+  resume : Checkpoint.t option;
+  mutable restarts_log : restart list;  (* newest first *)
   contract_config : Contract.config option;
   driver_contract : Contract.t option;
       (* stall tracking lives with the driver, which sees the whole input;
@@ -80,9 +108,76 @@ type t = {
   mutable ran : bool;
 }
 
+(* --- operator snapshots -------------------------------------------------- *)
+
+(* Capture one shard's operator state as checkpoint blobs. Only callable
+   while the worker is parked (barrier) or reaped. Fails loudly on an
+   operator that cannot serialize — a checkpoint with a hole is worse than
+   no checkpoint. *)
+let snapshot_shard (s : shard) : Checkpoint.shard =
+  let ops =
+    List.map
+      (fun (op : Operator.t) ->
+        match op.Operator.persistence with
+        | Operator.Stateless -> (op.Operator.name, "")
+        | Operator.Volatile reason ->
+            invalid_arg
+              (Printf.sprintf
+                 "checkpoint: operator %s does not support snapshots (%s)"
+                 op.Operator.name reason)
+        | Operator.Snapshot { save; _ } -> (op.Operator.name, save ()))
+      (Executor.operators ~c:s.compiled)
+  in
+  { Checkpoint.ops; emitted = s.emitted; out_rank = s.out_rank }
+
+(* Restore a (freshly compiled, not yet spawned) incarnation's operator
+   state from a checkpoint's blobs. The blobs were written by an
+   identically compiled plan, so names must line up positionally. *)
+let apply_snapshot (s : shard) (snap : Checkpoint.shard) =
+  let ops = Executor.operators ~c:s.compiled in
+  if List.length ops <> List.length snap.Checkpoint.ops then
+    raise
+      (Checkpoint.Invalid
+         (Printf.sprintf "checkpoint has %d operator blobs, plan has %d"
+            (List.length snap.Checkpoint.ops)
+            (List.length ops)));
+  List.iter2
+    (fun (op : Operator.t) (name, blob) ->
+      if not (String.equal op.Operator.name name) then
+        raise
+          (Checkpoint.Invalid
+             (Printf.sprintf "checkpoint blob for %S, plan operator is %S"
+                name op.Operator.name));
+      match op.Operator.persistence with
+      | Operator.Stateless ->
+          if blob <> "" then
+            raise
+              (Checkpoint.Invalid
+                 (Printf.sprintf "non-empty blob for stateless operator %s"
+                    name))
+      | Operator.Volatile reason ->
+          raise
+            (Checkpoint.Invalid
+               (Printf.sprintf "operator %s cannot restore (%s)" name reason))
+      | Operator.Snapshot { load; _ } -> (
+          try load blob
+          with Streams.Wire.Corrupt m ->
+            raise
+              (Checkpoint.Invalid
+                 (Printf.sprintf "operator %s snapshot: %s" name m))))
+    ops snap.Checkpoint.ops;
+  s.emitted <- snap.Checkpoint.emitted;
+  s.out_rank <- snap.Checkpoint.out_rank;
+  s.outputs <- []
+
+let snapshot_bytes (snap : Checkpoint.shard) =
+  List.fold_left
+    (fun acc (_, blob) -> acc + String.length blob)
+    0 snap.Checkpoint.ops
+
 let create ?(config = Executor.Config.default) ?watchdog
-    ?(instrument = false) ?contract_config ?kill ?(max_restarts = 2) ~shards:n
-    query plan =
+    ?(instrument = false) ?contract_config ?(kills = []) ?(max_restarts = 2)
+    ?checkpoint ?resume ~shards:n query plan =
   if n <= 0 then
     invalid_arg "Parallel_executor.create: shards must be positive";
   if max_restarts < 0 then
@@ -131,12 +226,31 @@ let create ?(config = Executor.Config.default) ?watchdog
           emitted = 0;
           outputs = [];
           out_rank = 0;
-          history = [];
+          history = Queue.create ();
+          history_elems = 0;
+          history_bytes = 0;
+          base_events = [];
+          base_reg = None;
           domain = None;
           dead = None;
           restarts = 0;
         })
   in
+  (* A durable resume restores every shard's operator state from the
+     checkpoint before any domain is spawned; [run] then skips the consumed
+     input prefix and continues from the cut. *)
+  (match resume with
+  | None -> ()
+  | Some (c : Checkpoint.t) ->
+      if Array.length c.Checkpoint.shards <> n then
+        raise
+          (Checkpoint.Invalid
+             (Printf.sprintf "checkpoint has %d shards, run has %d"
+                (Array.length c.Checkpoint.shards)
+                n));
+      Array.iteri
+        (fun k s -> apply_snapshot s c.Checkpoint.shards.(k))
+        shards);
   let driver_contract = Option.map Contract.create contract_config in
   Option.iter
     (fun ct -> Executor.register_sources ct shards.(0).compiled)
@@ -150,8 +264,11 @@ let create ?(config = Executor.Config.default) ?watchdog
     release = 0;
     watchdog;
     instrument;
-    kill = Option.map (fun k -> (k, Atomic.make true)) kill;
+    kills = List.map (fun k -> (k, Atomic.make true)) kills;
     max_restarts;
+    checkpoint;
+    resume;
+    restarts_log = [];
     contract_config;
     driver_contract;
     mk_tel;
@@ -168,6 +285,14 @@ let n_shards t = Array.length t.shards
 
 let crash_count t =
   Array.fold_left (fun acc s -> acc + s.restarts) 0 t.shards
+
+let restarts_log t = List.rev t.restarts_log
+
+let history_elems t =
+  Array.fold_left (fun acc s -> acc + s.history_elems) 0 t.shards
+
+let history_bytes t =
+  Array.fold_left (fun acc s -> acc + s.history_bytes) 0 t.shards
 
 (* Minor collections are stop-the-world across every domain in OCaml 5, so
    their frequency — allocation rate over minor-arena size — is a
@@ -210,18 +335,27 @@ let worker t shard =
            pending kill splits the batch: the prefix strictly before the
            kill seq is fed batched, then the kill fires exactly where the
            per-element path would have raised. *)
+        (* Earliest armed kill aimed at this shard that lands in this
+           batch. The whole schedule is scanned: two kills of the same
+           shard at different sequence points both fire (the second hits
+           the recovered incarnation). *)
         let kill_at =
-          match t.kill with
-          | Some (k, armed)
-            when shard.index = k.Fault_injector.shard && Atomic.get armed ->
-              let hit = ref None in
-              Array.iteri
-                (fun i (seq, _) ->
-                  if !hit = None && seq >= k.Fault_injector.at_seq then
-                    hit := Some (i, k))
-                arr;
-              !hit
-          | _ -> None
+          List.fold_left
+            (fun best (k, armed) ->
+              if shard.index = k.Fault_injector.shard && Atomic.get armed then begin
+                let hit = ref None in
+                Array.iteri
+                  (fun i (seq, _) ->
+                    if !hit = None && seq >= k.Fault_injector.at_seq then
+                      hit := Some i)
+                  arr;
+                match (!hit, best) with
+                | Some i, Some (j, _, _) when i >= j -> best
+                | Some i, _ -> Some (i, k, armed)
+                | None, _ -> best
+              end
+              else best)
+            None t.kills
         in
         let feed_run lo hi =
           (* [lo, hi): contiguous slice of the batch *)
@@ -233,12 +367,10 @@ let worker t shard =
           end
         in
         (match kill_at with
-        | Some (i, k) ->
+        | Some (i, k, armed) ->
             feed_run 0 i;
-            (match t.kill with
-            | Some (_, armed) when Atomic.compare_and_set armed true false ->
-                raise (Fault_injector.Injected_kill k)
-            | _ -> ())
+            if Atomic.compare_and_set armed true false then
+              raise (Fault_injector.Injected_kill k)
         | None -> feed_run 0 (Array.length arr));
         loop ()
     | `Item (Barrier id) ->
@@ -309,18 +441,35 @@ let alarms t =
 
 let events t = t.merged
 
+(* A shard's full-run registry view: the live incarnation's registry,
+   joined with the pre-checkpoint baseline when a restore cut its history
+   short. The baseline's gauges were cleared at capture (gauges are
+   levels, and the live side's are authoritative), so Sum-aggregated
+   levels are not double-counted. *)
+let shard_registry_view (s : shard) =
+  let live = Telemetry.registry s.tel in
+  match s.base_reg with
+  | None -> live
+  | Some base -> Obs.Registry.merged [ base; live ]
+
 (* The run's registry view: every live shard's registry joined with the
    driver's own. Counters add, gauges combine under their declared
    aggregation, histograms merge — the same fold {!report} publishes. *)
 let merged_registry t =
   Obs.Registry.merged
-    (t.driver_reg
-    :: (Array.to_list t.shards |> List.map (fun s -> Telemetry.registry s.tel)))
+    (t.driver_reg :: (Array.to_list t.shards |> List.map shard_registry_view))
 
-let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
+let run ?(sample_every = 100) ?(label = "run") ?exporter ?on_commit t elements
+    =
   if t.ran then
     invalid_arg "Parallel_executor.run: a sharded executor runs once";
   t.ran <- true;
+  (match (t.checkpoint, on_commit) with
+  | Some { Checkpoint.dir = Some _; _ }, Some _ ->
+      invalid_arg
+        "Parallel_executor.run: on_commit discards committed outputs, a \
+         durable checkpoint must retain them"
+  | _ -> ());
   widen_minor_arena ~shards:(Array.length t.shards);
   let n = Array.length t.shards in
   let metrics = Metrics.create ~sample_every () in
@@ -332,6 +481,34 @@ let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
     (fun s -> s.domain <- Some (Domain.spawn (fun () -> worker t s)))
     t.shards;
   let consumed = ref 0 in
+  (* --- checkpoint state ----------------------------------------------- *)
+  (* The last cut, for crash restore: operator blobs per shard plus the
+     trace/registry baselines captured with them. [committed] owns every
+     output drained at a cut (ascending merge order) — unless [on_commit]
+     streams them out instead. *)
+  let last_ckpt = ref None in
+  let ckpt_events = Array.make n [] in
+  let ckpt_reg = Array.make n None in
+  let committed = ref [] in
+  (* newest chunk first; each chunk ascending *)
+  let commit_chunk chunk =
+    match on_commit with
+    | Some f -> f (List.map (fun (_, _, _, el) -> el) chunk)
+    | None -> committed := chunk :: !committed
+  in
+  let elements =
+    match t.resume with
+    | None -> elements
+    | Some (c : Checkpoint.t) ->
+        (* continue the cut: counters pick up where the checkpoint left
+           off, committed outputs are owned again, and the input prefix
+           the checkpoint already consumed is skipped (the caller passes
+           the same deterministic trace). *)
+        consumed := c.Checkpoint.consumed;
+        last_ckpt := Some c;
+        commit_chunk c.Checkpoint.committed;
+        Seq.drop c.Checkpoint.consumed elements
+  in
   (* --- supervision --------------------------------------------------- *)
   let abort_all () =
     (* Terminal teardown: poison every queue, lift every barrier, reap
@@ -395,18 +572,42 @@ let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
     s.contract <- contract;
     s.compiled <- t.compile_shard tel contract;
     s.queue <- Spsc.create ~capacity:queue_capacity;
-    (* The dead incarnation's outputs, counters and events are discarded
-       wholesale: determinism means the replay reproduces every one of
-       them, and keeping both would double-count. *)
+    (* The dead incarnation's post-cut outputs, counters and events are
+       discarded wholesale: determinism means the replay reproduces every
+       one of them, and keeping both would double-count. *)
     s.outputs <- [];
     s.out_rank <- 0;
     s.emitted <- 0;
     s.dead <- None;
+    (* With a checkpoint, recovery is restore + suffix: operator state
+       comes from the last cut's blobs and only the batches since then
+       (the truncated history) are replayed — work bounded by the
+       checkpoint interval, not the run length. *)
+    (match !last_ckpt with
+    | None -> ()
+    | Some (c : Checkpoint.t) ->
+        let t0 = Unix.gettimeofday () in
+        let snap = c.Checkpoint.shards.(k) in
+        apply_snapshot s snap;
+        s.base_events <- ckpt_events.(k);
+        s.base_reg <- ckpt_reg.(k);
+        emit_driver
+          (Obs.Event.Restore
+             {
+               tick = !consumed;
+               shard = k;
+               bytes = snapshot_bytes snap;
+               duration_ns =
+                 int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+             }));
     Mutex.lock t.lock;
     s.acked <- t.release;
     Mutex.unlock t.lock;
     s.domain <- Some (Domain.spawn (fun () -> worker t s));
-    let replayed = List.length s.history in
+    let replayed = s.history_elems in
+    t.restarts_log <-
+      { shard = k; attempt; replayed; restored = !last_ckpt <> None }
+      :: t.restarts_log;
     let rec replay = function
       | [] ->
           emit_driver
@@ -418,7 +619,7 @@ let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
           | `Ok -> replay rest
           | `Closed -> `Died)
     in
-    match replay (List.rev s.history) with
+    match replay (List.of_seq (Queue.to_seq s.history)) with
     | `Ok -> ()
     | `Died -> handle_crash k
   in
@@ -433,8 +634,12 @@ let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
     let s = t.shards.(k) in
     let msg = Batch arr in
     (* Record before pushing: if the push finds the worker dead, the
-       restart's replay must include this batch. *)
-    s.history <- msg :: s.history;
+       restart's replay must include this batch. The byte figure is a
+       word-counting trend estimate (boxed pair + element header per
+       entry), not a measurement. *)
+    Queue.push msg s.history;
+    s.history_elems <- s.history_elems + Array.length arr;
+    s.history_bytes <- s.history_bytes + 64 + (48 * Array.length arr);
     match Spsc.push s.queue msg with
     | `Ok -> ()
     | `Closed -> handle_crash k
@@ -455,7 +660,13 @@ let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
     buf_len.(k) <- buf_len.(k) + 1;
     if buf_len.(k) >= batch_cap then flush_buf k
   in
-  let barrier_id = ref 0 in
+  let barrier_id =
+    ref
+      (match t.resume with
+      | Some c -> c.Checkpoint.barrier
+      | None -> 0)
+  in
+  let grid = ref 0 in
   let quiesce () =
     incr barrier_id;
     let id = !barrier_id in
@@ -500,6 +711,78 @@ let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
     Condition.broadcast t.released;
     Mutex.unlock t.lock
   in
+  (* Take a punctuation-aligned cut. Only called between [quiesce] and
+     [release]: workers are parked, every queue is drained, so per-shard
+     operator state is exactly the bounded live set the safety theorem is
+     about. The cut owns everything before it — operator blobs, emit
+     counters, drained outputs, trace/registry baselines — and the replay
+     histories are then truncated, so any later crash replays at most one
+     checkpoint interval of input. *)
+  let take_checkpoint ~tick =
+    match t.checkpoint with
+    | None -> ()
+    | Some cfg ->
+        let t0 = Unix.gettimeofday () in
+        let shards_snap = Array.map snapshot_shard t.shards in
+        let chunk =
+          Array.to_list t.shards
+          |> List.concat_map (fun s ->
+                 List.rev_map
+                   (fun (seq, rank, el) -> (seq, s.index, rank, el))
+                   s.outputs)
+          |> List.sort (fun (s1, h1, r1, _) (s2, h2, r2, _) ->
+                 compare (s1, h1, r1) (s2, h2, r2))
+        in
+        Array.iter (fun (s : shard) -> s.outputs <- []) t.shards;
+        commit_chunk chunk;
+        Array.iteri
+          (fun k s ->
+            ckpt_events.(k) <- s.base_events @ s.events_of ();
+            let copy = Obs.Registry.merged [ shard_registry_view s ] in
+            Obs.Registry.clear_gauges copy;
+            ckpt_reg.(k) <- Some copy)
+          t.shards;
+        let mk committed =
+          { Checkpoint.barrier = !barrier_id; consumed = tick;
+            shards = shards_snap; committed }
+        in
+        let bytes =
+          match cfg.Checkpoint.dir with
+          | None ->
+              Array.fold_left
+                (fun acc s -> acc + snapshot_bytes s)
+                0 shards_snap
+          | Some dir ->
+              (* the durable image needs every committed output so a
+                 resumed process reproduces the full output multiset *)
+              let full = mk (List.concat (List.rev !committed)) in
+              let _path, bytes =
+                Checkpoint.save ~dir
+                  ~fingerprint:cfg.Checkpoint.fingerprint full
+              in
+              bytes
+        in
+        (* the in-memory cut used for crash restore does not need the
+           committed outputs — the driver already owns them *)
+        last_ckpt := Some (mk []);
+        Array.iter
+          (fun s ->
+            Queue.clear s.history;
+            s.history_elems <- 0;
+            s.history_bytes <- 0)
+          t.shards;
+        Obs.Registry.set_gauge ~agg:Obs.Counters.Sum t.driver_reg
+          "checkpoint_bytes" bytes;
+        emit_driver
+          (Obs.Event.Checkpoint
+             {
+               tick;
+               barrier = !barrier_id;
+               bytes;
+               duration_ns =
+                 int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+             })
+  in
   let emitted_total () =
     Array.fold_left (fun acc (s : shard) -> acc + s.emitted) 0 t.shards
   in
@@ -541,6 +824,44 @@ let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
                        unreachable = a.unreachable;
                      }))
           (state_breakdown t)
+  in
+  (* Replay-log accounting, only when checkpointing is armed (the gauges
+     would otherwise break sequential/sharded metric-family parity). The
+     gauges are set at every grid point, so a scrape sees the healthy
+     saw-tooth: growth between cuts, back to ~zero after each one. *)
+  let observe_history () =
+    match t.checkpoint with
+    | None -> ()
+    | Some _ ->
+        Obs.Registry.set_gauge ~agg:Obs.Counters.Sum t.driver_reg
+          "history_len" (history_elems t);
+        Obs.Registry.set_gauge ~agg:Obs.Counters.Sum t.driver_reg
+          "history_bytes" (history_bytes t)
+  in
+  (* The watchdog must not see the raw saw-tooth (its slope detector
+     would flag the healthy between-cut climb), so it watches the log's
+     *excess over one checkpoint interval* — identically zero while cuts
+     keep truncating, climbing monotonically the moment they stall. *)
+  let watch_history ~interval ~tick =
+    match t.watchdog with
+    | None -> ()
+    | Some w -> (
+        match
+          Obs.Watchdog.observe w ~op:"replay_history" ~tick
+            ~size:(max 0 (history_elems t - interval))
+            ~unreachable:[]
+        with
+        | None -> ()
+        | Some (a : Obs.Watchdog.alarm) ->
+            emit_driver
+              (Obs.Event.Alarm
+                 {
+                   tick = a.tick;
+                   op = a.op;
+                   slope = a.slope;
+                   size = a.size;
+                   unreachable = a.unreachable;
+                 }))
   in
   (* Contract checks on the barrier grid, mirroring Executor.run's: the
      driver (which sees the whole input) checks punctuation-progress
@@ -657,6 +978,16 @@ let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
           observe_metrics Metrics.observe ~tick:!consumed;
           contract_checks ~tick:!consumed;
           sample_and_watch ~tick:!consumed;
+          incr grid;
+          (match t.checkpoint with
+          | Some cfg ->
+              if !grid mod cfg.Checkpoint.every = 0 then
+                take_checkpoint ~tick:!consumed;
+              watch_history
+                ~interval:(cfg.Checkpoint.every * sample_every)
+                ~tick:!consumed
+          | None -> ());
+          observe_history ();
           observe_plane ~tick:!consumed;
           release ()
         end)
@@ -694,27 +1025,36 @@ let run ?(sample_every = 100) ?(label = "run") ?exporter t elements =
   observe_metrics Metrics.flush ~tick:!consumed;
   contract_checks ~tick:!consumed;
   sample_and_watch ~tick:!consumed;
+  observe_history ();
   observe_plane ~tick:!consumed;
   emit_driver (Obs.Event.Run_end { tick = !consumed; emitted = emitted_total () });
-  let outputs =
+  (* Committed chunks (one per checkpoint, ascending within and across
+     chunks — every pre-cut batch was drained at its cut) precede the
+     still-live tail, which holds only post-cut sequence numbers. *)
+  let live_outputs =
     Array.to_list t.shards
     |> List.concat_map (fun s ->
            List.rev_map (fun (seq, rank, el) -> (seq, s.index, rank, el))
              s.outputs)
     |> List.sort (fun (s1, h1, r1, _) (s2, h2, r2, _) ->
            compare (s1, h1, r1) (s2, h2, r2))
+  in
+  let outputs =
+    List.concat (List.rev (live_outputs :: !committed))
     |> List.map (fun (_, _, _, el) -> el)
   in
   if t.instrument then begin
     (* Merged trace order: tick, then shard, then per-shard emission
        index; driver events sort after every worker event of their tick
-       (a Sample describes the tick's *completed* state). *)
+       (a Sample describes the tick's *completed* state). A shard restored
+       from a checkpoint contributes its pre-cut baseline first, then the
+       live incarnation's regenerated suffix. *)
     let tagged =
       Array.to_list t.shards
       |> List.concat_map (fun s ->
              List.mapi
                (fun i e -> (Obs.Event.tick_of e, s.index, i, Some s.index, e))
-               (s.events_of ()))
+               (s.base_events @ s.events_of ()))
     in
     let driver =
       List.rev t.driver_events

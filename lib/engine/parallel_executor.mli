@@ -67,8 +67,10 @@ val create :
   ?watchdog:Obs.Watchdog.t ->
   ?instrument:bool ->
   ?contract_config:Contract.config ->
-  ?kill:Streams.Fault_injector.kill ->
+  ?kills:Streams.Fault_injector.kill list ->
   ?max_restarts:int ->
+  ?checkpoint:Checkpoint.config ->
+  ?resume:Checkpoint.t ->
   shards:int ->
   Query.Cjq.t ->
   Query.Plan.t ->
@@ -91,14 +93,58 @@ val create :
     Budget enforcement and stall checks run at the sampling barriers,
     mirroring {!Executor.run}'s grid.
 
-    [kill] arms a deterministic one-shot worker kill (shard [s] raises on
-    reaching global sequence [at_seq]) for fault-injection tests; the
-    restarted incarnation replays the same sequence unharmed.
+    [kills] arms deterministic worker kills (shard [s] raises on reaching
+    global sequence [at_seq]) for fault-injection tests and kill-storm
+    soaks; each kill fires once, several may target the same shard, and
+    the restarted incarnation replays the same sequence unharmed. Build
+    storms with {!Streams.Fault_injector.kill_schedule}.
 
-    [max_restarts] (default 2) bounds restarts {e per shard}. *)
+    [max_restarts] (default 2) bounds restarts {e per shard} — note a
+    storm of [k] kills against one shard needs [max_restarts >= k].
+
+    [checkpoint] arms punctuation-aligned checkpointing: every
+    [checkpoint.every]-th sampling-grid barrier the quiesced shards are
+    snapshotted ({!Operator.persistence}), outputs so far are committed
+    to the cut, and each shard's replay history is truncated — bounding
+    crash recovery to one checkpoint interval of input. With
+    [checkpoint.dir] set each cut is also persisted durably
+    ({!Checkpoint.save}).
+
+    [resume] starts the fleet from a previously saved cut
+    ({!Checkpoint.load_latest}): operator state is restored in place and
+    [run] must then be given the {e same} input sequence — it skips the
+    already-consumed prefix itself.
+
+    @raise Invalid_argument when [resume] was taken at a different shard
+    count, or when an operator in the plan does not support snapshots
+    ([Volatile]) while [checkpoint] is armed (raised at the first cut). *)
 
 val crash_count : t -> int
 (** Total worker restarts performed so far (summed over shards). *)
+
+type restart = {
+  shard : int;
+  attempt : int;
+  replayed : int;
+      (** input {e elements} replayed into the fresh incarnation — with
+          checkpointing armed, bounded by the checkpoint interval *)
+  restored : bool;
+      (** the incarnation's state came from a checkpoint restore rather
+          than a from-scratch replay *)
+}
+
+val restarts_log : t -> restart list
+(** Every supervised restart of the last [run], oldest first — the soak
+    harness asserts bounded [replayed] from this without instrumenting. *)
+
+val history_elems : t -> int
+(** Input elements currently retained for crash replay, summed across
+    shards; with checkpointing armed this drops back near zero at every
+    cut. *)
+
+val history_bytes : t -> int
+(** Estimated bytes of the retained replay history, summed across
+    shards (the [pstream_history_bytes] gauge). *)
 
 val router : t -> Shard_router.t
 val n_shards : t -> int
@@ -125,6 +171,14 @@ type result = {
     registry per grid point — the same series names a sequential run
     exports.
 
+    [on_commit], with checkpointing armed, streams each cut's committed
+    outputs to the caller instead of retaining them (the soak harness
+    folds them into a {!Checkpoint.Rolling} digest to keep driver memory
+    flat); the [result]'s [outputs] then contain only the post-last-cut
+    tail. Incompatible with a durable [checkpoint.dir] (a persisted cut
+    must own its committed outputs) — that combination raises
+    [Invalid_argument].
+
     @raise Shard_failed when a shard exhausts its restart budget.
     @raise Contract.Violation_failure under a [Fail] contract. Either way
     the fleet is torn down before the exception escapes. *)
@@ -132,6 +186,7 @@ val run :
   ?sample_every:int ->
   ?label:string ->
   ?exporter:Obs.Exporter.t ->
+  ?on_commit:(Streams.Element.t list -> unit) ->
   t ->
   Streams.Element.t Seq.t ->
   result

@@ -77,4 +77,57 @@ let compose stages =
                   purge_rounds = acc.Operator.purge_rounds + st.Operator.purge_rounds;
                 })
               (first.stats ()) (List.tl stages));
+        persistence =
+          (* composite: every stage must be persistable; stage blobs are
+             length-prefixed in pipeline order *)
+          (match
+             List.find_map
+               (fun (s : Operator.t) ->
+                 match s.persistence with
+                 | Operator.Volatile reason -> Some (s.name ^ ": " ^ reason)
+                 | Operator.Stateless | Operator.Snapshot _ -> None)
+               stages
+           with
+          | Some reason -> Operator.Volatile reason
+          | None ->
+              Operator.Snapshot
+                {
+                  save =
+                    (fun () ->
+                      let b = Buffer.create 1024 in
+                      Streams.Wire.W.u8 b 1;
+                      Streams.Wire.W.list
+                        (fun b (s : Operator.t) ->
+                          match s.persistence with
+                          | Operator.Stateless -> Streams.Wire.W.string b ""
+                          | Operator.Snapshot { save; _ } ->
+                              Streams.Wire.W.string b (save ())
+                          | Operator.Volatile _ -> assert false)
+                        b stages;
+                      Buffer.contents b);
+                  load =
+                    (fun blob ->
+                      let r = Streams.Wire.R.of_string blob in
+                      let v = Streams.Wire.R.u8 r in
+                      if v <> 1 then
+                        raise
+                          (Streams.Wire.Corrupt
+                             (Printf.sprintf
+                                "Pipeline snapshot version %d, expected 1" v));
+                      let blobs =
+                        Streams.Wire.R.list Streams.Wire.R.string r
+                      in
+                      Streams.Wire.R.expect_end r;
+                      if List.length blobs <> List.length stages then
+                        raise
+                          (Streams.Wire.Corrupt
+                             "Pipeline snapshot: stage count mismatch");
+                      List.iter2
+                        (fun (s : Operator.t) blob ->
+                          match s.persistence with
+                          | Operator.Stateless -> ()
+                          | Operator.Snapshot { load; _ } -> load blob
+                          | Operator.Volatile _ -> assert false)
+                        stages blobs);
+                });
       }

@@ -44,4 +44,5 @@ let create ?(name = "project") ~input ~keep () =
     index_state_size = (fun () -> 0);
     state_bytes = (fun () -> 0);
     stats = (fun () -> !stats);
+    persistence = Operator.Stateless;
   }

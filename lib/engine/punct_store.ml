@@ -239,6 +239,89 @@ let mark_forwarded t p =
 let is_forwarded t p =
   match find_entry t p with Some e -> e.forwarded | None -> false
 
+(* --- serialization ------------------------------------------------------ *)
+
+module Wire = Streams.Wire
+
+let snapshot_version = 1
+
+let write_entry b (e : entry) =
+  Wire.write_punctuation b e.punct;
+  Wire.W.int b e.inserted_at;
+  Wire.W.bool b e.forwarded
+
+let read_entry ~schema r =
+  let punct = Wire.read_punctuation ~schema r in
+  let inserted_at = Wire.R.int r in
+  let forwarded = Wire.R.bool r in
+  { punct; inserted_at; forwarded }
+
+(* Ordered entries keep their list order (it is insertion history); group
+   entries are emitted sorted by punctuation so the same store state always
+   serializes to the same bytes. The forward queue is serialized as bare
+   punctuations and re-resolved through {!find_entry} on restore, so queued
+   entries stay physically shared with their stored twins (subsumption
+   keeps punctuations unique per store). *)
+let write_snapshot b (t : t) =
+  Wire.W.u8 b snapshot_version;
+  Wire.W.int b t.insertions;
+  Wire.W.int b t.rejected;
+  Wire.W.int b t.subsumed;
+  Wire.W.int b t.removed;
+  Wire.W.list write_entry b t.ordered;
+  Wire.W.list
+    (fun b g ->
+      Wire.W.list Wire.W.int b g.positions;
+      let entries = KeyTbl.fold (fun _ e acc -> e :: acc) g.entries [] in
+      let entries =
+        List.sort (fun a b -> Punctuation.compare a.punct b.punct) entries
+      in
+      Wire.W.list write_entry b entries)
+    b t.groups;
+  Wire.W.list
+    (fun b (e : entry) -> Wire.write_punctuation b e.punct)
+    b t.pending_forward
+
+let read_snapshot (t : t) r =
+  let v = Wire.R.u8 r in
+  if v <> snapshot_version then
+    raise
+      (Wire.Corrupt
+         (Printf.sprintf "Punct_store snapshot version %d, expected %d" v
+            snapshot_version));
+  let insertions = Wire.R.int r in
+  let rejected = Wire.R.int r in
+  let subsumed = Wire.R.int r in
+  let removed = Wire.R.int r in
+  let ordered = Wire.R.list (read_entry ~schema:t.schema) r in
+  let groups =
+    Wire.R.list
+      (fun r ->
+        let positions = Wire.R.list Wire.R.int r in
+        let entries = Wire.R.list (read_entry ~schema:t.schema) r in
+        let tbl = KeyTbl.create (max 32 (2 * List.length entries)) in
+        List.iter (fun e -> KeyTbl.replace tbl (values_of e.punct) e) entries;
+        { positions; entries = tbl })
+      r
+  in
+  let pending = Wire.R.list (Wire.read_punctuation ~schema:t.schema) r in
+  t.insertions <- insertions;
+  t.rejected <- rejected;
+  t.subsumed <- subsumed;
+  t.removed <- removed;
+  t.ordered <- ordered;
+  t.groups <- groups;
+  t.pending_forward <-
+    List.map
+      (fun p ->
+        match find_entry t p with
+        | Some e -> e
+        | None ->
+            raise
+              (Wire.Corrupt
+                 "Punct_store snapshot: pending punctuation not in store"))
+      pending
+
 let collect_forwardable t ~drained =
   let collected = ref [] in
   let still_pending =

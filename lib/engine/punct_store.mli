@@ -83,3 +83,13 @@ val is_forwarded : t -> Streams.Punctuation.t -> bool
     whole store — operators call this once per purge round. *)
 val collect_forwardable :
   t -> drained:(Streams.Punctuation.t -> bool) -> Streams.Punctuation.t list
+
+(** Versioned binary serialization ({!Streams.Wire}) for checkpointing:
+    stored punctuations (with insertion time and forwarding marks), the
+    pending forward queue (restored entry-shared with the store), and the
+    conservation counters. [read_snapshot] restores in place.
+    @raise Streams.Wire.Corrupt on a truncated, malformed or
+    version-mismatched snapshot. *)
+val write_snapshot : Streams.Wire.W.t -> t -> unit
+
+val read_snapshot : t -> Streams.Wire.R.t -> unit

@@ -53,4 +53,5 @@ let create ?(name = "select") ~input ~conditions () =
     index_state_size = (fun () -> 0);
     state_bytes = (fun () -> 0);
     stats = (fun () -> !stats);
+    persistence = Operator.Stateless;
   }

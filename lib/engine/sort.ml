@@ -61,4 +61,5 @@ let create ?(name = "sort") ~input ~by () =
     index_state_size = (fun () -> 0);
     state_bytes = (fun () -> List.length !buffer * 8 * (Sys.word_size / 8));
     stats = (fun () -> !stats);
+    persistence = Operator.Volatile "sort buffer is not serialized";
   }

@@ -385,6 +385,44 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
         end
         else []
   in
+  let save () =
+    let module W = Streams.Wire.W in
+    let b = Buffer.create 4096 in
+    W.u8 b 1;
+    Operator.write_stats b !stats;
+    W.int b !now;
+    W.int b !pending;
+    W.option W.int b !pending_since;
+    List.iter
+      (fun slot ->
+        Join_state.write_snapshot b slot.state;
+        Punct_store.write_snapshot b slot.puncts)
+      [ l; r ];
+    Buffer.contents b
+  in
+  let load blob =
+    let module R = Streams.Wire.R in
+    let r' = R.of_string blob in
+    let v = R.u8 r' in
+    if v <> 1 then
+      raise
+        (Streams.Wire.Corrupt
+           (Printf.sprintf "Sym_hash_join snapshot version %d, expected 1" v));
+    let st = Operator.read_stats r' in
+    let n = R.int r' in
+    let p = R.int r' in
+    let ps = R.option R.int r' in
+    List.iter
+      (fun slot ->
+        Join_state.read_snapshot slot.state r';
+        Punct_store.read_snapshot slot.puncts r')
+      [ l; r ];
+    R.expect_end r';
+    stats := st;
+    now := n;
+    pending := p;
+    pending_since := ps
+  in
   {
     Operator.name;
     out_schema;
@@ -421,4 +459,5 @@ let create ?(name = "join") ?(policy = Purge_policy.Eager)
           puncts_dropped = dropped;
           puncts_purged = !stats.puncts_purged + subsumed;
         });
+    persistence = Operator.Snapshot { save; load };
   }

@@ -83,4 +83,5 @@ let create ?(name = "union") ~left ~right () =
     index_state_size = (fun () -> 0);
     state_bytes = (fun () -> 0);
     stats = (fun () -> !stats);
+    persistence = Operator.Volatile "union punctuation stores are not serialized";
   }

@@ -115,6 +115,30 @@ let create ?(name = "window_join") ?(telemetry = Telemetry.null) ~window
     (match window with Ticks _ -> evict_stale () | Count _ -> ());
     []
   in
+  let save () =
+    let module W = Streams.Wire.W in
+    let b = Buffer.create 1024 in
+    W.u8 b 1;
+    Operator.write_stats b !stats;
+    W.int b !now;
+    List.iter (fun (_, s) -> Join_state.write_snapshot b s) states;
+    Buffer.contents b
+  in
+  let load blob =
+    let module R = Streams.Wire.R in
+    let r = R.of_string blob in
+    let v = R.u8 r in
+    if v <> 1 then
+      raise
+        (Streams.Wire.Corrupt
+           (Printf.sprintf "Window_join snapshot version %d, expected 1" v));
+    let st = Operator.read_stats r in
+    let n = R.int r in
+    List.iter (fun (_, s) -> Join_state.read_snapshot s r) states;
+    R.expect_end r;
+    stats := st;
+    now := n
+  in
   {
     Operator.name;
     out_schema;
@@ -138,4 +162,5 @@ let create ?(name = "window_join") ?(telemetry = Telemetry.null) ~window
             acc + (Join_state.mem_stats s).Join_state.approx_bytes)
           0 states);
     stats = (fun () -> !stats);
+    persistence = Operator.Snapshot { save; load };
   }

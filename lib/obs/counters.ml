@@ -48,6 +48,10 @@ let sorted_alist tbl =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let clear_gauges t =
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.gauge_aggs
+
 let to_alist t = sorted_alist t.counters
 let gauges_to_alist t = sorted_alist t.gauges
 let counter_names t = List.map fst (to_alist t)

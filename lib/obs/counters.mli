@@ -47,4 +47,11 @@ val agg_to_string : agg -> string
 val to_alist : t -> (string * int) list
 
 val gauges_to_alist : t -> (string * int) list
+
+(** [clear_gauges t] — drop every gauge (counters and their values stay).
+    A registry copy kept as a restore baseline clears its gauges so the
+    live registry's Sum-aggregated levels are not double-counted when the
+    two are {!merged} — gauges are levels, not history, so the live side
+    alone is authoritative. *)
+val clear_gauges : t -> unit
 val counter_names : t -> string list

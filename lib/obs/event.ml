@@ -54,10 +54,12 @@ type t =
   | Load_shed of { tick : int; op : string; victims : int; bytes : int }
   | Shard_crash of { tick : int; shard : int; reason : string; attempt : int }
   | Shard_restart of { tick : int; shard : int; attempt : int; replayed : int }
+  | Checkpoint of { tick : int; barrier : int; bytes : int; duration_ns : int }
+  | Restore of { tick : int; shard : int; bytes : int; duration_ns : int }
 
 let op_of = function
   | Run_start _ | Run_end _ | Sample _ | Fault _ | Shard_crash _
-  | Shard_restart _ ->
+  | Shard_restart _ | Checkpoint _ | Restore _ ->
       None
   | Tuple_in { op; _ }
   | Tuple_out { op; _ }
@@ -89,7 +91,9 @@ let tick_of = function
   | Violation { tick; _ }
   | Load_shed { tick; _ }
   | Shard_crash { tick; _ }
-  | Shard_restart { tick; _ } ->
+  | Shard_restart { tick; _ }
+  | Checkpoint { tick; _ }
+  | Restore { tick; _ } ->
       tick
 
 let to_json ?shard e =
@@ -243,6 +247,24 @@ let to_json ?shard e =
           ("attempt", Int attempt);
           ("replayed", Int replayed);
         ]
+  | Checkpoint { tick; barrier; bytes; duration_ns } ->
+      f
+        [
+          ("ev", String "checkpoint");
+          ("tick", Int tick);
+          ("barrier", Int barrier);
+          ("bytes", Int bytes);
+          ("duration_ns", Int duration_ns);
+        ]
+  | Restore { tick; shard; bytes; duration_ns } ->
+      f
+        [
+          ("ev", String "restore");
+          ("tick", Int tick);
+          ("crashed_shard", Int shard);
+          ("bytes", Int bytes);
+          ("duration_ns", Int duration_ns);
+        ]
 
 let of_json j =
   let ( let* ) r f = Result.bind r f in
@@ -366,6 +388,18 @@ let of_json j =
       let* attempt = int "attempt" in
       let* replayed = int "replayed" in
       Ok (Shard_restart { tick; shard; attempt; replayed })
+  | "checkpoint" ->
+      let* tick = int "tick" in
+      let* barrier = int "barrier" in
+      let* bytes = int "bytes" in
+      let* duration_ns = int "duration_ns" in
+      Ok (Checkpoint { tick; barrier; bytes; duration_ns })
+  | "restore" ->
+      let* tick = int "tick" in
+      let* shard = int "crashed_shard" in
+      let* bytes = int "bytes" in
+      let* duration_ns = int "duration_ns" in
+      Ok (Restore { tick; shard; bytes; duration_ns })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
 let shard_of_json j = Option.bind (Json.member "shard" j) Json.to_int

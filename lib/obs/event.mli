@@ -87,7 +87,15 @@ type t =
       (** a worker domain died; [attempt] counts restarts so far *)
   | Shard_restart of { tick : int; shard : int; attempt : int; replayed : int }
       (** the supervisor respawned the shard and replayed [replayed]
-          batches of its input history *)
+          elements of its input history *)
+  | Checkpoint of { tick : int; barrier : int; bytes : int; duration_ns : int }
+      (** a punctuation-aligned checkpoint was taken at quiesce barrier
+          [barrier] ([bytes] = encoded size across all shards; 0 when kept
+          in memory only) *)
+  | Restore of { tick : int; shard : int; bytes : int; duration_ns : int }
+      (** a restarted shard was restored from the last checkpoint's
+          operator snapshots ([bytes] = its blob total) instead of
+          replaying from the beginning *)
 
 (** [op_of e] — the operator an event belongs to, if any (samples, run
     markers, faults and shard lifecycle events are global). *)

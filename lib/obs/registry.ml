@@ -76,6 +76,8 @@ let merged ts =
     ts;
   m
 
+let clear_gauges t = Counters.clear_gauges t.counters
+
 let to_json t =
   let ints alist = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) alist) in
   Json.Obj

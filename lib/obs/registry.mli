@@ -42,5 +42,12 @@ val merged_histogram : t -> string -> Histogram.t option
     traces. *)
 val merged : t list -> t
 
+(** [clear_gauges t] — drop every gauge, keeping counters and
+    histograms. A checkpoint's registry baseline (a {!merged} copy of a
+    dead incarnation's registry) clears its gauges before being merged
+    with the live registry, so Sum-aggregated levels are not counted
+    twice. *)
+val clear_gauges : t -> unit
+
 (** Flat object: {"counters": {..}, "gauges": {..}, "histograms": {..}}. *)
 val to_json : t -> Json.t

@@ -137,7 +137,8 @@ let replay events =
           ()
       | Event.Load_shed { op; victims; _ } -> bump op "shed_tuples" victims
       | Event.Run_start _ | Event.Run_end _ | Event.Sample _ | Event.Alarm _
-      | Event.Fault _ | Event.Shard_crash _ | Event.Shard_restart _ ->
+      | Event.Fault _ | Event.Shard_crash _ | Event.Shard_restart _
+      | Event.Checkpoint _ | Event.Restore _ ->
           ())
     events;
   List.rev_map

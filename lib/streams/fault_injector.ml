@@ -156,3 +156,19 @@ let events injections =
 type kill = { shard : int; at_seq : int }
 
 exception Injected_kill of kill
+
+(* Seeded storm: [kills] kill points spread over sequence numbers
+   [1, span], each aimed at a random shard. Sorted by sequence; repeated
+   kills of the same shard (including immediately after its recovery) are
+   expected and wanted — that is the storm the soak harness exercises. *)
+let kill_schedule ~seed ~shards ~kills ~span =
+  if shards <= 0 then invalid_arg "Fault_injector.kill_schedule: no shards";
+  if kills < 0 then invalid_arg "Fault_injector.kill_schedule: negative kills";
+  if span <= 0 then invalid_arg "Fault_injector.kill_schedule: empty span";
+  let rng = Rng.create ~seed in
+  List.init kills (fun _ ->
+      {
+        shard = Rng.int rng shards;
+        at_seq = 1 + Rng.int rng span;
+      })
+  |> List.sort (fun a b -> compare (a.at_seq, a.shard) (b.at_seq, b.shard))

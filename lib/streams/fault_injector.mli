@@ -73,3 +73,10 @@ type kill = { shard : int; at_seq : int }
 
 (** The exception the injected kill raises inside the worker domain. *)
 exception Injected_kill of kill
+
+(** [kill_schedule ~seed ~shards ~kills ~span] — a deterministic kill
+    storm: [kills] one-shot kills aimed at seeded-random shards, at seeded
+    sequence numbers in [1, span], sorted by sequence. The same shard may
+    be hit repeatedly (including right after recovering from the previous
+    kill) — the soak harness relies on that. *)
+val kill_schedule : seed:int -> shards:int -> kills:int -> span:int -> kill list

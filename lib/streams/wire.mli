@@ -1,0 +1,63 @@
+(** Length-prefixed binary codec for stream values, tuples, punctuations
+    and elements — the persistence format of {!Engine.Checkpoint} operator
+    snapshots and checkpoint files, and the foundation for binary network
+    sources.
+
+    Every variable-length piece is written behind an explicit length or
+    count; integers and floats are fixed 64-bit little-endian. Readers are
+    strict: running off the end, an unknown tag, or a negative length
+    raises {!Corrupt} with a located message rather than guessing. *)
+
+exception Corrupt of string
+
+(** Writers append to a [Buffer.t]. *)
+module W : sig
+  type t = Buffer.t
+
+  val u8 : t -> int -> unit
+  val int : t -> int -> unit  (** 64-bit little-endian two's complement *)
+
+  val float : t -> float -> unit
+  val bool : t -> bool -> unit
+  val string : t -> string -> unit  (** length-prefixed bytes *)
+
+  val list : (t -> 'a -> unit) -> t -> 'a list -> unit
+  val array : (t -> 'a -> unit) -> t -> 'a array -> unit
+  val option : (t -> 'a -> unit) -> t -> 'a option -> unit
+  val pair : (t -> 'a -> unit) -> (t -> 'b -> unit) -> t -> 'a * 'b -> unit
+end
+
+(** Readers consume a string through a cursor. *)
+module R : sig
+  type t
+
+  val of_string : string -> t
+  val remaining : t -> int
+  val u8 : t -> int
+  val int : t -> int
+  val float : t -> float
+  val bool : t -> bool
+  val string : t -> string
+  val list : (t -> 'a) -> t -> 'a list
+  val array : (t -> 'a) -> t -> 'a array
+  val option : (t -> 'a) -> t -> 'a option
+  val pair : (t -> 'a) -> (t -> 'b) -> t -> 'a * 'b
+
+  val expect_end : t -> unit
+  (** @raise Corrupt when unread bytes remain. *)
+end
+
+(** Domain codecs. Tuples, punctuations and elements are serialized
+    without their schema: the reader supplies it ([~schema]), because
+    snapshots are restored into an identically compiled plan. *)
+
+val write_value : W.t -> Relational.Value.t -> unit
+val read_value : R.t -> Relational.Value.t
+val write_tuple : W.t -> Relational.Tuple.t -> unit
+val read_tuple : schema:Relational.Schema.t -> R.t -> Relational.Tuple.t
+val write_pattern : W.t -> Punctuation.pattern -> unit
+val read_pattern : R.t -> Punctuation.pattern
+val write_punctuation : W.t -> Punctuation.t -> unit
+val read_punctuation : schema:Relational.Schema.t -> R.t -> Punctuation.t
+val write_element : W.t -> Element.t -> unit
+val read_element : schema:Relational.Schema.t -> R.t -> Element.t

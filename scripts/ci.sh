@@ -252,6 +252,86 @@ if [ "$status" -ne 5 ]; then
   exit 1
 fi
 
+echo "== checkpoint smoke: bounded recovery + durable resume (docs/FAULTS.md) =="
+# Punctuation-aligned checkpoints every 2 sampling-grid points (--sample 50
+# => a 100-element recovery interval). A three-kill storm — including two
+# kills of the same shard — must restore every restart from a checkpoint,
+# replay at most one interval, and reproduce the fault-free output hash.
+CKPT_DIR="$OBS_TMP/ckpt"
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 400 \
+  --sample 50 --shards 3 > "$OBS_TMP/ckpt_clean.txt"
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 400 \
+  --sample 50 --shards 3 --checkpoint-every 2 --checkpoint-dir "$CKPT_DIR" \
+  --kill-shard 1:800 --kill-shard 1:2000 --kill-shard 0:1500 \
+  > "$OBS_TMP/ckpt_storm.txt"
+ckpt_clean_hash="$(grep '^output hash:' "$OBS_TMP/ckpt_clean.txt")"
+ckpt_storm_hash="$(grep '^output hash:' "$OBS_TMP/ckpt_storm.txt")"
+if [ -z "$ckpt_clean_hash" ] || [ "$ckpt_clean_hash" != "$ckpt_storm_hash" ]; then
+  echo "checkpointed kill-storm hash mismatch: '$ckpt_clean_hash' vs '$ckpt_storm_hash'" >&2
+  exit 1
+fi
+grep -q '^shard restarts: 3 (recovered by history replay; 3 from checkpoint' \
+  "$OBS_TMP/ckpt_storm.txt" || {
+  echo "expected all three storm restarts to restore from a checkpoint" >&2
+  exit 1
+}
+max_replayed="$(sed -n 's/.*max \([0-9]*\) elements replayed.*/\1/p' \
+  "$OBS_TMP/ckpt_storm.txt")"
+if [ -z "$max_replayed" ] || [ "$max_replayed" -gt 100 ]; then
+  echo "storm replay not bounded by the 100-element checkpoint interval (max replayed: '$max_replayed')" >&2
+  exit 1
+fi
+
+# Simulated process death: an unrecoverable kill (--max-restarts 0) must
+# exit 5 but leave durable checkpoints behind; --resume with the same run
+# configuration finishes the run and reproduces the fault-free hash.
+rm -rf "$CKPT_DIR"
+set +e
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 400 \
+  --sample 50 --shards 3 --checkpoint-every 2 --checkpoint-dir "$CKPT_DIR" \
+  --kill-shard 1:1200 --max-restarts 0 > /dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 5 ]; then
+  echo "expected exit 5 (shard failed) from the process-death simulation, got $status" >&2
+  exit 1
+fi
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 400 \
+  --sample 50 --shards 3 --resume "$CKPT_DIR" > "$OBS_TMP/ckpt_resume.txt"
+grep -q '^resume: checkpoint at barrier' "$OBS_TMP/ckpt_resume.txt" || {
+  echo "--resume did not report loading a checkpoint" >&2
+  exit 1
+}
+resume_hash="$(grep '^output hash:' "$OBS_TMP/ckpt_resume.txt")"
+if [ "$resume_hash" != "$ckpt_clean_hash" ]; then
+  echo "--resume did not reproduce the uninterrupted hash: '$resume_hash' vs '$ckpt_clean_hash'" >&2
+  exit 1
+fi
+
+# A resume whose run configuration differs (fingerprint mismatch) and a
+# resume from a corrupted file must both refuse loudly with exit 6.
+set +e
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 200 \
+  --sample 50 --shards 3 --resume "$CKPT_DIR" > /dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 6 ]; then
+  echo "expected exit 6 (invalid checkpoint) on a fingerprint mismatch, got $status" >&2
+  exit 1
+fi
+newest_ckpt="$(ls -t "$CKPT_DIR"/ckpt-*.bin | head -n 1)"
+printf '\377\377\377\377' \
+  | dd of="$newest_ckpt" bs=1 seek=16 conv=notrunc 2>/dev/null
+set +e
+dune exec bin/pstream_run.exe -- examples/triangle.query --rounds 400 \
+  --sample 50 --shards 3 --resume "$CKPT_DIR" > /dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 6 ]; then
+  echo "expected exit 6 (invalid checkpoint) on a corrupted file, got $status" >&2
+  exit 1
+fi
+
 echo "== shard-scaling benchmark (B2 -> BENCH_shard_scaling.json) =="
 # B2 itself fails loudly on hash divergence or a watchdog alarm.
 dune exec bench/main.exe -- B2
@@ -342,6 +422,19 @@ fi
 if ! git diff --quiet -- BENCH_multi_query.json 2>/dev/null; then
   echo "NOTE: BENCH_multi_query.json changed; review and commit the new numbers." >&2
 fi
+
+echo "== kill-storm soak (B5 short config -> soakcheck gate) =="
+# The tracked BENCH_soak.json is the full-scale (~2M element) artifact;
+# validate it first, then run a short-configuration storm in the temp dir
+# (so the committed full-scale numbers are never touched) and gate the
+# fresh artifact with the soakcheck subcommand — all JSON probing goes
+# through pstream-obs, not grep/sed.
+dune exec bin/pstream_obs.exe -- soakcheck BENCH_soak.json --expect-kills 8
+REPO_ROOT="$(pwd)"
+(cd "$OBS_TMP" \
+  && PSTREAM_SOAK_ROUNDS=4000 "$REPO_ROOT/_build/default/bench/main.exe" B5)
+dune exec bin/pstream_obs.exe -- soakcheck "$OBS_TMP/BENCH_soak.json" \
+  --expect-kills 8
 
 echo "== throughput regression gate (bench_diff vs HEAD) =="
 # Hard gate: any scenario losing more than 30% batched throughput

@@ -227,7 +227,7 @@ let test_killed_shard_recovers_to_fault_free_answer () =
   let clean_hash = Executor.output_hash sr.Executor.outputs in
   let pe =
     Parallel_executor.create ~config:(Executor.Config.make ~policy:Purge_policy.Eager ()) ~shards:3
-      ~kill:{ Fault_injector.shard = 1; at_seq = 150 }
+      ~kills:[ { Fault_injector.shard = 1; at_seq = 150 } ]
       q plan3
   in
   let pr = Parallel_executor.run ~sample_every:50 pe (List.to_seq trace) in
@@ -249,7 +249,7 @@ let test_restart_budget_exhaustion_fails_the_run () =
   let trace = round_trace ~rounds:40 q in
   let pe =
     Parallel_executor.create ~shards:2 ~max_restarts:0
-      ~kill:{ Fault_injector.shard = 0; at_seq = 50 }
+      ~kills:[ { Fault_injector.shard = 0; at_seq = 50 } ]
       q plan3
   in
   match Parallel_executor.run ~sample_every:50 pe (List.to_seq trace) with

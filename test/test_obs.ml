@@ -371,6 +371,7 @@ let test_emitted_counted_post_sink () =
       index_state_size = (fun () -> 0);
       state_bytes = (fun () -> 0);
       stats = (fun () -> Engine.Operator.empty_stats);
+      persistence = Engine.Operator.Stateless;
     }
   in
   let r = Executor.run ~sink:swallow c (List.to_seq trace) in
